@@ -1,0 +1,32 @@
+//! Criterion version of the §5.3 ARU-latency experiment at reduced
+//! scale. The full 500,000-iteration reproduction is
+//! `cargo run -p ld-bench --bin aru_latency`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ld_bench::{BenchConfig, Version};
+use ld_workload::AruLatencyWorkload;
+
+fn bench_aru_latency(c: &mut Criterion) {
+    let cfg = BenchConfig::quick();
+    let mut group = c.benchmark_group("aru_latency");
+    let count = 10_000u64;
+    group.throughput(Throughput::Elements(count));
+    group.sample_size(10);
+    for version in [Version::Old, Version::New] {
+        group.bench_function(format!("{}_x10000", version.label()), |b| {
+            let wl = AruLatencyWorkload { count };
+            b.iter(|| {
+                let mut ld = cfg.build_ld(version);
+                wl.run(&mut ld).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_aru_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion version of Figure 5 at reduced scale: the small-file
+//! create/read/delete cycle per version. The full-scale reproduction
+//! with virtual-clock throughput is `cargo run -p ld-bench --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_bench::{BenchConfig, Version};
+use ld_workload::SmallFileWorkload;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = BenchConfig {
+        runs: 1,
+        ..BenchConfig::quick()
+    };
+    let wl = SmallFileWorkload::tiny(200, 1024);
+    let mut group = c.benchmark_group("fig5_small_files_x200");
+    group.sample_size(10);
+    for version in Version::ALL {
+        group.bench_function(version.label().replace(", ", "_"), |b| {
+            b.iter(|| {
+                let mut fs = cfg.build_fs(version);
+                wl.create_and_write(&mut fs).unwrap();
+                wl.read_all(&mut fs).unwrap();
+                wl.delete_all(&mut fs).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig5
+}
+criterion_main!(benches);

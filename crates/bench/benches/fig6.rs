@@ -1,0 +1,36 @@
+//! Criterion version of Figure 6 at reduced scale: the five large-file
+//! phases per version. The full-scale reproduction with virtual-clock
+//! throughput is `cargo run -p ld-bench --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_bench::{BenchConfig, Version};
+use ld_workload::{LargeFilePhase, LargeFileWorkload};
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = BenchConfig {
+        runs: 1,
+        ..BenchConfig::quick()
+    };
+    let wl = LargeFileWorkload::tiny(2_000_000, 4096);
+    let mut group = c.benchmark_group("fig6_large_file_2mb");
+    group.sample_size(10);
+    for version in [Version::Old, Version::New] {
+        group.bench_function(version.label(), |b| {
+            b.iter(|| {
+                let mut fs = cfg.build_fs(version);
+                let ino = wl.setup(&mut fs).unwrap();
+                for phase in LargeFilePhase::ALL {
+                    wl.run_phase(&mut fs, ino, phase).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig6
+}
+criterion_main!(benches);

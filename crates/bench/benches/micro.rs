@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the logical-disk hot paths: simple operations,
+//! ARU begin/commit, shadow copy-on-write, and the predecessor search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_bench::{BenchConfig, Version};
+use ld_core::{Ctx, Position};
+use std::hint::black_box;
+
+fn small_cfg() -> BenchConfig {
+    BenchConfig {
+        block_size: 4096,
+        segment_bytes: 128 * 1024,
+        capacity: 32 << 20,
+        inode_count: 1024,
+        cpu_slowdown: 0.0,
+        runs: 1,
+    }
+}
+
+fn bench_simple_ops(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let mut group = c.benchmark_group("simple_ops");
+
+    group.bench_function("write_4k", |b| {
+        let mut ld = cfg.build_ld(Version::New);
+        let list = ld.new_list(Ctx::Simple).unwrap();
+        let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+        let data = vec![7u8; 4096];
+        b.iter(|| ld.write(Ctx::Simple, blk, black_box(&data)).unwrap());
+    });
+
+    group.bench_function("read_4k_committed", |b| {
+        let mut ld = cfg.build_ld(Version::New);
+        let list = ld.new_list(Ctx::Simple).unwrap();
+        let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+        ld.write(Ctx::Simple, blk, &vec![7u8; 4096]).unwrap();
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| ld.read(Ctx::Simple, blk, black_box(&mut buf)).unwrap());
+    });
+
+    group.bench_function("alloc_free_block", |b| {
+        let mut ld = cfg.build_ld(Version::New);
+        let list = ld.new_list(Ctx::Simple).unwrap();
+        b.iter(|| {
+            let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+            ld.delete_block(Ctx::Simple, blk).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_aru_paths(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let mut group = c.benchmark_group("aru");
+
+    group.bench_function("begin_end_empty", |b| {
+        let mut ld = cfg.build_ld(Version::New);
+        b.iter(|| {
+            let aru = ld.begin_aru().unwrap();
+            ld.end_aru(aru).unwrap();
+        });
+    });
+
+    group.bench_function("begin_end_empty_sequential", |b| {
+        let mut ld = cfg.build_ld(Version::Old);
+        b.iter(|| {
+            let aru = ld.begin_aru().unwrap();
+            ld.end_aru(aru).unwrap();
+        });
+    });
+
+    group.bench_function("shadow_write_and_commit", |b| {
+        let mut ld = cfg.build_ld(Version::New);
+        let list = ld.new_list(Ctx::Simple).unwrap();
+        let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+        let data = vec![3u8; 4096];
+        b.iter(|| {
+            let aru = ld.begin_aru().unwrap();
+            ld.write(Ctx::Aru(aru), blk, &data).unwrap();
+            ld.end_aru(aru).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_predecessor_search(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let mut group = c.benchmark_group("predecessor_search");
+    for len in [4usize, 64, 512] {
+        group.bench_function(format!("delete_tail_of_{len}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut ld = cfg.build_ld(Version::New);
+                    let list = ld.new_list(Ctx::Simple).unwrap();
+                    let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+                    for _ in 1..len {
+                        prev = ld
+                            .new_block(Ctx::Simple, list, Position::After(prev))
+                            .unwrap();
+                    }
+                    (ld, prev)
+                },
+                |(mut ld, tail)| ld.delete_block(Ctx::Simple, tail).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simple_ops, bench_aru_paths, bench_predecessor_search
+}
+criterion_main!(benches);

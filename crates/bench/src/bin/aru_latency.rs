@@ -1,0 +1,66 @@
+//! The §5.3 ARU-latency experiment: start and end an empty ARU 500,000
+//! times. The paper reports 78.47 µs per ARU, with 24 segments written
+//! (the commit records in the segment summaries).
+//!
+//! Usage: `aru_latency [--quick] [--cpu-slowdown X] [--json]`
+
+use ld_bench::{measure, BenchConfig, Version};
+use ld_workload::AruLatencyWorkload;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct Report {
+    arus: u64,
+    virtual_us_per_aru: f64,
+    wall_us_per_aru: f64,
+    disk_secs: f64,
+    segments_written: u64,
+    summary_bytes: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = BenchConfig::from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let wl = if quick {
+        AruLatencyWorkload { count: 50_000 }
+    } else {
+        AruLatencyWorkload::paper()
+    };
+
+    let mut ld = cfg.build_ld(Version::New);
+    let clock = Arc::clone(ld.device().clock());
+    let (res, timing) = measure(&clock, cfg.cpu_slowdown, || wl.run(&mut ld)).expect("run");
+    let stats = *ld.stats();
+
+    let report = Report {
+        arus: res.arus,
+        virtual_us_per_aru: timing.virtual_secs() * 1e6 / res.arus as f64,
+        wall_us_per_aru: timing.wall.as_secs_f64() * 1e6 / res.arus as f64,
+        disk_secs: timing.disk.as_secs_f64(),
+        segments_written: stats.segments_sealed,
+        summary_bytes: stats.summary_bytes,
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("json"));
+        return;
+    }
+    println!("ARU latency experiment (section 5.3): {} BeginARU/EndARU pairs", report.arus);
+    println!(
+        "  virtual latency per ARU: {:.2} us  (paper: 78.47 us)",
+        report.virtual_us_per_aru
+    );
+    println!("  raw CPU latency per ARU: {:.3} us", report.wall_us_per_aru);
+    println!(
+        "  segments written: {}  (paper: 24; commit records only)",
+        report.segments_written
+    );
+    println!(
+        "  summary bytes emitted: {} ({} per commit record)",
+        report.summary_bytes,
+        report.summary_bytes / report.arus.max(1)
+    );
+}

@@ -1,0 +1,157 @@
+//! Figure 5: small-file throughput (files/second) for creating+writing,
+//! reading, and deleting 10,000 1-KByte and 1,000 10-KByte files, for
+//! the `old`, `new`, and `new, delete` versions of MinixLLD.
+//!
+//! Usage: `fig5 [--quick] [--runs N] [--cpu-slowdown X] [--json]`
+
+use ld_bench::{
+    measure, median, percent_slower, print_versions_table, BenchConfig, PhaseTiming, Version,
+};
+use ld_workload::SmallFileWorkload;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct PhaseResult {
+    files_per_sec: f64,
+    wall_secs: f64,
+    disk_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct VersionRow {
+    version: &'static str,
+    create_write: PhaseResult,
+    read: PhaseResult,
+    delete: PhaseResult,
+}
+
+#[derive(Debug, Serialize)]
+struct Experiment {
+    label: String,
+    file_count: usize,
+    file_size: usize,
+    rows: Vec<VersionRow>,
+}
+
+fn phase_result(files: usize, t: &PhaseTiming) -> PhaseResult {
+    PhaseResult {
+        files_per_sec: files as f64 / t.virtual_secs(),
+        wall_secs: t.wall.as_secs_f64(),
+        disk_secs: t.disk.as_secs_f64(),
+    }
+}
+
+fn run_version(cfg: &BenchConfig, version: Version, wl: &SmallFileWorkload) -> VersionRow {
+    let mut cw = Vec::new();
+    let mut rd = Vec::new();
+    let mut del = Vec::new();
+    let mut last: Option<(PhaseTiming, PhaseTiming, PhaseTiming)> = None;
+    // Iteration 0 is a discarded warm-up (code paths, allocator, caches).
+    for run in 0..=cfg.runs.max(1) {
+        let mut fs = cfg.build_fs(version);
+        let clock = Arc::clone(fs.ld().device().clock());
+        let (_, t_cw) =
+            measure(&clock, cfg.cpu_slowdown, || wl.create_and_write(&mut fs)).expect("create");
+        let (_, t_rd) = measure(&clock, cfg.cpu_slowdown, || wl.read_all(&mut fs)).expect("read");
+        let (_, t_del) =
+            measure(&clock, cfg.cpu_slowdown, || wl.delete_all(&mut fs)).expect("delete");
+        if run == 0 {
+            continue;
+        }
+        cw.push(wl.file_count as f64 / t_cw.virtual_secs());
+        rd.push(wl.file_count as f64 / t_rd.virtual_secs());
+        del.push(wl.file_count as f64 / t_del.virtual_secs());
+        last = Some((t_cw, t_rd, t_del));
+    }
+    let (t_cw, t_rd, t_del) = last.expect("at least one run");
+    let mut row = VersionRow {
+        version: version.label(),
+        create_write: phase_result(wl.file_count, &t_cw),
+        read: phase_result(wl.file_count, &t_rd),
+        delete: phase_result(wl.file_count, &t_del),
+    };
+    row.create_write.files_per_sec = median(&mut cw);
+    row.read.files_per_sec = median(&mut rd);
+    row.delete.files_per_sec = median(&mut del);
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = BenchConfig::from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let experiments = if quick {
+        vec![
+            ("1,000 1 KByte files", SmallFileWorkload::tiny(1000, 1024)),
+            (
+                "200 10 KByte files",
+                SmallFileWorkload::tiny(200, 10 * 1024),
+            ),
+        ]
+    } else {
+        vec![
+            ("10,000 1 KByte files", SmallFileWorkload::paper_1k()),
+            ("1,000 10 KByte files", SmallFileWorkload::paper_10k()),
+        ]
+    };
+
+    if !json {
+        print_versions_table();
+        println!(
+            "Figure 5 - small-file throughput in files/second (C+W = create and write, R = read, D = delete)"
+        );
+        println!(
+            "virtual clock = modeled HP C3010 disk time + CPU time x {} ({} run(s) per cell, median)",
+            cfg.cpu_slowdown, cfg.runs
+        );
+        println!();
+    }
+
+    let mut report = Vec::new();
+    for (label, wl) in experiments {
+        let rows: Vec<VersionRow> = Version::ALL
+            .iter()
+            .map(|&v| run_version(&cfg, v, &wl))
+            .collect();
+        if !json {
+            println!("{label}");
+            println!(
+                "  {:<13} {:>10} {:>10} {:>10}   (files/second)",
+                "version", "C+W", "R", "D"
+            );
+            let old_cw = rows[0].create_write.files_per_sec;
+            let old_d = rows[0].delete.files_per_sec;
+            for row in &rows {
+                println!(
+                    "  {:<13} {:>10.1} {:>10.1} {:>10.1}   [C+W {:+.1}%  D {:+.1}% vs old]",
+                    row.version,
+                    row.create_write.files_per_sec,
+                    row.read.files_per_sec,
+                    row.delete.files_per_sec,
+                    percent_slower(old_cw, row.create_write.files_per_sec),
+                    percent_slower(old_d, row.delete.files_per_sec),
+                );
+            }
+            println!(
+                "  (raw last-run C+W: old wall {:.3}s disk {:.3}s | new wall {:.3}s disk {:.3}s)",
+                rows[0].create_write.wall_secs,
+                rows[0].create_write.disk_secs,
+                rows[1].create_write.wall_secs,
+                rows[1].create_write.disk_secs
+            );
+            println!();
+        }
+        report.push(Experiment {
+            label: label.to_string(),
+            file_count: wl.file_count,
+            file_size: wl.file_size,
+            rows,
+        });
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("json"));
+    }
+}

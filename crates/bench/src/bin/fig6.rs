@@ -1,0 +1,110 @@
+//! Figure 6: large-file throughput (MByte/second) for the five phases
+//! write1, read1, write2, read2, read3 over a 78.125-MByte file, for the
+//! `old` and `new` versions of MinixLLD.
+//!
+//! Usage: `fig6 [--quick] [--runs N] [--cpu-slowdown X] [--json]`
+
+use ld_bench::{measure, median, percent_slower, print_versions_table, BenchConfig, Version};
+use ld_workload::{LargeFilePhase, LargeFileWorkload};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct VersionRow {
+    version: &'static str,
+    /// MByte/second per phase, in `LargeFilePhase::ALL` order.
+    mb_per_sec: Vec<f64>,
+    wall_secs: Vec<f64>,
+    disk_secs: Vec<f64>,
+}
+
+fn run_version(cfg: &BenchConfig, version: Version, wl: &LargeFileWorkload) -> VersionRow {
+    let mb = wl.size as f64 / 1e6;
+    let mut per_phase: Vec<Vec<f64>> = vec![Vec::new(); LargeFilePhase::ALL.len()];
+    let mut walls = vec![0.0; 5];
+    let mut disks = vec![0.0; 5];
+    // Iteration 0 is a discarded warm-up.
+    for run in 0..=cfg.runs.max(1) {
+        let mut fs = cfg.build_fs(version);
+        let clock = Arc::clone(fs.ld().device().clock());
+        let ino = wl.setup(&mut fs).expect("setup");
+        for (i, phase) in LargeFilePhase::ALL.into_iter().enumerate() {
+            let (_, t) = measure(&clock, cfg.cpu_slowdown, || {
+                wl.run_phase(&mut fs, ino, phase)
+            })
+            .expect("phase");
+            if run == 0 {
+                continue;
+            }
+            per_phase[i].push(mb / t.virtual_secs());
+            walls[i] = t.wall.as_secs_f64();
+            disks[i] = t.disk.as_secs_f64();
+        }
+    }
+    VersionRow {
+        version: version.label(),
+        mb_per_sec: per_phase.iter_mut().map(|v| median(v)).collect(),
+        wall_secs: walls,
+        disk_secs: disks,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = BenchConfig::from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let wl = if quick {
+        LargeFileWorkload::tiny(8_000_000, 4096)
+    } else {
+        LargeFileWorkload::paper()
+    };
+
+    let rows: Vec<VersionRow> = [Version::Old, Version::New]
+        .iter()
+        .map(|&v| run_version(&cfg, v, &wl))
+        .collect();
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    print_versions_table();
+    println!(
+        "Figure 6 - large-file throughput in MByte/second ({:.3} MByte file, {} run(s), median)",
+        wl.size as f64 / 1e6,
+        cfg.runs
+    );
+    println!(
+        "virtual clock = modeled HP C3010 disk time + CPU time x {}",
+        cfg.cpu_slowdown
+    );
+    println!();
+    print!("  {:<13}", "version");
+    for phase in LargeFilePhase::ALL {
+        print!(" {:>8}", phase.label());
+    }
+    println!("   (MByte/second)");
+    for row in &rows {
+        print!("  {:<13}", row.version);
+        for v in &row.mb_per_sec {
+            print!(" {v:>8.3}");
+        }
+        println!();
+    }
+    println!();
+    print!("  percent-difference (old vs new):");
+    for (i, phase) in LargeFilePhase::ALL.into_iter().enumerate() {
+        print!(
+            " {}={:+.1}%",
+            phase.label(),
+            percent_slower(rows[0].mb_per_sec[i], rows[1].mb_per_sec[i])
+        );
+    }
+    println!();
+    println!(
+        "  (raw last-run write1: old wall {:.3}s disk {:.3}s | new wall {:.3}s disk {:.3}s)",
+        rows[0].wall_secs[0], rows[0].disk_secs[0], rows[1].wall_secs[0], rows[1].disk_secs[0]
+    );
+}

@@ -1,0 +1,339 @@
+//! Implementation of the `ldctl` command-line tool.
+//!
+//! Each subcommand is a function from parsed arguments to a printable
+//! report, so the whole surface is unit-testable without spawning
+//! processes. See [`run`] for the dispatch table and `ldctl help` for
+//! usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ld_core::{ConcurrencyMode, Ctx, ListId, Lld, LldConfig};
+use ld_disk::FileDisk;
+use ld_minixfs::{FsConfig, MinixFs};
+use std::fmt::Write as _;
+
+/// Errors produced by `ldctl` commands.
+#[derive(Debug)]
+pub enum CtlError {
+    /// Bad command line.
+    Usage(String),
+    /// A device error.
+    Disk(ld_disk::DiskError),
+    /// A logical-disk error.
+    Ld(ld_core::LldError),
+    /// A file-system error.
+    Fs(ld_minixfs::FsError),
+    /// Local file I/O.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CtlError::Disk(e) => write!(f, "{e}"),
+            CtlError::Ld(e) => write!(f, "{e}"),
+            CtlError::Fs(e) => write!(f, "{e}"),
+            CtlError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<ld_disk::DiskError> for CtlError {
+    fn from(e: ld_disk::DiskError) -> Self {
+        CtlError::Disk(e)
+    }
+}
+impl From<ld_core::LldError> for CtlError {
+    fn from(e: ld_core::LldError) -> Self {
+        CtlError::Ld(e)
+    }
+}
+impl From<ld_minixfs::FsError> for CtlError {
+    fn from(e: ld_minixfs::FsError) -> Self {
+        CtlError::Fs(e)
+    }
+}
+impl From<std::io::Error> for CtlError {
+    fn from(e: std::io::Error) -> Self {
+        CtlError::Io(e)
+    }
+}
+
+/// Result alias for `ldctl` commands.
+pub type Result<T> = std::result::Result<T, CtlError>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ldctl — Logical Disk image tool
+
+  ldctl format <image> --size <bytes> [--block-size N] [--segment-bytes N]
+               [--sequential] [--with-fs [--inodes N]]
+  ldctl info <image>              print superblock and recovery summary
+  ldctl check <image>             recover, reclaim orphans, report
+  ldctl dump <image>              list allocated lists and blocks
+  ldctl ls <image> <path>         list a directory of the file system
+  ldctl stat <image> <path>       show file metadata
+  ldctl cat <image> <path>        print a file's contents (lossy UTF-8)
+  ldctl put <image> <path> <local-file>   copy a local file in
+  ldctl verify <image>            run the file-system consistency check
+  ldctl help                      this text
+";
+
+fn parse_u64(args: &[String], flag: &str) -> Result<Option<u64>> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| CtlError::Usage(format!("{flag} needs a value")))?;
+        return v
+            .parse()
+            .map(Some)
+            .map_err(|_| CtlError::Usage(format!("{flag}: not a number: {v}")));
+    }
+    Ok(None)
+}
+
+/// `ldctl format`.
+pub fn cmd_format(image: &str, args: &[String]) -> Result<String> {
+    let size = parse_u64(args, "--size")?
+        .ok_or_else(|| CtlError::Usage("format requires --size <bytes>".into()))?;
+    let config = LldConfig {
+        block_size: parse_u64(args, "--block-size")?.unwrap_or(4096) as usize,
+        segment_bytes: parse_u64(args, "--segment-bytes")?.unwrap_or(512 * 1024) as usize,
+        concurrency: if args.iter().any(|a| a == "--sequential") {
+            ConcurrencyMode::Sequential
+        } else {
+            ConcurrencyMode::Concurrent
+        },
+        ..LldConfig::default()
+    };
+    let device = FileDisk::create(image, size)?;
+    let mut ld = Lld::format(device, &config)?;
+    let mut out = format!(
+        "formatted {image}: {} segments of {} KiB, {} byte blocks, {:?} ARUs\n",
+        ld.n_segments(),
+        ld.segment_bytes() / 1024,
+        ld.block_size(),
+        config.concurrency,
+    );
+    if args.iter().any(|a| a == "--with-fs") {
+        let inodes = parse_u64(args, "--inodes")?.unwrap_or(4096) as u32;
+        ld.flush()?;
+        let fs = MinixFs::format(
+            ld,
+            FsConfig {
+                inode_count: inodes,
+                ..FsConfig::default()
+            },
+        )?;
+        let _ = writeln!(out, "created MinixLLD file system with {inodes} inodes");
+        drop(fs);
+    } else {
+        ld.flush()?;
+    }
+    Ok(out)
+}
+
+/// `ldctl info`.
+pub fn cmd_info(image: &str) -> Result<String> {
+    let device = FileDisk::open(image)?;
+    let (_, concurrency, visibility) = Lld::probe(&device)?;
+    let (ld, report) = Lld::recover_with(
+        device,
+        &LldConfig {
+            concurrency,
+            visibility,
+            check_on_recovery: false,
+            ..LldConfig::default()
+        },
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "image:            {image}");
+    let _ = writeln!(out, "block size:       {} bytes", ld.block_size());
+    let _ = writeln!(out, "segment size:     {} bytes", ld.segment_bytes());
+    let _ = writeln!(
+        out,
+        "segments:         {} total, {} free",
+        ld.n_segments(),
+        ld.free_segments()
+    );
+    let _ = writeln!(out, "concurrency:      {:?}", ld.concurrency());
+    let _ = writeln!(out, "read visibility:  {:?}", ld.visibility());
+    let _ = writeln!(
+        out,
+        "allocated:        {} blocks, {} lists",
+        ld.allocated_block_count(),
+        ld.allocated_list_count()
+    );
+    let _ = writeln!(out, "checkpoint seq:   {}", report.checkpoint_seq);
+    let _ = writeln!(
+        out,
+        "recovery:         {} segments scanned, {} replayed, {} records, {} ARUs committed, {} discarded",
+        report.segments_scanned,
+        report.segments_replayed,
+        report.records_applied,
+        report.committed_arus,
+        report.discarded_arus
+    );
+    Ok(out)
+}
+
+/// `ldctl check`: recover with the orphan check and persist the result.
+pub fn cmd_check(image: &str) -> Result<String> {
+    let device = FileDisk::open(image)?;
+    let (mut ld, report) = Lld::recover(device)?;
+    ld.flush()?;
+    Ok(format!(
+        "recovered {image}: {} ARUs committed, {} discarded, {} orphaned blocks reclaimed\n",
+        report.committed_arus, report.discarded_arus, report.orphan_blocks_freed
+    ))
+}
+
+/// `ldctl dump`.
+pub fn cmd_dump(image: &str) -> Result<String> {
+    let device = FileDisk::open(image)?;
+    let (mut ld, _) = Lld::recover_with(
+        device,
+        &LldConfig {
+            check_on_recovery: false,
+            ..LldConfig::default()
+        },
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} allocated blocks on {} lists",
+        ld.allocated_block_count(),
+        ld.allocated_list_count()
+    );
+    // List ids are small integers in practice; scan a generous range.
+    let mut found = 0u64;
+    let mut raw = 1u64;
+    while found < ld.allocated_list_count() && raw < 1_000_000 {
+        let list = ListId::new(raw);
+        if let Ok(blocks) = ld.list_blocks(Ctx::Simple, list) {
+            let _ = writeln!(out, "  {list}: {} blocks {:?}", blocks.len(), blocks);
+            found += 1;
+        }
+        raw += 1;
+    }
+    Ok(out)
+}
+
+fn open_fs(image: &str) -> Result<MinixFs<Lld<FileDisk>>> {
+    let device = FileDisk::open(image)?;
+    let (ld, _) = Lld::recover(device)?;
+    Ok(MinixFs::mount(ld, FsConfig::default())?)
+}
+
+/// `ldctl ls`.
+pub fn cmd_ls(image: &str, path: &str) -> Result<String> {
+    let mut fs = open_fs(image)?;
+    let mut out = String::new();
+    let mut entries = fs.readdir(path)?;
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    for e in entries {
+        let st = fs.stat(e.ino)?;
+        let _ = writeln!(
+            out,
+            "{:>10}  {:?}  {} ({})",
+            st.size, st.kind, e.name, e.ino
+        );
+    }
+    Ok(out)
+}
+
+/// `ldctl stat`.
+pub fn cmd_stat(image: &str, path: &str) -> Result<String> {
+    let mut fs = open_fs(image)?;
+    let ino = fs.lookup(path)?;
+    let st = fs.stat(ino)?;
+    Ok(format!(
+        "{path}: {:?}, {} bytes, {} blocks, {} links, {}\n",
+        st.kind, st.size, st.blocks, st.nlinks, st.ino
+    ))
+}
+
+/// `ldctl cat`.
+pub fn cmd_cat(image: &str, path: &str) -> Result<String> {
+    let mut fs = open_fs(image)?;
+    let ino = fs.lookup(path)?;
+    let st = fs.stat(ino)?;
+    let mut buf = vec![0u8; st.size as usize];
+    fs.read_at(ino, 0, &mut buf)?;
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `ldctl put`.
+pub fn cmd_put(image: &str, path: &str, local: &str) -> Result<String> {
+    let data = std::fs::read(local)?;
+    let mut fs = open_fs(image)?;
+    let ino = match fs.lookup(path) {
+        Ok(ino) => ino,
+        Err(ld_minixfs::FsError::NotFound(_)) => fs.create(path)?,
+        Err(e) => return Err(e.into()),
+    };
+    fs.write_at(ino, 0, &data)?;
+    fs.flush()?;
+    Ok(format!("wrote {} bytes to {path}\n", data.len()))
+}
+
+/// `ldctl verify`.
+pub fn cmd_verify(image: &str) -> Result<String> {
+    let mut fs = open_fs(image)?;
+    let report = fs.verify()?;
+    let mut out = format!(
+        "{} files, {} directories: {}\n",
+        report.files,
+        report.dirs,
+        if report.is_consistent() {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+    for p in &report.problems {
+        let _ = writeln!(out, "  problem: {p}");
+    }
+    Ok(out)
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CtlError::Usage`] for unknown or malformed commands; otherwise the
+/// underlying stack's errors.
+pub fn run(args: &[String]) -> Result<String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let image = args.get(1).map(String::as_str);
+    let need_image = || image.ok_or_else(|| CtlError::Usage(format!("{cmd} requires <image>")));
+    let arg2 = |name: &str| {
+        args.get(2)
+            .map(String::as_str)
+            .ok_or_else(|| CtlError::Usage(format!("{cmd} requires <{name}>")))
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "format" => cmd_format(need_image()?, &args[2..]),
+        "info" => cmd_info(need_image()?),
+        "check" => cmd_check(need_image()?),
+        "dump" => cmd_dump(need_image()?),
+        "ls" => cmd_ls(need_image()?, arg2("path")?),
+        "stat" => cmd_stat(need_image()?, arg2("path")?),
+        "cat" => cmd_cat(need_image()?, arg2("path")?),
+        "verify" => cmd_verify(need_image()?),
+        "put" => {
+            let local = args
+                .get(3)
+                .ok_or_else(|| CtlError::Usage("put requires <local-file>".into()))?;
+            cmd_put(need_image()?, arg2("path")?, local)
+        }
+        other => Err(CtlError::Usage(format!(
+            "unknown command {other}; try `ldctl help`"
+        ))),
+    }
+}

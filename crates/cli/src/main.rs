@@ -1,0 +1,12 @@
+//! `ldctl` — command-line tool for Logical Disk images.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ld_ctl::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("ldctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests of every `ldctl` subcommand against image files.
+
+use ld_ctl::{run, CtlError};
+
+fn temp_image(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ldctl-test-{}-{name}.img", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn cleanup(image: &str) {
+    let _ = std::fs::remove_file(image);
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&args(&["help"])).unwrap();
+    assert!(out.contains("ldctl format"));
+    let out = run(&[]).unwrap();
+    assert!(out.contains("ldctl"));
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    assert!(matches!(
+        run(&args(&["frobnicate"])),
+        Err(CtlError::Usage(_))
+    ));
+    assert!(matches!(run(&args(&["info"])), Err(CtlError::Usage(_))));
+}
+
+#[test]
+fn format_info_dump_check_cycle() {
+    let image = temp_image("bare");
+    let out = run(&args(&[
+        "format", &image, "--size", "8388608", "--block-size", "512", "--segment-bytes", "8192",
+    ]))
+    .unwrap();
+    assert!(out.contains("formatted"), "{out}");
+
+    let info = run(&args(&["info", &image])).unwrap();
+    assert!(info.contains("block size:       512"), "{info}");
+    assert!(info.contains("Concurrent"), "{info}");
+
+    let dump = run(&args(&["dump", &image])).unwrap();
+    assert!(dump.contains("0 allocated blocks"), "{dump}");
+
+    let check = run(&args(&["check", &image])).unwrap();
+    assert!(check.contains("0 orphaned blocks reclaimed"), "{check}");
+    cleanup(&image);
+}
+
+#[test]
+fn sequential_flag_is_respected() {
+    let image = temp_image("seq");
+    run(&args(&[
+        "format", &image, "--size", "8388608", "--segment-bytes", "65536", "--sequential",
+    ]))
+    .unwrap();
+    let info = run(&args(&["info", &image])).unwrap();
+    assert!(info.contains("Sequential"), "{info}");
+    cleanup(&image);
+}
+
+#[test]
+fn fs_round_trip_put_cat_ls_stat_verify() {
+    let image = temp_image("fs");
+    run(&args(&[
+        "format", &image, "--size", "16777216", "--segment-bytes", "65536", "--with-fs",
+        "--inodes", "64",
+    ]))
+    .unwrap();
+
+    // Put a local file in.
+    let local = temp_image("local.txt");
+    std::fs::write(&local, b"hello from ldctl").unwrap();
+    let out = run(&args(&["put", &image, "/greeting.txt", &local])).unwrap();
+    assert!(out.contains("wrote 16 bytes"), "{out}");
+
+    let cat = run(&args(&["cat", &image, "/greeting.txt"])).unwrap();
+    assert_eq!(cat, "hello from ldctl");
+
+    let ls = run(&args(&["ls", &image, "/"])).unwrap();
+    assert!(ls.contains("greeting.txt"), "{ls}");
+    assert!(ls.contains("16"), "{ls}");
+
+    let stat = run(&args(&["stat", &image, "/greeting.txt"])).unwrap();
+    assert!(stat.contains("File"), "{stat}");
+    assert!(stat.contains("16 bytes"), "{stat}");
+
+    let verify = run(&args(&["verify", &image])).unwrap();
+    assert!(verify.contains("consistent"), "{verify}");
+    assert!(!verify.contains("INCONSISTENT"), "{verify}");
+
+    // Overwrite through put (existing file path).
+    std::fs::write(&local, b"v2").unwrap();
+    run(&args(&["put", &image, "/greeting.txt", &local])).unwrap();
+    let cat = run(&args(&["cat", &image, "/greeting.txt"])).unwrap();
+    assert!(cat.starts_with("v2"), "{cat}");
+
+    cleanup(&image);
+    cleanup(&local);
+}
+
+#[test]
+fn images_survive_reopen_across_commands() {
+    // Every ldctl invocation reopens the image and runs recovery; state
+    // must persist across invocations like a real disk.
+    let image = temp_image("persist");
+    run(&args(&[
+        "format", &image, "--size", "16777216", "--segment-bytes", "65536", "--with-fs",
+        "--inodes", "64",
+    ]))
+    .unwrap();
+    let local = temp_image("data.bin");
+    std::fs::write(&local, vec![7u8; 10_000]).unwrap();
+    for i in 0..3 {
+        run(&args(&["put", &image, &format!("/file{i}"), &local])).unwrap();
+    }
+    let ls = run(&args(&["ls", &image, "/"])).unwrap();
+    assert!(ls.contains("file0") && ls.contains("file1") && ls.contains("file2"));
+    let info = run(&args(&["info", &image])).unwrap();
+    assert!(info.contains("allocated"), "{info}");
+    cleanup(&image);
+    cleanup(&local);
+}
+
+#[test]
+fn format_requires_size() {
+    let image = temp_image("nosize");
+    assert!(matches!(
+        run(&args(&["format", &image])),
+        Err(CtlError::Usage(_))
+    ));
+    cleanup(&image);
+}

@@ -1,0 +1,91 @@
+//! Per-ARU shadow state: alternative records, buffered block data, and
+//! the list-operation log.
+
+use crate::state::StateOverlay;
+use crate::types::{AruId, BlockId, ListId, Timestamp};
+use std::collections::BTreeMap;
+
+/// One logged list operation (§4 of the paper: "a log entry of the form
+/// insert-block-after-predecessor is added to the log of list operations
+/// for the specific ARU").
+///
+/// List operations inside an ARU execute in the shadow state without
+/// generating segment-summary entries; at commit the log is re-executed
+/// in the committed state, generating the real entries. This is what
+/// makes merging different shadow versions of the same list possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ListOp {
+    /// Insert `block` into `list` after `pred` (`None` = at the front).
+    Insert {
+        list: ListId,
+        block: BlockId,
+        pred: Option<BlockId>,
+    },
+    /// Remove `block` from its list and deallocate it.
+    DeleteBlock { block: BlockId },
+    /// Deallocate `list` together with any blocks still on it.
+    DeleteList { list: ListId },
+}
+
+/// The in-memory state of one active atomic recovery unit.
+#[derive(Debug)]
+pub(crate) struct Aru {
+    pub(crate) id: AruId,
+    /// Alternative block/list records local to this ARU (the shadow
+    /// state). Isolated from all other ARUs under the paper's option-3
+    /// read visibility.
+    pub(crate) shadow: StateOverlay,
+    /// Data written inside this ARU, buffered until commit (at commit
+    /// each block enters the segment stream and gets a physical
+    /// address). Keyed and flushed in block order for determinism; one
+    /// buffered version per block (the most recent write wins).
+    pub(crate) shadow_data: BTreeMap<BlockId, Vec<u8>>,
+    /// The list-operation log, replayed in order at commit.
+    pub(crate) link_log: Vec<ListOp>,
+    /// When the ARU began (informational).
+    pub(crate) started: Timestamp,
+    /// Identifiers deallocated by this ARU's operations; released for
+    /// reuse only when the commit record has been emitted (so recovery
+    /// can never observe a reallocation that precedes the deallocating
+    /// ARU's commit in the log).
+    pub(crate) pending_free_blocks: Vec<BlockId>,
+    pub(crate) pending_free_lists: Vec<ListId>,
+}
+
+impl Aru {
+    pub(crate) fn new(id: AruId, started: Timestamp) -> Self {
+        Aru {
+            id,
+            shadow: StateOverlay::default(),
+            shadow_data: BTreeMap::new(),
+            link_log: Vec::new(),
+            started,
+            pending_free_blocks: Vec::new(),
+            pending_free_lists: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_aru_is_empty() {
+        let a = Aru::new(AruId::new(1), Timestamp::new(5));
+        assert!(a.shadow.is_empty());
+        assert!(a.shadow_data.is_empty());
+        assert!(a.link_log.is_empty());
+        assert_eq!(a.started, Timestamp::new(5));
+        assert_eq!(a.id, AruId::new(1));
+    }
+
+    #[test]
+    fn shadow_data_keeps_latest_write_per_block() {
+        let mut a = Aru::new(AruId::new(1), Timestamp::ZERO);
+        a.shadow_data.insert(BlockId::new(3), vec![1, 2]);
+        a.shadow_data.insert(BlockId::new(3), vec![9, 9]);
+        assert_eq!(a.shadow_data.len(), 1);
+        assert_eq!(a.shadow_data[&BlockId::new(3)], vec![9, 9]);
+    }
+}

@@ -1,0 +1,165 @@
+//! An LRU cache of data blocks, keyed by physical address.
+//!
+//! The paper's Minix file system sits on a buffer cache; without one,
+//! every inode or directory read-modify-write would pay a disk read.
+//! Keying by *physical* address makes consistency trivial in a
+//! log-structured disk: a physical block is never overwritten in place,
+//! so an entry can only go stale when the cleaner frees its segment —
+//! [`BlockCache::invalidate_segment`] handles that single case.
+
+use crate::types::{PhysAddr, SegmentId};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug)]
+pub(crate) struct BlockCache {
+    capacity: usize,
+    map: HashMap<PhysAddr, (u64, Vec<u8>)>,
+    order: BTreeMap<u64, PhysAddr>,
+    tick: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BlockCache {
+            capacity,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Copies the cached block into `buf` and refreshes its recency.
+    /// Returns `false` on a miss.
+    pub(crate) fn get(&mut self, addr: PhysAddr, buf: &mut [u8]) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let Some((stamp, data)) = self.map.get_mut(&addr) else {
+            return false;
+        };
+        buf.copy_from_slice(data);
+        let old = *stamp;
+        self.tick += 1;
+        *stamp = self.tick;
+        self.order.remove(&old);
+        self.order.insert(self.tick, addr);
+        true
+    }
+
+    /// Inserts (or refreshes) a block, evicting the least recently used
+    /// entry if full.
+    pub(crate) fn insert(&mut self, addr: PhysAddr, data: &[u8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, existing)) = self.map.get_mut(&addr) {
+            self.order.remove(&{ *old });
+            *old = self.tick;
+            existing.clear();
+            existing.extend_from_slice(data);
+            self.order.insert(self.tick, addr);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, &victim)) = self.order.iter().next() {
+                self.order.remove(&oldest);
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(addr, (self.tick, data.to_vec()));
+        self.order.insert(self.tick, addr);
+    }
+
+    /// Drops every entry whose address lies in `segment` (called when a
+    /// cleaned segment slot is reused).
+    pub(crate) fn invalidate_segment(&mut self, segment: SegmentId) {
+        let stale: Vec<PhysAddr> = self
+            .map
+            .keys()
+            .filter(|a| a.segment == segment)
+            .copied()
+            .collect();
+        for addr in stale {
+            if let Some((stamp, _)) = self.map.remove(&addr) {
+                self.order.remove(&stamp);
+            }
+        }
+    }
+
+    #[allow(dead_code)] // used by tests
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(seg: u32, slot: u32) -> PhysAddr {
+        PhysAddr {
+            segment: SegmentId::new(seg),
+            slot,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = BlockCache::new(4);
+        let mut buf = [0u8; 4];
+        assert!(!c.get(addr(0, 0), &mut buf));
+        c.insert(addr(0, 0), &[1, 2, 3, 4]);
+        assert!(c.get(addr(0, 0), &mut buf));
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(0, 0), &[0]);
+        c.insert(addr(0, 1), &[1]);
+        // Touch entry 0 so entry 1 becomes the victim.
+        let mut buf = [0u8; 1];
+        assert!(c.get(addr(0, 0), &mut buf));
+        c.insert(addr(0, 2), &[2]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(addr(0, 0), &mut buf));
+        assert!(!c.get(addr(0, 1), &mut buf));
+        assert!(c.get(addr(0, 2), &mut buf));
+    }
+
+    #[test]
+    fn reinsert_updates_data() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1, 0), &[9]);
+        c.insert(addr(1, 0), &[7]);
+        assert_eq!(c.len(), 1);
+        let mut buf = [0u8; 1];
+        assert!(c.get(addr(1, 0), &mut buf));
+        assert_eq!(buf, [7]);
+    }
+
+    #[test]
+    fn segment_invalidation() {
+        let mut c = BlockCache::new(8);
+        c.insert(addr(3, 0), &[1]);
+        c.insert(addr(3, 1), &[2]);
+        c.insert(addr(4, 0), &[3]);
+        c.invalidate_segment(SegmentId::new(3));
+        let mut buf = [0u8; 1];
+        assert!(!c.get(addr(3, 0), &mut buf));
+        assert!(!c.get(addr(3, 1), &mut buf));
+        assert!(c.get(addr(4, 0), &mut buf));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = BlockCache::new(0);
+        c.insert(addr(0, 0), &[1]);
+        let mut buf = [0u8; 1];
+        assert!(!c.get(addr(0, 0), &mut buf));
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Checkpoints: bounded-time recovery and the cleaner's enabler.
+//!
+//! The paper's prototype reconstructs its tables purely by scanning
+//! segment summaries. That works until the log wraps: once the cleaner
+//! reuses a segment slot, the records that used to live there are gone,
+//! so a pure scan no longer reconstructs the state. A checkpoint —
+//! a snapshot of the block-number-map and list-table as of a log
+//! sequence number — closes the gap: recovery loads the newest valid
+//! checkpoint and replays only segments with larger sequence numbers,
+//! and the cleaner only reuses slots whose sequence number the latest
+//! checkpoint covers.
+//!
+//! Two fixed areas alternate (A/B), each with an independent checksum,
+//! so a crash mid-checkpoint always leaves the previous one intact.
+
+use crate::error::{LldError, Result};
+use crate::layout::{Layout, CKPT_BLOCK_ENTRY, CKPT_HEADER, CKPT_LIST_ENTRY};
+use crate::lld::Lld;
+use crate::state::{BlockRecord, ListRecord, Tables};
+use crate::types::{BlockId, ListId, PhysAddr, SegmentId, Timestamp};
+use ld_disk::{crc32, BlockDevice};
+
+const CKPT_MAGIC: u64 = 0x4C44_434B_5039_3936; // "LDCKP996"
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheckpointData {
+    /// Highest segment sequence number whose effects are included.
+    pub(crate) seq: u64,
+    pub(crate) ts_counter: u64,
+    pub(crate) next_block_raw: u64,
+    pub(crate) next_list_raw: u64,
+    pub(crate) tables: Tables,
+}
+
+fn encode_header(seq: u64, ts: u64, nb: u64, nl: u64, blocks: u64, lists: u64, payload_crc: u32) -> [u8; CKPT_HEADER as usize] {
+    let mut h = Vec::with_capacity(CKPT_HEADER as usize);
+    h.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    h.extend_from_slice(&seq.to_le_bytes());
+    h.extend_from_slice(&ts.to_le_bytes());
+    h.extend_from_slice(&nb.to_le_bytes());
+    h.extend_from_slice(&nl.to_le_bytes());
+    h.extend_from_slice(&blocks.to_le_bytes());
+    h.extend_from_slice(&lists.to_le_bytes());
+    h.extend_from_slice(&payload_crc.to_le_bytes());
+    let crc = crc32(&h);
+    h.extend_from_slice(&crc.to_le_bytes());
+    h.try_into().expect("header is CKPT_HEADER bytes")
+}
+
+impl<D: BlockDevice> Lld<D> {
+    /// Writes a checkpoint of the persistent state.
+    ///
+    /// Seals the current segment first (so the committed state becomes
+    /// persistent and is included), then snapshots the tables into the
+    /// alternate checkpoint area.
+    ///
+    /// # Errors
+    ///
+    /// Device errors; [`LldError::DiskFull`] if no segment slot is free
+    /// for the next segment.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.seal_current()? && !self.free_slots.is_empty() {
+            self.open_segment(0)?;
+        }
+        let covered = self
+            .builder
+            .as_ref()
+            .map(|b| b.seq() - 1)
+            .unwrap_or(self.next_seq - 1);
+
+        // Encode payload: every block record, then every list record.
+        let nb = self.persistent.blocks.len() as u64;
+        let nl = self.persistent.lists.len() as u64;
+        debug_assert!(nb <= self.layout.max_blocks && nl <= self.layout.max_lists);
+        let mut payload =
+            Vec::with_capacity((nb * CKPT_BLOCK_ENTRY + nl * CKPT_LIST_ENTRY) as usize);
+        let mut block_ids: Vec<BlockId> = self.persistent.blocks.keys().copied().collect();
+        block_ids.sort_unstable();
+        for id in block_ids {
+            let r = &self.persistent.blocks[&id];
+            payload.extend_from_slice(&id.get().to_le_bytes());
+            match r.addr {
+                Some(a) => {
+                    payload.extend_from_slice(&a.segment.get().to_le_bytes());
+                    payload.extend_from_slice(&a.slot.to_le_bytes());
+                }
+                None => {
+                    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+                    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+                }
+            }
+            payload.extend_from_slice(&BlockId::encode_opt(r.successor).to_le_bytes());
+            payload.extend_from_slice(&ListId::encode_opt(r.list).to_le_bytes());
+            payload.extend_from_slice(&r.ts.get().to_le_bytes());
+        }
+        let mut list_ids: Vec<ListId> = self.persistent.lists.keys().copied().collect();
+        list_ids.sort_unstable();
+        for id in list_ids {
+            let r = &self.persistent.lists[&id];
+            payload.extend_from_slice(&id.get().to_le_bytes());
+            payload.extend_from_slice(&BlockId::encode_opt(r.first).to_le_bytes());
+            payload.extend_from_slice(&BlockId::encode_opt(r.last).to_le_bytes());
+            payload.extend_from_slice(&r.ts.get().to_le_bytes());
+        }
+        if CKPT_HEADER + payload.len() as u64 > self.layout.ckpt_area_size {
+            return Err(LldError::Corrupt(
+                "checkpoint exceeds its reserved area".into(),
+            ));
+        }
+        let header = encode_header(
+            covered,
+            self.ts_counter,
+            self.next_block_raw,
+            self.next_list_raw,
+            nb,
+            nl,
+            crc32(&payload),
+        );
+        let area = if self.ckpt_use_b {
+            self.layout.ckpt_b
+        } else {
+            self.layout.ckpt_a
+        };
+        self.device.write_at(area, &header)?;
+        self.device.write_at(area + CKPT_HEADER, &payload)?;
+        self.device.flush()?;
+        self.ckpt_use_b = !self.ckpt_use_b;
+        self.checkpoint_seq = covered;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+}
+
+/// Reads one checkpoint area, returning `None` if it holds no valid
+/// checkpoint.
+fn read_area<D: BlockDevice>(
+    device: &D,
+    layout: &Layout,
+    area: u64,
+) -> Result<Option<CheckpointData>> {
+    let mut header = [0u8; CKPT_HEADER as usize];
+    device.read_at(area, &mut header)?;
+    let stored = u32::from_le_bytes(header[60..64].try_into().expect("4 bytes"));
+    if crc32(&header[..60]) != stored {
+        return Ok(None);
+    }
+    if u64::from_le_bytes(header[0..8].try_into().expect("8 bytes")) != CKPT_MAGIC {
+        return Ok(None);
+    }
+    let seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let ts_counter = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let next_block_raw = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+    let next_list_raw = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
+    let nb = u64::from_le_bytes(header[40..48].try_into().expect("8 bytes"));
+    let nl = u64::from_le_bytes(header[48..56].try_into().expect("8 bytes"));
+    let payload_crc = u32::from_le_bytes(header[56..60].try_into().expect("4 bytes"));
+
+    let payload_len = nb * CKPT_BLOCK_ENTRY + nl * CKPT_LIST_ENTRY;
+    if CKPT_HEADER + payload_len > layout.ckpt_area_size {
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    device.read_at(area + CKPT_HEADER, &mut payload)?;
+    if crc32(&payload) != payload_crc {
+        return Ok(None);
+    }
+
+    let mut tables = Tables::default();
+    let mut pos = 0usize;
+    let u64at = |buf: &[u8], p: usize| u64::from_le_bytes(buf[p..p + 8].try_into().expect("8 bytes"));
+    let u32at = |buf: &[u8], p: usize| u32::from_le_bytes(buf[p..p + 4].try_into().expect("4 bytes"));
+    for _ in 0..nb {
+        let id = u64at(&payload, pos);
+        let seg = u32at(&payload, pos + 8);
+        let slot = u32at(&payload, pos + 12);
+        let succ = u64at(&payload, pos + 16);
+        let list = u64at(&payload, pos + 24);
+        let ts = u64at(&payload, pos + 32);
+        pos += CKPT_BLOCK_ENTRY as usize;
+        if id == 0 {
+            return Err(LldError::Corrupt("zero block id in checkpoint".into()));
+        }
+        tables.blocks.insert(
+            BlockId::new(id),
+            BlockRecord {
+                allocated: true,
+                addr: (seg != u32::MAX).then(|| PhysAddr {
+                    segment: SegmentId::new(seg),
+                    slot,
+                }),
+                successor: BlockId::decode_opt(succ),
+                list: ListId::decode_opt(list),
+                ts: Timestamp::new(ts),
+            },
+        );
+    }
+    for _ in 0..nl {
+        let id = u64at(&payload, pos);
+        let first = u64at(&payload, pos + 8);
+        let last = u64at(&payload, pos + 16);
+        let ts = u64at(&payload, pos + 24);
+        pos += CKPT_LIST_ENTRY as usize;
+        if id == 0 {
+            return Err(LldError::Corrupt("zero list id in checkpoint".into()));
+        }
+        tables.lists.insert(
+            ListId::new(id),
+            ListRecord {
+                allocated: true,
+                first: BlockId::decode_opt(first),
+                last: BlockId::decode_opt(last),
+                ts: Timestamp::new(ts),
+            },
+        );
+    }
+    Ok(Some(CheckpointData {
+        seq,
+        ts_counter,
+        next_block_raw,
+        next_list_raw,
+        tables,
+    }))
+}
+
+/// Loads the newest valid checkpoint, if any. Also reports whether the
+/// *older* area (A) is in use, so the next checkpoint alternates.
+pub(crate) fn load_latest<D: BlockDevice>(
+    device: &D,
+    layout: &Layout,
+) -> Result<(Option<CheckpointData>, bool)> {
+    let a = read_area(device, layout, layout.ckpt_a)?;
+    let b = read_area(device, layout, layout.ckpt_b)?;
+    Ok(match (a, b) {
+        (Some(a), Some(b)) => {
+            if a.seq >= b.seq {
+                // A is newest; write the next checkpoint to B.
+                (Some(a), true)
+            } else {
+                (Some(b), false)
+            }
+        }
+        (Some(a), None) => (Some(a), true),
+        (None, Some(b)) => (Some(b), false),
+        (None, None) => (None, false),
+    })
+}

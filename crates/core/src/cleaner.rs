@@ -1,0 +1,150 @@
+//! The segment cleaner: reclaims space by copying live blocks forward.
+//!
+//! "If LLD runs out of disk space it uses a segment cleaner to reclaim
+//! unused disk space" (§2). The policy here is greedy
+//! lowest-utilisation: the victim is the sealed segment with the fewest
+//! live blocks. Live blocks are copied into the current segment (with
+//! fresh `Write` records preserving their logical timestamps), the
+//! relocation records are made durable by sealing, and only then is the
+//! victim slot released for reuse.
+//!
+//! Correctness constraint: a slot may be reused only when its old
+//! records are covered by a checkpoint — otherwise a later recovery scan
+//! would miss operations that used to live there. The cleaner writes a
+//! checkpoint automatically when its candidates are not yet covered.
+
+use crate::error::Result;
+use crate::lld::Lld;
+use crate::types::{BlockId, SegmentId};
+use ld_disk::BlockDevice;
+
+impl<D: BlockDevice> Lld<D> {
+    /// Runs the cleaner until `target_free_segments` slots are free or
+    /// no further segment can be cleaned. Invoked automatically when
+    /// free slots drop below `min_free_segments`; may also be called
+    /// explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Device errors; [`LldError::DiskFull`](crate::LldError::DiskFull)
+    /// if relocation itself runs out of space (the device is genuinely
+    /// full).
+    pub fn run_cleaner(&mut self) -> Result<()> {
+        if self.cleaning {
+            return Ok(());
+        }
+        self.cleaning = true;
+        let result = self.clean_until_target();
+        self.cleaning = false;
+        result
+    }
+
+    fn clean_until_target(&mut self) -> Result<()> {
+        self.stats.cleaner_runs += 1;
+        // Fast pass: checkpoint-covered segments with zero live blocks
+        // are free for the taking (no relocation, no extra I/O), so
+        // reclaim them all regardless of the target.
+        let current = self.builder.as_ref().map(|b| b.slot().get());
+        for slot in 0..self.layout.n_segments {
+            if Some(slot) == current || self.free_slots.contains(&slot) {
+                continue;
+            }
+            let seq = self.slot_seq[slot as usize];
+            if seq != 0 && seq <= self.checkpoint_seq && self.live_count[slot as usize] == 0 {
+                self.slot_seq[slot as usize] = 0;
+                self.free_slots.insert(slot);
+            }
+        }
+        let target = self.cleaner_cfg.target_free_segments.max(1) as usize;
+        // Bounded by the number of segments: each iteration frees one
+        // victim or stops.
+        for _ in 0..self.layout.n_segments {
+            if self.free_slots.len() >= target {
+                break;
+            }
+            let Some(victim) = self.pick_victim()? else {
+                break;
+            };
+            self.clean_segment(victim)?;
+        }
+        Ok(())
+    }
+
+    /// Chooses the sealed slot with the fewest live blocks, writing a
+    /// checkpoint first if no candidate is covered by one.
+    fn pick_victim(&mut self) -> Result<Option<SegmentId>> {
+        for attempt in 0..2 {
+            let current = self.builder.as_ref().map(|b| b.slot().get());
+            let mut best: Option<(u32, u32)> = None; // (live, slot)
+            let mut uncovered = false;
+            for slot in 0..self.layout.n_segments {
+                if Some(slot) == current || self.free_slots.contains(&slot) {
+                    continue;
+                }
+                let seq = self.slot_seq[slot as usize];
+                if seq == 0 {
+                    // Holds no sealed segment and is not free: cannot
+                    // happen in a consistent state, but skip defensively.
+                    continue;
+                }
+                if seq > self.checkpoint_seq {
+                    uncovered = true;
+                    continue;
+                }
+                let live = self.live_count[slot as usize];
+                if best.is_none_or(|(l, _)| live < l) {
+                    best = Some((live, slot));
+                }
+            }
+            if let Some((_, slot)) = best {
+                return Ok(Some(SegmentId::new(slot)));
+            }
+            if uncovered && attempt == 0 {
+                // All candidates are newer than the last checkpoint:
+                // take one now and retry.
+                self.checkpoint()?;
+                continue;
+            }
+            break;
+        }
+        Ok(None)
+    }
+
+    /// Relocates every live block out of `victim`, seals the relocation
+    /// records, and frees the slot.
+    fn clean_segment(&mut self, victim: SegmentId) -> Result<()> {
+        let residents: Vec<BlockId> = {
+            let mut v: Vec<BlockId> = self.residents[victim.get() as usize].iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut buf = vec![0u8; self.layout.block_size];
+        for id in residents {
+            let rec = self
+                .committed_view_block(id)
+                .cloned()
+                .expect("resident block has a committed record");
+            let addr = rec.addr.expect("resident block has an address");
+            debug_assert_eq!(addr.segment, victim);
+            // The victim is sealed, so its data is on the device.
+            self.device
+                .read_at(self.layout.block_offset(addr), &mut buf)?;
+            // Re-enter the block with its original timestamp: the
+            // relocation is not a logical write.
+            self.place_block_data(id, &buf, rec.ts, None, 0)?;
+            self.stats.blocks_relocated += 1;
+        }
+        debug_assert!(self.residents[victim.get() as usize].is_empty());
+        // Make the relocation records durable before the victim's old
+        // records become unreachable, then release the victim *before*
+        // opening the next segment — the freed slot may be the only one
+        // left.
+        self.seal_current()?;
+        self.slot_seq[victim.get() as usize] = 0;
+        self.free_slots.insert(victim.get());
+        if self.builder.is_none() {
+            self.open_segment(0)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,250 @@
+//! `EndARU` and `AbortARU`: the shadow → committed transition.
+//!
+//! Committing a concurrent ARU (§4 of the paper) proceeds in three
+//! steps: the buffered data blocks enter the segment stream (tagged with
+//! the ARU), the list-operation log is re-executed in the committed
+//! state generating the real segment-summary entries, and finally the
+//! commit record is emitted. A crash anywhere before the commit record
+//! reaches disk recovers to "nothing happened".
+//!
+//! Because ARUs provide failure atomicity but *not* concurrency control,
+//! a logged operation can fail to re-apply if a concurrent stream
+//! changed the committed state underneath (e.g. deleted the insertion
+//! predecessor). `EndARU` therefore validates the whole log against a
+//! scratch shadow state first and reports
+//! [`LldError::CommitConflict`] — aborting the ARU — without touching
+//! the committed state.
+
+use crate::aru::{Aru, ListOp};
+use crate::config::ConcurrencyMode;
+use crate::error::{LldError, Result};
+use crate::lld::{Lld, StateRef};
+use crate::summary::Record;
+use crate::types::{AruId, BlockId, ListId, Position, Timestamp};
+use ld_disk::BlockDevice;
+
+impl<D: BlockDevice> Lld<D> {
+    /// Commits an atomic recovery unit: all its operations become part
+    /// of the committed state atomically, and will become persistent
+    /// together (the commit record serializes the ARU at this point in
+    /// the merged stream).
+    ///
+    /// # Errors
+    ///
+    /// * [`LldError::UnknownAru`] — the ARU is not active.
+    /// * [`LldError::CommitConflict`] — a logged operation no longer
+    ///   applies to the committed state (concurrent interference); the
+    ///   ARU has been aborted and the committed state is untouched.
+    /// * Device errors / [`LldError::DiskFull`] — if these interrupt a
+    ///   commit, the in-memory committed state may hold part of the
+    ///   ARU's effects, but the on-disk log can never commit partially
+    ///   (no commit record was written); flush-and-recover yields a
+    ///   consistent state.
+    pub fn end_aru(&mut self, id: AruId) -> Result<()> {
+        let raw = id.get();
+        if !self.arus.contains_key(&raw) {
+            return Err(LldError::UnknownAru(id));
+        }
+        match self.concurrency {
+            ConcurrencyMode::Sequential => {
+                // "Old" LLD: operations already applied to the committed
+                // state (tagged); only the commit record is needed.
+                let aru = self.arus.remove(&raw).expect("checked above");
+                let ts = self.tick();
+                self.emit(Record::Commit { aru: id, ts })?;
+                self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
+                self.stats.arus_committed += 1;
+                Ok(())
+            }
+            ConcurrencyMode::Concurrent => self.commit_concurrent(id),
+        }
+    }
+
+    /// Aborts an atomic recovery unit, discarding its shadow state.
+    ///
+    /// This is an extension beyond the paper (whose ARUs are only undone
+    /// implicitly, by failure); it falls out of the shadow-state design
+    /// for free.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::UnknownAru`] for a dead ARU, and
+    /// [`LldError::AbortUnsupported`] in sequential mode, where
+    /// operations apply directly to the committed state and cannot be
+    /// rolled back at run time.
+    pub fn abort_aru(&mut self, id: AruId) -> Result<()> {
+        if !self.arus.contains_key(&id.get()) {
+            return Err(LldError::UnknownAru(id));
+        }
+        if self.concurrency == ConcurrencyMode::Sequential {
+            return Err(LldError::AbortUnsupported);
+        }
+        self.arus.remove(&id.get());
+        self.stats.arus_aborted += 1;
+        Ok(())
+    }
+
+    fn release_ids(&mut self, blocks: Vec<BlockId>, lists: Vec<ListId>) {
+        for b in blocks {
+            self.free_blocks.insert(b.get());
+        }
+        for l in lists {
+            self.free_lists.insert(l.get());
+        }
+    }
+
+    fn commit_concurrent(&mut self, id: AruId) -> Result<()> {
+        let raw = id.get();
+
+        // ---- Validation pass -------------------------------------------------
+        // (a) every buffered data block must still be allocated in the
+        //     committed state;
+        // (b) the list-operation log must re-apply cleanly, checked
+        //     against a scratch shadow state so the committed state is
+        //     untouched on failure.
+        let mut conflict: Option<String> = None;
+        let data_blocks: Vec<BlockId> = self.arus[&raw].shadow_data.keys().copied().collect();
+        for b in &data_blocks {
+            if self
+                .committed_view_block(*b)
+                .is_none_or(|r| !r.allocated)
+            {
+                conflict = Some(format!(
+                    "buffered write to {b}, which is no longer allocated"
+                ));
+                break;
+            }
+        }
+        if conflict.is_none() {
+            let ops = self.arus[&raw].link_log.clone();
+            let temp = AruId::new(self.next_aru_raw);
+            self.next_aru_raw += 1;
+            self.arus.insert(temp.get(), Aru::new(temp, Timestamp::ZERO));
+            let mut fb = Vec::new();
+            let mut fl = Vec::new();
+            for op in &ops {
+                if let Err(e) =
+                    self.apply_list_op(StateRef::Shadow(temp), op, Timestamp::ZERO, &mut fb, &mut fl)
+                {
+                    conflict = Some(e.to_string());
+                    break;
+                }
+            }
+            self.arus.remove(&temp.get());
+        }
+        if let Some(detail) = conflict {
+            self.arus.remove(&raw);
+            self.stats.commit_conflicts += 1;
+            self.stats.arus_aborted += 1;
+            return Err(LldError::CommitConflict { aru: id, detail });
+        }
+
+        // ---- Real pass --------------------------------------------------------
+        let aru = self.arus.remove(&raw).expect("validated above");
+        let commit_ts = self.tick();
+
+        // 1. Buffered block data enters the segment stream, tagged.
+        for (b, data) in &aru.shadow_data {
+            self.place_block_data(*b, data, commit_ts, Some(id), 1)?;
+            self.stats.shadow_records_merged += 1;
+        }
+
+        // 2. Re-execute the list-operation log in the committed state,
+        //    generating the real summary entries.
+        let mut freed_blocks = Vec::new();
+        let mut freed_lists = Vec::new();
+        for op in &aru.link_log {
+            self.apply_list_op(
+                StateRef::Committed,
+                op,
+                commit_ts,
+                &mut freed_blocks,
+                &mut freed_lists,
+            )
+            .map_err(|e| LldError::Corrupt(format!("validated commit failed to apply: {e}")))?;
+            let rec = match *op {
+                ListOp::Insert { list, block, pred } => Record::Link {
+                    list,
+                    block,
+                    pred,
+                    ts: commit_ts,
+                    aru: Some(id),
+                },
+                ListOp::DeleteBlock { block } => Record::DeleteBlock {
+                    block,
+                    ts: commit_ts,
+                    aru: Some(id),
+                },
+                ListOp::DeleteList { list } => Record::DeleteList {
+                    list,
+                    ts: commit_ts,
+                    aru: Some(id),
+                },
+            };
+            self.emit(rec)?;
+            self.stats.shadow_records_merged += 1;
+        }
+
+        // 3. The commit record makes the whole unit recoverable.
+        self.emit(Record::Commit {
+            aru: id,
+            ts: commit_ts,
+        })?;
+
+        // Identifiers deallocated by the ARU become reusable only now,
+        // after the commit record precedes any reallocation in the log.
+        self.release_ids(freed_blocks, freed_lists);
+        self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
+        self.stats.arus_committed += 1;
+        Ok(())
+    }
+
+    /// Applies one logged list operation to state `st`, collecting
+    /// identifiers this made free. Used for commit validation (scratch
+    /// shadow state), commit replay (committed state), and recovery
+    /// replay (committed state).
+    pub(crate) fn apply_list_op(
+        &mut self,
+        st: StateRef,
+        op: &ListOp,
+        ts: Timestamp,
+        freed_blocks: &mut Vec<BlockId>,
+        freed_lists: &mut Vec<ListId>,
+    ) -> Result<()> {
+        match *op {
+            ListOp::Insert { list, block, pred } => {
+                let rec = self
+                    .view_block(st, block)
+                    .filter(|r| r.allocated)
+                    .ok_or(LldError::BlockNotAllocated(block))?;
+                if let Some(on) = rec.list {
+                    return Err(LldError::AlreadyOnList { block, list: on });
+                }
+                let pos = match pred {
+                    None => Position::First,
+                    Some(p) => Position::After(p),
+                };
+                self.insert_into_list(st, list, block, pos, ts)
+            }
+            ListOp::DeleteBlock { block } => {
+                self.view_block(st, block)
+                    .filter(|r| r.allocated)
+                    .ok_or(LldError::BlockNotAllocated(block))?;
+                self.unlink_block(st, block, ts)?;
+                self.dealloc_block(st, block, ts)?;
+                freed_blocks.push(block);
+                Ok(())
+            }
+            ListOp::DeleteList { list } => {
+                let members = self.walk_list(st, list)?;
+                for &b in &members {
+                    self.dealloc_block(st, b, ts)?;
+                }
+                self.dealloc_list(st, list, ts)?;
+                freed_blocks.extend(members);
+                freed_lists.push(list);
+                Ok(())
+            }
+        }
+    }
+}

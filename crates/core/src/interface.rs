@@ -1,0 +1,162 @@
+//! The LD interface as a trait, so disk-system clients (file systems,
+//! transaction systems) can be written against any logical-disk
+//! implementation — one of LD's design goals: "LD implementations can be
+//! exchanged transparently, without changing applications".
+
+use crate::error::Result;
+use crate::lld::Lld;
+use crate::types::{AruId, BlockId, Ctx, ListId, Position};
+use ld_disk::BlockDevice;
+
+/// The Logical Disk interface with atomic recovery units.
+///
+/// All operations take a [`Ctx`]: [`Ctx::Simple`] for a simple (self-
+/// atomic) operation, or [`Ctx::Aru`] to execute within an atomic
+/// recovery unit.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ld_core::LldError> {
+/// use ld_core::{Ctx, LogicalDisk, Lld, LldConfig, Position};
+/// use ld_disk::MemDisk;
+///
+/// fn create_object<L: LogicalDisk>(ld: &mut L, payload: &[u8]) -> Result<ld_core::ListId, ld_core::LldError> {
+///     let aru = ld.begin_aru()?;
+///     let list = ld.new_list(Ctx::Aru(aru))?;
+///     let block = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
+///     ld.write(Ctx::Aru(aru), block, payload)?;
+///     ld.end_aru(aru)?;
+///     Ok(list)
+/// }
+///
+/// let mut ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
+///     block_size: 512,
+///     segment_bytes: 8 * 512,
+///     ..LldConfig::default()
+/// })?;
+/// let list = create_object(&mut ld, &[1u8; 512])?;
+/// assert_eq!(ld.list_blocks(Ctx::Simple, list)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait LogicalDisk {
+    /// Begins an atomic recovery unit.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see [`Lld::begin_aru`].
+    fn begin_aru(&mut self) -> Result<AruId>;
+
+    /// Commits an atomic recovery unit.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see [`Lld::end_aru`].
+    fn end_aru(&mut self, aru: AruId) -> Result<()>;
+
+    /// Aborts an atomic recovery unit (extension).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see [`Lld::abort_aru`].
+    fn abort_aru(&mut self, aru: AruId) -> Result<()>;
+
+    /// Allocates a new list.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::new_list`].
+    fn new_list(&mut self, ctx: Ctx) -> Result<ListId>;
+
+    /// Deletes a list and any blocks still on it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::delete_list`].
+    fn delete_list(&mut self, ctx: Ctx, list: ListId) -> Result<()>;
+
+    /// Allocates a new block on `list` at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::new_block`].
+    fn new_block(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId>;
+
+    /// Removes a block from its list and deallocates it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::delete_block`].
+    fn delete_block(&mut self, ctx: Ctx, block: BlockId) -> Result<()>;
+
+    /// Writes exactly one block of data.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::write`].
+    fn write(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()>;
+
+    /// Reads exactly one block of data.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::read`].
+    fn read(&mut self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()>;
+
+    /// Returns the blocks of `list` in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::list_blocks`].
+    fn list_blocks(&mut self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>>;
+
+    /// Ensures all committed data and meta-data are persistent.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lld::flush`].
+    fn flush(&mut self) -> Result<()>;
+
+    /// The block size in bytes.
+    fn block_size(&self) -> usize;
+}
+
+impl<D: BlockDevice> LogicalDisk for Lld<D> {
+    fn begin_aru(&mut self) -> Result<AruId> {
+        Lld::begin_aru(self)
+    }
+    fn end_aru(&mut self, aru: AruId) -> Result<()> {
+        Lld::end_aru(self, aru)
+    }
+    fn abort_aru(&mut self, aru: AruId) -> Result<()> {
+        Lld::abort_aru(self, aru)
+    }
+    fn new_list(&mut self, ctx: Ctx) -> Result<ListId> {
+        Lld::new_list(self, ctx)
+    }
+    fn delete_list(&mut self, ctx: Ctx, list: ListId) -> Result<()> {
+        Lld::delete_list(self, ctx, list)
+    }
+    fn new_block(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+        Lld::new_block(self, ctx, list, pos)
+    }
+    fn delete_block(&mut self, ctx: Ctx, block: BlockId) -> Result<()> {
+        Lld::delete_block(self, ctx, block)
+    }
+    fn write(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
+        Lld::write(self, ctx, block, data)
+    }
+    fn read(&mut self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
+        Lld::read(self, ctx, block, buf)
+    }
+    fn list_blocks(&mut self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
+        Lld::list_blocks(self, ctx, list)
+    }
+    fn flush(&mut self) -> Result<()> {
+        Lld::flush(self)
+    }
+    fn block_size(&self) -> usize {
+        Lld::block_size(self)
+    }
+}

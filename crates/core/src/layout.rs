@@ -1,0 +1,333 @@
+//! On-disk geometry: the superblock and the derived device layout.
+//!
+//! ```text
+//! byte 0                                          capacity
+//! +------------+----------+----------+----------------------+
+//! | superblock | ckpt A   | ckpt B   | segment 0 | seg 1 |..|
+//! +------------+----------+----------+----------------------+
+//! ```
+//!
+//! The superblock records everything needed to reopen the disk without
+//! external configuration. Two checkpoint areas alternate so that a crash
+//! during checkpointing always leaves one valid checkpoint (or none, in
+//! which case recovery scans the whole log as in the paper).
+
+use crate::config::{ConcurrencyMode, LldConfig, ReadVisibility};
+use crate::error::{LldError, Result};
+use crate::types::PhysAddr;
+use ld_disk::crc32;
+
+/// Size of the fixed-length superblock encoding.
+pub(crate) const SUPERBLOCK_LEN: usize = 64;
+const SUPERBLOCK_MAGIC: u64 = 0x4C44_4152_5539_3936; // "LDARU996"
+const FORMAT_VERSION: u32 = 1;
+
+/// Per-entry sizes in a checkpoint area (see `checkpoint.rs`).
+pub(crate) const CKPT_BLOCK_ENTRY: u64 = 40;
+pub(crate) const CKPT_LIST_ENTRY: u64 = 32;
+pub(crate) const CKPT_HEADER: u64 = 64;
+
+/// The physical layout of a formatted device, derived from its capacity
+/// and the [`LldConfig`] at format time and persisted in the superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Segment size in bytes (header block + data blocks + summary).
+    pub segment_bytes: usize,
+    /// Number of segment slots.
+    pub n_segments: u32,
+    /// Byte offset of segment slot 0.
+    pub data_start: u64,
+    /// Size in bytes of one checkpoint area.
+    pub ckpt_area_size: u64,
+    /// Byte offset of checkpoint area A.
+    pub ckpt_a: u64,
+    /// Byte offset of checkpoint area B.
+    pub ckpt_b: u64,
+    /// Maximum simultaneously allocated blocks (sizes the checkpoint).
+    pub max_blocks: u64,
+    /// Maximum simultaneously allocated lists (sizes the checkpoint).
+    pub max_lists: u64,
+}
+
+fn round_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+impl Layout {
+    /// Computes the layout for a device of `capacity` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LldError::Config`] if the device is too small to hold
+    /// the superblock, both checkpoint areas, and at least four segments.
+    pub fn compute(capacity: u64, config: &LldConfig) -> Result<Layout> {
+        config.validate()?;
+        let bs = config.block_size as u64;
+        let seg = config.segment_bytes as u64;
+        let slots_per_seg = u64::from(config.max_slots_per_segment());
+
+        // max_blocks defaults to the number of data slots the device can
+        // hold, estimated before checkpoint space is carved out (slightly
+        // generous, which is harmless).
+        let est_segments = capacity.saturating_sub(bs) / seg;
+        let max_blocks = config
+            .max_blocks
+            .unwrap_or(est_segments * slots_per_seg)
+            .max(16);
+        let max_lists = config.max_lists.unwrap_or(max_blocks).max(16);
+
+        let ckpt_area_size = round_up(
+            CKPT_HEADER + max_blocks * CKPT_BLOCK_ENTRY + max_lists * CKPT_LIST_ENTRY,
+            bs,
+        );
+        let data_start = bs + 2 * ckpt_area_size;
+        let n_segments = capacity.saturating_sub(data_start) / seg;
+        if n_segments < 4 {
+            return Err(LldError::Config(format!(
+                "device of {capacity} bytes holds only {n_segments} segments; at least 4 required"
+            )));
+        }
+        Ok(Layout {
+            block_size: config.block_size,
+            segment_bytes: config.segment_bytes,
+            n_segments: u32::try_from(n_segments)
+                .map_err(|_| LldError::Config("too many segments".into()))?,
+            data_start,
+            ckpt_area_size,
+            ckpt_a: bs,
+            ckpt_b: bs + ckpt_area_size,
+            max_blocks,
+            max_lists,
+        })
+    }
+
+    /// Byte offset of segment slot `slot`.
+    pub fn segment_offset(&self, slot: u32) -> u64 {
+        self.data_start + u64::from(slot) * self.segment_bytes as u64
+    }
+
+    /// Byte offset of the data block at `addr` (slot 0 of a segment is
+    /// the block right after the segment-header block).
+    pub fn block_offset(&self, addr: PhysAddr) -> u64 {
+        self.segment_offset(addr.segment.get()) + u64::from(addr.slot + 1) * self.block_size as u64
+    }
+
+    /// Data-block slots per segment.
+    pub fn slots_per_segment(&self) -> u32 {
+        (self.segment_bytes / self.block_size - 1) as u32
+    }
+
+    /// Total data-block slots on the device.
+    pub fn total_slots(&self) -> u64 {
+        u64::from(self.n_segments) * u64::from(self.slots_per_segment())
+    }
+
+    /// Encodes the superblock (layout plus semantic modes).
+    pub fn encode_superblock(
+        &self,
+        concurrency: ConcurrencyMode,
+        visibility: ReadVisibility,
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(SUPERBLOCK_LEN);
+        buf.extend_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.block_size as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.segment_bytes as u32).to_le_bytes());
+        buf.extend_from_slice(&self.n_segments.to_le_bytes());
+        buf.extend_from_slice(&self.data_start.to_le_bytes());
+        buf.extend_from_slice(&self.ckpt_area_size.to_le_bytes());
+        buf.extend_from_slice(&self.max_blocks.to_le_bytes());
+        buf.extend_from_slice(&self.max_lists.to_le_bytes());
+        buf.push(match concurrency {
+            ConcurrencyMode::Sequential => 0,
+            ConcurrencyMode::Concurrent => 1,
+        });
+        buf.push(match visibility {
+            ReadVisibility::AnyShadow => 0,
+            ReadVisibility::Committed => 1,
+            ReadVisibility::OwnShadow => 2,
+        });
+        buf.extend_from_slice(&[0u8; 2]); // padding
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(buf.len(), SUPERBLOCK_LEN);
+        buf
+    }
+
+    /// Decodes and validates a superblock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LldError::Corrupt`] on a bad magic, version, or
+    /// checksum.
+    pub fn decode_superblock(buf: &[u8]) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+        if buf.len() < SUPERBLOCK_LEN {
+            return Err(LldError::Corrupt("superblock too short".into()));
+        }
+        let body = &buf[..SUPERBLOCK_LEN - 4];
+        let stored_crc = u32::from_le_bytes(buf[SUPERBLOCK_LEN - 4..SUPERBLOCK_LEN].try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(LldError::Corrupt("superblock checksum mismatch".into()));
+        }
+        let mut pos = 0usize;
+        let u64f = |p: &mut usize| {
+            let v = u64::from_le_bytes(buf[*p..*p + 8].try_into().expect("8 bytes"));
+            *p += 8;
+            v
+        };
+        let magic = u64f(&mut pos);
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(LldError::Corrupt("not a logical-disk superblock".into()));
+        }
+        let u32f = |p: &mut usize| {
+            let v = u32::from_le_bytes(buf[*p..*p + 4].try_into().expect("4 bytes"));
+            *p += 4;
+            v
+        };
+        let version = u32f(&mut pos);
+        if version != FORMAT_VERSION {
+            return Err(LldError::Corrupt(format!(
+                "unsupported format version {version}"
+            )));
+        }
+        let block_size = u32f(&mut pos) as usize;
+        let segment_bytes = u32f(&mut pos) as usize;
+        let n_segments = u32f(&mut pos);
+        let u64g = |p: &mut usize| {
+            let v = u64::from_le_bytes(buf[*p..*p + 8].try_into().expect("8 bytes"));
+            *p += 8;
+            v
+        };
+        let data_start = u64g(&mut pos);
+        let ckpt_area_size = u64g(&mut pos);
+        let max_blocks = u64g(&mut pos);
+        let max_lists = u64g(&mut pos);
+        let concurrency = match buf[pos] {
+            0 => ConcurrencyMode::Sequential,
+            1 => ConcurrencyMode::Concurrent,
+            other => {
+                return Err(LldError::Corrupt(format!(
+                    "unknown concurrency mode {other}"
+                )))
+            }
+        };
+        let visibility = match buf[pos + 1] {
+            0 => ReadVisibility::AnyShadow,
+            1 => ReadVisibility::Committed,
+            2 => ReadVisibility::OwnShadow,
+            other => {
+                return Err(LldError::Corrupt(format!(
+                    "unknown read visibility {other}"
+                )))
+            }
+        };
+        let bs = block_size as u64;
+        Ok((
+            Layout {
+                block_size,
+                segment_bytes,
+                n_segments,
+                data_start,
+                ckpt_area_size,
+                ckpt_a: bs,
+                ckpt_b: bs + ckpt_area_size,
+                max_blocks,
+                max_lists,
+            },
+            concurrency,
+            visibility,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SegmentId;
+
+    fn small_config() -> LldConfig {
+        LldConfig {
+            block_size: 512,
+            segment_bytes: 8 * 512,
+            max_blocks: Some(100),
+            max_lists: Some(50),
+            ..LldConfig::default()
+        }
+    }
+
+    #[test]
+    fn compute_small_device() {
+        let cfg = small_config();
+        let layout = Layout::compute(1 << 20, &cfg).unwrap();
+        assert_eq!(layout.slots_per_segment(), 7);
+        assert!(layout.n_segments >= 4);
+        assert_eq!(layout.ckpt_a, 512);
+        assert_eq!(layout.ckpt_b, 512 + layout.ckpt_area_size);
+        assert_eq!(layout.data_start, 512 + 2 * layout.ckpt_area_size);
+        // Checkpoint area holds header + entries, block-rounded.
+        assert_eq!(layout.ckpt_area_size % 512, 0);
+        assert!(layout.ckpt_area_size >= CKPT_HEADER + 100 * CKPT_BLOCK_ENTRY + 50 * CKPT_LIST_ENTRY);
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        let cfg = small_config();
+        assert!(matches!(
+            Layout::compute(4096, &cfg),
+            Err(LldError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let layout = Layout::compute(1 << 20, &small_config()).unwrap();
+        let s1 = layout.segment_offset(1);
+        assert_eq!(s1 - layout.segment_offset(0), layout.segment_bytes as u64);
+        let addr = PhysAddr {
+            segment: SegmentId::new(1),
+            slot: 3,
+        };
+        // Slot 3 sits 4 blocks into the segment (after the header block).
+        assert_eq!(layout.block_offset(addr), s1 + 4 * 512);
+    }
+
+    #[test]
+    fn superblock_round_trip() {
+        let layout = Layout::compute(1 << 20, &small_config()).unwrap();
+        let buf = layout.encode_superblock(ConcurrencyMode::Sequential, ReadVisibility::Committed);
+        assert_eq!(buf.len(), SUPERBLOCK_LEN);
+        let (decoded, conc, vis) = Layout::decode_superblock(&buf).unwrap();
+        assert_eq!(decoded, layout);
+        assert_eq!(conc, ConcurrencyMode::Sequential);
+        assert_eq!(vis, ReadVisibility::Committed);
+    }
+
+    #[test]
+    fn corrupt_superblock_detected() {
+        let layout = Layout::compute(1 << 20, &small_config()).unwrap();
+        let mut buf =
+            layout.encode_superblock(ConcurrencyMode::Concurrent, ReadVisibility::OwnShadow);
+        buf[9] ^= 0xFF;
+        assert!(matches!(
+            Layout::decode_superblock(&buf),
+            Err(LldError::Corrupt(_))
+        ));
+        assert!(Layout::decode_superblock(&buf[..10]).is_err());
+        // All-zero block: checksum of zeros won't match either.
+        assert!(Layout::decode_superblock(&[0u8; SUPERBLOCK_LEN]).is_err());
+    }
+
+    #[test]
+    fn default_max_blocks_scales_with_device() {
+        let cfg = LldConfig {
+            block_size: 512,
+            segment_bytes: 8 * 512,
+            ..LldConfig::default()
+        };
+        let small = Layout::compute(1 << 20, &cfg).unwrap();
+        let large = Layout::compute(1 << 22, &cfg).unwrap();
+        assert!(large.max_blocks > small.max_blocks);
+    }
+}

@@ -1,0 +1,904 @@
+//! The logical disk proper: struct definition, formatting, segment
+//! plumbing, and the version-state access helpers shared by all
+//! operations.
+
+use crate::aru::Aru;
+use crate::cache::BlockCache;
+use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
+use crate::error::{LldError, Result};
+use crate::layout::{Layout, SUPERBLOCK_LEN};
+use crate::segment::SegmentBuilder;
+use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
+use crate::stats::LldStats;
+use crate::summary::Record;
+use crate::types::{AruId, BlockId, ListId, PhysAddr, Position, SegmentId, Timestamp};
+use ld_disk::BlockDevice;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Encoded length of a `Write` summary record (needed to reserve room
+/// for a data block and its record together, so they land in the same
+/// segment).
+pub(crate) const WRITE_REC_LEN: usize = 1 + 8 + 4 + 8 + 8;
+
+/// Which version state an internal operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StateRef {
+    /// The merged stream's committed state.
+    Committed,
+    /// The shadow state of one ARU (resolution falls through to the
+    /// committed state, which falls through to the persistent state —
+    /// the paper's standardised search).
+    Shadow(AruId),
+}
+
+/// The log-structured Logical Disk with atomic recovery units.
+///
+/// `Lld` implements the LD interface — `Read`, `Write`, `NewBlock`,
+/// `DeleteBlock`, `NewList`, `DeleteList`, `Flush` — extended with
+/// `BeginARU` / `EndARU` ([`begin_aru`](Lld::begin_aru),
+/// [`end_aru`](Lld::end_aru)). All operations bracketed by an ARU become
+/// persistent atomically: after a crash, recovery
+/// ([`Lld::recover`]) restores either all or none of them.
+///
+/// The disk is single-threaded like the paper's prototype (which links
+/// LLD and the file system into one user process); concurrency of *ARUs*
+/// means interleaved logical streams, not OS threads. Wrap an `Lld` in a
+/// mutex to share it between threads.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ld_core::LldError> {
+/// use ld_core::{Ctx, Lld, LldConfig, Position};
+/// use ld_disk::MemDisk;
+///
+/// let mut ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
+///     block_size: 512,
+///     segment_bytes: 16 * 512,
+///     ..LldConfig::default()
+/// })?;
+///
+/// // Create a file's metadata and data atomically.
+/// let aru = ld.begin_aru()?;
+/// let list = ld.new_list(Ctx::Aru(aru))?;
+/// let block = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
+/// ld.write(Ctx::Aru(aru), block, &[7u8; 512])?;
+/// ld.end_aru(aru)?;
+///
+/// let mut buf = [0u8; 512];
+/// ld.read(Ctx::Simple, block, &mut buf)?;
+/// assert_eq!(buf[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lld<D> {
+    pub(crate) device: D,
+    pub(crate) layout: Layout,
+    pub(crate) concurrency: ConcurrencyMode,
+    pub(crate) visibility: ReadVisibility,
+    pub(crate) cleaner_cfg: CleanerConfig,
+
+    /// Persistent state: block-number-map and list-table.
+    pub(crate) persistent: Tables,
+    /// Committed-but-not-yet-persistent alternative records.
+    pub(crate) committed: StateOverlay,
+    /// Active ARUs, keyed by raw id.
+    pub(crate) arus: BTreeMap<u64, Aru>,
+
+    /// The segment currently being filled in memory. `None` only
+    /// transiently (mid-roll) or when the disk is full.
+    pub(crate) builder: Option<SegmentBuilder>,
+    /// Per physical slot: log sequence number of the sealed segment it
+    /// holds (0 = none/invalid).
+    pub(crate) slot_seq: Vec<u64>,
+    /// Physical slots available for new segments.
+    pub(crate) free_slots: BTreeSet<u32>,
+    /// Per physical slot: number of blocks whose current address is in
+    /// it.
+    pub(crate) live_count: Vec<u32>,
+    /// Per physical slot: the blocks whose current address is in it
+    /// (the cleaner's work list).
+    pub(crate) residents: Vec<HashSet<BlockId>>,
+
+    pub(crate) next_block_raw: u64,
+    pub(crate) free_blocks: BTreeSet<u64>,
+    pub(crate) allocated_blocks: u64,
+    pub(crate) next_list_raw: u64,
+    pub(crate) free_lists: BTreeSet<u64>,
+    pub(crate) allocated_lists: u64,
+    pub(crate) next_aru_raw: u64,
+
+    pub(crate) ts_counter: u64,
+    pub(crate) next_seq: u64,
+    /// Highest segment sequence number covered by an on-disk checkpoint.
+    pub(crate) checkpoint_seq: u64,
+    pub(crate) ckpt_use_b: bool,
+    pub(crate) cleaning: bool,
+    pub(crate) cache: BlockCache,
+    pub(crate) stats: LldStats,
+}
+
+impl<D: BlockDevice> Lld<D> {
+    /// Formats `device` as a fresh, empty logical disk.
+    ///
+    /// Existing segment headers and checkpoints on the device are
+    /// invalidated so that recovery can never resurrect state from a
+    /// previous format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LldError::Config`] for an invalid configuration or a
+    /// device too small for four segments, and device errors.
+    pub fn format(device: D, config: &LldConfig) -> Result<Self> {
+        config.validate()?;
+        let layout = Layout::compute(device.capacity(), config)?;
+
+        // Write the superblock.
+        let sb = layout.encode_superblock(config.concurrency, config.visibility);
+        device.write_at(0, &sb)?;
+        // Invalidate both checkpoint areas and every segment header.
+        let zeros = [0u8; 64];
+        device.write_at(layout.ckpt_a, &zeros)?;
+        device.write_at(layout.ckpt_b, &zeros)?;
+        for slot in 0..layout.n_segments {
+            device.write_at(layout.segment_offset(slot), &zeros[..32])?;
+        }
+        device.flush()?;
+
+        let n = layout.n_segments as usize;
+        let mut ld = Lld {
+            device,
+            layout,
+            concurrency: config.concurrency,
+            visibility: config.visibility,
+            cleaner_cfg: config.cleaner,
+            persistent: Tables::default(),
+            committed: StateOverlay::default(),
+            arus: BTreeMap::new(),
+            builder: None,
+            slot_seq: vec![0; n],
+            free_slots: (0..n as u32).collect(),
+            live_count: vec![0; n],
+            residents: vec![HashSet::new(); n],
+            next_block_raw: 1,
+            free_blocks: BTreeSet::new(),
+            allocated_blocks: 0,
+            next_list_raw: 1,
+            free_lists: BTreeSet::new(),
+            allocated_lists: 0,
+            next_aru_raw: 1,
+            ts_counter: 0,
+            next_seq: 1,
+            checkpoint_seq: 0,
+            ckpt_use_b: false,
+            cleaning: false,
+            cache: BlockCache::new(config.read_cache_blocks),
+            stats: LldStats::default(),
+        };
+        ld.open_segment(0)?;
+        Ok(ld)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.layout.block_size
+    }
+
+    /// The segment size in bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.layout.segment_bytes
+    }
+
+    /// Number of segment slots on the device.
+    pub fn n_segments(&self) -> u32 {
+        self.layout.n_segments
+    }
+
+    /// Number of currently free segment slots.
+    pub fn free_segments(&self) -> u32 {
+        self.free_slots.len() as u32
+    }
+
+    /// The concurrency mode ("old" sequential vs "new" concurrent).
+    pub fn concurrency(&self) -> ConcurrencyMode {
+        self.concurrency
+    }
+
+    /// The read-visibility semantics in effect.
+    pub fn visibility(&self) -> ReadVisibility {
+        self.visibility
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &LldStats {
+        &self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Identifiers of the currently active ARUs.
+    pub fn active_arus(&self) -> Vec<AruId> {
+        self.arus.keys().map(|&raw| AruId::new(raw)).collect()
+    }
+
+    /// The logical time at which an active ARU began, if it is active.
+    pub fn aru_started(&self, aru: AruId) -> Option<Timestamp> {
+        self.arus.get(&aru.get()).map(|a| a.started)
+    }
+
+    /// Number of blocks allocated in the committed state.
+    pub fn allocated_block_count(&self) -> u64 {
+        self.allocated_blocks
+    }
+
+    /// Number of lists allocated in the committed state.
+    pub fn allocated_list_count(&self) -> u64 {
+        self.allocated_lists
+    }
+
+    /// The highest segment sequence number covered by an on-disk
+    /// checkpoint (0 = no checkpoint; recovery scans the whole log).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// Borrows the underlying device (e.g. to inspect simulator
+    /// statistics).
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Consumes the logical disk and returns the device. Un-flushed
+    /// committed state is *not* written; this models a crash.
+    pub fn into_device(self) -> D {
+        self.device
+    }
+
+    /// A copy of the committed-state record of `block`, if allocated.
+    pub fn block_info(&self, block: BlockId) -> Option<BlockRecord> {
+        self.view_block(StateRef::Committed, block)
+            .filter(|r| r.allocated)
+            .cloned()
+    }
+
+    /// A copy of the committed-state record of `list`, if allocated.
+    pub fn list_info(&self, list: ListId) -> Option<ListRecord> {
+        self.view_list(StateRef::Committed, list)
+            .filter(|r| r.allocated)
+            .cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Time and identifiers
+    // ------------------------------------------------------------------
+
+    /// Advances the logical clock and returns the new timestamp.
+    pub(crate) fn tick(&mut self) -> Timestamp {
+        self.ts_counter += 1;
+        Timestamp::new(self.ts_counter)
+    }
+
+    pub(crate) fn alloc_block_id(&mut self) -> Result<BlockId> {
+        if self.allocated_blocks >= self.layout.max_blocks {
+            return Err(LldError::DiskFull);
+        }
+        let raw = match self.free_blocks.pop_first() {
+            Some(raw) => raw,
+            None => {
+                let raw = self.next_block_raw;
+                self.next_block_raw += 1;
+                raw
+            }
+        };
+        Ok(BlockId::new(raw))
+    }
+
+    pub(crate) fn alloc_list_id(&mut self) -> Result<ListId> {
+        if self.allocated_lists >= self.layout.max_lists {
+            return Err(LldError::DiskFull);
+        }
+        let raw = match self.free_lists.pop_first() {
+            Some(raw) => raw,
+            None => {
+                let raw = self.next_list_raw;
+                self.next_list_raw += 1;
+                raw
+            }
+        };
+        Ok(ListId::new(raw))
+    }
+
+    // ------------------------------------------------------------------
+    // Version-state access (the standardised search)
+    // ------------------------------------------------------------------
+
+    /// The committed view of a block: committed overlay, falling through
+    /// to the persistent table. May return a deallocated record.
+    pub(crate) fn committed_view_block(&self, id: BlockId) -> Option<&BlockRecord> {
+        self.committed
+            .blocks
+            .get(&id)
+            .or_else(|| self.persistent.blocks.get(&id))
+    }
+
+    pub(crate) fn committed_view_list(&self, id: ListId) -> Option<&ListRecord> {
+        self.committed
+            .lists
+            .get(&id)
+            .or_else(|| self.persistent.lists.get(&id))
+    }
+
+    /// Resolves a block record in the given state (shadow → committed →
+    /// persistent). May return a deallocated record.
+    pub(crate) fn view_block(&self, st: StateRef, id: BlockId) -> Option<&BlockRecord> {
+        if let StateRef::Shadow(aru) = st {
+            if let Some(rec) = self
+                .arus
+                .get(&aru.get())
+                .and_then(|a| a.shadow.blocks.get(&id))
+            {
+                return Some(rec);
+            }
+        }
+        self.committed_view_block(id)
+    }
+
+    pub(crate) fn view_list(&self, st: StateRef, id: ListId) -> Option<&ListRecord> {
+        if let StateRef::Shadow(aru) = st {
+            if let Some(rec) = self
+                .arus
+                .get(&aru.get())
+                .and_then(|a| a.shadow.lists.get(&id))
+            {
+                return Some(rec);
+            }
+        }
+        self.committed_view_list(id)
+    }
+
+    /// Copy-on-write access to a block record in the given state: if the
+    /// state has no alternative record yet, the version below is copied
+    /// in (the paper: "the disk system applies modifications to a copy of
+    /// the committed version ... which then becomes the new shadow
+    /// version").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LldError::BlockNotAllocated`] if no version of the
+    /// block exists at all.
+    pub(crate) fn block_mut(&mut self, st: StateRef, id: BlockId) -> Result<&mut BlockRecord> {
+        match st {
+            StateRef::Committed => {
+                if !self.committed.blocks.contains_key(&id) {
+                    let base = self
+                        .persistent
+                        .blocks
+                        .get(&id)
+                        .cloned()
+                        .ok_or(LldError::BlockNotAllocated(id))?;
+                    self.committed.blocks.insert(id, base);
+                }
+                Ok(self.committed.blocks.get_mut(&id).expect("just inserted"))
+            }
+            StateRef::Shadow(aru) => {
+                let raw = aru.get();
+                if !self
+                    .arus
+                    .get(&raw)
+                    .ok_or(LldError::UnknownAru(aru))?
+                    .shadow
+                    .blocks
+                    .contains_key(&id)
+                {
+                    let base = self
+                        .committed_view_block(id)
+                        .cloned()
+                        .ok_or(LldError::BlockNotAllocated(id))?;
+                    self.stats.shadow_cow_records += 1;
+                    self.arus
+                        .get_mut(&raw)
+                        .expect("checked above")
+                        .shadow
+                        .blocks
+                        .insert(id, base);
+                }
+                Ok(self
+                    .arus
+                    .get_mut(&raw)
+                    .expect("checked above")
+                    .shadow
+                    .blocks
+                    .get_mut(&id)
+                    .expect("just inserted"))
+            }
+        }
+    }
+
+    pub(crate) fn list_mut(&mut self, st: StateRef, id: ListId) -> Result<&mut ListRecord> {
+        match st {
+            StateRef::Committed => {
+                if !self.committed.lists.contains_key(&id) {
+                    let base = self
+                        .persistent
+                        .lists
+                        .get(&id)
+                        .cloned()
+                        .ok_or(LldError::ListNotAllocated(id))?;
+                    self.committed.lists.insert(id, base);
+                }
+                Ok(self.committed.lists.get_mut(&id).expect("just inserted"))
+            }
+            StateRef::Shadow(aru) => {
+                let raw = aru.get();
+                if !self
+                    .arus
+                    .get(&raw)
+                    .ok_or(LldError::UnknownAru(aru))?
+                    .shadow
+                    .lists
+                    .contains_key(&id)
+                {
+                    let base = self
+                        .committed_view_list(id)
+                        .cloned()
+                        .ok_or(LldError::ListNotAllocated(id))?;
+                    self.stats.shadow_cow_records += 1;
+                    self.arus
+                        .get_mut(&raw)
+                        .expect("checked above")
+                        .shadow
+                        .lists
+                        .insert(id, base);
+                }
+                Ok(self
+                    .arus
+                    .get_mut(&raw)
+                    .expect("checked above")
+                    .shadow
+                    .lists
+                    .get_mut(&id)
+                    .expect("just inserted"))
+            }
+        }
+    }
+
+    /// Adjusts the per-segment live-block accounting when the committed
+    /// address of `id` changes.
+    pub(crate) fn adjust_addr(
+        &mut self,
+        id: BlockId,
+        old: Option<PhysAddr>,
+        new: Option<PhysAddr>,
+    ) {
+        if old == new {
+            return;
+        }
+        if let Some(a) = old {
+            let s = a.segment.get() as usize;
+            self.live_count[s] = self.live_count[s].saturating_sub(1);
+            self.residents[s].remove(&id);
+        }
+        if let Some(a) = new {
+            let s = a.segment.get() as usize;
+            self.live_count[s] += 1;
+            self.residents[s].insert(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // List structure manipulation (shared by ops, commit replay, and
+    // recovery replay)
+    // ------------------------------------------------------------------
+
+    /// Walks `list` in state `st`, returning the member blocks in order.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::ListNotAllocated`] if the list does not exist in the
+    /// state; [`LldError::Corrupt`] on a cycle or dangling successor.
+    pub(crate) fn walk_list(&mut self, st: StateRef, list: ListId) -> Result<Vec<BlockId>> {
+        let rec = self
+            .view_list(st, list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        let mut out = Vec::new();
+        let mut cur = rec.first;
+        let bound = self.layout.max_blocks + 1;
+        let mut steps = 0u64;
+        while let Some(b) = cur {
+            steps += 1;
+            if steps > bound {
+                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
+            }
+            let brec = self
+                .view_block(st, b)
+                .filter(|r| r.allocated)
+                .ok_or_else(|| {
+                    LldError::Corrupt(format!("list {list} references missing block {b}"))
+                })?;
+            out.push(b);
+            cur = brec.successor;
+        }
+        self.stats.list_walk_steps += steps;
+        Ok(out)
+    }
+
+    /// Validates that an insertion of a block into `list` at `pos` is
+    /// possible in state `st` (list allocated; predecessor allocated and
+    /// on the list).
+    pub(crate) fn validate_insert(&self, st: StateRef, list: ListId, pos: Position) -> Result<()> {
+        self.view_list(st, list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        if let Position::After(pred) = pos {
+            let p = self
+                .view_block(st, pred)
+                .filter(|r| r.allocated)
+                .ok_or(LldError::BlockNotAllocated(pred))?;
+            if p.list != Some(list) {
+                return Err(LldError::PredecessorNotOnList { list, pred });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts `block` (which must exist, allocated, and not on a list,
+    /// in state `st`) into `list` at `pos`. Callers run
+    /// [`validate_insert`](Self::validate_insert) first.
+    pub(crate) fn insert_into_list(
+        &mut self,
+        st: StateRef,
+        list: ListId,
+        block: BlockId,
+        pos: Position,
+        ts: Timestamp,
+    ) -> Result<()> {
+        self.validate_insert(st, list, pos)?;
+        match pos {
+            Position::First => {
+                let old_first = {
+                    let lr = self.list_mut(st, list)?;
+                    let old = lr.first;
+                    lr.first = Some(block);
+                    if lr.last.is_none() {
+                        lr.last = Some(block);
+                    }
+                    lr.ts = ts;
+                    old
+                };
+                let br = self.block_mut(st, block)?;
+                br.successor = old_first;
+                br.list = Some(list);
+                br.ts = ts;
+            }
+            Position::After(pred) => {
+                let pred_succ = {
+                    let pm = self.block_mut(st, pred)?;
+                    let old = pm.successor;
+                    pm.successor = Some(block);
+                    pm.ts = ts;
+                    old
+                };
+                {
+                    let bm = self.block_mut(st, block)?;
+                    bm.successor = pred_succ;
+                    bm.list = Some(list);
+                    bm.ts = ts;
+                }
+                let lr = self.list_mut(st, list)?;
+                if lr.last == Some(pred) {
+                    lr.last = Some(block);
+                }
+                lr.ts = ts;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes `block` from its list (if any) in state `st`, running the
+    /// predecessor search the paper identifies as the dominant deletion
+    /// cost.
+    pub(crate) fn unlink_block(&mut self, st: StateRef, block: BlockId, ts: Timestamp) -> Result<()> {
+        let rec = self
+            .view_block(st, block)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::BlockNotAllocated(block))?;
+        let Some(list) = rec.list else {
+            return Ok(());
+        };
+        let successor = rec.successor;
+
+        // Predecessor search: walk from the head of the list.
+        let lrec = self
+            .view_list(st, list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        let mut pred: Option<BlockId> = None;
+        let mut cur = lrec.first;
+        let bound = self.layout.max_blocks + 1;
+        let mut steps = 0u64;
+        while let Some(b) = cur {
+            if b == block {
+                break;
+            }
+            steps += 1;
+            if steps > bound {
+                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
+            }
+            pred = Some(b);
+            cur = self.view_block(st, b).and_then(|r| r.successor);
+            if cur.is_none() {
+                return Err(LldError::Corrupt(format!(
+                    "{block} claims membership of {list} but is not on it"
+                )));
+            }
+        }
+        self.stats.list_walk_steps += steps;
+
+        match pred {
+            None => {
+                let lr = self.list_mut(st, list)?;
+                lr.first = successor;
+                if lr.last == Some(block) {
+                    lr.last = None;
+                }
+                lr.ts = ts;
+            }
+            Some(p) => {
+                {
+                    let pm = self.block_mut(st, p)?;
+                    pm.successor = successor;
+                    pm.ts = ts;
+                }
+                let lr = self.list_mut(st, list)?;
+                if lr.last == Some(block) {
+                    lr.last = Some(p);
+                }
+                lr.ts = ts;
+            }
+        }
+        let bm = self.block_mut(st, block)?;
+        bm.list = None;
+        bm.successor = None;
+        bm.ts = ts;
+        Ok(())
+    }
+
+    /// Marks `block` deallocated in state `st`. In the committed state
+    /// this also releases its physical address and decrements the
+    /// allocation count; identifier reuse is the caller's decision.
+    pub(crate) fn dealloc_block(&mut self, st: StateRef, block: BlockId, ts: Timestamp) -> Result<()> {
+        if st == StateRef::Committed {
+            let old = self.committed_view_block(block).and_then(|r| r.addr);
+            self.adjust_addr(block, old, None);
+            self.allocated_blocks = self.allocated_blocks.saturating_sub(1);
+        }
+        let bm = self.block_mut(st, block)?;
+        bm.allocated = false;
+        bm.addr = None;
+        bm.list = None;
+        bm.successor = None;
+        bm.ts = ts;
+        Ok(())
+    }
+
+    /// Marks `list` deallocated in state `st`.
+    pub(crate) fn dealloc_list(&mut self, st: StateRef, list: ListId, ts: Timestamp) -> Result<()> {
+        if st == StateRef::Committed {
+            self.allocated_lists = self.allocated_lists.saturating_sub(1);
+        }
+        let lm = self.list_mut(st, list)?;
+        lm.allocated = false;
+        lm.first = None;
+        lm.last = None;
+        lm.ts = ts;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Segment plumbing
+    // ------------------------------------------------------------------
+
+    /// Ensures the current segment can absorb `blocks` data blocks plus
+    /// `summary` bytes of records, rolling to a new segment if needed.
+    ///
+    /// `reserve` is the number of free segment slots that must remain
+    /// after a roll: space-*consuming* operations pass 1 so the last
+    /// slot stays available for deletions and cleaning (otherwise a
+    /// full log could never be emptied again); space-*reclaiming*
+    /// operations pass 0.
+    pub(crate) fn ensure_room(&mut self, blocks: usize, summary: usize, reserve: usize) -> Result<()> {
+        let fits = match &self.builder {
+            Some(b) => b.fits(blocks, summary),
+            None => false,
+        };
+        if fits {
+            return Ok(());
+        }
+        self.roll_segment(reserve)?;
+        match &self.builder {
+            Some(b) if b.fits(blocks, summary) => Ok(()),
+            Some(_) => Err(LldError::Config(
+                "request does not fit in an empty segment".into(),
+            )),
+            None => Err(LldError::DiskFull),
+        }
+    }
+
+    /// Seals and writes the current segment (if it has content) and
+    /// opens a new one, running the cleaner if free segments are scarce.
+    pub(crate) fn roll_segment(&mut self, reserve: usize) -> Result<()> {
+        let had_content = self.seal_current()?;
+        if self.builder.is_none() {
+            self.open_segment(reserve)?;
+        }
+        if had_content
+            && !self.cleaning
+            && self.cleaner_cfg.enabled
+            && (self.free_slots.len() as u32) < self.cleaner_cfg.min_free_segments
+        {
+            self.run_cleaner()?;
+        }
+        Ok(())
+    }
+
+    /// Seals and writes the current segment. Returns `true` if a
+    /// segment was actually written (the builder is then `None`); an
+    /// empty builder is left in place and `false` returned.
+    pub(crate) fn seal_current(&mut self) -> Result<bool> {
+        match self.builder.take() {
+            None => Ok(false),
+            Some(b) if b.is_empty() => {
+                self.builder = Some(b);
+                Ok(false)
+            }
+            Some(b) => {
+                let bytes = b.seal();
+                let slot = b.slot().get();
+                self.device
+                    .write_at(self.layout.segment_offset(slot), &bytes)?;
+                self.slot_seq[slot as usize] = b.seq();
+                self.stats.segments_sealed += 1;
+                // Committed → persistent transition: every committed
+                // alternative record's summary entry is now on disk.
+                self.stats.committed_records_drained += self.committed.len() as u64;
+                self.committed.drain_into(&mut self.persistent);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Opens a new segment in a free slot, refusing if that would leave
+    /// fewer than `reserve` slots free.
+    pub(crate) fn open_segment(&mut self, reserve: usize) -> Result<()> {
+        debug_assert!(self.builder.is_none());
+        if self.free_slots.len() <= reserve {
+            return Err(LldError::DiskFull);
+        }
+        let slot = self.free_slots.pop_first().ok_or(LldError::DiskFull)?;
+        // The slot may hold a cleaned segment whose blocks are cached;
+        // new data written here must never be shadowed by stale entries.
+        self.cache.invalidate_segment(SegmentId::new(slot));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.builder = Some(SegmentBuilder::new(
+            SegmentId::new(slot),
+            seq,
+            self.layout.block_size,
+            self.layout.segment_bytes,
+        ));
+        Ok(())
+    }
+
+    /// Emits a (non-`Write`) summary record into the current segment.
+    pub(crate) fn emit(&mut self, rec: Record) -> Result<()> {
+        self.emit_reserve(rec, 1)
+    }
+
+    /// Emits a record with an explicit slot reserve (0 for
+    /// space-reclaiming records such as deletions).
+    pub(crate) fn emit_reserve(&mut self, rec: Record, reserve: usize) -> Result<()> {
+        let len = rec.encoded_len();
+        self.ensure_room(0, len, reserve)?;
+        self.builder
+            .as_mut()
+            .expect("ensure_room leaves a builder")
+            .push_record(&rec);
+        self.stats.records_emitted += 1;
+        self.stats.summary_bytes += len as u64;
+        Ok(())
+    }
+
+    /// Enters one data block into the segment stream with its `Write`
+    /// record (reserved together so they land in the same segment) and
+    /// updates the committed state. Shared by simple writes, ARU commit,
+    /// and cleaner relocation.
+    pub(crate) fn place_block_data(
+        &mut self,
+        id: BlockId,
+        data: &[u8],
+        ts: Timestamp,
+        tag: Option<AruId>,
+        reserve: usize,
+    ) -> Result<PhysAddr> {
+        self.ensure_room(1, WRITE_REC_LEN, reserve)?;
+        let b = self.builder.as_mut().expect("ensure_room leaves a builder");
+        let slot_idx = b.push_block(data);
+        let addr = PhysAddr {
+            segment: b.slot(),
+            slot: slot_idx,
+        };
+        let rec = Record::Write {
+            block: id,
+            slot: slot_idx,
+            ts,
+            aru: tag,
+        };
+        b.push_record(&rec);
+        self.stats.records_emitted += 1;
+        self.stats.summary_bytes += WRITE_REC_LEN as u64;
+        self.stats.data_blocks_written += 1;
+
+        self.cache.insert(addr, data);
+        let old = self.committed_view_block(id).and_then(|r| r.addr);
+        self.adjust_addr(id, old, Some(addr));
+        let r = self.block_mut(StateRef::Committed, id)?;
+        r.addr = Some(addr);
+        r.ts = ts;
+        Ok(addr)
+    }
+
+    /// Reads the data of a block at `addr`: from the in-memory segment
+    /// buffer if the address is in the currently open segment, from the
+    /// device otherwise.
+    pub(crate) fn read_block_data(&mut self, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        if let Some(b) = &self.builder {
+            if b.slot() == addr.segment {
+                if addr.slot >= b.n_blocks() {
+                    return Err(LldError::Corrupt(format!(
+                        "address {addr} beyond open segment contents"
+                    )));
+                }
+                buf.copy_from_slice(b.read_block(addr.slot));
+                return Ok(());
+            }
+        }
+        if self.cache.get(addr, buf) {
+            self.stats.cache_hits += 1;
+            return Ok(());
+        }
+        self.stats.cache_misses += 1;
+        self.device
+            .read_at(self.layout.block_offset(addr), buf)?;
+        self.cache.insert(addr, buf);
+        Ok(())
+    }
+
+    /// Reads the superblock of a formatted device.
+    pub(crate) fn read_superblock(
+        device: &D,
+    ) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+        let mut buf = [0u8; SUPERBLOCK_LEN];
+        device.read_at(0, &mut buf)?;
+        Layout::decode_superblock(&buf)
+    }
+
+    /// Probes a formatted device without recovering it: returns the
+    /// layout and the semantic modes stored in the superblock.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::Corrupt`] if the device holds no valid superblock;
+    /// device errors.
+    pub fn probe(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+        Self::read_superblock(device)
+    }
+}

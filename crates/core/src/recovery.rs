@@ -1,0 +1,351 @@
+//! Crash recovery: rebuild the tables from checkpoint + segment scan.
+//!
+//! Recovery is always to the most recent *persistent* state (§3.1): the
+//! newest valid checkpoint is loaded, every valid segment with a larger
+//! sequence number is replayed in log order, and records tagged with an
+//! ARU take effect only at that ARU's commit record — ARUs whose commit
+//! record never reached disk are discarded wholesale, and blocks they
+//! allocated (allocation is always committed) are reclaimed by the
+//! consistency check.
+
+use crate::aru::ListOp;
+use crate::checkpoint;
+use crate::config::LldConfig;
+use crate::error::{LldError, Result};
+use crate::layout::Layout;
+use crate::lld::{Lld, StateRef};
+use crate::segment::{read_segment, SegmentInfo};
+use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
+use crate::summary::Record;
+use crate::types::{BlockId, PhysAddr, Position, SegmentId, Timestamp};
+use ld_disk::BlockDevice;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery started from (0 =
+    /// none; the whole log was scanned).
+    pub checkpoint_seq: u64,
+    /// Segment slots examined.
+    pub segments_scanned: u32,
+    /// Valid segments replayed (sequence numbers above the checkpoint).
+    pub segments_replayed: u32,
+    /// Summary records applied (committed effects).
+    pub records_applied: u64,
+    /// ARUs whose commit record was found (their records were applied).
+    pub committed_arus: u64,
+    /// ARUs discarded because their commit record never reached disk.
+    pub discarded_arus: u64,
+    /// Records belonging to discarded ARUs.
+    pub discarded_records: u64,
+    /// Valid segments ignored because of a gap in the sequence chain
+    /// (0 in any state a crash can produce).
+    pub ignored_after_gap: u32,
+    /// Orphaned blocks freed by the post-recovery consistency check.
+    pub orphan_blocks_freed: usize,
+}
+
+impl<D: BlockDevice> Lld<D> {
+    /// Recovers a logical disk from `device`, using the semantic modes
+    /// stored in its superblock and default runtime options.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::Corrupt`] if the device holds no valid superblock or
+    /// the log is internally inconsistent; device errors.
+    pub fn recover(device: D) -> Result<(Self, RecoveryReport)> {
+        let (layout, concurrency, visibility) = Self::read_superblock(&device)?;
+        let config = LldConfig {
+            block_size: layout.block_size,
+            segment_bytes: layout.segment_bytes,
+            concurrency,
+            visibility,
+            ..LldConfig::default()
+        };
+        Self::recover_inner(device, layout, config)
+    }
+
+    /// Recovers with explicit runtime options (concurrency mode, read
+    /// visibility, cleaner tuning, `check_on_recovery`). Structural
+    /// parameters (block size, segment size, limits) always come from
+    /// the superblock.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lld::recover`].
+    pub fn recover_with(device: D, config: &LldConfig) -> Result<(Self, RecoveryReport)> {
+        let (layout, _, _) = Self::read_superblock(&device)?;
+        Self::recover_inner(device, layout, config.clone())
+    }
+
+    fn recover_inner(
+        device: D,
+        layout: Layout,
+        config: LldConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let n = layout.n_segments as usize;
+        let mut report = RecoveryReport::default();
+
+        // Load the newest checkpoint, if any.
+        let (ckpt, use_b_next) = checkpoint::load_latest(&device, &layout)?;
+        let (tables, mut ts_counter, mut next_block_raw, mut next_list_raw, ckpt_seq) =
+            match ckpt {
+                Some(c) => (
+                    c.tables,
+                    c.ts_counter,
+                    c.next_block_raw,
+                    c.next_list_raw,
+                    c.seq,
+                ),
+                None => (Tables::default(), 0, 1, 1, 0),
+            };
+        report.checkpoint_seq = ckpt_seq;
+
+        // The checkpoint id counters are lower bounds; raise them past
+        // anything actually present.
+        for id in tables.blocks.keys() {
+            next_block_raw = next_block_raw.max(id.get() + 1);
+        }
+        for id in tables.lists.keys() {
+            next_list_raw = next_list_raw.max(id.get() + 1);
+        }
+        for t in tables.blocks.values().map(|r| r.ts.get()) {
+            ts_counter = ts_counter.max(t);
+        }
+        for t in tables.lists.values().map(|r| r.ts.get()) {
+            ts_counter = ts_counter.max(t);
+        }
+
+        let mut ld = Lld {
+            device,
+            concurrency: config.concurrency,
+            visibility: config.visibility,
+            cleaner_cfg: config.cleaner,
+            persistent: tables,
+            committed: StateOverlay::default(),
+            arus: BTreeMap::new(),
+            builder: None,
+            slot_seq: vec![0; n],
+            free_slots: BTreeSet::new(),
+            live_count: vec![0; n],
+            residents: vec![HashSet::new(); n],
+            next_block_raw,
+            free_blocks: BTreeSet::new(),
+            allocated_blocks: 0,
+            next_list_raw,
+            free_lists: BTreeSet::new(),
+            allocated_lists: 0,
+            next_aru_raw: 1,
+            ts_counter,
+            next_seq: 1,
+            checkpoint_seq: ckpt_seq,
+            ckpt_use_b: use_b_next,
+            cleaning: false,
+            cache: crate::cache::BlockCache::new(config.read_cache_blocks),
+            stats: Default::default(),
+            layout,
+        };
+
+        // Initialise live-block accounting from the checkpoint tables.
+        let addrs: Vec<(BlockId, PhysAddr)> = ld
+            .persistent
+            .blocks
+            .iter()
+            .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
+            .collect();
+        for (id, a) in addrs {
+            ld.adjust_addr(id, None, Some(a));
+        }
+
+        // Scan every slot for valid sealed segments.
+        let mut chain: Vec<SegmentInfo> = Vec::new();
+        let mut max_seq_seen = ckpt_seq;
+        for slot in 0..ld.layout.n_segments {
+            report.segments_scanned += 1;
+            if let Some(info) = read_segment(&ld.device, &ld.layout, SegmentId::new(slot))? {
+                ld.slot_seq[slot as usize] = info.seq;
+                max_seq_seen = max_seq_seen.max(info.seq);
+                if info.seq > ckpt_seq {
+                    chain.push(info);
+                }
+            }
+        }
+        chain.sort_by_key(|i| i.seq);
+
+        // Replay the contiguous chain above the checkpoint.
+        let mut expected = ckpt_seq + 1;
+        let mut replayed_slots: HashSet<u32> = HashSet::new();
+        let mut pending: BTreeMap<u64, Vec<(SegmentId, Record)>> = BTreeMap::new();
+        for info in &chain {
+            if info.seq != expected {
+                if info.seq < expected {
+                    return Err(LldError::Corrupt(format!(
+                        "duplicate segment sequence number {}",
+                        info.seq
+                    )));
+                }
+                report.ignored_after_gap += 1;
+                continue;
+            }
+            expected += 1;
+            report.segments_replayed += 1;
+            replayed_slots.insert(info.slot.get());
+            for rec in &info.records {
+                ts_counter = ts_counter.max(rec.ts().get());
+                match rec.aru_tag() {
+                    Some(aru) => {
+                        pending
+                            .entry(aru.get())
+                            .or_default()
+                            .push((info.slot, rec.clone()));
+                    }
+                    None => {
+                        if let Record::Commit { aru, ts } = rec {
+                            let actions = pending.remove(&aru.get()).unwrap_or_default();
+                            report.committed_arus += 1;
+                            for (slot, action) in actions {
+                                ld.replay_record(slot, &action, Some(*ts))?;
+                                report.records_applied += 1;
+                            }
+                        } else {
+                            ld.replay_record(info.slot, rec, None)?;
+                            report.records_applied += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Whatever is still pending belongs to ARUs that never
+        // committed: discard (§3.3 — "the disk system undoes their
+        // operations").
+        report.discarded_arus = pending.len() as u64;
+        report.discarded_records = pending.values().map(|v| v.len() as u64).sum();
+        drop(pending);
+
+        // Everything replayed is persistent.
+        ld.committed.drain_into(&mut ld.persistent);
+        ld.allocated_blocks = ld.persistent.blocks.len() as u64;
+        ld.allocated_lists = ld.persistent.lists.len() as u64;
+        ld.ts_counter = ld.ts_counter.max(ts_counter);
+        ld.next_seq = max_seq_seen + 1;
+
+        // Slot accounting: a slot stays in use if it is part of the
+        // replayed chain (its records are needed until the next
+        // checkpoint) or still holds live blocks; everything else is
+        // free.
+        for slot in 0..ld.layout.n_segments {
+            let used =
+                replayed_slots.contains(&slot) || ld.live_count[slot as usize] > 0;
+            if !used {
+                ld.slot_seq[slot as usize] = 0;
+                ld.free_slots.insert(slot);
+            }
+        }
+        ld.open_segment(0)?;
+
+        if config.check_on_recovery {
+            let check = ld.check()?;
+            report.orphan_blocks_freed = check.orphan_blocks_freed.len();
+        }
+        Ok((ld, report))
+    }
+
+    /// Applies one summary record to the committed state during
+    /// recovery. `commit_ts` overrides the record timestamp for records
+    /// applied at their ARU's commit point (EndARU serialization).
+    fn replay_record(
+        &mut self,
+        seg: SegmentId,
+        rec: &Record,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<()> {
+        let corrupt = |msg: String| LldError::Corrupt(format!("replaying {seg}: {msg}"));
+        match *rec {
+            Record::NewBlock { block, ts } => {
+                self.committed.blocks.insert(block, BlockRecord::fresh(ts));
+                self.free_blocks.remove(&block.get());
+                self.allocated_blocks += 1;
+                self.next_block_raw = self.next_block_raw.max(block.get() + 1);
+                Ok(())
+            }
+            Record::NewList { list, ts } => {
+                self.committed.lists.insert(list, ListRecord::fresh(ts));
+                self.free_lists.remove(&list.get());
+                self.allocated_lists += 1;
+                self.next_list_raw = self.next_list_raw.max(list.get() + 1);
+                Ok(())
+            }
+            Record::Write { block, slot, ts, .. } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let addr = PhysAddr { segment: seg, slot };
+                if self
+                    .committed_view_block(block)
+                    .is_none_or(|r| !r.allocated)
+                {
+                    return Err(corrupt(format!("write to unallocated {block}")));
+                }
+                let old = self.committed_view_block(block).and_then(|r| r.addr);
+                self.adjust_addr(block, old, Some(addr));
+                let r = self.block_mut(StateRef::Committed, block)?;
+                r.addr = Some(addr);
+                r.ts = ts;
+                Ok(())
+            }
+            Record::Link {
+                list,
+                block,
+                pred,
+                ts,
+                ..
+            } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let pos = match pred {
+                    None => Position::First,
+                    Some(p) => Position::After(p),
+                };
+                self.insert_into_list(StateRef::Committed, list, block, pos, ts)
+                    .map_err(|e| corrupt(e.to_string()))
+            }
+            Record::DeleteBlock { block, ts, .. } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let mut fb = Vec::new();
+                let mut fl = Vec::new();
+                self.apply_list_op(
+                    StateRef::Committed,
+                    &ListOp::DeleteBlock { block },
+                    ts,
+                    &mut fb,
+                    &mut fl,
+                )
+                .map_err(|e| corrupt(e.to_string()))?;
+                for b in fb {
+                    self.free_blocks.insert(b.get());
+                }
+                Ok(())
+            }
+            Record::DeleteList { list, ts, .. } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let mut fb = Vec::new();
+                let mut fl = Vec::new();
+                self.apply_list_op(
+                    StateRef::Committed,
+                    &ListOp::DeleteList { list },
+                    ts,
+                    &mut fb,
+                    &mut fl,
+                )
+                .map_err(|e| corrupt(e.to_string()))?;
+                for b in fb {
+                    self.free_blocks.insert(b.get());
+                }
+                for l in fl {
+                    self.free_lists.insert(l.get());
+                }
+                Ok(())
+            }
+            Record::Commit { .. } => Err(corrupt("nested commit record".into())),
+        }
+    }
+}

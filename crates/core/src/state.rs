@@ -1,0 +1,244 @@
+//! Block and list records, the persistent tables, and state overlays.
+//!
+//! The paper (§4) keeps the persistent state in two tables — the
+//! *block-number-map* and the *list-table* — and augments them with
+//! in-memory lists of *alternative records* describing blocks and lists in
+//! the committed and shadow states, meshed so both lookup-by-identifier
+//! and iteration-by-state are efficient.
+//!
+//! This implementation keeps the same three-level structure with the same
+//! asymptotics: [`Tables`] is the persistent state, and each committed or
+//! shadow state is a [`StateOverlay`] — a map from identifier to
+//! alternative record. Lookup by identifier is the paper's "standardised
+//! search" (shadow → committed → persistent); iteration by state is
+//! iteration over one overlay; the whole-state transitions (shadow →
+//! committed at `EndARU`, committed → persistent at segment write) drain
+//! one overlay into the level below.
+
+use crate::types::{BlockId, ListId, PhysAddr, Timestamp};
+use std::collections::HashMap;
+
+/// One version of a logical block's meta-data: the block-number-map
+/// entry of the paper (physical address, allocation state, position
+/// within its list, and the time of the last operation on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Whether the block is allocated in this version.
+    pub allocated: bool,
+    /// Physical location of the block's data, if it has ever been
+    /// written.
+    pub addr: Option<PhysAddr>,
+    /// The next block on the same list.
+    pub successor: Option<BlockId>,
+    /// The list this block belongs to. `None` for a block that was
+    /// allocated inside a still-uncommitted ARU (allocation is always
+    /// committed; insertion into the list is shadow state).
+    pub list: Option<ListId>,
+    /// Time of the last operation that produced this version.
+    pub ts: Timestamp,
+}
+
+impl BlockRecord {
+    /// A freshly allocated block: no data, not on any list.
+    pub fn fresh(ts: Timestamp) -> Self {
+        BlockRecord {
+            allocated: true,
+            addr: None,
+            successor: None,
+            list: None,
+            ts,
+        }
+    }
+}
+
+/// One version of a list's meta-data: the list-table entry of the paper
+/// (first and last block of the list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListRecord {
+    /// Whether the list is allocated in this version.
+    pub allocated: bool,
+    /// The first block on the list.
+    pub first: Option<BlockId>,
+    /// The last block on the list.
+    pub last: Option<BlockId>,
+    /// Time of the last operation that produced this version.
+    pub ts: Timestamp,
+}
+
+impl ListRecord {
+    /// A freshly allocated, empty list.
+    pub fn fresh(ts: Timestamp) -> Self {
+        ListRecord {
+            allocated: true,
+            first: None,
+            last: None,
+            ts,
+        }
+    }
+}
+
+/// The persistent state: the block-number-map and the list-table.
+///
+/// Entries exist only for allocated blocks/lists; deallocation removes
+/// the entry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tables {
+    /// The block-number-map.
+    pub blocks: HashMap<BlockId, BlockRecord>,
+    /// The list-table.
+    pub lists: HashMap<ListId, ListRecord>,
+}
+
+/// A set of alternative records layered over the state below it
+/// (committed over persistent; shadow over committed).
+///
+/// An entry is present only if the record *differs* from the state below
+/// — including deallocations, which are represented as records with
+/// `allocated == false`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateOverlay {
+    /// Alternative block records in this state.
+    pub blocks: HashMap<BlockId, BlockRecord>,
+    /// Alternative list records in this state.
+    pub lists: HashMap<ListId, ListRecord>,
+}
+
+impl StateOverlay {
+    /// Whether the overlay holds no alternative records.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.lists.is_empty()
+    }
+
+    /// Number of alternative records (blocks + lists).
+    pub fn len(&self) -> usize {
+        self.blocks.len() + self.lists.len()
+    }
+
+    /// Drains every alternative record into `tables` (the transition of
+    /// a whole state into the level below). Allocated records replace
+    /// the entry below if they are more recent (they always are under
+    /// the monotonic clock; the guard mirrors the paper's "replaces the
+    /// current version if more recent, otherwise it is discarded");
+    /// deallocated records remove the entry.
+    pub fn drain_into(&mut self, tables: &mut Tables) {
+        for (id, rec) in self.blocks.drain() {
+            if rec.allocated {
+                match tables.blocks.get(&id) {
+                    Some(existing) if existing.ts > rec.ts => {}
+                    _ => {
+                        tables.blocks.insert(id, rec);
+                    }
+                }
+            } else {
+                tables.blocks.remove(&id);
+            }
+        }
+        for (id, rec) in self.lists.drain() {
+            if rec.allocated {
+                match tables.lists.get(&id) {
+                    Some(existing) if existing.ts > rec.ts => {}
+                    _ => {
+                        tables.lists.insert(id, rec);
+                    }
+                }
+            } else {
+                tables.lists.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SegmentId;
+
+    fn addr(seg: u32, slot: u32) -> PhysAddr {
+        PhysAddr {
+            segment: SegmentId::new(seg),
+            slot,
+        }
+    }
+
+    #[test]
+    fn fresh_records() {
+        let b = BlockRecord::fresh(Timestamp::new(3));
+        assert!(b.allocated);
+        assert_eq!(b.addr, None);
+        assert_eq!(b.list, None);
+        let l = ListRecord::fresh(Timestamp::new(4));
+        assert!(l.allocated && l.first.is_none() && l.last.is_none());
+    }
+
+    #[test]
+    fn drain_inserts_updates_and_removes() {
+        let mut tables = Tables::default();
+        tables.blocks.insert(
+            BlockId::new(1),
+            BlockRecord {
+                addr: Some(addr(0, 0)),
+                ..BlockRecord::fresh(Timestamp::new(1))
+            },
+        );
+        tables
+            .lists
+            .insert(ListId::new(1), ListRecord::fresh(Timestamp::new(1)));
+
+        let mut overlay = StateOverlay::default();
+        // Update block 1 with a newer version.
+        overlay.blocks.insert(
+            BlockId::new(1),
+            BlockRecord {
+                addr: Some(addr(2, 5)),
+                ..BlockRecord::fresh(Timestamp::new(9))
+            },
+        );
+        // Insert a brand-new block 2.
+        overlay
+            .blocks
+            .insert(BlockId::new(2), BlockRecord::fresh(Timestamp::new(10)));
+        // Deallocate list 1.
+        overlay.lists.insert(
+            ListId::new(1),
+            ListRecord {
+                allocated: false,
+                ..ListRecord::fresh(Timestamp::new(11))
+            },
+        );
+
+        overlay.drain_into(&mut tables);
+        assert!(overlay.is_empty());
+        assert_eq!(tables.blocks[&BlockId::new(1)].addr, Some(addr(2, 5)));
+        assert!(tables.blocks.contains_key(&BlockId::new(2)));
+        assert!(!tables.lists.contains_key(&ListId::new(1)));
+    }
+
+    #[test]
+    fn drain_discards_stale_versions() {
+        // The "otherwise it is discarded" branch: an overlay record older
+        // than the table entry does not replace it.
+        let mut tables = Tables::default();
+        tables
+            .blocks
+            .insert(BlockId::new(1), BlockRecord::fresh(Timestamp::new(20)));
+        let mut overlay = StateOverlay::default();
+        overlay
+            .blocks
+            .insert(BlockId::new(1), BlockRecord::fresh(Timestamp::new(5)));
+        overlay.drain_into(&mut tables);
+        assert_eq!(tables.blocks[&BlockId::new(1)].ts, Timestamp::new(20));
+    }
+
+    #[test]
+    fn overlay_len_counts_both_kinds() {
+        let mut o = StateOverlay::default();
+        assert!(o.is_empty());
+        o.blocks
+            .insert(BlockId::new(1), BlockRecord::fresh(Timestamp::ZERO));
+        o.lists
+            .insert(ListId::new(1), ListRecord::fresh(Timestamp::ZERO));
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+}

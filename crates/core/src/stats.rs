@@ -1,0 +1,86 @@
+//! Operation counters for the logical disk.
+
+/// Counters of logical-disk activity since creation (or the last
+/// [`reset`](LldStats::reset)).
+///
+/// These make the costs the paper discusses directly observable:
+/// `list_walk_steps` counts predecessor-search steps (the cost the
+/// improved deletion policy avoids), `shadow_records_merged` counts the
+/// shadow→committed transition work at `EndARU`, and
+/// `committed_records_drained` counts the committed→persistent
+/// transition work at segment writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct LldStats {
+    /// `Read` operations.
+    pub reads: u64,
+    /// `Write` operations.
+    pub writes: u64,
+    /// `NewBlock` operations.
+    pub new_blocks: u64,
+    /// `DeleteBlock` operations.
+    pub delete_blocks: u64,
+    /// `NewList` operations.
+    pub new_lists: u64,
+    /// `DeleteList` operations.
+    pub delete_lists: u64,
+    /// `BeginARU` operations.
+    pub arus_begun: u64,
+    /// Successfully committed ARUs.
+    pub arus_committed: u64,
+    /// Explicitly aborted ARUs.
+    pub arus_aborted: u64,
+    /// `EndARU` calls that failed validation against the committed
+    /// state (the ARU was aborted).
+    pub commit_conflicts: u64,
+    /// Segments sealed and written to the device.
+    pub segments_sealed: u64,
+    /// Summary records emitted.
+    pub records_emitted: u64,
+    /// Total encoded summary bytes emitted.
+    pub summary_bytes: u64,
+    /// Data blocks entered into the segment stream (includes relocations).
+    pub data_blocks_written: u64,
+    /// Blocks copied forward by the segment cleaner.
+    pub blocks_relocated: u64,
+    /// Cleaner invocations.
+    pub cleaner_runs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Steps taken walking lists to find predecessors or members.
+    pub list_walk_steps: u64,
+    /// Alternative records created by copy-on-write into a shadow state.
+    pub shadow_cow_records: u64,
+    /// Shadow records merged into the committed state at `EndARU`
+    /// (buffered data blocks plus replayed list operations).
+    pub shadow_records_merged: u64,
+    /// Committed records drained into the persistent tables at segment
+    /// writes.
+    pub committed_records_drained: u64,
+    /// Data-block reads served from the block cache.
+    pub cache_hits: u64,
+    /// Data-block reads that went to the device.
+    pub cache_misses: u64,
+}
+
+impl LldStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = LldStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_reset_works() {
+        let mut s = LldStats::default();
+        assert_eq!(s.reads, 0);
+        s.reads = 5;
+        s.list_walk_steps = 7;
+        s.reset();
+        assert_eq!(s, LldStats::default());
+    }
+}

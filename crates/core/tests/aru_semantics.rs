@@ -1,0 +1,437 @@
+//! Semantics of concurrent atomic recovery units (§3 of the paper):
+//! shadow-state isolation, the allocation exception, serialization by
+//! `EndARU`, the read-visibility options, and the sequential ("old")
+//! mode.
+
+use ld_core::{
+    ConcurrencyMode, Ctx, Lld, LldConfig, LldError, Position, ReadVisibility,
+};
+use ld_disk::MemDisk;
+
+const BS: usize = 512;
+
+fn config() -> LldConfig {
+    LldConfig {
+        block_size: BS,
+        segment_bytes: 16 * BS,
+        max_blocks: Some(256),
+        max_lists: Some(64),
+        ..LldConfig::default()
+    }
+}
+
+fn fresh_with(cfg: &LldConfig) -> Lld<MemDisk> {
+    Lld::format(MemDisk::new(2 << 20), cfg).unwrap()
+}
+
+fn fresh() -> Lld<MemDisk> {
+    fresh_with(&config())
+}
+
+fn block(byte: u8) -> Vec<u8> {
+    vec![byte; BS]
+}
+
+#[test]
+fn aru_sees_its_own_writes() {
+    let mut ld = fresh();
+    let list = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(aru), b, &block(2)).unwrap();
+    let mut buf = block(0);
+    ld.read(Ctx::Aru(aru), b, &mut buf).unwrap();
+    assert_eq!(buf, block(2), "read within the ARU sees its shadow");
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(1), "simple read sees the committed version");
+    ld.end_aru(aru).unwrap();
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(2), "after commit the update is visible");
+}
+
+#[test]
+fn concurrent_arus_are_isolated_from_each_other() {
+    let mut ld = fresh();
+    let list = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(0)).unwrap();
+
+    let a1 = ld.begin_aru().unwrap();
+    let a2 = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(a1), b, &block(11)).unwrap();
+    ld.write(Ctx::Aru(a2), b, &block(22)).unwrap();
+
+    let mut buf = block(9);
+    ld.read(Ctx::Aru(a1), b, &mut buf).unwrap();
+    assert_eq!(buf, block(11));
+    ld.read(Ctx::Aru(a2), b, &mut buf).unwrap();
+    assert_eq!(buf, block(22));
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(0));
+
+    // Serialization by EndARU time: a1 commits first, then a2; a2's
+    // version replaces a1's.
+    ld.end_aru(a1).unwrap();
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(11));
+    ld.end_aru(a2).unwrap();
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(22));
+}
+
+#[test]
+fn commit_order_decides_even_against_op_order() {
+    // a2 wrote later, but a1 commits later: a1 wins (ARUs serialize at
+    // EndARU, not at Write).
+    let mut ld = fresh();
+    let list = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+    let a1 = ld.begin_aru().unwrap();
+    let a2 = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(a1), b, &block(1)).unwrap();
+    ld.write(Ctx::Aru(a2), b, &block(2)).unwrap();
+    ld.end_aru(a2).unwrap();
+    ld.end_aru(a1).unwrap();
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(1));
+}
+
+#[test]
+fn allocation_is_committed_immediately() {
+    // §3.3: allocation happens in the merged stream so concurrent ARUs
+    // can never get the same identifier — but the block is on no list
+    // from any other stream's point of view.
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let a1 = ld.begin_aru().unwrap();
+    let a2 = ld.begin_aru().unwrap();
+    let b1 = ld.new_block(Ctx::Aru(a1), l, Position::First).unwrap();
+    let b2 = ld.new_block(Ctx::Aru(a2), l, Position::First).unwrap();
+    assert_ne!(b1, b2, "identifiers are unique across concurrent ARUs");
+
+    // Simple stream: both allocated (cannot be re-allocated) but in no
+    // list.
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), Vec::new());
+    assert!(ld.block_info(b1).unwrap().list.is_none());
+    // Reading an allocated-but-unlinked block from the simple stream is
+    // allowed (it is allocated in the committed state) and yields zeroes.
+    let mut buf = block(7);
+    ld.read(Ctx::Simple, b1, &mut buf).unwrap();
+    assert_eq!(buf, block(0));
+
+    // Each ARU sees only its own insertion.
+    assert_eq!(ld.list_blocks(Ctx::Aru(a1), l).unwrap(), vec![b1]);
+    assert_eq!(ld.list_blocks(Ctx::Aru(a2), l).unwrap(), vec![b2]);
+
+    // After both commit, the insertions merge into one list.
+    ld.end_aru(a1).unwrap();
+    ld.end_aru(a2).unwrap();
+    let merged = ld.list_blocks(Ctx::Simple, l).unwrap();
+    assert_eq!(merged.len(), 2);
+    assert!(merged.contains(&b1) && merged.contains(&b2));
+}
+
+#[test]
+fn abort_discards_shadow_state_but_not_allocations() {
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b0, &block(5)).unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    let nb = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    ld.write(Ctx::Aru(aru), b0, &block(6)).unwrap();
+    ld.write(Ctx::Aru(aru), nb, &block(7)).unwrap();
+    ld.abort_aru(aru).unwrap();
+
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b0, &mut buf).unwrap();
+    assert_eq!(buf, block(5), "shadow write discarded");
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
+    // The allocation itself was committed and survives the abort...
+    assert!(ld.block_info(nb).is_some());
+    // ...until a consistency check reclaims it.
+    let report = ld.check().unwrap();
+    assert_eq!(report.orphan_blocks_freed, vec![nb]);
+    assert!(ld.block_info(nb).is_none());
+}
+
+#[test]
+fn aru_delete_is_shadowed_until_commit() {
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
+    ld.write(Ctx::Simple, b2, &block(3)).unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    ld.delete_block(Ctx::Aru(aru), b2).unwrap();
+    // Within the ARU: gone.
+    assert_eq!(ld.list_blocks(Ctx::Aru(aru), l).unwrap(), vec![b1]);
+    let mut buf = block(0);
+    assert!(ld.read(Ctx::Aru(aru), b2, &mut buf).is_err());
+    // Outside: still present.
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b1, b2]);
+    ld.read(Ctx::Simple, b2, &mut buf).unwrap();
+    assert_eq!(buf, block(3));
+
+    ld.end_aru(aru).unwrap();
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b1]);
+    assert!(ld.read(Ctx::Simple, b2, &mut buf).is_err());
+}
+
+#[test]
+fn aru_delete_list_including_own_insertions() {
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let b1 = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    ld.write(Ctx::Aru(aru), b1, &block(1)).unwrap();
+    ld.delete_list(Ctx::Aru(aru), l).unwrap();
+    assert!(ld.list_blocks(Ctx::Aru(aru), l).is_err());
+    // Committed state unaffected until commit.
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
+    ld.end_aru(aru).unwrap();
+    assert!(ld.list_blocks(Ctx::Simple, l).is_err());
+    assert!(ld.block_info(b0).is_none());
+    assert!(ld.block_info(b1).is_none());
+    assert_eq!(ld.allocated_block_count(), 0);
+    assert_eq!(ld.allocated_list_count(), 0);
+}
+
+#[test]
+fn commit_conflict_when_predecessor_vanishes() {
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let _nb = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    // A concurrent simple operation deletes the predecessor.
+    ld.delete_block(Ctx::Simple, b0).unwrap();
+    let err = ld.end_aru(aru).unwrap_err();
+    assert!(matches!(err, LldError::CommitConflict { .. }), "{err}");
+    // The ARU is gone and the committed state untouched.
+    assert!(ld.end_aru(aru).is_err());
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), Vec::new());
+    assert_eq!(ld.stats().commit_conflicts, 1);
+}
+
+#[test]
+fn commit_conflict_when_written_block_deleted() {
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(aru), b, &block(9)).unwrap();
+    ld.delete_block(Ctx::Simple, b).unwrap();
+    assert!(matches!(
+        ld.end_aru(aru),
+        Err(LldError::CommitConflict { .. })
+    ));
+}
+
+#[test]
+fn unknown_aru_rejected_everywhere() {
+    let mut ld = fresh();
+    let ghost = {
+        let aru = ld.begin_aru().unwrap();
+        ld.end_aru(aru).unwrap();
+        aru
+    };
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    assert!(matches!(
+        ld.new_block(Ctx::Aru(ghost), l, Position::First),
+        Err(LldError::UnknownAru(_))
+    ));
+    assert!(ld.end_aru(ghost).is_err());
+    assert!(ld.abort_aru(ghost).is_err());
+    let mut buf = block(0);
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    assert!(ld.read(Ctx::Aru(ghost), b, &mut buf).is_err());
+    assert!(ld.write(Ctx::Aru(ghost), b, &block(0)).is_err());
+}
+
+#[test]
+fn empty_aru_commits_cheaply() {
+    let mut ld = fresh();
+    for _ in 0..100 {
+        let aru = ld.begin_aru().unwrap();
+        ld.end_aru(aru).unwrap();
+    }
+    assert_eq!(ld.stats().arus_committed, 100);
+    // One commit record each, nothing else.
+    assert_eq!(ld.stats().records_emitted, 100);
+}
+
+// ---------------------------------------------------------------------
+// Sequential ("old") mode
+// ---------------------------------------------------------------------
+
+#[test]
+fn sequential_mode_allows_one_aru_at_a_time() {
+    let cfg = LldConfig {
+        concurrency: ConcurrencyMode::Sequential,
+        ..config()
+    };
+    let mut ld = fresh_with(&cfg);
+    let a1 = ld.begin_aru().unwrap();
+    assert!(matches!(
+        ld.begin_aru(),
+        Err(LldError::ConcurrencyUnsupported { .. })
+    ));
+    ld.end_aru(a1).unwrap();
+    let a2 = ld.begin_aru().unwrap();
+    ld.end_aru(a2).unwrap();
+}
+
+#[test]
+fn sequential_mode_applies_directly_and_cannot_abort() {
+    let cfg = LldConfig {
+        concurrency: ConcurrencyMode::Sequential,
+        ..config()
+    };
+    let mut ld = fresh_with(&cfg);
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let b = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+    ld.write(Ctx::Aru(aru), b, &block(4)).unwrap();
+    // Visible from the simple stream immediately (merged stream).
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b]);
+    assert!(matches!(ld.abort_aru(aru), Err(LldError::AbortUnsupported)));
+    ld.end_aru(aru).unwrap();
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(4));
+}
+
+#[test]
+fn sequential_mode_defers_id_reuse_to_commit() {
+    let cfg = LldConfig {
+        concurrency: ConcurrencyMode::Sequential,
+        ..config()
+    };
+    let mut ld = fresh_with(&cfg);
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    ld.delete_block(Ctx::Aru(aru), b).unwrap();
+    // Inside the ARU the id must not be handed out again (its delete
+    // record precedes the commit record in the log).
+    let nb = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+    assert_ne!(nb, b);
+    ld.end_aru(aru).unwrap();
+    // Now it may be reused.
+    let nb2 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    assert_eq!(nb2, b);
+}
+
+// ---------------------------------------------------------------------
+// Read-visibility options (§3.3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn visibility_committed_hides_own_shadow() {
+    let cfg = LldConfig {
+        visibility: ReadVisibility::Committed,
+        ..config()
+    };
+    let mut ld = fresh_with(&cfg);
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(aru), b, &block(2)).unwrap();
+    let mut buf = block(0);
+    // Option 2: even inside the ARU, reads return the committed version.
+    ld.read(Ctx::Aru(aru), b, &mut buf).unwrap();
+    assert_eq!(buf, block(1));
+    ld.end_aru(aru).unwrap();
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(2));
+}
+
+#[test]
+fn visibility_any_shadow_exposes_most_recent_write() {
+    let cfg = LldConfig {
+        visibility: ReadVisibility::AnyShadow,
+        ..config()
+    };
+    let mut ld = fresh_with(&cfg);
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+    let a1 = ld.begin_aru().unwrap();
+    let a2 = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(a1), b, &block(11)).unwrap();
+    let mut buf = block(0);
+    // Option 1: any client sees a1's uncommitted write immediately.
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(11));
+    ld.read(Ctx::Aru(a2), b, &mut buf).unwrap();
+    assert_eq!(buf, block(11));
+    // A newer write from a2 takes over.
+    ld.write(Ctx::Aru(a2), b, &block(22)).unwrap();
+    ld.read(Ctx::Aru(a1), b, &mut buf).unwrap();
+    assert_eq!(buf, block(22));
+    ld.end_aru(a1).unwrap();
+    ld.end_aru(a2).unwrap();
+}
+
+#[test]
+fn shadow_link_change_without_data_write_reads_committed_data() {
+    // An ARU that only relinks a block (no data write) must still read
+    // the block's committed data through its shadow record.
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
+    ld.write(Ctx::Simple, b1, &block(0xAA)).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    // Deleting b2 touches b1's shadow record? No — but inserting a new
+    // block after b1 does (successor update).
+    let _nb = ld.new_block(Ctx::Aru(aru), l, Position::After(b1)).unwrap();
+    let mut buf = block(0);
+    ld.read(Ctx::Aru(aru), b1, &mut buf).unwrap();
+    assert_eq!(buf, block(0xAA));
+    // b2's committed membership is unchanged within the ARU view (it
+    // follows the inserted block).
+    let view = ld.list_blocks(Ctx::Aru(aru), l).unwrap();
+    assert_eq!(view.len(), 3);
+    assert_eq!(view[0], b1);
+    assert_eq!(view[2], b2);
+    ld.abort_aru(aru).unwrap();
+}
+
+#[test]
+fn many_concurrent_arus_n_plus_2_versions() {
+    // Up to n+2 versions of one block: n shadows + committed +
+    // persistent.
+    let mut ld = fresh();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(0)).unwrap();
+    ld.flush().unwrap(); // persistent version = 0
+    ld.write(Ctx::Simple, b, &block(100)).unwrap(); // committed version
+
+    let n = 10;
+    let arus: Vec<_> = (0..n).map(|_| ld.begin_aru().unwrap()).collect();
+    for (i, &aru) in arus.iter().enumerate() {
+        ld.write(Ctx::Aru(aru), b, &block(i as u8 + 1)).unwrap();
+    }
+    let mut buf = block(0);
+    for (i, &aru) in arus.iter().enumerate() {
+        ld.read(Ctx::Aru(aru), b, &mut buf).unwrap();
+        assert_eq!(buf, block(i as u8 + 1));
+    }
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(100));
+    for &aru in &arus {
+        ld.abort_aru(aru).unwrap();
+    }
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(100));
+}

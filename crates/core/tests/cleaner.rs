@@ -1,0 +1,227 @@
+//! Segment-cleaner behaviour: reclaiming space when the log wraps,
+//! preserving data across relocation, and recoverability afterwards.
+
+use ld_core::{Ctx, Lld, LldConfig, LldError, Position};
+use ld_disk::MemDisk;
+
+const BS: usize = 512;
+
+fn config() -> LldConfig {
+    LldConfig {
+        block_size: BS,
+        segment_bytes: 8 * BS,
+        max_blocks: Some(512),
+        max_lists: Some(64),
+        ..LldConfig::default()
+    }
+}
+
+fn block(byte: u8) -> Vec<u8> {
+    vec![byte; BS]
+}
+
+/// A device with room for ~24 segments.
+fn small_disk() -> Lld<MemDisk> {
+    let cap = 512 + 2 * 64 * 1024 + 24 * 8 * 512; // sb + ckpt areas + segments
+    Lld::format(MemDisk::new(cap as u64), &config()).unwrap()
+}
+
+#[test]
+fn overwrite_churn_triggers_cleaning_not_disk_full() {
+    let mut ld = small_disk();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    // Each overwrite consumes a data slot; ~7 slots per segment and ~24
+    // segments means >1000 overwrites guarantee several log wraps.
+    for i in 0..1200u32 {
+        ld.write(Ctx::Simple, b, &block((i % 251) as u8)).unwrap();
+    }
+    assert!(ld.stats().cleaner_runs > 0, "cleaner must have run");
+    assert!(ld.stats().checkpoints > 0, "cleaning forces checkpoints");
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block((1199 % 251) as u8));
+}
+
+#[test]
+fn live_data_survives_relocation() {
+    let mut ld = small_disk();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    // A handful of long-lived blocks...
+    let mut keep = Vec::new();
+    let mut prev = None;
+    for i in 0..10u8 {
+        let pos = match prev {
+            None => Position::First,
+            Some(p) => Position::After(p),
+        };
+        let b = ld.new_block(Ctx::Simple, l, pos).unwrap();
+        ld.write(Ctx::Simple, b, &block(0xC0 + i)).unwrap();
+        keep.push(b);
+        prev = Some(b);
+    }
+    // ...plus heavy churn on one hot block to wrap the log.
+    let hot = ld.new_block(Ctx::Simple, l, Position::After(prev.unwrap())).unwrap();
+    for i in 0..1200u32 {
+        ld.write(Ctx::Simple, hot, &block((i % 250) as u8)).unwrap();
+    }
+    assert!(ld.stats().blocks_relocated > 0, "cold blocks were relocated");
+    for (i, &b) in keep.iter().enumerate() {
+        let mut buf = block(0);
+        ld.read(Ctx::Simple, b, &mut buf).unwrap();
+        assert_eq!(buf, block(0xC0 + i as u8), "block {i} corrupted");
+    }
+}
+
+#[test]
+fn recovery_after_cleaning_sees_current_state() {
+    let mut ld = small_disk();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let stable = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, stable, &block(0x55)).unwrap();
+    let hot = ld.new_block(Ctx::Simple, l, Position::After(stable)).unwrap();
+    for i in 0..1500u32 {
+        ld.write(Ctx::Simple, hot, &block((i % 13) as u8)).unwrap();
+    }
+    assert!(ld.stats().cleaner_runs > 0);
+    ld.flush().unwrap();
+
+    let image = ld.into_device().into_image();
+    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    assert!(report.checkpoint_seq > 0, "cleaning left a checkpoint");
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, stable, &mut buf).unwrap();
+    assert_eq!(buf, block(0x55));
+    ld2.read(Ctx::Simple, hot, &mut buf).unwrap();
+    assert_eq!(buf, block((1499 % 13) as u8));
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![stable, hot]);
+}
+
+#[test]
+fn genuinely_full_disk_reports_disk_full() {
+    let mut ld = small_disk();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    // Fill with *live* blocks until the device cannot take more.
+    let mut prev = None;
+    let mut wrote = 0u32;
+    loop {
+        let pos = match prev {
+            None => Position::First,
+            Some(p) => Position::After(p),
+        };
+        let b = match ld.new_block(Ctx::Simple, l, pos) {
+            Ok(b) => b,
+            Err(LldError::DiskFull) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        };
+        match ld.write(Ctx::Simple, b, &block(1)) {
+            Ok(()) => {
+                wrote += 1;
+                prev = Some(b);
+            }
+            Err(LldError::DiskFull) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        assert!(wrote < 10_000, "disk-full never reported");
+    }
+    // A decent fraction of the slots took data before filling up.
+    assert!(wrote > 50, "only {wrote} blocks written");
+    // Deleting frees space again.
+    ld.delete_list(Ctx::Simple, l).unwrap();
+    let l2 = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l2, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(2)).unwrap();
+}
+
+#[test]
+fn explicit_cleaner_run_is_safe_when_idle() {
+    let mut ld = small_disk();
+    let free_before = ld.free_segments();
+    ld.run_cleaner().unwrap();
+    assert!(ld.free_segments() >= free_before.min(ld.n_segments() - 1));
+}
+
+#[test]
+fn manual_checkpoint_then_clean_reuses_dead_segments() {
+    let mut ld = small_disk();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    // Burn through several segments of overwrites (all dead but the
+    // last), without reaching the cleaner trigger.
+    for i in 0..40u8 {
+        ld.write(Ctx::Simple, b, &block(i)).unwrap();
+    }
+    let free_before = ld.free_segments();
+    ld.checkpoint().unwrap();
+    ld.run_cleaner().unwrap();
+    assert!(
+        ld.free_segments() >= free_before,
+        "cleaning dead segments cannot lose space"
+    );
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(39));
+}
+
+#[test]
+fn crash_during_cleaning_era_recovers_current_state() {
+    // Sweep crash points through a workload that keeps the cleaner
+    // busy. Whatever instant the power fails — mid-relocation,
+    // mid-checkpoint, mid-segment-write — recovery must reproduce the
+    // last flushed state of the stable blocks.
+    use ld_disk::{DiskModel, FaultPlan, SimDisk};
+
+    let mut crash_at = 300_000u64;
+    let mut crashes_seen = 0;
+    while crash_at < 4_000_000 {
+        let cap = 512 + 2 * 64 * 1024 + 24 * 8 * 512;
+        let sim = SimDisk::new(MemDisk::new(cap as u64), DiskModel::hp_c3010())
+            .with_faults(FaultPlan::new().crash_after_bytes(crash_at));
+        let mut ld = Lld::format(sim, &config()).unwrap();
+
+        // Stable blocks, flushed before the churn.
+        let l = ld.new_list(Ctx::Simple).unwrap();
+        let mut stable = Vec::new();
+        let mut prev = None;
+        for i in 0..6u8 {
+            let pos = match prev {
+                None => Position::First,
+                Some(p) => Position::After(p),
+            };
+            let b = ld.new_block(Ctx::Simple, l, pos).unwrap();
+            ld.write(Ctx::Simple, b, &block(0xD0 + i)).unwrap();
+            stable.push(b);
+            prev = Some(b);
+        }
+        ld.flush().unwrap();
+
+        // Churn until the crash point fires (or the workload ends).
+        let hot = ld.new_block(Ctx::Simple, l, Position::After(prev.unwrap())).unwrap();
+        let mut crashed = false;
+        for i in 0..3000u32 {
+            if ld.write(Ctx::Simple, hot, &block((i % 199) as u8)).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        if crashed {
+            crashes_seen += 1;
+        }
+
+        let image = ld.into_device().into_inner().into_image();
+        let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+        for (i, &b) in stable.iter().enumerate() {
+            let mut buf = block(0);
+            ld2.read(Ctx::Simple, b, &mut buf)
+                .unwrap_or_else(|e| panic!("crash at {crash_at}: stable block {i} lost: {e}"));
+            assert_eq!(buf, block(0xD0 + i as u8), "crash at {crash_at}: block {i}");
+        }
+        // The disk remains fully usable after recovery.
+        let nb = ld2.new_block(Ctx::Simple, l, Position::First).unwrap();
+        ld2.write(Ctx::Simple, nb, &block(0x11)).unwrap();
+        ld2.flush().unwrap();
+
+        crash_at += 450_000;
+    }
+    assert!(crashes_seen >= 4, "only {crashes_seen} crash points fired");
+}

@@ -1,0 +1,385 @@
+//! Crash-recovery behaviour: all-or-nothing persistence of ARUs,
+//! torn-segment handling, checkpoints, and the consistency check.
+
+use ld_core::{ConcurrencyMode, Ctx, Lld, LldConfig, Position};
+use ld_disk::{BlockDevice, DiskModel, FaultPlan, MemDisk, SimDisk};
+
+const BS: usize = 512;
+
+fn config() -> LldConfig {
+    LldConfig {
+        block_size: BS,
+        segment_bytes: 16 * BS,
+        max_blocks: Some(256),
+        max_lists: Some(64),
+        ..LldConfig::default()
+    }
+}
+
+fn block(byte: u8) -> Vec<u8> {
+    vec![byte; BS]
+}
+
+/// Crashes the logical disk *without* flushing: whatever reached the
+/// device is what recovery sees.
+fn crash_and_recover(ld: Lld<MemDisk>) -> (Lld<MemDisk>, ld_core::RecoveryReport) {
+    let image = ld.into_device().into_image();
+    Lld::recover(MemDisk::from_image(image)).unwrap()
+}
+
+#[test]
+fn empty_disk_recovers_empty() {
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let (ld2, report) = crash_and_recover(ld);
+    assert_eq!(ld2.allocated_block_count(), 0);
+    assert_eq!(ld2.allocated_list_count(), 0);
+    assert_eq!(report.segments_replayed, 0);
+    assert_eq!(report.ignored_after_gap, 0);
+}
+
+#[test]
+fn flushed_state_survives_crash() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
+    ld.write(Ctx::Simple, b1, &block(0x11)).unwrap();
+    ld.write(Ctx::Simple, b2, &block(0x22)).unwrap();
+    ld.flush().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    assert!(report.records_applied >= 5);
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b1, b2]);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b1, &mut buf).unwrap();
+    assert_eq!(buf, block(0x11));
+    ld2.read(Ctx::Simple, b2, &mut buf).unwrap();
+    assert_eq!(buf, block(0x22));
+}
+
+#[test]
+fn unflushed_committed_state_is_lost() {
+    // Committed but never written to disk: recovery is to the most
+    // recent *persistent* state.
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+    ld.flush().unwrap();
+    // Overwrite after the flush; stays in the open segment buffer.
+    ld.write(Ctx::Simple, b, &block(2)).unwrap();
+
+    let (mut ld2, _) = crash_and_recover(ld);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(1));
+}
+
+#[test]
+fn uncommitted_aru_fully_undone() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b0, &block(1)).unwrap();
+    ld.flush().unwrap();
+
+    // An ARU does a mix of operations but never commits.
+    let aru = ld.begin_aru().unwrap();
+    let nb = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    ld.write(Ctx::Aru(aru), nb, &block(9)).unwrap();
+    ld.write(Ctx::Aru(aru), b0, &block(8)).unwrap();
+    // Push everything that CAN reach disk to disk.
+    ld.flush().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    // The ARU's effects are gone...
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b0, &mut buf).unwrap();
+    assert_eq!(buf, block(1));
+    // ...and the committed allocation was reclaimed by the check.
+    assert_eq!(report.orphan_blocks_freed, 1);
+    assert!(ld2.block_info(nb).is_none());
+}
+
+#[test]
+fn committed_aru_survives_as_a_unit() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let b1 = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+    let b2 = ld.new_block(Ctx::Aru(aru), l, Position::After(b1)).unwrap();
+    ld.write(Ctx::Aru(aru), b1, &block(0xA1)).unwrap();
+    ld.write(Ctx::Aru(aru), b2, &block(0xA2)).unwrap();
+    ld.end_aru(aru).unwrap();
+    ld.flush().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    assert_eq!(report.committed_arus, 1);
+    assert_eq!(report.discarded_arus, 0);
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b1, b2]);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b1, &mut buf).unwrap();
+    assert_eq!(buf, block(0xA1));
+    ld2.read(Ctx::Simple, b2, &mut buf).unwrap();
+    assert_eq!(buf, block(0xA2));
+}
+
+#[test]
+fn torn_final_segment_is_ignored() {
+    // Build a disk image, then crash the device partway through the
+    // final segment write: recovery must fall back to the previous
+    // persistent state.
+    let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
+    let mut ld = Lld::format(sim, &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+    ld.flush().unwrap();
+    // Arm a crash point that tears the *next* segment write roughly in
+    // half (the plan counts bytes from its own creation). The next
+    // segment write is ~2 blocks + summary; tearing after one block
+    // leaves a segment whose summary never landed.
+    ld.device()
+        .set_faults(FaultPlan::new().crash_after_bytes(BS as u64 + 100));
+
+    ld.write(Ctx::Simple, b, &block(2)).unwrap();
+    let err = ld.flush().unwrap_err();
+    assert!(matches!(err, ld_core::LldError::Disk(_)), "{err}");
+
+    let image = ld.into_device().into_inner().into_image();
+    let (mut ld2, _report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(1), "torn write rolled back to persistent state");
+}
+
+#[test]
+fn aru_straddling_flush_is_atomic() {
+    // Flush happens while an ARU is active; the ARU commits afterwards
+    // but the commit never reaches disk. NOTHING of the ARU may
+    // survive.
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b0, &block(1)).unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(aru), b0, &block(7)).unwrap();
+    ld.flush().unwrap(); // shadow data stays in memory
+    ld.end_aru(aru).unwrap(); // commit record only in the open segment
+
+    let (mut ld2, _) = crash_and_recover(ld);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b0, &mut buf).unwrap();
+    assert_eq!(buf, block(1));
+}
+
+#[test]
+fn sequential_mode_crash_atomicity() {
+    // The "old" prototype still guarantees failure atomicity of its
+    // single ARU via tagged records.
+    let cfg = LldConfig {
+        concurrency: ConcurrencyMode::Sequential,
+        ..config()
+    };
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b0, &block(1)).unwrap();
+    ld.flush().unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    ld.write(Ctx::Aru(aru), b0, &block(9)).unwrap();
+    let nb = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    ld.write(Ctx::Aru(aru), nb, &block(8)).unwrap();
+    // Crash before EndARU, with the tagged records flushed.
+    ld.flush().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    assert_eq!(report.discarded_arus, 1);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b0, &mut buf).unwrap();
+    assert_eq!(buf, block(1), "tagged write without commit undone");
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
+}
+
+#[test]
+fn recovery_preserves_id_allocation_monotonicity() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.flush().unwrap();
+    let (mut ld2, _) = crash_and_recover(ld);
+    let b2 = ld2.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
+    assert_ne!(b1, b2);
+    let l2 = ld2.new_list(Ctx::Simple).unwrap();
+    assert_ne!(l, l2);
+}
+
+#[test]
+fn double_recovery_is_stable() {
+    // Recovering, doing nothing, and recovering again must converge.
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    for i in 0..10u8 {
+        let aru = ld.begin_aru().unwrap();
+        let b = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+        ld.write(Ctx::Aru(aru), b, &block(i)).unwrap();
+        ld.end_aru(aru).unwrap();
+    }
+    ld.flush().unwrap();
+    let (ld2, _) = crash_and_recover(ld);
+    let count = ld2.allocated_block_count();
+    let (mut ld3, report) = crash_and_recover(ld2);
+    assert_eq!(ld3.allocated_block_count(), count);
+    assert_eq!(report.orphan_blocks_freed, 0);
+    assert_eq!(ld3.list_blocks(Ctx::Simple, l).unwrap().len(), 10);
+}
+
+#[test]
+fn checkpoint_bounds_replay() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    for i in 0..50u8 {
+        ld.write(Ctx::Simple, b, &block(i)).unwrap();
+    }
+    ld.checkpoint().unwrap();
+    assert!(ld.checkpoint_seq() > 0);
+    // A little more work after the checkpoint.
+    ld.write(Ctx::Simple, b, &block(0xEE)).unwrap();
+    ld.flush().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    assert_eq!(report.checkpoint_seq, ld2.checkpoint_seq());
+    assert!(report.checkpoint_seq > 0);
+    assert!(
+        report.segments_replayed <= 2,
+        "only post-checkpoint segments replayed, got {}",
+        report.segments_replayed
+    );
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(0xEE));
+}
+
+#[test]
+fn checkpoint_alone_recovers_without_segments() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(0x42)).unwrap();
+    ld.checkpoint().unwrap();
+
+    let (mut ld2, report) = crash_and_recover(ld);
+    assert_eq!(report.segments_replayed, 0);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(0x42));
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b]);
+}
+
+#[test]
+fn recovery_report_counts_discards() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    // Two committed ARUs, one uncommitted.
+    for _ in 0..2 {
+        let aru = ld.begin_aru().unwrap();
+        let b = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+        ld.write(Ctx::Aru(aru), b, &block(1)).unwrap();
+        ld.end_aru(aru).unwrap();
+    }
+    let aru = ld.begin_aru().unwrap();
+    let _b = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+    ld.flush().unwrap();
+
+    let (_, report) = crash_and_recover(ld);
+    assert_eq!(report.committed_arus, 2);
+    // The uncommitted ARU's records were all in memory (never spilled),
+    // so nothing is discarded from the log — but its committed
+    // allocation is reclaimed.
+    assert_eq!(report.orphan_blocks_freed, 1);
+}
+
+#[test]
+fn not_a_logical_disk_is_rejected() {
+    let device = MemDisk::new(2 << 20);
+    device.write_at(0, b"garbage superblock").unwrap();
+    assert!(matches!(
+        Lld::recover(MemDisk::from_image(device.into_image())),
+        Err(ld_core::LldError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn recover_with_overrides_runtime_options() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let _ = l;
+    ld.flush().unwrap();
+    let image = ld.into_device().into_image();
+    let cfg = LldConfig {
+        concurrency: ConcurrencyMode::Sequential,
+        check_on_recovery: false,
+        ..config()
+    };
+    let (ld2, _) = Lld::recover_with(MemDisk::from_image(image), &cfg).unwrap();
+    assert_eq!(ld2.concurrency(), ConcurrencyMode::Sequential);
+}
+
+#[test]
+fn state_identical_across_crash_for_mixed_workload() {
+    // Drive a mixed workload, flush, snapshot the logical state, crash,
+    // recover, and compare the full observable state.
+    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+    let mut lists = Vec::new();
+    for i in 0..8u8 {
+        let aru = ld.begin_aru().unwrap();
+        let l = ld.new_list(Ctx::Aru(aru)).unwrap();
+        let mut prev = None;
+        for j in 0..(i % 4 + 1) {
+            let pos = match prev {
+                None => Position::First,
+                Some(p) => Position::After(p),
+            };
+            let b = ld.new_block(Ctx::Aru(aru), l, pos).unwrap();
+            ld.write(Ctx::Aru(aru), b, &block(i * 16 + j)).unwrap();
+            prev = Some(b);
+        }
+        ld.end_aru(aru).unwrap();
+        lists.push(l);
+    }
+    // Delete some, simple-stream.
+    ld.delete_list(Ctx::Simple, lists[2]).unwrap();
+    ld.delete_list(Ctx::Simple, lists[5]).unwrap();
+    ld.flush().unwrap();
+
+    let mut expected = Vec::new();
+    for (idx, &l) in lists.iter().enumerate() {
+        if idx == 2 || idx == 5 {
+            continue;
+        }
+        let blocks = ld.list_blocks(Ctx::Simple, l).unwrap();
+        let mut datas = Vec::new();
+        for &b in &blocks {
+            let mut buf = block(0);
+            ld.read(Ctx::Simple, b, &mut buf).unwrap();
+            datas.push(buf);
+        }
+        expected.push((l, blocks, datas));
+    }
+
+    let (mut ld2, _) = crash_and_recover(ld);
+    for (l, blocks, datas) in expected {
+        assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), blocks);
+        for (b, d) in blocks.iter().zip(datas.iter()) {
+            let mut buf = block(0);
+            ld2.read(Ctx::Simple, *b, &mut buf).unwrap();
+            assert_eq!(&buf, d);
+        }
+    }
+    assert!(ld2.list_blocks(Ctx::Simple, lists[2]).is_err());
+    assert!(ld2.list_blocks(Ctx::Simple, lists[5]).is_err());
+}

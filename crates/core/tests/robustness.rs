@@ -1,0 +1,251 @@
+//! Robustness tests: corrupted checkpoints, media failures, visibility
+//! of list structures, and assorted edge cases that the main suites do
+//! not reach.
+
+use ld_core::{Ctx, Lld, LldConfig, LldError, Position, ReadVisibility};
+use ld_disk::{BlockDevice, DiskModel, FaultPlan, MemDisk, SimDisk};
+
+const BS: usize = 512;
+
+fn config() -> LldConfig {
+    LldConfig {
+        block_size: BS,
+        segment_bytes: 16 * BS,
+        max_blocks: Some(256),
+        max_lists: Some(64),
+        ..LldConfig::default()
+    }
+}
+
+fn block(byte: u8) -> Vec<u8> {
+    vec![byte; BS]
+}
+
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_older() {
+    // Write two checkpoints (areas alternate), corrupt the newer one on
+    // the raw image, and recover: the older checkpoint plus the log
+    // replay must still reconstruct the latest state.
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(1)).unwrap();
+    ld.checkpoint().unwrap(); // checkpoint #1 (area A)
+    ld.write(Ctx::Simple, b, &block(2)).unwrap();
+    ld.checkpoint().unwrap(); // checkpoint #2 (area B)
+    ld.write(Ctx::Simple, b, &block(3)).unwrap();
+    ld.flush().unwrap();
+
+    let mut image = ld.into_device().into_image();
+    // The superblock is 64 bytes at offset 0; area A starts at
+    // block_size. Corrupt whichever area holds the NEWER checkpoint by
+    // flipping bytes in both areas' headers... precisely: flip area B
+    // (second checkpoint went to B since A was used first).
+    // Area offsets: A at BS, B at BS + area_size. Read area size from a
+    // fresh probe of the same config/capacity.
+    let probe = MemDisk::from_image(image.clone());
+    let (layout, _, _) = Lld::probe(&probe).unwrap();
+    let b_off = layout.ckpt_b as usize;
+    image[b_off + 4] ^= 0xFF;
+
+    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    // Fell back to checkpoint #1.
+    assert!(report.checkpoint_seq > 0);
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(3), "log replay on top of the old checkpoint");
+}
+
+#[test]
+fn both_checkpoints_corrupt_means_full_scan() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(7)).unwrap();
+    ld.checkpoint().unwrap();
+    ld.checkpoint().unwrap();
+    ld.flush().unwrap();
+
+    let mut image = ld.into_device().into_image();
+    let probe = MemDisk::from_image(image.clone());
+    let (layout, _, _) = Lld::probe(&probe).unwrap();
+    image[layout.ckpt_a as usize + 4] ^= 0xFF;
+    image[layout.ckpt_b as usize + 4] ^= 0xFF;
+
+    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    assert_eq!(report.checkpoint_seq, 0, "no checkpoint usable");
+    assert!(report.segments_replayed > 0, "full log scan");
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(7));
+}
+
+#[test]
+fn media_failure_on_read_is_reported() {
+    let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
+    let mut ld = Lld::format(sim, &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(9)).unwrap();
+    ld.flush().unwrap();
+    // The block is now on disk; mark its whole device unreadable except
+    // nothing — a blanket read-error region over the data area.
+    let info = ld.block_info(b).unwrap();
+    assert!(info.addr.is_some());
+    ld.device()
+        .set_faults(FaultPlan::new().read_error_region(0..u64::MAX));
+    let mut buf = block(0);
+    // The block cache still holds the block (written through); evict it
+    // is not possible from outside, so read a *fresh* instance instead.
+    let image = ld.into_device().into_inner().into_image();
+    let sim2 = SimDisk::new(MemDisk::from_image(image), DiskModel::hp_c3010());
+    // Recovery itself must fail cleanly when the medium is unreadable.
+    let failing = Lld::recover(
+        // Region chosen past the superblock so the failure hits the
+        // checkpoint/segment scan.
+        {
+            sim2.set_faults(FaultPlan::new().read_error_region(4096..u64::MAX));
+            sim2
+        },
+    );
+    match failing {
+        Err(LldError::Disk(ld_disk::DiskError::MediaFailure { .. })) => {}
+        other => panic!("expected a media failure, got {other:?}"),
+    }
+    let _ = buf;
+}
+
+#[test]
+fn visibility_committed_applies_to_list_walks() {
+    let cfg = LldConfig {
+        visibility: ReadVisibility::Committed,
+        ..config()
+    };
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let _b1 = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    // Option 2: even inside the ARU, the list walk sees only the
+    // committed membership.
+    assert_eq!(ld.list_blocks(Ctx::Aru(aru), l).unwrap(), vec![b0]);
+    ld.end_aru(aru).unwrap();
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap().len(), 2);
+}
+
+#[test]
+fn visibility_any_shadow_list_walk_sees_uncommitted_insert() {
+    let cfg = LldConfig {
+        visibility: ReadVisibility::AnyShadow,
+        ..config()
+    };
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let b1 = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+    // Option 1: the simple stream sees the uncommitted insertion.
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b0, b1]);
+    ld.abort_aru(aru).unwrap();
+    assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
+}
+
+#[test]
+fn deleting_twice_within_aru_fails_cleanly() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    ld.delete_block(Ctx::Aru(aru), b).unwrap();
+    assert!(matches!(
+        ld.delete_block(Ctx::Aru(aru), b),
+        Err(LldError::BlockNotAllocated(_))
+    ));
+    ld.end_aru(aru).unwrap();
+    assert!(ld.block_info(b).is_none());
+}
+
+#[test]
+fn interleaved_aru_commit_then_reuse_of_freed_ids() {
+    // An id freed by a committed ARU must be reusable, and its reuse
+    // must survive recovery in log order.
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    ld.delete_block(Ctx::Aru(aru), b).unwrap();
+    // Not reusable while the ARU is active (committed state still holds
+    // the allocation).
+    let other = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    assert_ne!(other, b);
+    ld.end_aru(aru).unwrap();
+    let reused = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    assert_eq!(reused, b, "freed id reused after commit");
+    ld.write(Ctx::Simple, reused, &block(0xEE)).unwrap();
+    ld.flush().unwrap();
+
+    let image = ld.into_device().into_image();
+    let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let mut buf = block(0);
+    ld2.read(Ctx::Simple, reused, &mut buf).unwrap();
+    assert_eq!(buf, block(0xEE));
+    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![reused, other]);
+}
+
+#[test]
+fn read_cache_can_be_disabled() {
+    let cfg = LldConfig {
+        read_cache_blocks: 0,
+        ..config()
+    };
+    let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
+    let mut ld = Lld::format(sim, &cfg).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(5)).unwrap();
+    ld.flush().unwrap();
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(buf, block(5));
+    assert_eq!(ld.stats().cache_hits, 0);
+    assert_eq!(ld.stats().cache_misses, 2);
+}
+
+#[test]
+fn cache_hits_avoid_disk_time() {
+    let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
+    let mut ld = Lld::format(sim, &config()).unwrap();
+    let l = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &block(5)).unwrap();
+    ld.flush().unwrap();
+    let t0 = ld.device().clock().now();
+    let mut buf = block(0);
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+    assert_eq!(
+        ld.device().clock().now(),
+        t0,
+        "write-through cache absorbs the read"
+    );
+    assert!(ld.stats().cache_hits >= 1);
+}
+
+#[test]
+fn probe_reports_superblock_without_recovery() {
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let device = ld.into_device();
+    let (layout, conc, vis) = Lld::probe(&device).unwrap();
+    assert_eq!(layout.block_size, BS);
+    assert_eq!(conc, ld_core::ConcurrencyMode::Concurrent);
+    assert_eq!(vis, ReadVisibility::OwnShadow);
+}
+
+#[test]
+fn aru_started_accessor() {
+    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    assert!(ld.aru_started(aru).is_some());
+    ld.end_aru(aru).unwrap();
+    assert!(ld.aru_started(aru).is_none());
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Errors reported by [`BlockDevice`](crate::BlockDevice) implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiskError {
+    /// A request extended past the end of the device.
+    OutOfBounds {
+        /// Starting byte offset of the request.
+        offset: u64,
+        /// Length of the request in bytes.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The simulated machine has crashed (a fault-injection crash point was
+    /// reached); no further I/O is possible on this device instance.
+    Crashed,
+    /// A simulated unrecoverable media failure at the given offset.
+    MediaFailure {
+        /// Byte offset of the failed sector.
+        offset: u64,
+    },
+    /// An error from the underlying operating system (file-backed devices).
+    Io(String),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "request [{offset}, {offset}+{len}) out of bounds for capacity {capacity}"
+            ),
+            DiskError::Crashed => write!(f, "simulated crash: device is no longer operable"),
+            DiskError::MediaFailure { offset } => {
+                write!(f, "media failure at byte offset {offset}")
+            }
+            DiskError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(err: std::io::Error) -> Self {
+        DiskError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = DiskError::OutOfBounds {
+            offset: 4,
+            len: 8,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("request"));
+        assert!(!s.ends_with('.'));
+        assert_eq!(DiskError::Crashed.to_string().contains("crash"), true);
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let d: DiskError = io.into();
+        assert!(matches!(d, DiskError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiskError>();
+    }
+}

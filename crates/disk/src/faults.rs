@@ -1,0 +1,208 @@
+use std::ops::Range;
+
+/// What a write attempt should do, as decided by the fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WriteOutcome {
+    /// Apply the whole write.
+    Full,
+    /// Apply only the first `n` bytes (a torn write), then crash.
+    Torn(usize),
+    /// The device already crashed; apply nothing.
+    Dead,
+}
+
+/// A deterministic fault-injection plan for a [`SimDisk`](crate::SimDisk).
+///
+/// Crash points let crash-recovery tests stop the disk at an exact,
+/// reproducible instant: after N bytes or N write requests, the crossing
+/// write is *torn* — only a sector-aligned prefix reaches the medium —
+/// and every later operation fails with
+/// [`DiskError::Crashed`](crate::DiskError::Crashed). This models a power
+/// failure in the middle of a segment write, the hardest case the paper's
+/// recovery procedure must handle.
+///
+/// Read-error regions model partial media failures.
+///
+/// # Example
+///
+/// ```
+/// use ld_disk::FaultPlan;
+///
+/// let plan = FaultPlan::new().crash_after_bytes(10_000);
+/// assert!(!plan.is_crashed());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crash_after_bytes: Option<u64>,
+    crash_after_writes: Option<u64>,
+    torn_granularity: u64,
+    read_error_regions: Vec<Range<u64>>,
+    bytes_written: u64,
+    writes_done: u64,
+    crashed: bool,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults). Torn-write granularity defaults
+    /// to 512-byte sectors.
+    pub fn new() -> Self {
+        FaultPlan {
+            torn_granularity: 512,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crashes the device once `n` total bytes have been written; the
+    /// write crossing the boundary is torn at sector granularity.
+    #[must_use]
+    pub fn crash_after_bytes(mut self, n: u64) -> Self {
+        self.crash_after_bytes = Some(n);
+        self
+    }
+
+    /// Crashes the device after `n` complete write requests; request
+    /// `n + 1` fails without transferring any data.
+    #[must_use]
+    pub fn crash_after_writes(mut self, n: u64) -> Self {
+        self.crash_after_writes = Some(n);
+        self
+    }
+
+    /// Sets the granularity at which torn writes are truncated.
+    /// A granularity of 0 permits byte-granularity tearing.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; a value of 0 is treated as 1.
+    #[must_use]
+    pub fn torn_granularity(mut self, bytes: u64) -> Self {
+        self.torn_granularity = bytes.max(1);
+        self
+    }
+
+    /// Marks `range` (byte offsets) as unreadable media.
+    #[must_use]
+    pub fn read_error_region(mut self, range: Range<u64>) -> Self {
+        self.read_error_regions.push(range);
+        self
+    }
+
+    /// Whether a crash point has already fired.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Total bytes durably written so far under this plan.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Forces the crashed state immediately (used by tests and the
+    /// harness to stop a device by hand).
+    pub fn force_crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Decides the outcome of a write of `len` bytes and updates
+    /// accounting. Internal to the simulator.
+    pub(crate) fn on_write(&mut self, len: u64) -> WriteOutcome {
+        if self.crashed {
+            return WriteOutcome::Dead;
+        }
+        if let Some(limit) = self.crash_after_writes {
+            if self.writes_done >= limit {
+                self.crashed = true;
+                return WriteOutcome::Torn(0);
+            }
+        }
+        if let Some(limit) = self.crash_after_bytes {
+            let remaining = limit.saturating_sub(self.bytes_written);
+            if remaining < len {
+                self.crashed = true;
+                let torn = remaining - remaining % self.torn_granularity;
+                self.bytes_written += torn;
+                return WriteOutcome::Torn(torn as usize);
+            }
+        }
+        self.bytes_written += len;
+        self.writes_done += 1;
+        WriteOutcome::Full
+    }
+
+    /// Decides whether a read of `[offset, offset + len)` succeeds.
+    /// Returns the offset of the first failing byte, if any.
+    pub(crate) fn on_read(&self, offset: u64, len: u64) -> Result<(), u64> {
+        if self.crashed {
+            return Err(offset);
+        }
+        let end = offset + len;
+        for region in &self.read_error_regions {
+            if region.start < end && offset < region.end {
+                return Err(region.start.max(offset));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_passes_everything() {
+        let mut p = FaultPlan::new();
+        assert_eq!(p.on_write(1000), WriteOutcome::Full);
+        assert_eq!(p.on_read(0, 1 << 20), Ok(()));
+        assert!(!p.is_crashed());
+        assert_eq!(p.bytes_written(), 1000);
+    }
+
+    #[test]
+    fn crash_after_bytes_tears_crossing_write() {
+        let mut p = FaultPlan::new().crash_after_bytes(1500);
+        assert_eq!(p.on_write(1024), WriteOutcome::Full);
+        // 476 bytes remain; sector-aligned prefix is 0.
+        assert_eq!(p.on_write(1024), WriteOutcome::Torn(0));
+        assert!(p.is_crashed());
+        assert_eq!(p.on_write(1), WriteOutcome::Dead);
+    }
+
+    #[test]
+    fn torn_write_is_sector_aligned() {
+        let mut p = FaultPlan::new().crash_after_bytes(1300);
+        assert_eq!(p.on_write(4096), WriteOutcome::Torn(1024));
+        assert_eq!(p.bytes_written(), 1024);
+    }
+
+    #[test]
+    fn byte_granularity_tearing() {
+        let mut p = FaultPlan::new().crash_after_bytes(1300).torn_granularity(1);
+        assert_eq!(p.on_write(4096), WriteOutcome::Torn(1300));
+    }
+
+    #[test]
+    fn crash_after_writes_counts_requests() {
+        let mut p = FaultPlan::new().crash_after_writes(2);
+        assert_eq!(p.on_write(10), WriteOutcome::Full);
+        assert_eq!(p.on_write(10), WriteOutcome::Full);
+        assert_eq!(p.on_write(10), WriteOutcome::Torn(0));
+        assert!(p.is_crashed());
+    }
+
+    #[test]
+    fn read_error_regions_overlap_detection() {
+        let p = FaultPlan::new().read_error_region(100..200);
+        assert_eq!(p.on_read(0, 100), Ok(()));
+        assert_eq!(p.on_read(200, 50), Ok(()));
+        assert_eq!(p.on_read(50, 100), Err(100));
+        assert_eq!(p.on_read(150, 10), Err(150));
+    }
+
+    #[test]
+    fn reads_fail_after_crash() {
+        let mut p = FaultPlan::new();
+        p.force_crash();
+        assert_eq!(p.on_read(0, 1), Err(0));
+    }
+}

@@ -1,0 +1,275 @@
+use crate::faults::WriteOutcome;
+use crate::{BlockDevice, DiskError, DiskModel, DiskStats, FaultPlan, Result, VirtualClock};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Head-position state shared by the time model across requests.
+#[derive(Debug, Default)]
+struct HeadState {
+    /// Byte offset where the previous request ended, if any.
+    prev_end: Option<u64>,
+}
+
+/// A simulated disk: a real [`BlockDevice`] plus a [`DiskModel`], a
+/// [`VirtualClock`], [`DiskStats`], and a [`FaultPlan`].
+///
+/// All data actually lands in the wrapped device; the wrapper only adds
+/// time accounting and fault injection. This is the device the logical
+/// disk runs on in every experiment and crash test.
+///
+/// # Example: crash injection
+///
+/// ```
+/// use ld_disk::{BlockDevice, DiskError, DiskModel, FaultPlan, MemDisk, SimDisk};
+///
+/// let disk = SimDisk::new(MemDisk::new(1 << 16), DiskModel::hp_c3010())
+///     .with_faults(FaultPlan::new().crash_after_bytes(1024));
+/// assert!(disk.write_at(0, &[1u8; 1024]).is_ok());
+/// assert_eq!(disk.write_at(1024, &[2u8; 512]), Err(DiskError::Crashed));
+/// // The surviving image can be inspected / recovered from:
+/// let image = disk.into_inner().into_image();
+/// assert_eq!(image[0], 1);
+/// assert_eq!(image[1024], 0); // the torn write never landed
+/// ```
+#[derive(Debug)]
+pub struct SimDisk<D> {
+    inner: D,
+    model: DiskModel,
+    clock: Arc<VirtualClock>,
+    stats: DiskStats,
+    head: Mutex<HeadState>,
+    faults: Mutex<FaultPlan>,
+}
+
+impl<D: BlockDevice> SimDisk<D> {
+    /// Wraps `inner` with the given service-time model, a fresh clock,
+    /// fresh stats, and no faults.
+    pub fn new(inner: D, model: DiskModel) -> Self {
+        SimDisk {
+            inner,
+            model,
+            clock: Arc::new(VirtualClock::new()),
+            stats: DiskStats::new(),
+            head: Mutex::new(HeadState::default()),
+            faults: Mutex::new(FaultPlan::new()),
+        }
+    }
+
+    /// Replaces the fault plan (builder style).
+    #[must_use]
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        *self.faults.lock() = faults;
+        self
+    }
+
+    /// Shares an externally created clock (so several devices, or the CPU
+    /// cost accounting of a harness, can charge the same timeline).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<VirtualClock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The virtual clock disk service time is charged to.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The I/O statistics counters.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// The service-time model in use.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Whether an injected crash point has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.faults.lock().is_crashed()
+    }
+
+    /// Forces the crashed state: every subsequent operation fails with
+    /// [`DiskError::Crashed`]. Used by tests that crash "between" writes.
+    pub fn force_crash(&self) {
+        self.faults.lock().force_crash();
+    }
+
+    /// Replaces the fault plan on a live device.
+    pub fn set_faults(&self, faults: FaultPlan) {
+        *self.faults.lock() = faults;
+    }
+
+    /// Returns the wrapped device, discarding the simulation state.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Borrows the wrapped device (e.g. to snapshot a
+    /// [`MemDisk`](crate::MemDisk) image mid-test).
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn charge(&self, offset: u64, len: u64, write: bool) -> bool {
+        let mut head = self.head.lock();
+        let sequential = head.prev_end == Some(offset);
+        let service = self
+            .model
+            .service_time(head.prev_end, offset, len, self.inner.capacity());
+        head.prev_end = Some(offset + len);
+        self.clock.advance(service);
+        if write {
+            self.stats.record_write(len, sequential, service);
+        } else {
+            self.stats.record_read(len, sequential, service);
+        }
+        sequential
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SimDisk<D> {
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.check_bounds(offset, buf.len())?;
+        {
+            let faults = self.faults.lock();
+            if faults.is_crashed() {
+                return Err(DiskError::Crashed);
+            }
+            if let Err(at) = faults.on_read(offset, buf.len() as u64) {
+                return Err(DiskError::MediaFailure { offset: at });
+            }
+        }
+        self.charge(offset, buf.len() as u64, false);
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.inner.check_bounds(offset, buf.len())?;
+        let outcome = self.faults.lock().on_write(buf.len() as u64);
+        match outcome {
+            WriteOutcome::Full => {
+                self.charge(offset, buf.len() as u64, true);
+                self.inner.write_at(offset, buf)
+            }
+            WriteOutcome::Torn(n) => {
+                if n > 0 {
+                    self.charge(offset, n as u64, true);
+                    self.inner.write_at(offset, &buf[..n])?;
+                }
+                Err(DiskError::Crashed)
+            }
+            WriteOutcome::Dead => Err(DiskError::Crashed),
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        if self.faults.lock().is_crashed() {
+            return Err(DiskError::Crashed);
+        }
+        self.stats.record_flush();
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+    use std::time::Duration;
+
+    fn sim(capacity: u64) -> SimDisk<MemDisk> {
+        SimDisk::new(MemDisk::new(capacity), DiskModel::hp_c3010())
+    }
+
+    #[test]
+    fn charges_time_and_counts() {
+        let d = sim(1 << 20);
+        d.write_at(0, &[0u8; 4096]).unwrap();
+        d.write_at(4096, &[0u8; 4096]).unwrap(); // sequential
+        let mut buf = [0u8; 4096];
+        d.read_at(1 << 19, &mut buf).unwrap(); // random
+        let snap = d.stats().snapshot();
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.sequential_writes, 1);
+        assert_eq!(snap.reads, 1);
+        assert!(d.clock().now() > Duration::ZERO);
+        assert_eq!(d.clock().now(), snap.busy);
+    }
+
+    #[test]
+    fn sequential_writes_are_cheaper() {
+        let d1 = sim(1 << 30);
+        d1.write_at(0, &[0u8; 4096]).unwrap();
+        d1.write_at(4096, &[0u8; 4096]).unwrap();
+        let seq_total = d1.clock().now();
+
+        let d2 = sim(1 << 30);
+        d2.write_at(0, &[0u8; 4096]).unwrap();
+        d2.write_at(1 << 29, &[0u8; 4096]).unwrap();
+        let random_total = d2.clock().now();
+        assert!(random_total > seq_total);
+    }
+
+    #[test]
+    fn crash_point_tears_and_kills() {
+        let d = sim(1 << 16).with_faults(FaultPlan::new().crash_after_bytes(1024 + 512));
+        d.write_at(0, &[0xAAu8; 1024]).unwrap();
+        // This write crosses the crash point: only 512 bytes land.
+        assert_eq!(d.write_at(1024, &[0xBBu8; 1024]), Err(DiskError::Crashed));
+        assert_eq!(d.flush(), Err(DiskError::Crashed));
+        let mut probe = [0u8; 1];
+        assert_eq!(d.read_at(0, &mut probe), Err(DiskError::Crashed));
+        let image = d.into_inner().into_image();
+        assert_eq!(image[1023], 0xAA);
+        assert_eq!(image[1024], 0xBB);
+        assert_eq!(image[1535], 0xBB);
+        assert_eq!(image[1536], 0x00);
+    }
+
+    #[test]
+    fn media_failure_reported_with_offset() {
+        let d = sim(1 << 16).with_faults(FaultPlan::new().read_error_region(2048..4096));
+        let mut buf = [0u8; 512];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(
+            d.read_at(2000, &mut buf),
+            Err(DiskError::MediaFailure { offset: 2048 })
+        );
+        // Writes are unaffected by read-error regions.
+        d.write_at(2048, &[1u8; 16]).unwrap();
+    }
+
+    #[test]
+    fn force_crash_stops_everything() {
+        let d = sim(1024);
+        d.write_at(0, b"ok").unwrap();
+        d.force_crash();
+        assert!(d.is_crashed());
+        assert_eq!(d.write_at(2, b"no"), Err(DiskError::Crashed));
+    }
+
+    #[test]
+    fn shared_clock_accumulates_across_devices() {
+        let clock = Arc::new(VirtualClock::new());
+        let a = sim(1 << 16).with_clock(Arc::clone(&clock));
+        let b = sim(1 << 16).with_clock(Arc::clone(&clock));
+        a.write_at(0, &[0u8; 512]).unwrap();
+        let after_a = clock.now();
+        b.write_at(0, &[0u8; 512]).unwrap();
+        assert!(clock.now() > after_a);
+    }
+
+    #[test]
+    fn bounds_errors_do_not_advance_clock() {
+        let d = sim(1024);
+        assert!(d.write_at(1020, &[0u8; 16]).is_err());
+        assert_eq!(d.clock().now(), Duration::ZERO);
+        assert_eq!(d.stats().snapshot().writes, 0);
+    }
+}

@@ -1,0 +1,151 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe I/O counters for a simulated device.
+///
+/// Counters are updated by [`SimDisk`](crate::SimDisk) on every request;
+/// [`DiskStats::snapshot`] produces a plain-value copy for reporting.
+#[derive(Debug, Default)]
+pub struct DiskStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    flushes: AtomicU64,
+    sequential_writes: AtomicU64,
+    sequential_reads: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl DiskStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        DiskStats::default()
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64, sequential: bool, service: Duration) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        if sequential {
+            self.sequential_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_nanos
+            .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, sequential: bool, service: Duration) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        if sequential {
+            self.sequential_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_nanos
+            .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values.
+    pub fn snapshot(&self) -> DiskStatsSnapshot {
+        DiskStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            sequential_writes: self.sequential_writes.load(Ordering::Relaxed),
+            sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.sequential_writes.store(0, Ordering::Relaxed);
+        self.sequential_reads.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of [`DiskStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStatsSnapshot {
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests (including torn ones).
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes durably written.
+    pub bytes_written: u64,
+    /// Number of flush barriers.
+    pub flushes: u64,
+    /// Write requests that continued exactly where the previous request
+    /// ended (no seek charged).
+    pub sequential_writes: u64,
+    /// Read requests that continued exactly where the previous request
+    /// ended.
+    pub sequential_reads: u64,
+    /// Total modeled device busy time.
+    pub busy: Duration,
+}
+
+impl DiskStatsSnapshot {
+    /// Achieved write bandwidth over the busy period, in bytes/second.
+    /// Returns 0.0 when the device was never busy.
+    pub fn write_bandwidth(&self) -> f64 {
+        if self.busy.is_zero() {
+            0.0
+        } else {
+            self.bytes_written as f64 / self.busy.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = DiskStats::new();
+        s.record_write(4096, true, Duration::from_millis(2));
+        s.record_read(512, false, Duration::from_millis(17));
+        s.record_flush();
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.bytes_read, 512);
+        assert_eq!(snap.sequential_writes, 1);
+        assert_eq!(snap.sequential_reads, 0);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.busy, Duration::from_millis(19));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = DiskStats::new();
+        s.record_write(1, false, Duration::from_nanos(1));
+        s.reset();
+        assert_eq!(s.snapshot(), DiskStatsSnapshot::default());
+    }
+
+    #[test]
+    fn bandwidth_computation() {
+        let snap = DiskStatsSnapshot {
+            bytes_written: 2_200_000,
+            busy: Duration::from_secs(1),
+            ..DiskStatsSnapshot::default()
+        };
+        assert!((snap.write_bandwidth() - 2_200_000.0).abs() < 1e-6);
+        assert_eq!(DiskStatsSnapshot::default().write_bandwidth(), 0.0);
+    }
+}

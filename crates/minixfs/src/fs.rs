@@ -1,0 +1,922 @@
+//! The file system proper: MinixLLD.
+//!
+//! Because the Logical Disk owns allocation and physical layout, this
+//! file system carries no bitmaps, zones, or block pointers — an inode
+//! simply names one LD list that holds the file's data blocks in order.
+//! Directory and file creation and deletion are bracketed by
+//! `BeginARU`/`EndARU` (when [`FsConfig::use_arus`] is set, the paper's
+//! "new" MinixLLD): after a failure either all or none of the meta-data
+//! describing a file is persistent, so no fsck-style repair is ever
+//! needed.
+
+use crate::config::{DeletePolicy, FsConfig};
+use crate::dir::{self, DIRENT_SIZE};
+use crate::error::{FsError, Result};
+use crate::inode::{Inode, INODE_SIZE};
+use crate::types::{DirEntry, FileKind, Ino, Stat};
+use ld_core::{BlockId, Ctx, ListId, LogicalDisk, Position};
+use std::collections::{BTreeSet, HashMap};
+
+const SB_MAGIC: u64 = 0x4D4E_584C_4C44_3936; // "MNXLLD96"
+const SB_VERSION: u32 = 1;
+
+/// The list holding the file-system superblock (the first list a fresh
+/// logical disk hands out).
+const META_LIST_RAW: u64 = 1;
+
+/// Counters of file-system activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FsStats {
+    /// Files created.
+    pub files_created: u64,
+    /// Files deleted.
+    pub files_deleted: u64,
+    /// Directories created.
+    pub dirs_created: u64,
+    /// Directories removed.
+    pub dirs_removed: u64,
+    /// Payload bytes written through [`MinixFs::write_at`].
+    pub bytes_written: u64,
+    /// Payload bytes read through [`MinixFs::read_at`].
+    pub bytes_read: u64,
+}
+
+/// A Minix-like file system on a Logical Disk.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ld_core::{Lld, LldConfig};
+/// use ld_disk::MemDisk;
+/// use ld_minixfs::{FsConfig, MinixFs};
+///
+/// let ld = Lld::format(MemDisk::new(8 << 20), &LldConfig::default())?;
+/// let mut fs = MinixFs::format(ld, FsConfig::default())?;
+/// fs.mkdir("/docs")?;
+/// let ino = fs.create("/docs/readme.txt")?;
+/// fs.write_at(ino, 0, b"atomic recovery units")?;
+/// let mut buf = [0u8; 21];
+/// fs.read_at(ino, 0, &mut buf)?;
+/// assert_eq!(&buf, b"atomic recovery units");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MinixFs<L> {
+    ld: L,
+    cfg: FsConfig,
+    block_size: usize,
+    inode_list: ListId,
+    inode_blocks: Vec<BlockId>,
+    inodes_per_block: u32,
+    free_inodes: BTreeSet<u32>,
+    /// Cached data-block lists per inode (rebuilt lazily after mount).
+    blocks_cache: HashMap<u32, Vec<BlockId>>,
+    /// Inodes whose latest committed value has not been written back to
+    /// the logical disk yet (the Minix buffer-cache delayed write for
+    /// size updates; flushed by [`MinixFs::flush`] and before any
+    /// direct write of the same inode-table block).
+    dirty_inodes: HashMap<u32, Inode>,
+    stats: FsStats,
+}
+
+impl<L: LogicalDisk> MinixFs<L> {
+    // ------------------------------------------------------------------
+    // Format and mount
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh file system on an *empty*, freshly formatted
+    /// logical disk.
+    ///
+    /// # Errors
+    ///
+    /// Logical-disk errors, or [`FsError::Corrupt`] if the disk is not
+    /// fresh (the superblock convention requires the first allocated
+    /// list).
+    pub fn format(mut ld: L, cfg: FsConfig) -> Result<Self> {
+        let block_size = ld.block_size();
+        let inodes_per_block = (block_size / INODE_SIZE) as u32;
+        let inode_count = cfg.inode_count.max(2);
+
+        // Meta list: holds the superblock block.
+        let meta = ld.new_list(Ctx::Simple)?;
+        if meta.get() != META_LIST_RAW {
+            return Err(FsError::Corrupt(
+                "file system must be formatted on a fresh logical disk".into(),
+            ));
+        }
+        let sb_block = ld.new_block(Ctx::Simple, meta, Position::First)?;
+
+        // Inode table.
+        let inode_list = ld.new_list(Ctx::Simple)?;
+        let n_blocks = inode_count.div_ceil(inodes_per_block);
+        let mut inode_blocks = Vec::with_capacity(n_blocks as usize);
+        let mut prev: Option<BlockId> = None;
+        for _ in 0..n_blocks {
+            let pos = match prev {
+                None => Position::First,
+                Some(p) => Position::After(p),
+            };
+            let b = ld.new_block(Ctx::Simple, inode_list, pos)?;
+            inode_blocks.push(b);
+            prev = Some(b);
+        }
+
+        // Superblock.
+        let mut sb = vec![0u8; block_size];
+        sb[0..8].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        sb[8..12].copy_from_slice(&SB_VERSION.to_le_bytes());
+        sb[12..16].copy_from_slice(&inode_count.to_le_bytes());
+        sb[16..24].copy_from_slice(&inode_list.get().to_le_bytes());
+        ld.write(Ctx::Simple, sb_block, &sb)?;
+
+        let mut fs = MinixFs {
+            ld,
+            cfg,
+            block_size,
+            inode_list,
+            inode_blocks,
+            inodes_per_block,
+            free_inodes: (1..=inode_count).collect(),
+            blocks_cache: HashMap::new(),
+            dirty_inodes: HashMap::new(),
+            stats: FsStats::default(),
+        };
+
+        // Root directory (inode 1).
+        let root_list = fs.ld.new_list(Ctx::Simple)?;
+        fs.free_inodes.remove(&Ino::ROOT.get());
+        fs.write_inode(
+            Ctx::Simple,
+            Ino::ROOT,
+            Some(&Inode {
+                kind: FileKind::Dir,
+                nlinks: 1,
+                size: 0,
+                data_list: Some(root_list),
+            }),
+        )?;
+        fs.ld.flush()?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing file system (e.g. after crash recovery of the
+    /// logical disk).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] if no valid superblock is found.
+    pub fn mount(mut ld: L, cfg: FsConfig) -> Result<Self> {
+        let block_size = ld.block_size();
+        let meta = ListId::new(META_LIST_RAW);
+        let meta_blocks = ld
+            .list_blocks(Ctx::Simple, meta)
+            .map_err(|_| FsError::Corrupt("no file-system meta list".into()))?;
+        let &sb_block = meta_blocks
+            .first()
+            .ok_or_else(|| FsError::Corrupt("empty meta list".into()))?;
+        let mut sb = vec![0u8; block_size];
+        ld.read(Ctx::Simple, sb_block, &mut sb)?;
+        if u64::from_le_bytes(sb[0..8].try_into().expect("8 bytes")) != SB_MAGIC {
+            return Err(FsError::Corrupt("bad superblock magic".into()));
+        }
+        if u32::from_le_bytes(sb[8..12].try_into().expect("4 bytes")) != SB_VERSION {
+            return Err(FsError::Corrupt("unsupported file-system version".into()));
+        }
+        let inode_count = u32::from_le_bytes(sb[12..16].try_into().expect("4 bytes"));
+        let inode_list = ListId::new(u64::from_le_bytes(sb[16..24].try_into().expect("8 bytes")));
+        let inode_blocks = ld.list_blocks(Ctx::Simple, inode_list)?;
+        let inodes_per_block = (block_size / INODE_SIZE) as u32;
+
+        let mut fs = MinixFs {
+            ld,
+            cfg: FsConfig { inode_count, ..cfg },
+            block_size,
+            inode_list,
+            inode_blocks,
+            inodes_per_block,
+            free_inodes: BTreeSet::new(),
+            blocks_cache: HashMap::new(),
+            dirty_inodes: HashMap::new(),
+            stats: FsStats::default(),
+        };
+        // Rebuild the free-inode set by scanning the table.
+        let mut buf = vec![0u8; block_size];
+        for raw in 1..=inode_count {
+            let (bi, slot) = fs.inode_slot(Ino::new(raw));
+            fs.ld.read(Ctx::Simple, fs.inode_blocks[bi], &mut buf)?;
+            if Inode::decode(&buf, slot)?.is_none() {
+                fs.free_inodes.insert(raw);
+            }
+        }
+        Ok(fs)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying logical disk.
+    pub fn ld(&self) -> &L {
+        &self.ld
+    }
+
+    /// Mutable access to the underlying logical disk (for statistics or
+    /// explicit checkpoints; do not mutate file-system state through
+    /// it).
+    pub fn ld_mut(&mut self) -> &mut L {
+        &mut self.ld
+    }
+
+    /// Consumes the file system, returning the logical disk. Nothing is
+    /// flushed; combined with a crash test this models power failure.
+    pub fn into_ld(self) -> L {
+        self.ld
+    }
+
+    /// File-system operation counters.
+    pub fn stats(&self) -> &FsStats {
+        &self.stats
+    }
+
+    /// The file-system block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of free inodes.
+    pub fn free_inode_count(&self) -> u32 {
+        self.free_inodes.len() as u32
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    /// The LD list holding the inode table.
+    pub fn inode_table_list(&self) -> ListId {
+        self.inode_list
+    }
+
+    /// Flushes all committed state to persistent storage.
+    ///
+    /// # Errors
+    ///
+    /// Logical-disk errors.
+    pub fn flush(&mut self) -> Result<()> {
+        self.write_back_dirty_inodes()?;
+        self.ld.flush()?;
+        Ok(())
+    }
+
+    /// Writes every delayed inode update into its table block.
+    fn write_back_dirty_inodes(&mut self) -> Result<()> {
+        let mut dirty: Vec<u32> = self.dirty_inodes.keys().copied().collect();
+        dirty.sort_unstable();
+        for raw in dirty {
+            if let Some(inode) = self.dirty_inodes.get(&raw).cloned() {
+                // write_inode merges (and clears) every dirty inode that
+                // shares the block, so later iterations may find their
+                // entry already gone.
+                self.write_inode(Ctx::Simple, Ino::new(raw), Some(&inode))?;
+            }
+        }
+        debug_assert!(self.dirty_inodes.is_empty());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Inode helpers
+    // ------------------------------------------------------------------
+
+    fn inode_slot(&self, ino: Ino) -> (usize, usize) {
+        let idx = (ino.get() - 1) as usize;
+        (
+            idx / self.inodes_per_block as usize,
+            idx % self.inodes_per_block as usize,
+        )
+    }
+
+    fn read_inode(&mut self, ctx: Ctx, ino: Ino) -> Result<Inode> {
+        if ino.get() > self.cfg.inode_count {
+            return Err(FsError::BadInode(ino));
+        }
+        if let Some(inode) = self.dirty_inodes.get(&ino.get()) {
+            return Ok(inode.clone());
+        }
+        let (bi, slot) = self.inode_slot(ino);
+        let mut buf = vec![0u8; self.block_size];
+        self.ld.read(ctx, self.inode_blocks[bi], &mut buf)?;
+        Inode::decode(&buf, slot)?.ok_or(FsError::BadInode(ino))
+    }
+
+    /// Writes (or frees, with `None`) an inode slot. Any delayed inode
+    /// updates sharing the same table block are folded into the write
+    /// (they are durable afterwards, so their dirty entries clear).
+    fn write_inode(&mut self, ctx: Ctx, ino: Ino, inode: Option<&Inode>) -> Result<()> {
+        let (bi, slot) = self.inode_slot(ino);
+        let mut buf = vec![0u8; self.block_size];
+        self.ld.read(ctx, self.inode_blocks[bi], &mut buf)?;
+        let first_raw = bi as u32 * self.inodes_per_block + 1;
+        for other in first_raw..first_raw + self.inodes_per_block {
+            if other == ino.get() {
+                self.dirty_inodes.remove(&other);
+                continue;
+            }
+            if let Some(d) = self.dirty_inodes.remove(&other) {
+                d.encode(&mut buf, (other - first_raw) as usize);
+            }
+        }
+        match inode {
+            Some(inode) => inode.encode(&mut buf, slot),
+            None => Inode::encode_free(&mut buf, slot),
+        }
+        self.ld.write(ctx, self.inode_blocks[bi], &buf)?;
+        Ok(())
+    }
+
+    /// The data blocks of a directory (used by verification).
+    pub(crate) fn dir_blocks(&mut self, ino: Ino) -> Result<Vec<BlockId>> {
+        self.data_blocks(Ctx::Simple, ino)
+    }
+
+    /// The data blocks of `ino`, cached.
+    fn data_blocks(&mut self, ctx: Ctx, ino: Ino) -> Result<Vec<BlockId>> {
+        if ctx.is_simple() {
+            if let Some(v) = self.blocks_cache.get(&ino.get()) {
+                return Ok(v.clone());
+            }
+        }
+        let inode = self.read_inode(ctx, ino)?;
+        let blocks = match inode.data_list {
+            Some(list) => self.ld.list_blocks(ctx, list)?,
+            None => Vec::new(),
+        };
+        if ctx.is_simple() {
+            self.blocks_cache.insert(ino.get(), blocks.clone());
+        }
+        Ok(blocks)
+    }
+
+    // ------------------------------------------------------------------
+    // Path and directory helpers
+    // ------------------------------------------------------------------
+
+    fn split_path<'p>(&self, path: &'p str) -> Result<Vec<&'p str>> {
+        if !path.starts_with('/') {
+            return Err(FsError::InvalidPath(path.to_string()));
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        for c in &comps {
+            if c.len() > dir::MAX_NAME {
+                return Err(FsError::NameTooLong((*c).to_string()));
+            }
+        }
+        Ok(comps)
+    }
+
+    /// Resolves a path to its inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::NotADirectory`] along the way.
+    pub fn lookup(&mut self, path: &str) -> Result<Ino> {
+        let comps = self.split_path(path)?;
+        let mut cur = Ino::ROOT;
+        for comp in comps {
+            let inode = self.read_inode(Ctx::Simple, cur)?;
+            if inode.kind != FileKind::Dir {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = self
+                .dir_lookup(Ctx::Simple, cur, comp)?
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?
+                .0;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves a path to `(parent_dir, file_name)`.
+    fn resolve_parent<'p>(&mut self, path: &'p str) -> Result<(Ino, &'p str)> {
+        let comps = self.split_path(path)?;
+        let (&name, parents) = comps
+            .split_last()
+            .ok_or_else(|| FsError::InvalidPath(path.to_string()))?;
+        let mut cur = Ino::ROOT;
+        for comp in parents {
+            let inode = self.read_inode(Ctx::Simple, cur)?;
+            if inode.kind != FileKind::Dir {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = self
+                .dir_lookup(Ctx::Simple, cur, comp)?
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?
+                .0;
+        }
+        if self.read_inode(Ctx::Simple, cur)?.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        Ok((cur, name))
+    }
+
+    /// Scans `dir` for `name`; returns the inode and the (block index,
+    /// slot) of the entry.
+    fn dir_lookup(&mut self, ctx: Ctx, dir: Ino, name: &str) -> Result<Option<(Ino, usize, usize)>> {
+        let blocks = self.data_blocks(ctx, dir)?;
+        let slots = self.block_size / DIRENT_SIZE;
+        let mut buf = vec![0u8; self.block_size];
+        for (bi, &b) in blocks.iter().enumerate() {
+            self.ld.read(ctx, b, &mut buf)?;
+            for slot in 0..slots {
+                if let Some((ino, ename)) = dir::decode(&buf, slot)? {
+                    if ename == name {
+                        return Ok(Some((ino, bi, slot)));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Adds an entry to `dir`, extending it by one block if needed.
+    fn dir_add(&mut self, ctx: Ctx, dir: Ino, name: &str, ino: Ino) -> Result<()> {
+        let blocks = self.data_blocks(ctx, dir)?;
+        let slots = self.block_size / DIRENT_SIZE;
+        let mut buf = vec![0u8; self.block_size];
+        for &b in &blocks {
+            self.ld.read(ctx, b, &mut buf)?;
+            for slot in 0..slots {
+                if dir::decode(&buf, slot)?.is_none() {
+                    dir::encode(&mut buf, slot, ino, name)?;
+                    self.ld.write(ctx, b, &buf)?;
+                    return Ok(());
+                }
+            }
+        }
+        // Directory is full: extend it.
+        let mut inode = self.read_inode(ctx, dir)?;
+        let list = inode
+            .data_list
+            .ok_or_else(|| FsError::Corrupt(format!("directory {dir} has no data list")))?;
+        let pos = match blocks.last() {
+            None => Position::First,
+            Some(&p) => Position::After(p),
+        };
+        let nb = self.ld.new_block(ctx, list, pos)?;
+        buf.fill(0);
+        dir::encode(&mut buf, 0, ino, name)?;
+        self.ld.write(ctx, nb, &buf)?;
+        inode.size += self.block_size as u64;
+        self.write_inode(ctx, dir, Some(&inode))?;
+        if ctx.is_simple() {
+            self.blocks_cache.entry(dir.get()).or_default().push(nb);
+        } else {
+            self.blocks_cache.remove(&dir.get());
+        }
+        Ok(())
+    }
+
+    /// Removes `name` from `dir`.
+    fn dir_remove(&mut self, ctx: Ctx, dir: Ino, name: &str) -> Result<Ino> {
+        let (ino, bi, slot) = self
+            .dir_lookup(ctx, dir, name)?
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let blocks = self.data_blocks(ctx, dir)?;
+        let mut buf = vec![0u8; self.block_size];
+        self.ld.read(ctx, blocks[bi], &mut buf)?;
+        dir::encode_free(&mut buf, slot);
+        self.ld.write(ctx, blocks[bi], &buf)?;
+        Ok(ino)
+    }
+
+    /// Lists the entries of the directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`] if the path names a file.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>> {
+        let ino = self.lookup(path)?;
+        let inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        let blocks = self.data_blocks(Ctx::Simple, ino)?;
+        let slots = self.block_size / DIRENT_SIZE;
+        let mut buf = vec![0u8; self.block_size];
+        let mut out = Vec::new();
+        for &b in &blocks {
+            self.ld.read(Ctx::Simple, b, &mut buf)?;
+            for slot in 0..slots {
+                if let Some((ino, name)) = dir::decode(&buf, slot)? {
+                    out.push(DirEntry { name, ino });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // ARU bracketing
+    // ------------------------------------------------------------------
+
+    /// Runs `f` inside an ARU when configured, as a plain operation
+    /// sequence otherwise.
+    fn bracketed<T>(&mut self, f: impl FnOnce(&mut Self, Ctx) -> Result<T>) -> Result<T> {
+        if self.cfg.use_arus {
+            let aru = self.ld.begin_aru()?;
+            match f(self, Ctx::Aru(aru)) {
+                Ok(v) => {
+                    self.ld.end_aru(aru)?;
+                    Ok(v)
+                }
+                Err(e) => {
+                    // Best-effort rollback; sequential-mode disks cannot
+                    // abort, in which case the partial operations remain
+                    // committed (exactly the "old" behaviour).
+                    let _ = self.ld.abort_aru(aru);
+                    Err(e)
+                }
+            }
+        } else {
+            f(self, Ctx::Simple)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public mutating operations
+    // ------------------------------------------------------------------
+
+    /// Creates an empty regular file.
+    ///
+    /// With ARUs enabled, the inode write, the directory update, and the
+    /// data-list creation are one atomic recovery unit.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`], [`FsError::NoInodes`], path errors,
+    /// and logical-disk errors.
+    pub fn create(&mut self, path: &str) -> Result<Ino> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.dir_lookup(Ctx::Simple, parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let raw = *self.free_inodes.first().ok_or(FsError::NoInodes)?;
+        let ino = Ino::new(raw);
+        let name = name.to_string();
+        self.bracketed(|fs, ctx| {
+            let data_list = fs.ld.new_list(ctx)?;
+            fs.write_inode(
+                ctx,
+                ino,
+                Some(&Inode {
+                    kind: FileKind::File,
+                    nlinks: 1,
+                    size: 0,
+                    data_list: Some(data_list),
+                }),
+            )?;
+            fs.dir_add(ctx, parent, &name, ino)?;
+            Ok(())
+        })?;
+        self.free_inodes.remove(&raw);
+        self.blocks_cache.insert(raw, Vec::new());
+        self.stats.files_created += 1;
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](MinixFs::create).
+    pub fn mkdir(&mut self, path: &str) -> Result<Ino> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.dir_lookup(Ctx::Simple, parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let raw = *self.free_inodes.first().ok_or(FsError::NoInodes)?;
+        let ino = Ino::new(raw);
+        let name = name.to_string();
+        self.bracketed(|fs, ctx| {
+            let data_list = fs.ld.new_list(ctx)?;
+            fs.write_inode(
+                ctx,
+                ino,
+                Some(&Inode {
+                    kind: FileKind::Dir,
+                    nlinks: 1,
+                    size: 0,
+                    data_list: Some(data_list),
+                }),
+            )?;
+            fs.dir_add(ctx, parent, &name, ino)?;
+            Ok(())
+        })?;
+        self.free_inodes.remove(&raw);
+        self.blocks_cache.insert(raw, Vec::new());
+        self.stats.dirs_created += 1;
+        Ok(ino)
+    }
+
+    /// Deletes a regular file: its data blocks, its inode, and its
+    /// directory entry — atomically, when ARUs are enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] on a directory; path errors.
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, _, _) = self
+            .dir_lookup(Ctx::Simple, parent, name)?
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let mut inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind == FileKind::Dir {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        let name = name.to_string();
+        if inode.nlinks > 1 {
+            // Hard-linked elsewhere: drop this entry and the link count;
+            // the data stays.
+            inode.nlinks -= 1;
+            self.dirty_inodes.remove(&ino.get());
+            return self.bracketed(|fs, ctx| {
+                fs.write_inode(ctx, ino, Some(&inode))?;
+                fs.dir_remove(ctx, parent, &name)?;
+                Ok(())
+            });
+        }
+        let policy = self.cfg.delete_policy;
+        self.bracketed(|fs, ctx| {
+            if let Some(list) = inode.data_list {
+                match policy {
+                    DeletePolicy::PerBlock => {
+                        // The paper's original deletion: deallocate each
+                        // block, truncate-style from the tail, so every
+                        // DeleteBlock runs a predecessor search in the
+                        // logical disk ("longer lists cause longer
+                        // predecessor searches"), then delete the
+                        // emptied list.
+                        let blocks = fs.ld.list_blocks(ctx, list)?;
+                        for b in blocks.into_iter().rev() {
+                            fs.ld.delete_block(ctx, b)?;
+                        }
+                        fs.ld.delete_list(ctx, list)?;
+                    }
+                    DeletePolicy::WholeList => {
+                        // The improved deletion: one DeleteList, blocks
+                        // dropped from the head.
+                        fs.ld.delete_list(ctx, list)?;
+                    }
+                }
+            }
+            fs.write_inode(ctx, ino, None)?;
+            fs.dir_remove(ctx, parent, &name)?;
+            Ok(())
+        })?;
+        self.free_inodes.insert(ino.get());
+        self.blocks_cache.remove(&ino.get());
+        self.stats.files_deleted += 1;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DirectoryNotEmpty`] if it still has entries;
+    /// [`FsError::NotADirectory`] on a file.
+    pub fn rmdir(&mut self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, _, _) = self
+            .dir_lookup(Ctx::Simple, parent, name)?
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        // Must be empty.
+        let blocks = self.data_blocks(Ctx::Simple, ino)?;
+        let slots = self.block_size / DIRENT_SIZE;
+        let mut buf = vec![0u8; self.block_size];
+        for &b in &blocks {
+            self.ld.read(Ctx::Simple, b, &mut buf)?;
+            for slot in 0..slots {
+                if dir::decode(&buf, slot)?.is_some() {
+                    return Err(FsError::DirectoryNotEmpty(path.to_string()));
+                }
+            }
+        }
+        let name = name.to_string();
+        self.bracketed(|fs, ctx| {
+            if let Some(list) = inode.data_list {
+                fs.ld.delete_list(ctx, list)?;
+            }
+            fs.write_inode(ctx, ino, None)?;
+            fs.dir_remove(ctx, parent, &name)?;
+            Ok(())
+        })?;
+        self.free_inodes.insert(ino.get());
+        self.blocks_cache.remove(&ino.get());
+        self.stats.dirs_removed += 1;
+        Ok(())
+    }
+
+    /// Creates a hard link: a second directory entry for an existing
+    /// regular file (extension beyond the paper's workload). The link
+    /// count update and the directory update form one ARU.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] when linking a directory;
+    /// [`FsError::AlreadyExists`] if the target name is taken.
+    pub fn link(&mut self, existing: &str, new: &str) -> Result<()> {
+        let ino = self.lookup(existing)?;
+        let mut inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(existing.to_string()));
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        if self.dir_lookup(Ctx::Simple, parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists(new.to_string()));
+        }
+        let name = name.to_string();
+        inode.nlinks += 1;
+        self.bracketed(|fs, ctx| {
+            fs.write_inode(ctx, ino, Some(&inode))?;
+            fs.dir_add(ctx, parent, &name, ino)?;
+            Ok(())
+        })
+    }
+
+    /// Truncates (or extends, sparsely zero-filled) a regular file to
+    /// `new_size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] on a directory; logical-disk errors.
+    pub fn truncate(&mut self, ino: Ino, new_size: u64) -> Result<()> {
+        let mut inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(ino.to_string()));
+        }
+        if new_size == inode.size {
+            return Ok(());
+        }
+        let bs = self.block_size as u64;
+        let list = inode
+            .data_list
+            .ok_or_else(|| FsError::Corrupt(format!("file {ino} has no data list")))?;
+        let mut blocks = self.data_blocks(Ctx::Simple, ino)?;
+        let needed = new_size.div_ceil(bs) as usize;
+        if needed < blocks.len() {
+            // Shrink: drop blocks from the tail (freeing from the end
+            // keeps each predecessor search one step).
+            for &b in blocks[needed..].iter().rev() {
+                self.ld.delete_block(Ctx::Simple, b)?;
+            }
+            blocks.truncate(needed);
+        } else {
+            // Extend sparsely: allocate zero blocks up to the new end.
+            while blocks.len() < needed {
+                let pos = match blocks.last() {
+                    None => Position::First,
+                    Some(&p) => Position::After(p),
+                };
+                blocks.push(self.ld.new_block(Ctx::Simple, list, pos)?);
+            }
+        }
+        self.blocks_cache.insert(ino.get(), blocks);
+        inode.size = new_size;
+        self.dirty_inodes.insert(ino.get(), inode);
+        Ok(())
+    }
+
+    /// Renames a file or directory within the tree, atomically when
+    /// ARUs are enabled (extension beyond the paper's workload).
+    ///
+    /// # Errors
+    ///
+    /// Path errors; [`FsError::AlreadyExists`] if the target exists.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        self.dir_lookup(Ctx::Simple, from_parent, from_name)?
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        if self.dir_lookup(Ctx::Simple, to_parent, to_name)?.is_some() {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        let (from_name, to_name) = (from_name.to_string(), to_name.to_string());
+        self.bracketed(|fs, ctx| {
+            let ino = fs.dir_remove(ctx, from_parent, &from_name)?;
+            fs.dir_add(ctx, to_parent, &to_name, ino)?;
+            Ok(())
+        })
+    }
+
+    /// Writes `data` at byte `offset`, extending the file as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] on a directory; logical-disk errors.
+    pub fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
+        let mut inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(ino.to_string()));
+        }
+        let list = inode
+            .data_list
+            .ok_or_else(|| FsError::Corrupt(format!("file {ino} has no data list")))?;
+        let bs = self.block_size as u64;
+        let mut blocks = self.data_blocks(Ctx::Simple, ino)?;
+
+        // Extend so every touched block exists.
+        let end = offset + data.len() as u64;
+        let needed = end.div_ceil(bs) as usize;
+        while blocks.len() < needed {
+            let pos = match blocks.last() {
+                None => Position::First,
+                Some(&p) => Position::After(p),
+            };
+            let b = self.ld.new_block(Ctx::Simple, list, pos)?;
+            blocks.push(b);
+        }
+        self.blocks_cache.insert(ino.get(), blocks.clone());
+
+        let mut written = 0usize;
+        let mut buf = vec![0u8; self.block_size];
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let bi = (pos / bs) as usize;
+            let in_block = (pos % bs) as usize;
+            let n = (self.block_size - in_block).min(data.len() - written);
+            if n == self.block_size {
+                self.ld
+                    .write(Ctx::Simple, blocks[bi], &data[written..written + n])?;
+            } else {
+                // Partial block: read-modify-write.
+                self.ld.read(Ctx::Simple, blocks[bi], &mut buf)?;
+                buf[in_block..in_block + n].copy_from_slice(&data[written..written + n]);
+                self.ld.write(Ctx::Simple, blocks[bi], &buf)?;
+            }
+            written += n;
+        }
+        if end > inode.size {
+            inode.size = end;
+            self.dirty_inodes.insert(ino.get(), inode);
+        }
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads up to `buf.len()` bytes at `offset`; returns the number of
+    /// bytes read (short at end of file).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] on a directory; logical-disk errors.
+    pub fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let inode = self.read_inode(Ctx::Simple, ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(ino.to_string()));
+        }
+        if offset >= inode.size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(inode.size - offset) as usize;
+        let blocks = self.data_blocks(Ctx::Simple, ino)?;
+        let bs = self.block_size as u64;
+        let mut block_buf = vec![0u8; self.block_size];
+        let mut read = 0usize;
+        while read < want {
+            let pos = offset + read as u64;
+            let bi = (pos / bs) as usize;
+            let in_block = (pos % bs) as usize;
+            let n = (self.block_size - in_block).min(want - read);
+            self.ld.read(Ctx::Simple, blocks[bi], &mut block_buf)?;
+            buf[read..read + n].copy_from_slice(&block_buf[in_block..in_block + n]);
+            read += n;
+        }
+        self.stats.bytes_read += read as u64;
+        Ok(read)
+    }
+
+    /// File metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadInode`] for a free or out-of-range inode.
+    pub fn stat(&mut self, ino: Ino) -> Result<Stat> {
+        let inode = self.read_inode(Ctx::Simple, ino)?;
+        let blocks = self.data_blocks(Ctx::Simple, ino)?;
+        Ok(Stat {
+            ino,
+            kind: inode.kind,
+            size: inode.size,
+            nlinks: inode.nlinks,
+            blocks: blocks.len() as u64,
+        })
+    }
+}

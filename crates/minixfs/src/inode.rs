@@ -1,0 +1,120 @@
+//! On-disk inode encoding.
+//!
+//! Inodes are fixed 32-byte records packed into the blocks of the inode
+//! list. Unlike historical Minix, an inode holds no zone/block pointers:
+//! the Logical Disk owns allocation and layout, so an inode just names
+//! its LD *list* (this is exactly the simplification the paper reports —
+//! "most of the disk management code has been deleted from Minix").
+
+use crate::error::{FsError, Result};
+use crate::types::FileKind;
+use ld_core::ListId;
+
+/// Bytes per on-disk inode.
+pub(crate) const INODE_SIZE: usize = 32;
+
+const MODE_FREE: u16 = 0;
+const MODE_FILE: u16 = 1;
+const MODE_DIR: u16 = 2;
+
+/// An in-memory inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Inode {
+    pub(crate) kind: FileKind,
+    pub(crate) nlinks: u32,
+    pub(crate) size: u64,
+    /// The LD list holding this file's data blocks.
+    pub(crate) data_list: Option<ListId>,
+}
+
+impl Inode {
+    /// Decodes the inode at `slot` within an inode-table block.
+    /// Returns `None` for a free slot.
+    pub(crate) fn decode(block: &[u8], slot: usize) -> Result<Option<Inode>> {
+        let off = slot * INODE_SIZE;
+        let raw = &block[off..off + INODE_SIZE];
+        let mode = u16::from_le_bytes(raw[0..2].try_into().expect("2 bytes"));
+        let kind = match mode {
+            MODE_FREE => return Ok(None),
+            MODE_FILE => FileKind::File,
+            MODE_DIR => FileKind::Dir,
+            other => return Err(FsError::Corrupt(format!("bad inode mode {other}"))),
+        };
+        let nlinks = u32::from(u16::from_le_bytes(raw[2..4].try_into().expect("2 bytes")));
+        let size = u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes"));
+        let list_raw = u64::from_le_bytes(raw[12..20].try_into().expect("8 bytes"));
+        Ok(Some(Inode {
+            kind,
+            nlinks,
+            size,
+            data_list: (list_raw != 0).then(|| ListId::new(list_raw)),
+        }))
+    }
+
+    /// Encodes this inode into `slot` of an inode-table block.
+    pub(crate) fn encode(&self, block: &mut [u8], slot: usize) {
+        let off = slot * INODE_SIZE;
+        let raw = &mut block[off..off + INODE_SIZE];
+        let mode = match self.kind {
+            FileKind::File => MODE_FILE,
+            FileKind::Dir => MODE_DIR,
+        };
+        raw[0..2].copy_from_slice(&mode.to_le_bytes());
+        raw[2..4].copy_from_slice(&(self.nlinks as u16).to_le_bytes());
+        raw[4..12].copy_from_slice(&self.size.to_le_bytes());
+        raw[12..20].copy_from_slice(&self.data_list.map_or(0, ListId::get).to_le_bytes());
+        raw[20..INODE_SIZE].fill(0);
+    }
+
+    /// Marks `slot` free.
+    pub(crate) fn encode_free(block: &mut [u8], slot: usize) {
+        let off = slot * INODE_SIZE;
+        block[off..off + INODE_SIZE].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut block = vec![0u8; 512];
+        let ino = Inode {
+            kind: FileKind::File,
+            nlinks: 2,
+            size: 12345,
+            data_list: Some(ListId::new(42)),
+        };
+        ino.encode(&mut block, 3);
+        assert_eq!(Inode::decode(&block, 3).unwrap(), Some(ino));
+        // Neighbouring slots untouched (free).
+        assert_eq!(Inode::decode(&block, 2).unwrap(), None);
+        assert_eq!(Inode::decode(&block, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn free_slot_round_trip() {
+        let mut block = vec![0u8; 512];
+        let ino = Inode {
+            kind: FileKind::Dir,
+            nlinks: 1,
+            size: 0,
+            data_list: None,
+        };
+        ino.encode(&mut block, 0);
+        assert!(Inode::decode(&block, 0).unwrap().is_some());
+        Inode::encode_free(&mut block, 0);
+        assert_eq!(Inode::decode(&block, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_mode_detected() {
+        let mut block = vec![0u8; 64];
+        block[0] = 99;
+        assert!(matches!(
+            Inode::decode(&block, 0),
+            Err(FsError::Corrupt(_))
+        ));
+    }
+}

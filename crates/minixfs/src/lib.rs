@@ -1,0 +1,53 @@
+//! # MinixLLD — a Minix-like file system on the Logical Disk
+//!
+//! The disk-system client used in the paper's evaluation: a simple
+//! hierarchical file system that delegates *all* disk management to the
+//! Logical Disk. Each file or directory is one inode plus one LD block
+//! list; there are no bitmaps, zones, or block pointers ("most of the
+//! disk management code (350 lines) has been deleted from Minix").
+//!
+//! With [`FsConfig::use_arus`] enabled (the paper's "new" MinixLLD),
+//! every file/directory creation and deletion executes inside its own
+//! atomic recovery unit: after a crash, either all or none of the
+//! meta-data describing the file is persistent, so the file system needs
+//! no fsck — [`MinixFs::verify`] demonstrates this by checking full
+//! consistency after recovery.
+//!
+//! The two deletion policies of §5.3 are selectable via
+//! [`DeletePolicy`]: per-block deallocation (the paper's "new") or
+//! whole-list deletion ("new, delete", the improved policy).
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ld_core::{Lld, LldConfig};
+//! use ld_disk::MemDisk;
+//! use ld_minixfs::{FsConfig, MinixFs};
+//!
+//! let ld = Lld::format(MemDisk::new(8 << 20), &LldConfig::default())?;
+//! let mut fs = MinixFs::format(ld, FsConfig::default())?;
+//! let ino = fs.create("/hello")?;
+//! fs.write_at(ino, 0, b"world")?;
+//! fs.flush()?;
+//! assert!(fs.verify()?.is_consistent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dir;
+mod error;
+mod fs;
+mod inode;
+mod types;
+mod verify;
+
+pub use config::{DeletePolicy, FsConfig};
+pub use error::{FsError, Result};
+pub use fs::{FsStats, MinixFs};
+pub use types::{DirEntry, FileKind, Ino, Stat};
+pub use verify::VerifyReport;

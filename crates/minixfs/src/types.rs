@@ -1,0 +1,85 @@
+//! File-system value types: inode numbers, file kinds, metadata.
+
+use std::fmt;
+
+/// An inode number (1-based; inode 1 is the root directory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(u32);
+
+impl Ino {
+    /// The root directory's inode.
+    pub const ROOT: Ino = Ino(1);
+
+    /// Wraps a raw inode number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero (zero marks a free directory slot).
+    pub const fn new(raw: u32) -> Self {
+        assert!(raw != 0, "inode zero is reserved");
+        Ino(raw)
+    }
+
+    /// The raw non-zero value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// What an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+/// File metadata returned by [`MinixFs::stat`](crate::MinixFs::stat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// The inode number.
+    pub ino: Ino,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes (for directories: the byte size of the entry
+    /// table).
+    pub size: u64,
+    /// Number of directory entries referring to this inode.
+    pub nlinks: u32,
+    /// Number of data blocks currently allocated.
+    pub blocks: u64,
+}
+
+/// One directory entry as returned by
+/// [`MinixFs::readdir`](crate::MinixFs::readdir).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The entry's name (no slashes).
+    pub name: String,
+    /// The inode it refers to.
+    pub ino: Ino,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_one() {
+        assert_eq!(Ino::ROOT.get(), 1);
+        assert_eq!(Ino::new(7).to_string(), "ino7");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_rejected() {
+        let _ = Ino::new(0);
+    }
+}

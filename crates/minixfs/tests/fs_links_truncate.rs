@@ -1,0 +1,189 @@
+//! Hard links and truncation (API extensions beyond the paper's
+//! workload, exercising the nlinks and size machinery).
+
+use ld_core::{Lld, LldConfig};
+use ld_disk::MemDisk;
+use ld_minixfs::{FsConfig, FsError, MinixFs};
+
+const BS: usize = 512;
+
+fn fresh() -> MinixFs<Lld<MemDisk>> {
+    let ld = Lld::format(
+        MemDisk::new(8 << 20),
+        &LldConfig {
+            block_size: BS,
+            segment_bytes: 16 * BS,
+            max_blocks: Some(2048),
+            max_lists: Some(512),
+            ..LldConfig::default()
+        },
+    )
+    .unwrap();
+    MinixFs::format(
+        ld,
+        FsConfig {
+            inode_count: 64,
+            ..FsConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn hard_link_shares_data() {
+    let mut fs = fresh();
+    let ino = fs.create("/original").unwrap();
+    fs.write_at(ino, 0, b"shared payload").unwrap();
+    fs.link("/original", "/alias").unwrap();
+
+    assert_eq!(fs.lookup("/alias").unwrap(), ino);
+    assert_eq!(fs.stat(ino).unwrap().nlinks, 2);
+    // Writing through one name is visible through the other.
+    fs.write_at(ino, 0, b"SHARED").unwrap();
+    let alias = fs.lookup("/alias").unwrap();
+    let mut buf = [0u8; 6];
+    fs.read_at(alias, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"SHARED");
+    assert!(fs.verify().unwrap().is_consistent());
+}
+
+#[test]
+fn unlink_one_name_keeps_the_file() {
+    let mut fs = fresh();
+    let ino = fs.create("/a").unwrap();
+    fs.write_at(ino, 0, b"keep me").unwrap();
+    fs.link("/a", "/b").unwrap();
+    fs.unlink("/a").unwrap();
+    assert!(matches!(fs.lookup("/a"), Err(FsError::NotFound(_))));
+    let b = fs.lookup("/b").unwrap();
+    assert_eq!(b, ino);
+    assert_eq!(fs.stat(b).unwrap().nlinks, 1);
+    let mut buf = [0u8; 7];
+    fs.read_at(b, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"keep me");
+    // Removing the last name reclaims everything.
+    let blocks_before = fs.ld().allocated_block_count();
+    fs.unlink("/b").unwrap();
+    assert!(fs.ld().allocated_block_count() < blocks_before);
+    assert!(fs.verify().unwrap().is_consistent());
+}
+
+#[test]
+fn link_errors() {
+    let mut fs = fresh();
+    fs.mkdir("/d").unwrap();
+    fs.create("/f").unwrap();
+    assert!(matches!(
+        fs.link("/d", "/d2"),
+        Err(FsError::IsADirectory(_))
+    ));
+    assert!(matches!(
+        fs.link("/f", "/f"),
+        Err(FsError::AlreadyExists(_))
+    ));
+    assert!(matches!(
+        fs.link("/missing", "/x"),
+        Err(FsError::NotFound(_))
+    ));
+}
+
+#[test]
+fn links_survive_crash_recovery() {
+    let mut fs = fresh();
+    let ino = fs.create("/x").unwrap();
+    fs.write_at(ino, 0, b"linked data").unwrap();
+    fs.link("/x", "/y").unwrap();
+    fs.flush().unwrap();
+
+    let image = fs.into_ld().into_device().into_image();
+    let (ld, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let mut fs2 = MinixFs::mount(ld, FsConfig::default()).unwrap();
+    assert_eq!(fs2.lookup("/x").unwrap(), fs2.lookup("/y").unwrap());
+    assert_eq!(fs2.stat(ino).unwrap().nlinks, 2);
+    let report = fs2.verify().unwrap();
+    assert!(report.is_consistent(), "{:?}", report.problems);
+}
+
+#[test]
+fn truncate_shrinks_and_frees_blocks() {
+    let mut fs = fresh();
+    let ino = fs.create("/t").unwrap();
+    fs.write_at(ino, 0, &vec![9u8; BS * 5]).unwrap();
+    assert_eq!(fs.stat(ino).unwrap().blocks, 5);
+    let before = fs.ld().allocated_block_count();
+
+    fs.truncate(ino, BS as u64 + 100).unwrap();
+    let st = fs.stat(ino).unwrap();
+    assert_eq!(st.size, BS as u64 + 100);
+    assert_eq!(st.blocks, 2);
+    assert_eq!(fs.ld().allocated_block_count(), before - 3);
+
+    // Remaining data intact; reads stop at the new size.
+    let mut buf = vec![0u8; BS * 5];
+    let n = fs.read_at(ino, 0, &mut buf).unwrap();
+    assert_eq!(n, BS + 100);
+    assert_eq!(&buf[..n], &vec![9u8; n][..]);
+    assert!(fs.verify().unwrap().is_consistent());
+}
+
+#[test]
+fn truncate_to_zero_and_regrow() {
+    let mut fs = fresh();
+    let ino = fs.create("/z").unwrap();
+    fs.write_at(ino, 0, &vec![1u8; 2000]).unwrap();
+    fs.truncate(ino, 0).unwrap();
+    assert_eq!(fs.stat(ino).unwrap().size, 0);
+    assert_eq!(fs.stat(ino).unwrap().blocks, 0);
+    let mut buf = [0u8; 16];
+    assert_eq!(fs.read_at(ino, 0, &mut buf).unwrap(), 0);
+    fs.write_at(ino, 0, b"fresh start").unwrap();
+    let mut buf = [0u8; 11];
+    fs.read_at(ino, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"fresh start");
+}
+
+#[test]
+fn truncate_extends_sparsely_with_zeroes() {
+    let mut fs = fresh();
+    let ino = fs.create("/sparse").unwrap();
+    fs.write_at(ino, 0, b"head").unwrap();
+    fs.truncate(ino, BS as u64 * 3).unwrap();
+    let st = fs.stat(ino).unwrap();
+    assert_eq!(st.size, BS as u64 * 3);
+    assert_eq!(st.blocks, 3);
+    let mut buf = vec![0xFFu8; BS];
+    fs.read_at(ino, BS as u64 * 2, &mut buf).unwrap();
+    assert_eq!(buf, vec![0u8; BS]);
+    let mut head = [0u8; 4];
+    fs.read_at(ino, 0, &mut head).unwrap();
+    assert_eq!(&head, b"head");
+}
+
+#[test]
+fn truncate_on_directory_fails() {
+    let mut fs = fresh();
+    fs.mkdir("/dir").unwrap();
+    let ino = fs.lookup("/dir").unwrap();
+    assert!(matches!(
+        fs.truncate(ino, 0),
+        Err(FsError::IsADirectory(_))
+    ));
+}
+
+#[test]
+fn truncate_persists_after_flush_and_crash() {
+    let mut fs = fresh();
+    let ino = fs.create("/p").unwrap();
+    fs.write_at(ino, 0, &vec![7u8; 3000]).unwrap();
+    fs.truncate(ino, 1000).unwrap();
+    fs.flush().unwrap();
+    let image = fs.into_ld().into_device().into_image();
+    let (ld, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let mut fs2 = MinixFs::mount(ld, FsConfig::default()).unwrap();
+    let st = fs2.stat(ino).unwrap();
+    assert_eq!(st.size, 1000);
+    let mut buf = vec![0u8; 1000];
+    assert_eq!(fs2.read_at(ino, 0, &mut buf).unwrap(), 1000);
+    assert_eq!(buf, vec![7u8; 1000]);
+    assert!(fs2.verify().unwrap().is_consistent());
+}

@@ -1,0 +1,201 @@
+//! The large-file benchmark (Figure 6 of the paper).
+
+use crate::{pattern_fill, rng};
+use ld_core::LogicalDisk;
+use ld_minixfs::{Ino, MinixFs, Result};
+use rand::seq::SliceRandom;
+
+/// The five phases of the large-file benchmark, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LargeFilePhase {
+    /// Sequential write of the whole file.
+    Write1,
+    /// Sequential read.
+    Read1,
+    /// Random-order re-write of every chunk.
+    Write2,
+    /// Random-order read of every chunk.
+    Read2,
+    /// Sequential re-read (after the random writes have scattered the
+    /// file across the log).
+    Read3,
+}
+
+impl LargeFilePhase {
+    /// All five phases in benchmark order.
+    pub const ALL: [LargeFilePhase; 5] = [
+        LargeFilePhase::Write1,
+        LargeFilePhase::Read1,
+        LargeFilePhase::Write2,
+        LargeFilePhase::Read2,
+        LargeFilePhase::Read3,
+    ];
+
+    /// The paper's label for the phase.
+    pub fn label(self) -> &'static str {
+        match self {
+            LargeFilePhase::Write1 => "write1",
+            LargeFilePhase::Read1 => "read1",
+            LargeFilePhase::Write2 => "write2",
+            LargeFilePhase::Read2 => "read2",
+            LargeFilePhase::Read3 => "read3",
+        }
+    }
+}
+
+/// One large file written and read sequentially and in random order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LargeFileWorkload {
+    /// Total file size in bytes.
+    pub size: u64,
+    /// I/O unit for every phase.
+    pub chunk: usize,
+    /// Seed for the random phase orders.
+    pub seed: u64,
+}
+
+impl LargeFileWorkload {
+    /// The paper's 78.125-MByte file, accessed in 4-KByte chunks.
+    pub fn paper() -> Self {
+        LargeFileWorkload {
+            size: 78_125 * 1000, // 78.125 MB
+            chunk: 4096,
+            seed: 1996,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny(size: u64, chunk: usize) -> Self {
+        LargeFileWorkload {
+            size,
+            chunk,
+            seed: 7,
+        }
+    }
+
+    fn chunk_count(&self) -> u64 {
+        self.size.div_ceil(self.chunk as u64)
+    }
+
+    fn chunk_len(&self, idx: u64) -> usize {
+        let start = idx * self.chunk as u64;
+        (self.size - start).min(self.chunk as u64) as usize
+    }
+
+    /// Creates the file (empty). Call once before running phases.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn setup<L: LogicalDisk>(&self, fs: &mut MinixFs<L>) -> Result<Ino> {
+        fs.create("/large.bin")
+    }
+
+    /// Runs one phase. Read phases verify data integrity.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors, or
+    /// [`FsError::Corrupt`](ld_minixfs::FsError::Corrupt) on a data
+    /// mismatch during a read phase.
+    pub fn run_phase<L: LogicalDisk>(
+        &self,
+        fs: &mut MinixFs<L>,
+        ino: Ino,
+        phase: LargeFilePhase,
+    ) -> Result<()> {
+        let n = self.chunk_count();
+        let order: Vec<u64> = match phase {
+            LargeFilePhase::Write2 | LargeFilePhase::Read2 => {
+                let mut v: Vec<u64> = (0..n).collect();
+                let salt = if phase == LargeFilePhase::Write2 { 1 } else { 2 };
+                v.shuffle(&mut rng(self.seed + salt));
+                v
+            }
+            _ => (0..n).collect(),
+        };
+        // write2 rewrites with a different generation tag so read2/read3
+        // verify the *new* data.
+        let generation = match phase {
+            LargeFilePhase::Write1 | LargeFilePhase::Read1 => 0u64,
+            _ => 1u64,
+        };
+        let mut buf = vec![0u8; self.chunk];
+        match phase {
+            LargeFilePhase::Write1 | LargeFilePhase::Write2 => {
+                for &idx in &order {
+                    let len = self.chunk_len(idx);
+                    pattern_fill(&mut buf[..len], idx ^ (generation << 56));
+                    fs.write_at(ino, idx * self.chunk as u64, &buf[..len])?;
+                }
+                fs.flush()?;
+            }
+            LargeFilePhase::Read1 | LargeFilePhase::Read2 | LargeFilePhase::Read3 => {
+                let mut expect = vec![0u8; self.chunk];
+                for &idx in &order {
+                    let len = self.chunk_len(idx);
+                    let got = fs.read_at(ino, idx * self.chunk as u64, &mut buf[..len])?;
+                    pattern_fill(&mut expect[..len], idx ^ (generation << 56));
+                    if got != len || buf[..len] != expect[..len] {
+                        return Err(ld_minixfs::FsError::Corrupt(format!(
+                            "chunk {idx} mismatch in {}",
+                            phase.label()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::{Lld, LldConfig};
+    use ld_disk::MemDisk;
+    use ld_minixfs::{FsConfig, MinixFs};
+
+    #[test]
+    fn all_phases_verify() {
+        let ld = Lld::format(
+            MemDisk::new(16 << 20),
+            &LldConfig {
+                block_size: 512,
+                segment_bytes: 16 * 512,
+                max_blocks: Some(4096),
+                max_lists: Some(64),
+                ..LldConfig::default()
+            },
+        )
+        .unwrap();
+        let mut fs = MinixFs::format(
+            ld,
+            FsConfig {
+                inode_count: 8,
+                ..FsConfig::default()
+            },
+        )
+        .unwrap();
+        let w = LargeFileWorkload::tiny(100_000, 512);
+        let ino = w.setup(&mut fs).unwrap();
+        for phase in LargeFilePhase::ALL {
+            w.run_phase(&mut fs, ino, phase).unwrap();
+        }
+        assert_eq!(fs.stat(ino).unwrap().size, 100_000);
+        assert!(fs.verify().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn paper_size_is_78mb() {
+        let w = LargeFileWorkload::paper();
+        assert_eq!(w.size, 78_125_000);
+        assert_eq!(w.chunk, 4096);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LargeFilePhase::Write1.label(), "write1");
+        assert_eq!(LargeFilePhase::ALL.len(), 5);
+    }
+}

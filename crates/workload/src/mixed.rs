@@ -1,0 +1,190 @@
+//! A mixed, seeded workload for stress tests and the cleaner: random
+//! creates, writes, reads, and deletes over a bounded population of
+//! files.
+
+use crate::{pattern_fill, rng};
+use ld_core::LogicalDisk;
+use ld_minixfs::{Ino, MinixFs, Result};
+use rand::Rng;
+
+/// One generated operation (exposed so tests can inspect traces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Create file `idx` and write `bytes` of patterned data.
+    Create {
+        /// File index within the population.
+        idx: usize,
+        /// File size in bytes.
+        bytes: usize,
+    },
+    /// Overwrite a random region of file `idx`.
+    Overwrite {
+        /// File index.
+        idx: usize,
+        /// Byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Delete file `idx`.
+    Delete {
+        /// File index.
+        idx: usize,
+    },
+    /// Flush everything.
+    Flush,
+}
+
+/// Generator of mixed create/write/delete traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedWorkload {
+    /// Upper bound on concurrently existing files.
+    pub population: usize,
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Maximum file size in bytes.
+    pub max_file_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixedWorkload {
+    /// Generates the operation trace.
+    pub fn trace(&self) -> Vec<MixedOp> {
+        let mut r = rng(self.seed);
+        let mut alive = vec![false; self.population];
+        let mut sizes = vec![0usize; self.population];
+        let mut out = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            let idx = r.random_range(0..self.population);
+            let roll: f64 = r.random();
+            if !alive[idx] {
+                let bytes = r.random_range(1..=self.max_file_size);
+                alive[idx] = true;
+                sizes[idx] = bytes;
+                out.push(MixedOp::Create { idx, bytes });
+            } else if roll < 0.25 {
+                alive[idx] = false;
+                out.push(MixedOp::Delete { idx });
+            } else if roll < 0.9 {
+                let offset = r.random_range(0..sizes[idx]) as u64;
+                let len = r
+                    .random_range(1..=self.max_file_size.min(sizes[idx] - offset as usize).max(1));
+                out.push(MixedOp::Overwrite { idx, offset, len });
+            } else {
+                out.push(MixedOp::Flush);
+            }
+        }
+        out
+    }
+
+    /// Runs the trace against a file system.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn run<L: LogicalDisk>(&self, fs: &mut MinixFs<L>) -> Result<()> {
+        let mut buf = vec![0u8; self.max_file_size];
+        let mut inos: Vec<Option<Ino>> = vec![None; self.population];
+        for op in self.trace() {
+            match op {
+                MixedOp::Create { idx, bytes } => {
+                    let ino = fs.create(&format!("/m{idx}"))?;
+                    pattern_fill(&mut buf[..bytes], idx as u64);
+                    fs.write_at(ino, 0, &buf[..bytes])?;
+                    inos[idx] = Some(ino);
+                }
+                MixedOp::Overwrite { idx, offset, len } => {
+                    if let Some(ino) = inos[idx] {
+                        pattern_fill(&mut buf[..len], idx as u64 ^ offset);
+                        fs.write_at(ino, offset, &buf[..len])?;
+                    }
+                }
+                MixedOp::Delete { idx } => {
+                    if inos[idx].take().is_some() {
+                        fs.unlink(&format!("/m{idx}"))?;
+                    }
+                }
+                MixedOp::Flush => fs.flush()?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::{Lld, LldConfig};
+    use ld_disk::MemDisk;
+    use ld_minixfs::FsConfig;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let w = MixedWorkload {
+            population: 8,
+            ops: 100,
+            max_file_size: 2000,
+            seed: 3,
+        };
+        assert_eq!(w.trace(), w.trace());
+        let w2 = MixedWorkload { seed: 4, ..w.clone() };
+        assert_ne!(w.trace(), w2.trace());
+    }
+
+    #[test]
+    fn trace_never_double_creates_or_deletes() {
+        let w = MixedWorkload {
+            population: 4,
+            ops: 300,
+            max_file_size: 1000,
+            seed: 9,
+        };
+        let mut alive = vec![false; 4];
+        for op in w.trace() {
+            match op {
+                MixedOp::Create { idx, .. } => {
+                    assert!(!alive[idx]);
+                    alive[idx] = true;
+                }
+                MixedOp::Delete { idx } => {
+                    assert!(alive[idx]);
+                    alive[idx] = false;
+                }
+                MixedOp::Overwrite { idx, .. } => assert!(alive[idx]),
+                MixedOp::Flush => {}
+            }
+        }
+    }
+
+    #[test]
+    fn runs_clean_and_consistent() {
+        let ld = Lld::format(
+            MemDisk::new(16 << 20),
+            &LldConfig {
+                block_size: 512,
+                segment_bytes: 16 * 512,
+                max_blocks: Some(4096),
+                max_lists: Some(256),
+                ..LldConfig::default()
+            },
+        )
+        .unwrap();
+        let mut fs = MinixFs::format(
+            ld,
+            FsConfig {
+                inode_count: 64,
+                ..FsConfig::default()
+            },
+        )
+        .unwrap();
+        let w = MixedWorkload {
+            population: 10,
+            ops: 200,
+            max_file_size: 1500,
+            seed: 11,
+        };
+        w.run(&mut fs).unwrap();
+        assert!(fs.verify().unwrap().is_consistent());
+    }
+}

@@ -1,0 +1,182 @@
+//! The small-file micro-benchmark (Figure 5 of the paper).
+
+use crate::pattern_fill;
+use ld_core::LogicalDisk;
+use ld_minixfs::{MinixFs, Result};
+
+/// Create+write, read, and delete many small files.
+///
+/// The paper's two configurations are provided as constructors:
+/// [`SmallFileWorkload::paper_1k`] (10,000 × 1 KByte) and
+/// [`SmallFileWorkload::paper_10k`] (1,000 × 10 KByte). Files are spread
+/// over directories (one per `files_per_dir`) so directory blocks stay
+/// realistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallFileWorkload {
+    /// Number of files.
+    pub file_count: usize,
+    /// Size of each file in bytes.
+    pub file_size: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+}
+
+impl SmallFileWorkload {
+    /// The paper's 10,000 × 1-KByte configuration.
+    pub fn paper_1k() -> Self {
+        SmallFileWorkload {
+            file_count: 10_000,
+            file_size: 1024,
+            files_per_dir: 100,
+        }
+    }
+
+    /// The paper's 1,000 × 10-KByte configuration.
+    pub fn paper_10k() -> Self {
+        SmallFileWorkload {
+            file_count: 1_000,
+            file_size: 10 * 1024,
+            files_per_dir: 100,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny(file_count: usize, file_size: usize) -> Self {
+        SmallFileWorkload {
+            file_count,
+            file_size,
+            files_per_dir: 16,
+        }
+    }
+
+    fn dir_of(&self, i: usize) -> String {
+        format!("/d{:04}", i / self.files_per_dir)
+    }
+
+    fn path_of(&self, i: usize) -> String {
+        format!("{}/f{:06}", self.dir_of(i), i)
+    }
+
+    /// Phase 1: create and write every file.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors (e.g. out of inodes or disk space).
+    pub fn create_and_write<L: LogicalDisk>(&self, fs: &mut MinixFs<L>) -> Result<()> {
+        let mut data = vec![0u8; self.file_size];
+        for i in 0..self.file_count {
+            if i % self.files_per_dir == 0 {
+                fs.mkdir(&self.dir_of(i))?;
+            }
+            let ino = fs.create(&self.path_of(i))?;
+            pattern_fill(&mut data, i as u64);
+            fs.write_at(ino, 0, &data)?;
+        }
+        fs.flush()?;
+        Ok(())
+    }
+
+    /// Phase 2: read every file and verify its content.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors, or
+    /// [`FsError::Corrupt`](ld_minixfs::FsError::Corrupt) if the data
+    /// read back does not match what was written.
+    pub fn read_all<L: LogicalDisk>(&self, fs: &mut MinixFs<L>) -> Result<()> {
+        let mut buf = vec![0u8; self.file_size];
+        let mut expect = vec![0u8; self.file_size];
+        for i in 0..self.file_count {
+            let ino = fs.lookup(&self.path_of(i))?;
+            let n = fs.read_at(ino, 0, &mut buf)?;
+            pattern_fill(&mut expect, i as u64);
+            if n != self.file_size || buf != expect {
+                return Err(ld_minixfs::FsError::Corrupt(format!(
+                    "file {i} read back wrong data"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 3: delete every file (and its directory once empty).
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn delete_all<L: LogicalDisk>(&self, fs: &mut MinixFs<L>) -> Result<()> {
+        for i in 0..self.file_count {
+            fs.unlink(&self.path_of(i))?;
+            let last_in_dir =
+                i % self.files_per_dir == self.files_per_dir - 1 || i == self.file_count - 1;
+            if last_in_dir {
+                fs.rmdir(&self.dir_of(i))?;
+            }
+        }
+        fs.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::{Lld, LldConfig};
+    use ld_disk::MemDisk;
+    use ld_minixfs::{FsConfig, MinixFs};
+
+    fn fs() -> MinixFs<Lld<MemDisk>> {
+        let ld = Lld::format(
+            MemDisk::new(16 << 20),
+            &LldConfig {
+                block_size: 512,
+                segment_bytes: 16 * 512,
+                max_blocks: Some(4096),
+                max_lists: Some(1024),
+                ..LldConfig::default()
+            },
+        )
+        .unwrap();
+        MinixFs::format(
+            ld,
+            FsConfig {
+                inode_count: 256,
+                ..FsConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_cycle_runs_clean() {
+        let w = SmallFileWorkload::tiny(50, 700);
+        let mut fs = fs();
+        w.create_and_write(&mut fs).unwrap();
+        assert_eq!(fs.stats().files_created, 50);
+        w.read_all(&mut fs).unwrap();
+        w.delete_all(&mut fs).unwrap();
+        assert_eq!(fs.stats().files_deleted, 50);
+        assert!(fs.verify().unwrap().is_consistent());
+        // Everything reclaimed.
+        assert_eq!(fs.readdir("/").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(SmallFileWorkload::paper_1k().file_count, 10_000);
+        assert_eq!(SmallFileWorkload::paper_1k().file_size, 1024);
+        assert_eq!(SmallFileWorkload::paper_10k().file_count, 1_000);
+        assert_eq!(SmallFileWorkload::paper_10k().file_size, 10 * 1024);
+    }
+
+    #[test]
+    fn read_detects_corruption() {
+        let w = SmallFileWorkload::tiny(3, 256);
+        let mut fs = fs();
+        w.create_and_write(&mut fs).unwrap();
+        // Overwrite one file with wrong data.
+        let ino = fs.lookup("/d0000/f000001").unwrap();
+        fs.write_at(ino, 0, &[0xFFu8; 256]).unwrap();
+        assert!(w.read_all(&mut fs).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Atomic file creation: the paper's headline use case.
+//!
+//! A file system creates a file by updating several on-disk structures
+//! (inode table, directory data, allocation meta-data). This example
+//! crashes the machine at a series of points during a burst of file
+//! creations and shows that with ARUs the file system is consistent at
+//! *every* crash point — each file is entirely present or entirely
+//! absent, and the fsck-style verifier finds nothing to repair.
+//!
+//! Run with: `cargo run --example atomic_file_create`
+
+use ld_core::{Lld, LldConfig};
+use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
+use ld_minixfs::{FsConfig, FsError, MinixFs};
+
+fn ld_config() -> LldConfig {
+    LldConfig {
+        segment_bytes: 128 * 1024,
+        ..LldConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut crash_points = Vec::new();
+    let mut at = 200_000u64;
+    while at < 2_000_000 {
+        crash_points.push(at);
+        at += 300_000;
+    }
+
+    for &crash_at in &crash_points {
+        // Fresh machine with a crash scheduled after `crash_at` bytes of
+        // disk writes.
+        let sim = SimDisk::new(MemDisk::new(32 << 20), DiskModel::hp_c3010())
+            .with_faults(FaultPlan::new().crash_after_bytes(crash_at));
+        let ld = Lld::format(sim, &ld_config())?;
+        let mut fs = MinixFs::format(
+            ld,
+            FsConfig {
+                inode_count: 256,
+                ..FsConfig::default()
+            },
+        )?;
+
+        // Create files until the lights go out.
+        let mut created = 0usize;
+        let crashed = loop {
+            if created >= 64 {
+                break false;
+            }
+            let path = format!("/file{created:03}");
+            match fs
+                .create(&path)
+                .and_then(|ino| fs.write_at(ino, 0, &vec![created as u8; 3000]))
+                .and_then(|()| fs.flush())
+            {
+                Ok(()) => created += 1,
+                Err(FsError::Ld(_)) => break true,
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        // Power is gone; recover from whatever reached the medium.
+        let image = fs.into_ld().into_device().into_inner().into_image();
+        let (ld2, _) = Lld::recover(MemDisk::from_image(image))?;
+        let mut fs2 = MinixFs::mount(ld2, FsConfig::default())?;
+        let report = fs2.verify()?;
+        let survivors = fs2.readdir("/")?.len();
+
+        println!(
+            "crash after {:>9} bytes: created {:>2} files before crash ({}), {:>2} recovered, \
+             file system {}",
+            crash_at,
+            created,
+            if crashed { "crashed" } else { "completed" },
+            survivors,
+            if report.is_consistent() {
+                "CONSISTENT - no fsck needed"
+            } else {
+                "INCONSISTENT"
+            }
+        );
+        assert!(report.is_consistent(), "{:?}", report.problems);
+        // Every recovered file is complete.
+        for entry in fs2.readdir("/")? {
+            let st = fs2.stat(entry.ino)?;
+            assert_eq!(st.size, 3000, "{} is partial", entry.name);
+        }
+    }
+    println!("\nall crash points recovered to a consistent file system");
+    Ok(())
+}

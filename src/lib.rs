@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the LD/ARU reproduction stack.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ld_core as core;
+pub use ld_disk as disk;
+pub use ld_minixfs as minixfs;
+pub use ld_workload as workload;
