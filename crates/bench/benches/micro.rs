@@ -1,10 +1,19 @@
 //! Micro-benchmarks of the logical-disk hot paths: simple operations,
 //! ARU begin/commit, shadow copy-on-write, and the predecessor search.
+//!
+//! A plain `harness = false` runner: each benchmark is timed with
+//! `std::time::Instant` over a fixed iteration count after a warm-up
+//! pass, and reported as ns/iter (median of 5 samples).
+//!
+//! Usage: `cargo bench -p ld-bench` (add `-- <filter>` to run a subset).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ld_bench::{BenchConfig, Version};
-use ld_core::{Ctx, Position};
+use ld_core::{Ctx, Lld, Position};
+use ld_disk::{MemDisk, SimDisk};
 use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
 
 fn small_cfg() -> BenchConfig {
     BenchConfig {
@@ -17,100 +26,149 @@ fn small_cfg() -> BenchConfig {
     }
 }
 
-fn bench_simple_ops(c: &mut Criterion) {
-    let cfg = small_cfg();
-    let mut group = c.benchmark_group("simple_ops");
+/// Times `iters` runs of `f`, returning ns/iter (median of
+/// [`SAMPLES`] samples, after one discarded warm-up sample).
+fn time_ns_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for sample in 0..=SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        if sample > 0 {
+            samples.push(ns);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[samples.len() / 2]
+}
 
-    group.bench_function("write_4k", |b| {
+fn report(name: &str, filter: Option<&str>, iters: u32, f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let ns = time_ns_per_iter(iters, f);
+    println!("{name:<40} {ns:>12.1} ns/iter   ({iters} iters x {SAMPLES} samples, median)");
+}
+
+fn bench_simple_ops(filter: Option<&str>) {
+    let cfg = small_cfg();
+
+    {
         let mut ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         let data = vec![7u8; 4096];
-        b.iter(|| ld.write(Ctx::Simple, blk, black_box(&data)).unwrap());
-    });
+        report("simple_ops/write_4k", filter, 2000, || {
+            ld.write(Ctx::Simple, blk, black_box(&data)).unwrap();
+        });
+    }
 
-    group.bench_function("read_4k_committed", |b| {
+    {
         let mut ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         ld.write(Ctx::Simple, blk, &vec![7u8; 4096]).unwrap();
         let mut buf = vec![0u8; 4096];
-        b.iter(|| ld.read(Ctx::Simple, blk, black_box(&mut buf)).unwrap());
-    });
+        report("simple_ops/read_4k_committed", filter, 5000, || {
+            ld.read(Ctx::Simple, blk, black_box(&mut buf)).unwrap();
+        });
+    }
 
-    group.bench_function("alloc_free_block", |b| {
+    {
         let mut ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
-        b.iter(|| {
+        report("simple_ops/alloc_free_block", filter, 2000, || {
             let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
             ld.delete_block(Ctx::Simple, blk).unwrap();
         });
-    });
-    group.finish();
+    }
 }
 
-fn bench_aru_paths(c: &mut Criterion) {
+fn bench_aru_paths(filter: Option<&str>) {
     let cfg = small_cfg();
-    let mut group = c.benchmark_group("aru");
 
-    group.bench_function("begin_end_empty", |b| {
+    {
         let mut ld = cfg.build_ld(Version::New);
-        b.iter(|| {
+        report("aru/begin_end_empty", filter, 5000, || {
             let aru = ld.begin_aru().unwrap();
             ld.end_aru(aru).unwrap();
         });
-    });
+    }
 
-    group.bench_function("begin_end_empty_sequential", |b| {
+    {
         let mut ld = cfg.build_ld(Version::Old);
-        b.iter(|| {
+        report("aru/begin_end_empty_sequential", filter, 5000, || {
             let aru = ld.begin_aru().unwrap();
             ld.end_aru(aru).unwrap();
         });
-    });
+    }
 
-    group.bench_function("shadow_write_and_commit", |b| {
+    {
         let mut ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         let data = vec![3u8; 4096];
-        b.iter(|| {
+        report("aru/shadow_write_and_commit", filter, 1000, || {
             let aru = ld.begin_aru().unwrap();
             ld.write(Ctx::Aru(aru), blk, &data).unwrap();
             ld.end_aru(aru).unwrap();
         });
-    });
-    group.finish();
-}
-
-fn bench_predecessor_search(c: &mut Criterion) {
-    let cfg = small_cfg();
-    let mut group = c.benchmark_group("predecessor_search");
-    for len in [4usize, 64, 512] {
-        group.bench_function(format!("delete_tail_of_{len}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut ld = cfg.build_ld(Version::New);
-                    let list = ld.new_list(Ctx::Simple).unwrap();
-                    let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
-                    for _ in 1..len {
-                        prev = ld
-                            .new_block(Ctx::Simple, list, Position::After(prev))
-                            .unwrap();
-                    }
-                    (ld, prev)
-                },
-                |(mut ld, tail)| ld.delete_block(Ctx::Simple, tail).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
-        });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simple_ops, bench_aru_paths, bench_predecessor_search
+fn bench_predecessor_search(filter: Option<&str>) {
+    let cfg = small_cfg();
+    for len in [4usize, 64, 512] {
+        let name = format!("predecessor_search/delete_tail_of_{len}");
+        if let Some(pat) = filter {
+            if !name.contains(pat) {
+                continue;
+            }
+        }
+        // Each iteration consumes the list tail, so rebuild per sample:
+        // time only the delete by accumulating elapsed time manually.
+        let build = |cfg: &BenchConfig| -> (Lld<SimDisk<MemDisk>>, ld_core::BlockId) {
+            let mut ld = cfg.build_ld(Version::New);
+            let list = ld.new_list(Ctx::Simple).unwrap();
+            let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+            for _ in 1..len {
+                prev = ld
+                    .new_block(Ctx::Simple, list, Position::After(prev))
+                    .unwrap();
+            }
+            (ld, prev)
+        };
+        let iters = 50u32;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for sample in 0..=SAMPLES {
+            let mut total_ns = 0u128;
+            for _ in 0..iters {
+                let (mut ld, tail) = build(&cfg);
+                let start = Instant::now();
+                ld.delete_block(Ctx::Simple, black_box(tail)).unwrap();
+                total_ns += start.elapsed().as_nanos();
+            }
+            if sample > 0 {
+                samples.push(total_ns as f64 / f64::from(iters));
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let ns = samples[samples.len() / 2];
+        println!("{name:<40} {ns:>12.1} ns/iter   ({iters} iters x {SAMPLES} samples, median)");
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo's bench profile passes `--bench`; anything else is a filter.
+    let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let filter = filter.as_deref();
+
+    bench_simple_ops(filter);
+    bench_aru_paths(filter);
+    bench_predecessor_search(filter);
+}

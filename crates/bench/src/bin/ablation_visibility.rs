@@ -60,6 +60,7 @@ fn main() {
         let mut cw = Vec::new();
         let mut rd = Vec::new();
         let mut del = Vec::new();
+        let mut obs = None;
         for _ in 0..cfg.runs.max(1) {
             let ld_cfg = LldConfig {
                 visibility: vis,
@@ -72,13 +73,13 @@ fn main() {
             let clock = Arc::clone(fs.ld().device().clock());
             let (_, t_cw) =
                 measure(&clock, cfg.cpu_slowdown, || wl.create_and_write(&mut fs)).expect("cw");
-            let (_, t_rd) =
-                measure(&clock, cfg.cpu_slowdown, || wl.read_all(&mut fs)).expect("rd");
+            let (_, t_rd) = measure(&clock, cfg.cpu_slowdown, || wl.read_all(&mut fs)).expect("rd");
             let (_, t_del) =
                 measure(&clock, cfg.cpu_slowdown, || wl.delete_all(&mut fs)).expect("del");
             cw.push(wl.file_count as f64 / t_cw.virtual_secs());
             rd.push(wl.file_count as f64 / t_rd.virtual_secs());
             del.push(wl.file_count as f64 / t_del.virtual_secs());
+            obs = Some(fs.ld().obs_snapshot());
         }
         println!(
             "  {:<22} {:>10.1} {:>10.1} {:>10.1}{}",
@@ -92,6 +93,12 @@ fn main() {
                 ""
             }
         );
+        if let Some(snap) = obs {
+            println!(
+                "  {:<22} arus committed {}, CoW records {}, segments sealed {}",
+                "", snap.lld.arus_committed, snap.lld.shadow_cow_records, snap.lld.segments_sealed
+            );
+        }
     }
     println!();
     println!("  note: option 2 cannot support a read-modify-write client inside ARUs");

@@ -5,11 +5,11 @@
 //! Usage: `aru_latency [--quick] [--cpu-slowdown X] [--json]`
 
 use ld_bench::{measure, BenchConfig, Version};
+use ld_core::obs::json::Obj;
 use ld_workload::AruLatencyWorkload;
-use serde::Serialize;
 use std::sync::Arc;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Report {
     arus: u64,
     virtual_us_per_aru: f64,
@@ -35,6 +35,7 @@ fn main() {
     let clock = Arc::clone(ld.device().clock());
     let (res, timing) = measure(&clock, cfg.cpu_slowdown, || wl.run(&mut ld)).expect("run");
     let stats = *ld.stats();
+    let snap = ld.obs_snapshot();
 
     let report = Report {
         arus: res.arus,
@@ -45,15 +46,32 @@ fn main() {
         summary_bytes: stats.summary_bytes,
     };
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("json"));
+        println!(
+            "{}",
+            Obj::new()
+                .u64("arus", report.arus)
+                .f64("virtual_us_per_aru", report.virtual_us_per_aru)
+                .f64("wall_us_per_aru", report.wall_us_per_aru)
+                .f64("disk_secs", report.disk_secs)
+                .u64("segments_written", report.segments_written)
+                .u64("summary_bytes", report.summary_bytes)
+                .raw("obs", &snap.to_json())
+                .finish()
+        );
         return;
     }
-    println!("ARU latency experiment (section 5.3): {} BeginARU/EndARU pairs", report.arus);
+    println!(
+        "ARU latency experiment (section 5.3): {} BeginARU/EndARU pairs",
+        report.arus
+    );
     println!(
         "  virtual latency per ARU: {:.2} us  (paper: 78.47 us)",
         report.virtual_us_per_aru
     );
-    println!("  raw CPU latency per ARU: {:.3} us", report.wall_us_per_aru);
+    println!(
+        "  raw CPU latency per ARU: {:.3} us",
+        report.wall_us_per_aru
+    );
     println!(
         "  segments written: {}  (paper: 24; commit records only)",
         report.segments_written
@@ -63,4 +81,13 @@ fn main() {
         report.summary_bytes,
         report.summary_bytes / report.arus.max(1)
     );
+    if let Some((_, h)) = snap.histograms.iter().find(|(n, _)| n == "end_aru") {
+        println!(
+            "  end_aru wall latency: p50 {} ns  p99 {} ns  max {} ns  ({} samples)",
+            h.p50(),
+            h.p99(),
+            h.max,
+            h.count
+        );
+    }
 }

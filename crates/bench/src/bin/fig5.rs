@@ -7,26 +7,38 @@
 use ld_bench::{
     measure, median, percent_slower, print_versions_table, BenchConfig, PhaseTiming, Version,
 };
+use ld_core::obs::json::{Arr, Obj};
 use ld_workload::SmallFileWorkload;
-use serde::Serialize;
 use std::sync::Arc;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct PhaseResult {
     files_per_sec: f64,
     wall_secs: f64,
     disk_secs: f64,
 }
 
-#[derive(Debug, Serialize)]
+impl PhaseResult {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .f64("files_per_sec", self.files_per_sec)
+            .f64("wall_secs", self.wall_secs)
+            .f64("disk_secs", self.disk_secs)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
 struct VersionRow {
     version: &'static str,
     create_write: PhaseResult,
     read: PhaseResult,
     delete: PhaseResult,
+    /// Observability snapshot of the last run, pre-rendered as JSON.
+    obs_json: String,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Experiment {
     label: String,
     file_count: usize,
@@ -47,6 +59,7 @@ fn run_version(cfg: &BenchConfig, version: Version, wl: &SmallFileWorkload) -> V
     let mut rd = Vec::new();
     let mut del = Vec::new();
     let mut last: Option<(PhaseTiming, PhaseTiming, PhaseTiming)> = None;
+    let mut obs_json = String::from("null");
     // Iteration 0 is a discarded warm-up (code paths, allocator, caches).
     for run in 0..=cfg.runs.max(1) {
         let mut fs = cfg.build_fs(version);
@@ -63,6 +76,9 @@ fn run_version(cfg: &BenchConfig, version: Version, wl: &SmallFileWorkload) -> V
         rd.push(wl.file_count as f64 / t_rd.virtual_secs());
         del.push(wl.file_count as f64 / t_del.virtual_secs());
         last = Some((t_cw, t_rd, t_del));
+        let mut snap = fs.ld().obs_snapshot();
+        snap.fs_ops = fs.stats().as_named_counters();
+        obs_json = snap.to_json();
     }
     let (t_cw, t_rd, t_del) = last.expect("at least one run");
     let mut row = VersionRow {
@@ -70,6 +86,7 @@ fn run_version(cfg: &BenchConfig, version: Version, wl: &SmallFileWorkload) -> V
         create_write: phase_result(wl.file_count, &t_cw),
         read: phase_result(wl.file_count, &t_rd),
         delete: phase_result(wl.file_count, &t_del),
+        obs_json,
     };
     row.create_write.files_per_sec = median(&mut cw);
     row.read.files_per_sec = median(&mut rd);
@@ -152,6 +169,29 @@ fn main() {
         });
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("json"));
+        let mut arr = Arr::new();
+        for exp in &report {
+            let mut rows = Arr::new();
+            for row in &exp.rows {
+                rows.push_raw(
+                    &Obj::new()
+                        .str("version", row.version)
+                        .raw("create_write", &row.create_write.to_json())
+                        .raw("read", &row.read.to_json())
+                        .raw("delete", &row.delete.to_json())
+                        .raw("obs", &row.obs_json)
+                        .finish(),
+                );
+            }
+            arr.push_raw(
+                &Obj::new()
+                    .str("label", &exp.label)
+                    .u64("file_count", exp.file_count as u64)
+                    .u64("file_size", exp.file_size as u64)
+                    .raw("rows", &rows.finish())
+                    .finish(),
+            );
+        }
+        println!("{}", arr.finish());
     }
 }

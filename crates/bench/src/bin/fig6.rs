@@ -5,17 +5,42 @@
 //! Usage: `fig6 [--quick] [--runs N] [--cpu-slowdown X] [--json]`
 
 use ld_bench::{measure, median, percent_slower, print_versions_table, BenchConfig, Version};
+use ld_core::obs::json::{Arr, Obj};
 use ld_workload::{LargeFilePhase, LargeFileWorkload};
-use serde::Serialize;
 use std::sync::Arc;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct VersionRow {
     version: &'static str,
     /// MByte/second per phase, in `LargeFilePhase::ALL` order.
     mb_per_sec: Vec<f64>,
     wall_secs: Vec<f64>,
     disk_secs: Vec<f64>,
+    /// Observability snapshot of the last run, pre-rendered as JSON.
+    obs_json: String,
+}
+
+impl VersionRow {
+    fn to_json(&self) -> String {
+        let floats = |vals: &[f64]| {
+            let mut a = Arr::new();
+            for &v in vals {
+                a.push_raw(&if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_string()
+                });
+            }
+            a.finish()
+        };
+        Obj::new()
+            .str("version", self.version)
+            .raw("mb_per_sec", &floats(&self.mb_per_sec))
+            .raw("wall_secs", &floats(&self.wall_secs))
+            .raw("disk_secs", &floats(&self.disk_secs))
+            .raw("obs", &self.obs_json)
+            .finish()
+    }
 }
 
 fn run_version(cfg: &BenchConfig, version: Version, wl: &LargeFileWorkload) -> VersionRow {
@@ -23,6 +48,7 @@ fn run_version(cfg: &BenchConfig, version: Version, wl: &LargeFileWorkload) -> V
     let mut per_phase: Vec<Vec<f64>> = vec![Vec::new(); LargeFilePhase::ALL.len()];
     let mut walls = vec![0.0; 5];
     let mut disks = vec![0.0; 5];
+    let mut obs_json = String::from("null");
     // Iteration 0 is a discarded warm-up.
     for run in 0..=cfg.runs.max(1) {
         let mut fs = cfg.build_fs(version);
@@ -40,12 +66,18 @@ fn run_version(cfg: &BenchConfig, version: Version, wl: &LargeFileWorkload) -> V
             walls[i] = t.wall.as_secs_f64();
             disks[i] = t.disk.as_secs_f64();
         }
+        if run > 0 {
+            let mut snap = fs.ld().obs_snapshot();
+            snap.fs_ops = fs.stats().as_named_counters();
+            obs_json = snap.to_json();
+        }
     }
     VersionRow {
         version: version.label(),
         mb_per_sec: per_phase.iter_mut().map(|v| median(v)).collect(),
         wall_secs: walls,
         disk_secs: disks,
+        obs_json,
     }
 }
 
@@ -67,7 +99,11 @@ fn main() {
         .collect();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        let mut arr = Arr::new();
+        for row in &rows {
+            arr.push_raw(&row.to_json());
+        }
+        println!("{}", arr.finish());
         return;
     }
     print_versions_table();

@@ -27,7 +27,6 @@
 use ld_core::{ConcurrencyMode, Lld, LldConfig, ReadVisibility};
 use ld_disk::{DiskModel, MemDisk, SimDisk, VirtualClock};
 use ld_minixfs::{DeletePolicy, FsConfig, MinixFs};
-use serde::Serialize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +38,7 @@ pub type BenchFs = MinixFs<Lld<SimDisk<MemDisk>>>;
 pub const DEFAULT_CPU_SLOWDOWN: f64 = 400.0;
 
 /// The three MinixLLD versions of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Version {
     /// The original MinixLLD: sequential-ARU logical disk, no ARU
     /// bracketing in the file system.
@@ -65,7 +64,7 @@ impl Version {
 }
 
 /// Shared experiment parameters.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchConfig {
     /// Block size in bytes (the paper: 4 KByte).
     pub block_size: usize,
@@ -195,7 +194,7 @@ impl BenchConfig {
 }
 
 /// One measured phase: real CPU time plus modeled disk time.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PhaseTiming {
     /// Real (wall-clock) CPU time of the phase.
     pub wall: Duration,

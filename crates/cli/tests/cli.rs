@@ -37,7 +37,14 @@ fn unknown_command_is_usage_error() {
 fn format_info_dump_check_cycle() {
     let image = temp_image("bare");
     let out = run(&args(&[
-        "format", &image, "--size", "8388608", "--block-size", "512", "--segment-bytes", "8192",
+        "format",
+        &image,
+        "--size",
+        "8388608",
+        "--block-size",
+        "512",
+        "--segment-bytes",
+        "8192",
     ]))
     .unwrap();
     assert!(out.contains("formatted"), "{out}");
@@ -58,7 +65,13 @@ fn format_info_dump_check_cycle() {
 fn sequential_flag_is_respected() {
     let image = temp_image("seq");
     run(&args(&[
-        "format", &image, "--size", "8388608", "--segment-bytes", "65536", "--sequential",
+        "format",
+        &image,
+        "--size",
+        "8388608",
+        "--segment-bytes",
+        "65536",
+        "--sequential",
     ]))
     .unwrap();
     let info = run(&args(&["info", &image])).unwrap();
@@ -70,8 +83,15 @@ fn sequential_flag_is_respected() {
 fn fs_round_trip_put_cat_ls_stat_verify() {
     let image = temp_image("fs");
     run(&args(&[
-        "format", &image, "--size", "16777216", "--segment-bytes", "65536", "--with-fs",
-        "--inodes", "64",
+        "format",
+        &image,
+        "--size",
+        "16777216",
+        "--segment-bytes",
+        "65536",
+        "--with-fs",
+        "--inodes",
+        "64",
     ]))
     .unwrap();
 
@@ -112,8 +132,15 @@ fn images_survive_reopen_across_commands() {
     // must persist across invocations like a real disk.
     let image = temp_image("persist");
     run(&args(&[
-        "format", &image, "--size", "16777216", "--segment-bytes", "65536", "--with-fs",
-        "--inodes", "64",
+        "format",
+        &image,
+        "--size",
+        "16777216",
+        "--segment-bytes",
+        "65536",
+        "--with-fs",
+        "--inodes",
+        "64",
     ]))
     .unwrap();
     let local = temp_image("data.bin");
@@ -127,6 +154,47 @@ fn images_survive_reopen_across_commands() {
     assert!(info.contains("allocated"), "{info}");
     cleanup(&image);
     cleanup(&local);
+}
+
+#[test]
+fn stats_scripted_workload_human_and_json() {
+    let out = run(&args(&["stats"])).unwrap();
+    assert!(out.contains("LLD counters"), "{out}");
+    assert!(out.contains("Latency histograms"), "{out}");
+    assert!(out.contains("end_aru"), "{out}");
+    assert!(out.contains("disk_write"), "{out}");
+    assert!(out.contains("aborted"), "{out}");
+
+    let json = run(&args(&["stats", "--json"])).unwrap();
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"end_aru\""), "{json}");
+    assert!(json.contains("\"disk_write\""), "{json}");
+    assert!(json.contains("\"aru_commit\""), "{json}");
+    assert!(json.contains("\"aru_abort\""), "{json}");
+    assert!(json.contains("\"fs_ops\""), "{json}");
+}
+
+#[test]
+fn stats_on_image_includes_recovery() {
+    let image = temp_image("stats");
+    run(&args(&[
+        "format",
+        &image,
+        "--size",
+        "8388608",
+        "--block-size",
+        "512",
+        "--segment-bytes",
+        "8192",
+    ]))
+    .unwrap();
+    let out = run(&args(&["stats", &image])).unwrap();
+    assert!(out.contains("Recovery"), "{out}");
+    assert!(out.contains("torn_tails_detected"), "{out}");
+    let json = run(&args(&["stats", &image, "--json"])).unwrap();
+    assert!(json.contains("\"recovery\""), "{json}");
+    assert!(json.contains("\"torn_tails_detected\""), "{json}");
+    cleanup(&image);
 }
 
 #[test]

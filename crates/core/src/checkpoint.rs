@@ -33,7 +33,15 @@ pub(crate) struct CheckpointData {
     pub(crate) tables: Tables,
 }
 
-fn encode_header(seq: u64, ts: u64, nb: u64, nl: u64, blocks: u64, lists: u64, payload_crc: u32) -> [u8; CKPT_HEADER as usize] {
+fn encode_header(
+    seq: u64,
+    ts: u64,
+    nb: u64,
+    nl: u64,
+    blocks: u64,
+    lists: u64,
+    payload_crc: u32,
+) -> [u8; CKPT_HEADER as usize] {
     let mut h = Vec::with_capacity(CKPT_HEADER as usize);
     h.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
     h.extend_from_slice(&seq.to_le_bytes());
@@ -128,6 +136,13 @@ impl<D: BlockDevice> Lld<D> {
         self.ckpt_use_b = !self.ckpt_use_b;
         self.checkpoint_seq = covered;
         self.stats.checkpoints += 1;
+        self.obs.event(
+            self.ts_counter,
+            crate::obs::TraceEvent::Checkpoint {
+                covered_seq: covered,
+                bytes: CKPT_HEADER + payload.len() as u64,
+            },
+        );
         Ok(())
     }
 }
@@ -168,8 +183,10 @@ fn read_area<D: BlockDevice>(
 
     let mut tables = Tables::default();
     let mut pos = 0usize;
-    let u64at = |buf: &[u8], p: usize| u64::from_le_bytes(buf[p..p + 8].try_into().expect("8 bytes"));
-    let u32at = |buf: &[u8], p: usize| u32::from_le_bytes(buf[p..p + 4].try_into().expect("4 bytes"));
+    let u64at =
+        |buf: &[u8], p: usize| u64::from_le_bytes(buf[p..p + 8].try_into().expect("8 bytes"));
+    let u32at =
+        |buf: &[u8], p: usize| u32::from_le_bytes(buf[p..p + 4].try_into().expect("4 bytes"));
     for _ in 0..nb {
         let id = u64at(&payload, pos);
         let seg = u32at(&payload, pos + 8);

@@ -41,6 +41,7 @@ impl<D: BlockDevice> Lld<D> {
 
     fn clean_until_target(&mut self) -> Result<()> {
         self.stats.cleaner_runs += 1;
+        let relocated_before = self.stats.blocks_relocated;
         // Fast pass: checkpoint-covered segments with zero live blocks
         // are free for the taking (no relocation, no extra I/O), so
         // reclaim them all regardless of the target.
@@ -67,6 +68,13 @@ impl<D: BlockDevice> Lld<D> {
             };
             self.clean_segment(victim)?;
         }
+        self.obs.event(
+            self.ts_counter,
+            crate::obs::TraceEvent::CleanerPass {
+                free_segments: self.free_slots.len() as u32,
+                blocks_relocated: self.stats.blocks_relocated - relocated_before,
+            },
+        );
         Ok(())
     }
 
@@ -114,7 +122,10 @@ impl<D: BlockDevice> Lld<D> {
     /// records, and frees the slot.
     fn clean_segment(&mut self, victim: SegmentId) -> Result<()> {
         let residents: Vec<BlockId> = {
-            let mut v: Vec<BlockId> = self.residents[victim.get() as usize].iter().copied().collect();
+            let mut v: Vec<BlockId> = self.residents[victim.get() as usize]
+                .iter()
+                .copied()
+                .collect();
             v.sort_unstable();
             v
         };

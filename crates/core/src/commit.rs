@@ -45,6 +45,7 @@ impl<D: BlockDevice> Lld<D> {
         if !self.arus.contains_key(&raw) {
             return Err(LldError::UnknownAru(id));
         }
+        let timer = self.obs.timer();
         match self.concurrency {
             ConcurrencyMode::Sequential => {
                 // "Old" LLD: operations already applied to the committed
@@ -54,9 +55,20 @@ impl<D: BlockDevice> Lld<D> {
                 self.emit(Record::Commit { aru: id, ts })?;
                 self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
                 self.stats.arus_committed += 1;
+                self.obs.aru_commit(raw, ts.get(), timer);
                 Ok(())
             }
-            ConcurrencyMode::Concurrent => self.commit_concurrent(id),
+            ConcurrencyMode::Concurrent => {
+                let res = self.commit_concurrent(id);
+                match &res {
+                    Ok(()) => self.obs.aru_commit(raw, self.ts_counter, timer),
+                    Err(LldError::CommitConflict { .. }) => {
+                        self.obs.aru_conflict(raw, self.ts_counter)
+                    }
+                    Err(_) => {}
+                }
+                res
+            }
         }
     }
 
@@ -81,6 +93,7 @@ impl<D: BlockDevice> Lld<D> {
         }
         self.arus.remove(&id.get());
         self.stats.arus_aborted += 1;
+        self.obs.aru_abort(id.get(), self.ts_counter);
         Ok(())
     }
 
@@ -105,10 +118,7 @@ impl<D: BlockDevice> Lld<D> {
         let mut conflict: Option<String> = None;
         let data_blocks: Vec<BlockId> = self.arus[&raw].shadow_data.keys().copied().collect();
         for b in &data_blocks {
-            if self
-                .committed_view_block(*b)
-                .is_none_or(|r| !r.allocated)
-            {
+            if self.committed_view_block(*b).is_none_or(|r| !r.allocated) {
                 conflict = Some(format!(
                     "buffered write to {b}, which is no longer allocated"
                 ));
@@ -119,13 +129,18 @@ impl<D: BlockDevice> Lld<D> {
             let ops = self.arus[&raw].link_log.clone();
             let temp = AruId::new(self.next_aru_raw);
             self.next_aru_raw += 1;
-            self.arus.insert(temp.get(), Aru::new(temp, Timestamp::ZERO));
+            self.arus
+                .insert(temp.get(), Aru::new(temp, Timestamp::ZERO));
             let mut fb = Vec::new();
             let mut fl = Vec::new();
             for op in &ops {
-                if let Err(e) =
-                    self.apply_list_op(StateRef::Shadow(temp), op, Timestamp::ZERO, &mut fb, &mut fl)
-                {
+                if let Err(e) = self.apply_list_op(
+                    StateRef::Shadow(temp),
+                    op,
+                    Timestamp::ZERO,
+                    &mut fb,
+                    &mut fl,
+                ) {
                     conflict = Some(e.to_string());
                     break;
                 }

@@ -1,4 +1,5 @@
 use crate::error::{LldError, Result};
+use crate::obs::ObsConfig;
 
 /// Whether the logical disk supports *concurrent* atomic recovery units.
 ///
@@ -112,6 +113,9 @@ pub struct LldConfig {
     /// Capacity of the data-block read cache, in blocks (0 disables).
     /// Plays the role of the Minix buffer cache in the paper's stack.
     pub read_cache_blocks: usize,
+    /// Observability: event tracing, latency histograms, and ARU spans
+    /// (default on; see [`ObsConfig::disabled`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for LldConfig {
@@ -126,6 +130,7 @@ impl Default for LldConfig {
             max_lists: None,
             check_on_recovery: true,
             read_cache_blocks: 1024,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -144,7 +149,7 @@ impl LldConfig {
                 self.block_size
             )));
         }
-        if self.segment_bytes % self.block_size != 0 {
+        if !self.segment_bytes.is_multiple_of(self.block_size) {
             return Err(LldError::Config(format!(
                 "segment_bytes {} must be a multiple of block_size {}",
                 self.segment_bytes, self.block_size

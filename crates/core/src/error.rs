@@ -98,16 +98,18 @@ impl fmt::Display for LldError {
                 write!(f, "write of {got} bytes, expected exactly {expected}")
             }
             LldError::CommitConflict { aru, detail } => {
-                write!(f, "commit of {aru} conflicts with committed state: {detail}")
+                write!(
+                    f,
+                    "commit of {aru} conflicts with committed state: {detail}"
+                )
             }
             LldError::DiskFull => write!(f, "logical disk is full"),
             LldError::ArusActive { count } => {
                 write!(f, "operation requires no active ARUs ({count} active)")
             }
-            LldError::AbortUnsupported => write!(
-                f,
-                "sequential ARUs cannot be aborted at run time"
-            ),
+            LldError::AbortUnsupported => {
+                write!(f, "sequential ARUs cannot be aborted at run time")
+            }
             LldError::Corrupt(msg) => write!(f, "on-disk structures are corrupt: {msg}"),
             LldError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -5,6 +5,7 @@
 
 use crate::error::Result;
 use crate::lld::Lld;
+use crate::obs::ObsSnapshot;
 use crate::types::{AruId, BlockId, Ctx, ListId, Position};
 use ld_disk::BlockDevice;
 
@@ -120,6 +121,14 @@ pub trait LogicalDisk {
 
     /// The block size in bytes.
     fn block_size(&self) -> usize;
+
+    /// A bundle of everything observable about the disk, when the
+    /// implementation collects observability data (see
+    /// [`Lld::obs_snapshot`]). The default returns `None` so trait
+    /// implementors without instrumentation need no code.
+    fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        None
+    }
 }
 
 impl<D: BlockDevice> LogicalDisk for Lld<D> {
@@ -158,5 +167,8 @@ impl<D: BlockDevice> LogicalDisk for Lld<D> {
     }
     fn block_size(&self) -> usize {
         Lld::block_size(self)
+    }
+    fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        Some(Lld::obs_snapshot(self))
     }
 }

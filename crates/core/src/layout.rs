@@ -167,7 +167,11 @@ impl Layout {
             return Err(LldError::Corrupt("superblock too short".into()));
         }
         let body = &buf[..SUPERBLOCK_LEN - 4];
-        let stored_crc = u32::from_le_bytes(buf[SUPERBLOCK_LEN - 4..SUPERBLOCK_LEN].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(
+            buf[SUPERBLOCK_LEN - 4..SUPERBLOCK_LEN]
+                .try_into()
+                .expect("4 bytes"),
+        );
         if crc32(body) != stored_crc {
             return Err(LldError::Corrupt("superblock checksum mismatch".into()));
         }
@@ -268,7 +272,9 @@ mod tests {
         assert_eq!(layout.data_start, 512 + 2 * layout.ckpt_area_size);
         // Checkpoint area holds header + entries, block-rounded.
         assert_eq!(layout.ckpt_area_size % 512, 0);
-        assert!(layout.ckpt_area_size >= CKPT_HEADER + 100 * CKPT_BLOCK_ENTRY + 50 * CKPT_LIST_ENTRY);
+        assert!(
+            layout.ckpt_area_size >= CKPT_HEADER + 100 * CKPT_BLOCK_ENTRY + 50 * CKPT_LIST_ENTRY
+        );
     }
 
     #[test]

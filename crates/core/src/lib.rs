@@ -70,6 +70,7 @@ mod error;
 mod interface;
 mod layout;
 mod lld;
+pub mod obs;
 mod ops;
 mod recovery;
 mod segment;
@@ -84,6 +85,9 @@ pub use error::{LldError, Result};
 pub use interface::LogicalDisk;
 pub use layout::Layout;
 pub use lld::Lld;
+pub use obs::{
+    AruSpan, Obs, ObsConfig, ObsSnapshot, SpanOutcome, TraceEntry, TraceEvent, TraceRing,
+};
 pub use recovery::RecoveryReport;
 pub use state::{BlockRecord, ListRecord};
 pub use stats::LldStats;

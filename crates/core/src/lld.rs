@@ -7,6 +7,7 @@ use crate::cache::BlockCache;
 use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 use crate::error::{LldError, Result};
 use crate::layout::{Layout, SUPERBLOCK_LEN};
+use crate::obs::{Obs, ObsSnapshot, TraceEvent};
 use crate::segment::SegmentBuilder;
 use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
 use crate::stats::LldStats;
@@ -117,6 +118,7 @@ pub struct Lld<D> {
     pub(crate) cleaning: bool,
     pub(crate) cache: BlockCache,
     pub(crate) stats: LldStats,
+    pub(crate) obs: Obs,
 }
 
 impl<D: BlockDevice> Lld<D> {
@@ -175,6 +177,7 @@ impl<D: BlockDevice> Lld<D> {
             cleaning: false,
             cache: BlockCache::new(config.read_cache_blocks),
             stats: LldStats::default(),
+            obs: Obs::new(config.obs),
         };
         ld.open_segment(0)?;
         Ok(ld)
@@ -217,6 +220,50 @@ impl<D: BlockDevice> Lld<D> {
     /// Operation counters.
     pub fn stats(&self) -> &LldStats {
         &self.stats
+    }
+
+    /// The observability bundle: trace events, latency histograms, ARU
+    /// lifecycle spans.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Counters and service-time histograms of the underlying device,
+    /// when it collects them (a [`SimDisk`](ld_disk::SimDisk) does;
+    /// plain [`MemDisk`](ld_disk::MemDisk) / `FileDisk` return `None`).
+    pub fn device_stats(&self) -> Option<ld_disk::DiskStatsSnapshot> {
+        self.device.stats_snapshot()
+    }
+
+    /// Captures everything observable about this disk in one bundle:
+    /// LLD counters, device counters, the `lld_read` / `lld_write` /
+    /// `end_aru` / `flush` latency histograms (plus `disk_read` /
+    /// `disk_write` when the device provides them), recent trace
+    /// events, ARU spans, and the recovery report if this disk was
+    /// recovered. `fs_ops` is left empty for a file-system caller to
+    /// fill.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let disk = self.device.stats_snapshot();
+        let mut histograms: Vec<(String, ld_disk::HistogramSnapshot)> = self
+            .obs
+            .histograms()
+            .into_iter()
+            .map(|(n, h)| (n.to_string(), h))
+            .collect();
+        if let Some(d) = &disk {
+            histograms.push(("disk_read".to_string(), d.read_hist));
+            histograms.push(("disk_write".to_string(), d.write_hist));
+        }
+        ObsSnapshot {
+            lld: self.stats,
+            disk,
+            histograms,
+            events: self.obs.ring().entries(),
+            dropped_events: self.obs.ring().dropped(),
+            spans: self.obs.spans(),
+            recovery: self.obs.recovery_report(),
+            fs_ops: Vec::new(),
+        }
     }
 
     /// Resets the operation counters.
@@ -403,6 +450,7 @@ impl<D: BlockDevice> Lld<D> {
                         .cloned()
                         .ok_or(LldError::BlockNotAllocated(id))?;
                     self.stats.shadow_cow_records += 1;
+                    self.obs.span_cow(raw);
                     self.arus
                         .get_mut(&raw)
                         .expect("checked above")
@@ -451,6 +499,7 @@ impl<D: BlockDevice> Lld<D> {
                         .cloned()
                         .ok_or(LldError::ListNotAllocated(id))?;
                     self.stats.shadow_cow_records += 1;
+                    self.obs.span_cow(raw);
                     self.arus
                         .get_mut(&raw)
                         .expect("checked above")
@@ -606,7 +655,12 @@ impl<D: BlockDevice> Lld<D> {
     /// Removes `block` from its list (if any) in state `st`, running the
     /// predecessor search the paper identifies as the dominant deletion
     /// cost.
-    pub(crate) fn unlink_block(&mut self, st: StateRef, block: BlockId, ts: Timestamp) -> Result<()> {
+    pub(crate) fn unlink_block(
+        &mut self,
+        st: StateRef,
+        block: BlockId,
+        ts: Timestamp,
+    ) -> Result<()> {
         let rec = self
             .view_block(st, block)
             .filter(|r| r.allocated)
@@ -675,7 +729,12 @@ impl<D: BlockDevice> Lld<D> {
     /// Marks `block` deallocated in state `st`. In the committed state
     /// this also releases its physical address and decrements the
     /// allocation count; identifier reuse is the caller's decision.
-    pub(crate) fn dealloc_block(&mut self, st: StateRef, block: BlockId, ts: Timestamp) -> Result<()> {
+    pub(crate) fn dealloc_block(
+        &mut self,
+        st: StateRef,
+        block: BlockId,
+        ts: Timestamp,
+    ) -> Result<()> {
         if st == StateRef::Committed {
             let old = self.committed_view_block(block).and_then(|r| r.addr);
             self.adjust_addr(block, old, None);
@@ -715,7 +774,12 @@ impl<D: BlockDevice> Lld<D> {
     /// slot stays available for deletions and cleaning (otherwise a
     /// full log could never be emptied again); space-*reclaiming*
     /// operations pass 0.
-    pub(crate) fn ensure_room(&mut self, blocks: usize, summary: usize, reserve: usize) -> Result<()> {
+    pub(crate) fn ensure_room(
+        &mut self,
+        blocks: usize,
+        summary: usize,
+        reserve: usize,
+    ) -> Result<()> {
         let fits = match &self.builder {
             Some(b) => b.fits(blocks, summary),
             None => false,
@@ -761,12 +825,23 @@ impl<D: BlockDevice> Lld<D> {
                 Ok(false)
             }
             Some(b) => {
+                let seal_seq = b.seq();
+                let seal_blocks = b.n_blocks();
                 let bytes = b.seal();
                 let slot = b.slot().get();
                 self.device
                     .write_at(self.layout.segment_offset(slot), &bytes)?;
                 self.slot_seq[slot as usize] = b.seq();
                 self.stats.segments_sealed += 1;
+                self.obs.event(
+                    self.ts_counter,
+                    TraceEvent::SegmentSeal {
+                        segment: slot,
+                        seq: seal_seq,
+                        blocks: seal_blocks,
+                        bytes: bytes.len() as u64,
+                    },
+                );
                 // Committed → persistent transition: every committed
                 // alternative record's summary entry is now on disk.
                 self.stats.committed_records_drained += self.committed.len() as u64;
@@ -876,16 +951,13 @@ impl<D: BlockDevice> Lld<D> {
             return Ok(());
         }
         self.stats.cache_misses += 1;
-        self.device
-            .read_at(self.layout.block_offset(addr), buf)?;
+        self.device.read_at(self.layout.block_offset(addr), buf)?;
         self.cache.insert(addr, buf);
         Ok(())
     }
 
     /// Reads the superblock of a formatted device.
-    pub(crate) fn read_superblock(
-        device: &D,
-    ) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+    pub(crate) fn read_superblock(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
         let mut buf = [0u8; SUPERBLOCK_LEN];
         device.read_at(0, &mut buf)?;
         Layout::decode_superblock(&buf)

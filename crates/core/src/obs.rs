@@ -1,0 +1,1210 @@
+//! Observability: structured event tracing, latency histograms, ARU
+//! lifecycle spans, and the [`ObsSnapshot`] stats surface.
+//!
+//! The paper's evaluation is entirely about making LLD costs visible —
+//! segment writes, commit-record flushes, list-walk overhead. This
+//! module is the measurement substrate: every [`Lld`](crate::Lld)
+//! carries an [`Obs`] that records
+//!
+//! * typed **trace events** ([`TraceEvent`]) in a bounded ring buffer
+//!   ([`TraceRing`]) — ARU begin/commit/abort/conflict, segment seal,
+//!   flush, cleaner pass, checkpoint, recovery scan — each stamped with
+//!   a monotonic sequence number and the logical timestamp;
+//! * **latency histograms** ([`LatencyHistogram`], 64 log₂ buckets)
+//!   for the hot LLD paths (`read`, `write`, `end_aru`, `flush`, wall
+//!   time) — the device layer keeps its own in
+//!   [`DiskStatsSnapshot`](ld_disk::DiskStatsSnapshot) (modeled service
+//!   time);
+//! * per-ARU **lifecycle spans** ([`AruSpan`]): begin/end logical time,
+//!   wall duration, operations contained, shadow copy-on-write records,
+//!   and outcome.
+//!
+//! Everything is bundled by [`Lld::obs_snapshot`](crate::Lld::obs_snapshot)
+//! into an [`ObsSnapshot`] that renders as a human table (`Display`)
+//! or JSON ([`ObsSnapshot::to_json`] — hand-rolled, the workspace has
+//! no serde). Instrumentation is on by default and can be disabled at
+//! format time with [`ObsConfig::disabled()`]; disabled, every hook is
+//! a single branch.
+
+use crate::recovery::RecoveryReport;
+use crate::stats::LldStats;
+use ld_disk::{DiskStatsSnapshot, HistogramSnapshot, LatencyHistogram, Mutex};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Configuration
+// ----------------------------------------------------------------------
+
+/// Observability configuration, fixed when the logical disk is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. Off, every instrumentation hook reduces to one
+    /// branch and the snapshot contains only the plain counters.
+    pub enabled: bool,
+    /// Capacity of the trace-event ring buffer; older events are
+    /// dropped (and counted) once it is full.
+    pub ring_capacity: usize,
+    /// Number of *finished* ARU spans retained, newest first.
+    pub max_spans: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 1024,
+            max_spans: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Instrumentation fully off (counters in [`LldStats`] still run).
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Trace events
+// ----------------------------------------------------------------------
+
+/// One structured trace event. Identifiers are raw (`u64`/`u32`) so the
+/// payload stays `Copy` and serialization stays trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// `BeginARU` returned a new ARU.
+    AruBegin {
+        /// Raw ARU id.
+        aru: u64,
+    },
+    /// `EndARU` committed the ARU.
+    AruCommit {
+        /// Raw ARU id.
+        aru: u64,
+        /// Operations executed inside the ARU.
+        ops: u64,
+        /// Shadow copy-on-write records the ARU accumulated.
+        cow_records: u64,
+    },
+    /// `AbortARU` discarded the ARU's shadow state.
+    AruAbort {
+        /// Raw ARU id.
+        aru: u64,
+    },
+    /// `EndARU` failed with a commit conflict; the ARU was aborted.
+    AruConflict {
+        /// Raw ARU id.
+        aru: u64,
+    },
+    /// A filled segment was sealed and written to the device.
+    SegmentSeal {
+        /// Physical segment slot.
+        segment: u32,
+        /// Log sequence number of the sealed segment.
+        seq: u64,
+        /// Data blocks in the segment.
+        blocks: u32,
+        /// Total bytes written (header + data + summary).
+        bytes: u64,
+    },
+    /// `Flush` completed: commit records are durable.
+    Flush {
+        /// Segments sealed so far (after this flush).
+        segments_sealed: u64,
+    },
+    /// The cleaner finished a pass.
+    CleanerPass {
+        /// Free segment slots after the pass.
+        free_segments: u32,
+        /// Cumulative blocks relocated (after the pass).
+        blocks_relocated: u64,
+    },
+    /// A checkpoint was written.
+    Checkpoint {
+        /// Highest segment sequence number the checkpoint covers.
+        covered_seq: u64,
+        /// Payload bytes written.
+        bytes: u64,
+    },
+    /// Recovery finished its log scan.
+    RecoveryScan {
+        /// Segment slots examined.
+        segments_scanned: u32,
+        /// Valid segments replayed.
+        segments_replayed: u32,
+        /// Summary records applied.
+        records_applied: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event type (used by JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::AruBegin { .. } => "aru_begin",
+            TraceEvent::AruCommit { .. } => "aru_commit",
+            TraceEvent::AruAbort { .. } => "aru_abort",
+            TraceEvent::AruConflict { .. } => "aru_conflict",
+            TraceEvent::SegmentSeal { .. } => "segment_seal",
+            TraceEvent::Flush { .. } => "flush",
+            TraceEvent::CleanerPass { .. } => "cleaner_pass",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::RecoveryScan { .. } => "recovery_scan",
+        }
+    }
+}
+
+/// A trace event with its ring metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Monotonic sequence number (never reused, survives wraparound).
+    pub seq: u64,
+    /// Logical timestamp (the LLD operation clock) when recorded.
+    pub ts: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    entries: VecDeque<TraceEntry>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values.
+///
+/// Recording takes a short mutex critical section (push + counter);
+/// when full, the oldest entry is dropped and counted. Entries come
+/// back in sequence order.
+///
+/// # Example
+///
+/// ```
+/// use ld_core::obs::{TraceEvent, TraceRing};
+///
+/// let ring = TraceRing::new(2);
+/// ring.record(1, TraceEvent::AruBegin { aru: 1 });
+/// ring.record(2, TraceEvent::AruBegin { aru: 2 });
+/// ring.record(3, TraceEvent::AruAbort { aru: 1 }); // evicts seq 0
+/// let entries = ring.entries();
+/// assert_eq!(entries.len(), 2);
+/// assert_eq!(entries[0].seq, 1);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn record(&self, ts: u64, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(TraceEntry { seq, ts, event });
+    }
+
+    /// The retained entries, oldest first (ascending `seq`).
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.inner.lock().entries.iter().copied().collect()
+    }
+
+    /// Number of entries evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+// ----------------------------------------------------------------------
+// ARU lifecycle spans
+// ----------------------------------------------------------------------
+
+/// How an ARU's life ended (or that it has not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Still running.
+    Active,
+    /// Committed by `EndARU`.
+    Committed,
+    /// Aborted explicitly by `AbortARU`.
+    Aborted,
+    /// Aborted by `EndARU` because of a commit conflict.
+    Conflicted,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanOutcome::Active => "active",
+            SpanOutcome::Committed => "committed",
+            SpanOutcome::Aborted => "aborted",
+            SpanOutcome::Conflicted => "conflicted",
+        }
+    }
+}
+
+/// The lifecycle record of one ARU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AruSpan {
+    /// Raw ARU id.
+    pub aru: u64,
+    /// Logical timestamp at `BeginARU`.
+    pub begin_ts: u64,
+    /// Logical timestamp at `EndARU`/`AbortARU` (`None` while active).
+    pub end_ts: Option<u64>,
+    /// Wall-clock duration from begin to end, in nanoseconds (`None`
+    /// while active).
+    pub wall_nanos: Option<u64>,
+    /// LD operations executed in the ARU's context.
+    pub ops: u64,
+    /// Shadow copy-on-write records created for the ARU.
+    pub cow_records: u64,
+    /// How the ARU ended.
+    pub outcome: SpanOutcome,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    begin_ts: u64,
+    started: Instant,
+    ops: u64,
+    cow_records: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpanTable {
+    active: BTreeMap<u64, ActiveSpan>,
+    finished: VecDeque<AruSpan>,
+}
+
+// ----------------------------------------------------------------------
+// Obs: the per-Lld instrumentation bundle
+// ----------------------------------------------------------------------
+
+/// The instrumentation attached to one logical disk: trace ring, LLD
+/// latency histograms, ARU spans, and the last recovery report.
+///
+/// All methods take `&self` (interior mutability), so hooks can run
+/// while the `Lld` itself is mutably borrowed. Every hook first checks
+/// the enabled flag.
+#[derive(Debug)]
+pub struct Obs {
+    cfg: ObsConfig,
+    ring: TraceRing,
+    lld_read: LatencyHistogram,
+    lld_write: LatencyHistogram,
+    end_aru: LatencyHistogram,
+    flush: LatencyHistogram,
+    spans: Mutex<SpanTable>,
+    recovery: Mutex<Option<RecoveryReport>>,
+}
+
+impl Obs {
+    /// Builds the instrumentation bundle for one logical disk.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Obs {
+            ring: TraceRing::new(cfg.ring_capacity),
+            cfg,
+            lld_read: LatencyHistogram::new(),
+            lld_write: LatencyHistogram::new(),
+            end_aru: LatencyHistogram::new(),
+            flush: LatencyHistogram::new(),
+            spans: Mutex::new(SpanTable::default()),
+            recovery: Mutex::new(None),
+        }
+    }
+
+    /// Whether instrumentation is recording.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The configuration this bundle was built with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.cfg
+    }
+
+    /// The trace-event ring.
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Starts a wall-clock timer for a hot-path operation (`None` when
+    /// disabled, making the whole measurement free).
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.cfg.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    fn elapsed_nanos(timer: Option<Instant>) -> Option<u64> {
+        timer.map(|t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Records a raw event (gated on the enabled flag).
+    #[inline]
+    pub fn event(&self, ts: u64, event: TraceEvent) {
+        if self.cfg.enabled {
+            self.ring.record(ts, event);
+        }
+    }
+
+    // ---- hot-path hooks ----------------------------------------------
+
+    /// Completes a timed `read` operation.
+    #[inline]
+    pub(crate) fn read_done(&self, timer: Option<Instant>) {
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.lld_read.record(n);
+        }
+    }
+
+    /// Completes a timed `write` operation.
+    #[inline]
+    pub(crate) fn write_done(&self, timer: Option<Instant>) {
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.lld_write.record(n);
+        }
+    }
+
+    /// Completes a timed `flush`, emitting the flush event.
+    pub(crate) fn flush_done(&self, ts: u64, segments_sealed: u64, timer: Option<Instant>) {
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.flush.record(n);
+            self.ring.record(ts, TraceEvent::Flush { segments_sealed });
+        }
+    }
+
+    // ---- ARU lifecycle -----------------------------------------------
+
+    /// `BeginARU`: opens a span and records the event.
+    pub(crate) fn aru_begin(&self, aru: u64, ts: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.ring.record(ts, TraceEvent::AruBegin { aru });
+        self.spans.lock().active.insert(
+            aru,
+            ActiveSpan {
+                begin_ts: ts,
+                started: Instant::now(),
+                ops: 0,
+                cow_records: 0,
+            },
+        );
+    }
+
+    /// Counts one LD operation executed in an ARU's context.
+    #[inline]
+    pub(crate) fn span_op(&self, aru: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(s) = self.spans.lock().active.get_mut(&aru) {
+            s.ops += 1;
+        }
+    }
+
+    /// Counts one shadow copy-on-write record created for an ARU.
+    #[inline]
+    pub(crate) fn span_cow(&self, aru: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(s) = self.spans.lock().active.get_mut(&aru) {
+            s.cow_records += 1;
+        }
+    }
+
+    fn span_end(&self, aru: u64, ts: u64, outcome: SpanOutcome) -> Option<AruSpan> {
+        let mut table = self.spans.lock();
+        let active = table.active.remove(&aru)?;
+        let span = AruSpan {
+            aru,
+            begin_ts: active.begin_ts,
+            end_ts: Some(ts),
+            wall_nanos: Some(active.started.elapsed().as_nanos() as u64),
+            ops: active.ops,
+            cow_records: active.cow_records,
+            outcome,
+        };
+        if table.finished.len() == self.cfg.max_spans.max(1) {
+            table.finished.pop_front();
+        }
+        table.finished.push_back(span);
+        Some(span)
+    }
+
+    /// `EndARU` success: closes the span, records commit latency and
+    /// the commit event.
+    pub(crate) fn aru_commit(&self, aru: u64, ts: u64, timer: Option<Instant>) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.end_aru.record(n);
+        }
+        let span = self.span_end(aru, ts, SpanOutcome::Committed);
+        self.ring.record(
+            ts,
+            TraceEvent::AruCommit {
+                aru,
+                ops: span.map_or(0, |s| s.ops),
+                cow_records: span.map_or(0, |s| s.cow_records),
+            },
+        );
+    }
+
+    /// `AbortARU`: closes the span and records the event.
+    pub(crate) fn aru_abort(&self, aru: u64, ts: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.span_end(aru, ts, SpanOutcome::Aborted);
+        self.ring.record(ts, TraceEvent::AruAbort { aru });
+    }
+
+    /// `EndARU` conflict: closes the span and records the event.
+    pub(crate) fn aru_conflict(&self, aru: u64, ts: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.span_end(aru, ts, SpanOutcome::Conflicted);
+        self.ring.record(ts, TraceEvent::AruConflict { aru });
+    }
+
+    // ---- recovery report ---------------------------------------------
+
+    /// Stores the report of the recovery that produced this disk and
+    /// records the scan event.
+    pub(crate) fn recovery_done(&self, ts: u64, report: &RecoveryReport) {
+        if self.cfg.enabled {
+            self.ring.record(
+                ts,
+                TraceEvent::RecoveryScan {
+                    segments_scanned: report.segments_scanned,
+                    segments_replayed: report.segments_replayed,
+                    records_applied: report.records_applied,
+                },
+            );
+        }
+        *self.recovery.lock() = Some(report.clone());
+    }
+
+    /// The report of the recovery that produced this disk, if any.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.lock().clone()
+    }
+
+    // ---- snapshot accessors ------------------------------------------
+
+    /// All finished spans (oldest first) followed by active ones.
+    pub fn spans(&self) -> Vec<AruSpan> {
+        let table = self.spans.lock();
+        let mut out: Vec<AruSpan> = table.finished.iter().copied().collect();
+        for (&aru, s) in &table.active {
+            out.push(AruSpan {
+                aru,
+                begin_ts: s.begin_ts,
+                end_ts: None,
+                wall_nanos: None,
+                ops: s.ops,
+                cow_records: s.cow_records,
+                outcome: SpanOutcome::Active,
+            });
+        }
+        out
+    }
+
+    /// Snapshot of the LLD-layer latency histograms as
+    /// `(name, snapshot)` pairs: `lld_read`, `lld_write`, `end_aru`,
+    /// `flush`.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("lld_read", self.lld_read.snapshot()),
+            ("lld_write", self.lld_write.snapshot()),
+            ("end_aru", self.end_aru.snapshot()),
+            ("flush", self.flush.snapshot()),
+        ]
+    }
+}
+
+// ----------------------------------------------------------------------
+// ObsSnapshot
+// ----------------------------------------------------------------------
+
+/// A self-contained bundle of everything observable about one logical
+/// disk at one instant: operation counters, device counters, latency
+/// histograms, recent trace events, ARU spans, the last recovery
+/// report, and (optionally) file-system syscall counters.
+///
+/// Produced by [`Lld::obs_snapshot`](crate::Lld::obs_snapshot); renders
+/// as a human table via `Display` and as JSON via
+/// [`ObsSnapshot::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsSnapshot {
+    /// LLD operation counters.
+    pub lld: LldStats,
+    /// Device counters and service-time histograms, when the device
+    /// collects them (a [`SimDisk`](ld_disk::SimDisk) does).
+    pub disk: Option<DiskStatsSnapshot>,
+    /// Named latency histograms: `lld_read`, `lld_write`, `end_aru`,
+    /// `flush` (wall time), plus `disk_read` / `disk_write` (modeled
+    /// service time) when the device provides them.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Recent trace events, in sequence order.
+    pub events: Vec<TraceEntry>,
+    /// Events evicted from the ring by wraparound.
+    pub dropped_events: u64,
+    /// ARU lifecycle spans (finished, then active).
+    pub spans: Vec<AruSpan>,
+    /// The report of the recovery that produced this disk, if it was
+    /// recovered rather than formatted.
+    pub recovery: Option<RecoveryReport>,
+    /// Optional per-syscall counters of a file system mounted on this
+    /// disk, as `(name, count)` pairs (filled by the caller that owns
+    /// the file system — the core crate does not know about clients).
+    pub fs_ops: Vec<(String, u64)>,
+}
+
+impl ObsSnapshot {
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = json::Obj::new();
+        o.raw("lld", &lld_stats_json(&self.lld));
+        match &self.disk {
+            Some(d) => o.raw("disk", &disk_stats_json(d)),
+            None => o.null("disk"),
+        };
+        let mut hists = json::Obj::new();
+        for (name, h) in &self.histograms {
+            hists.raw(name, &histogram_json(h));
+        }
+        o.raw("histograms", &hists.finish());
+        let mut events = json::Arr::new();
+        for e in &self.events {
+            events.push_raw(&trace_entry_json(e));
+        }
+        o.raw("events", &events.finish());
+        o.u64("dropped_events", self.dropped_events);
+        let mut spans = json::Arr::new();
+        for s in &self.spans {
+            spans.push_raw(&span_json(s));
+        }
+        o.raw("spans", &spans.finish());
+        match &self.recovery {
+            Some(r) => o.raw("recovery", &recovery_json(r)),
+            None => o.null("recovery"),
+        };
+        let mut fs = json::Obj::new();
+        for (name, v) in &self.fs_ops {
+            fs.u64(name, *v);
+        }
+        o.raw("fs_ops", &fs.finish());
+        o.finish()
+    }
+}
+
+fn lld_stats_json(s: &LldStats) -> String {
+    let mut o = json::Obj::new();
+    o.u64("reads", s.reads);
+    o.u64("writes", s.writes);
+    o.u64("new_blocks", s.new_blocks);
+    o.u64("delete_blocks", s.delete_blocks);
+    o.u64("new_lists", s.new_lists);
+    o.u64("delete_lists", s.delete_lists);
+    o.u64("arus_begun", s.arus_begun);
+    o.u64("arus_committed", s.arus_committed);
+    o.u64("arus_aborted", s.arus_aborted);
+    o.u64("commit_conflicts", s.commit_conflicts);
+    o.u64("segments_sealed", s.segments_sealed);
+    o.u64("records_emitted", s.records_emitted);
+    o.u64("summary_bytes", s.summary_bytes);
+    o.u64("data_blocks_written", s.data_blocks_written);
+    o.u64("blocks_relocated", s.blocks_relocated);
+    o.u64("cleaner_runs", s.cleaner_runs);
+    o.u64("checkpoints", s.checkpoints);
+    o.u64("list_walk_steps", s.list_walk_steps);
+    o.u64("shadow_cow_records", s.shadow_cow_records);
+    o.u64("shadow_records_merged", s.shadow_records_merged);
+    o.u64("committed_records_drained", s.committed_records_drained);
+    o.u64("cache_hits", s.cache_hits);
+    o.u64("cache_misses", s.cache_misses);
+    o.finish()
+}
+
+fn disk_stats_json(d: &DiskStatsSnapshot) -> String {
+    let mut o = json::Obj::new();
+    o.u64("reads", d.reads);
+    o.u64("writes", d.writes);
+    o.u64("bytes_read", d.bytes_read);
+    o.u64("bytes_written", d.bytes_written);
+    o.u64("flushes", d.flushes);
+    o.u64("sequential_writes", d.sequential_writes);
+    o.u64("sequential_reads", d.sequential_reads);
+    o.u64("busy_nanos", d.busy.as_nanos() as u64);
+    o.finish()
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut o = json::Obj::new();
+    o.u64("count", h.count);
+    o.u64("sum", h.sum);
+    o.u64("max", h.max);
+    o.u64("mean", h.mean());
+    o.u64("p50", h.p50());
+    o.u64("p90", h.p90());
+    o.u64("p99", h.p99());
+    let mut buckets = json::Arr::new();
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            buckets.push_raw(&format!("[{i},{n}]"));
+        }
+    }
+    o.raw("buckets", &buckets.finish());
+    o.finish()
+}
+
+fn trace_entry_json(e: &TraceEntry) -> String {
+    let mut o = json::Obj::new();
+    o.u64("seq", e.seq);
+    o.u64("ts", e.ts);
+    o.str("type", e.event.kind());
+    match e.event {
+        TraceEvent::AruBegin { aru }
+        | TraceEvent::AruAbort { aru }
+        | TraceEvent::AruConflict { aru } => {
+            o.u64("aru", aru);
+        }
+        TraceEvent::AruCommit {
+            aru,
+            ops,
+            cow_records,
+        } => {
+            o.u64("aru", aru);
+            o.u64("ops", ops);
+            o.u64("cow_records", cow_records);
+        }
+        TraceEvent::SegmentSeal {
+            segment,
+            seq,
+            blocks,
+            bytes,
+        } => {
+            o.u64("segment", segment as u64);
+            o.u64("segment_seq", seq);
+            o.u64("blocks", blocks as u64);
+            o.u64("bytes", bytes);
+        }
+        TraceEvent::Flush { segments_sealed } => {
+            o.u64("segments_sealed", segments_sealed);
+        }
+        TraceEvent::CleanerPass {
+            free_segments,
+            blocks_relocated,
+        } => {
+            o.u64("free_segments", free_segments as u64);
+            o.u64("blocks_relocated", blocks_relocated);
+        }
+        TraceEvent::Checkpoint { covered_seq, bytes } => {
+            o.u64("covered_seq", covered_seq);
+            o.u64("bytes", bytes);
+        }
+        TraceEvent::RecoveryScan {
+            segments_scanned,
+            segments_replayed,
+            records_applied,
+        } => {
+            o.u64("segments_scanned", segments_scanned as u64);
+            o.u64("segments_replayed", segments_replayed as u64);
+            o.u64("records_applied", records_applied);
+        }
+    }
+    o.finish()
+}
+
+fn span_json(s: &AruSpan) -> String {
+    let mut o = json::Obj::new();
+    o.u64("aru", s.aru);
+    o.u64("begin_ts", s.begin_ts);
+    match s.end_ts {
+        Some(v) => o.u64("end_ts", v),
+        None => o.null("end_ts"),
+    };
+    match s.wall_nanos {
+        Some(v) => o.u64("wall_nanos", v),
+        None => o.null("wall_nanos"),
+    };
+    o.u64("ops", s.ops);
+    o.u64("cow_records", s.cow_records);
+    o.str("outcome", s.outcome.as_str());
+    o.finish()
+}
+
+fn recovery_json(r: &RecoveryReport) -> String {
+    let mut o = json::Obj::new();
+    o.u64("checkpoint_seq", r.checkpoint_seq);
+    o.u64("segments_scanned", r.segments_scanned as u64);
+    o.u64("segments_replayed", r.segments_replayed as u64);
+    o.u64("torn_tails_detected", r.torn_tails_detected as u64);
+    o.u64("records_applied", r.records_applied);
+    o.u64("committed_arus", r.committed_arus);
+    o.u64("discarded_arus", r.discarded_arus);
+    o.u64("discarded_records", r.discarded_records);
+    o.u64("ignored_after_gap", r.ignored_after_gap as u64);
+    o.u64("orphan_blocks_freed", r.orphan_blocks_freed as u64);
+    o.finish()
+}
+
+impl fmt::Display for ObsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "LLD counters")?;
+        let s = &self.lld;
+        for (name, v) in [
+            ("reads", s.reads),
+            ("writes", s.writes),
+            ("new_blocks", s.new_blocks),
+            ("delete_blocks", s.delete_blocks),
+            ("new_lists", s.new_lists),
+            ("delete_lists", s.delete_lists),
+            ("arus_begun", s.arus_begun),
+            ("arus_committed", s.arus_committed),
+            ("arus_aborted", s.arus_aborted),
+            ("commit_conflicts", s.commit_conflicts),
+            ("segments_sealed", s.segments_sealed),
+            ("records_emitted", s.records_emitted),
+            ("summary_bytes", s.summary_bytes),
+            ("data_blocks_written", s.data_blocks_written),
+            ("blocks_relocated", s.blocks_relocated),
+            ("cleaner_runs", s.cleaner_runs),
+            ("checkpoints", s.checkpoints),
+            ("list_walk_steps", s.list_walk_steps),
+            ("shadow_cow_records", s.shadow_cow_records),
+            ("shadow_records_merged", s.shadow_records_merged),
+            ("committed_records_drained", s.committed_records_drained),
+            ("cache_hits", s.cache_hits),
+            ("cache_misses", s.cache_misses),
+        ] {
+            writeln!(f, "  {name:<28} {v}")?;
+        }
+        if let Some(d) = &self.disk {
+            writeln!(f, "Disk")?;
+            writeln!(f, "  {:<28} {}", "reads", d.reads)?;
+            writeln!(f, "  {:<28} {}", "writes", d.writes)?;
+            writeln!(f, "  {:<28} {}", "bytes_read", d.bytes_read)?;
+            writeln!(f, "  {:<28} {}", "bytes_written", d.bytes_written)?;
+            writeln!(f, "  {:<28} {}", "flushes", d.flushes)?;
+            writeln!(f, "  {:<28} {}", "sequential_writes", d.sequential_writes)?;
+            writeln!(f, "  {:<28} {}", "sequential_reads", d.sequential_reads)?;
+            writeln!(f, "  {:<28} {:?}", "busy", d.busy)?;
+        }
+        writeln!(f, "Latency histograms (ns)")?;
+        writeln!(
+            f,
+            "  {:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        )?;
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            )?;
+        }
+        if let Some(r) = &self.recovery {
+            writeln!(f, "Recovery")?;
+            writeln!(f, "  {:<28} {}", "checkpoint_seq", r.checkpoint_seq)?;
+            writeln!(f, "  {:<28} {}", "segments_scanned", r.segments_scanned)?;
+            writeln!(f, "  {:<28} {}", "segments_replayed", r.segments_replayed)?;
+            writeln!(
+                f,
+                "  {:<28} {}",
+                "torn_tails_detected", r.torn_tails_detected
+            )?;
+            writeln!(f, "  {:<28} {}", "records_applied", r.records_applied)?;
+            writeln!(f, "  {:<28} {}", "committed_arus", r.committed_arus)?;
+            writeln!(f, "  {:<28} {}", "discarded_arus", r.discarded_arus)?;
+            writeln!(f, "  {:<28} {}", "discarded_records", r.discarded_records)?;
+            writeln!(f, "  {:<28} {}", "ignored_after_gap", r.ignored_after_gap)?;
+            writeln!(
+                f,
+                "  {:<28} {}",
+                "orphan_blocks_freed", r.orphan_blocks_freed
+            )?;
+        }
+        if !self.fs_ops.is_empty() {
+            writeln!(f, "File system")?;
+            for (name, v) in &self.fs_ops {
+                writeln!(f, "  {name:<28} {v}")?;
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "ARU spans")?;
+            writeln!(
+                f,
+                "  {:>6} {:<10} {:>6} {:>6} {:>12}",
+                "aru", "outcome", "ops", "cow", "wall_ns"
+            )?;
+            for s in &self.spans {
+                writeln!(
+                    f,
+                    "  {:>6} {:<10} {:>6} {:>6} {:>12}",
+                    s.aru,
+                    s.outcome.as_str(),
+                    s.ops,
+                    s.cow_records,
+                    s.wall_nanos.map_or("-".to_string(), |n| n.to_string())
+                )?;
+            }
+        }
+        if !self.events.is_empty() {
+            writeln!(f, "Trace events ({} dropped)", self.dropped_events)?;
+            for e in &self.events {
+                writeln!(f, "  #{:<6} ts={:<8} {:?}", e.seq, e.ts, e.event)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON emission (the workspace has no serde)
+// ----------------------------------------------------------------------
+
+/// Tiny JSON writers: enough to emit objects and arrays of numbers,
+/// strings, and pre-rendered values. Keys and strings are escaped per
+/// RFC 8259.
+pub mod json {
+    /// Escapes `s` for inclusion in a JSON string literal (without the
+    /// surrounding quotes).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// An incremental JSON object writer.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        buf: String,
+    }
+
+    impl Obj {
+        /// Starts an empty object.
+        pub fn new() -> Self {
+            Obj::default()
+        }
+
+        fn key(&mut self, k: &str) {
+            if !self.buf.is_empty() {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            self.buf.push_str(&escape(k));
+            self.buf.push_str("\":");
+        }
+
+        /// Adds an unsigned integer field.
+        pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+            self.key(k);
+            self.buf.push_str(&v.to_string());
+            self
+        }
+
+        /// Adds a finite float field (`null` for NaN/infinity).
+        pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+            self.key(k);
+            if v.is_finite() {
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+            self
+        }
+
+        /// Adds a boolean field.
+        pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+            self.key(k);
+            self.buf.push_str(if v { "true" } else { "false" });
+            self
+        }
+
+        /// Adds a string field.
+        pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+            self.key(k);
+            self.buf.push('"');
+            self.buf.push_str(&escape(v));
+            self.buf.push('"');
+            self
+        }
+
+        /// Adds a `null` field.
+        pub fn null(&mut self, k: &str) -> &mut Self {
+            self.key(k);
+            self.buf.push_str("null");
+            self
+        }
+
+        /// Adds a pre-rendered JSON value.
+        pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+            self.key(k);
+            self.buf.push_str(v);
+            self
+        }
+
+        /// Closes the object and returns the JSON text.
+        pub fn finish(&self) -> String {
+            format!("{{{}}}", self.buf)
+        }
+    }
+
+    /// An incremental JSON array writer.
+    #[derive(Debug, Default)]
+    pub struct Arr {
+        buf: String,
+    }
+
+    impl Arr {
+        /// Starts an empty array.
+        pub fn new() -> Self {
+            Arr::default()
+        }
+
+        fn sep(&mut self) {
+            if !self.buf.is_empty() {
+                self.buf.push(',');
+            }
+        }
+
+        /// Appends an unsigned integer element.
+        pub fn push_u64(&mut self, v: u64) -> &mut Self {
+            self.sep();
+            self.buf.push_str(&v.to_string());
+            self
+        }
+
+        /// Appends a string element.
+        pub fn push_str(&mut self, v: &str) -> &mut Self {
+            self.sep();
+            self.buf.push('"');
+            self.buf.push_str(&escape(v));
+            self.buf.push('"');
+            self
+        }
+
+        /// Appends a pre-rendered JSON value.
+        pub fn push_raw(&mut self, v: &str) -> &mut Self {
+            self.sep();
+            self.buf.push_str(v);
+            self
+        }
+
+        /// Closes the array and returns the JSON text.
+        pub fn finish(&self) -> String {
+            format!("[{}]", self.buf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record(i, TraceEvent::AruBegin { aru: i });
+        }
+        let entries = ring.entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        // Sequence numbers stay attached to their event.
+        for e in &entries {
+            assert_eq!(e.event, TraceEvent::AruBegin { aru: e.seq });
+        }
+    }
+
+    #[test]
+    fn ring_concurrent_writers() {
+        let ring = std::sync::Arc::new(TraceRing::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(i, TraceEvent::AruBegin { aru: t });
+                    }
+                });
+            }
+        });
+        let entries = ring.entries();
+        assert_eq!(entries.len(), 64);
+        assert_eq!(ring.dropped(), 400 - 64);
+        // Entries come back in strictly increasing, contiguous order.
+        for w in entries.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(entries.last().unwrap().seq, 399);
+    }
+
+    #[test]
+    fn spans_track_lifecycle() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.aru_begin(7, 100);
+        obs.span_op(7);
+        obs.span_op(7);
+        obs.span_cow(7);
+        obs.aru_commit(7, 105, obs.timer());
+        obs.aru_begin(8, 110);
+        obs.aru_abort(8, 111);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].aru, 7);
+        assert_eq!(spans[0].ops, 2);
+        assert_eq!(spans[0].cow_records, 1);
+        assert_eq!(spans[0].outcome, SpanOutcome::Committed);
+        assert_eq!(spans[0].end_ts, Some(105));
+        assert!(spans[0].wall_nanos.is_some());
+        assert_eq!(spans[1].outcome, SpanOutcome::Aborted);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = Obs::new(ObsConfig::disabled());
+        assert!(obs.timer().is_none());
+        obs.aru_begin(1, 1);
+        obs.span_op(1);
+        obs.aru_commit(1, 2, None);
+        obs.event(3, TraceEvent::Flush { segments_sealed: 1 });
+        assert!(obs.ring().is_empty());
+        assert!(obs.spans().is_empty());
+        for (_, h) in obs.histograms() {
+            assert!(h.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::escape("\u{1}"), "\\u0001");
+        let mut o = json::Obj::new();
+        o.str("k\"ey", "v\nal");
+        o.u64("n", 3);
+        o.bool("b", true);
+        o.null("z");
+        assert_eq!(
+            o.finish(),
+            "{\"k\\\"ey\":\"v\\nal\",\"n\":3,\"b\":true,\"z\":null}"
+        );
+        let mut a = json::Arr::new();
+        a.push_u64(1).push_str("x").push_raw("{}");
+        assert_eq!(a.finish(), "[1,\"x\",{}]");
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.aru_begin(1, 10);
+        obs.aru_commit(1, 12, obs.timer());
+        let snap = ObsSnapshot {
+            lld: LldStats::default(),
+            disk: None,
+            histograms: obs
+                .histograms()
+                .into_iter()
+                .map(|(n, h)| (n.to_string(), h))
+                .collect(),
+            events: obs.ring().entries(),
+            dropped_events: obs.ring().dropped(),
+            spans: obs.spans(),
+            recovery: None,
+            fs_ops: vec![("files_created".into(), 2)],
+        };
+        let j = snap.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"lld\":{"));
+        assert!(j.contains("\"disk\":null"));
+        assert!(j.contains("\"end_aru\":{"));
+        assert!(j.contains("\"type\":\"aru_begin\""));
+        assert!(j.contains("\"type\":\"aru_commit\""));
+        assert!(j.contains("\"outcome\":\"committed\""));
+        assert!(j.contains("\"files_created\":2"));
+        // Display renders without panicking and mentions the sections.
+        let text = snap.to_string();
+        assert!(text.contains("LLD counters"));
+        assert!(text.contains("Latency histograms"));
+    }
+}

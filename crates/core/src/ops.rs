@@ -48,6 +48,7 @@ impl<D: BlockDevice> Lld<D> {
                 if !self.arus.contains_key(&id.get()) {
                     return Err(LldError::UnknownAru(id));
                 }
+                self.obs.span_op(id.get());
                 match self.concurrency {
                     ConcurrencyMode::Sequential => Ok(Stream::Merged(Some(id))),
                     ConcurrencyMode::Concurrent => Ok(Stream::Shadow(id)),
@@ -76,6 +77,7 @@ impl<D: BlockDevice> Lld<D> {
         self.next_aru_raw += 1;
         self.arus.insert(id.get(), Aru::new(id, ts));
         self.stats.arus_begun += 1;
+        self.obs.aru_begin(id.get(), ts.get());
         Ok(id)
     }
 
@@ -242,7 +244,14 @@ impl<D: BlockDevice> Lld<D> {
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.unlink_block(StateRef::Committed, block, ts)?;
                 self.dealloc_block(StateRef::Committed, block, ts)?;
-                self.emit_reserve(Record::DeleteBlock { block, ts, aru: tag }, 0)?;
+                self.emit_reserve(
+                    Record::DeleteBlock {
+                        block,
+                        ts,
+                        aru: tag,
+                    },
+                    0,
+                )?;
                 match tag {
                     None => {
                         self.free_blocks.insert(block.get());
@@ -288,6 +297,7 @@ impl<D: BlockDevice> Lld<D> {
                 expected: self.layout.block_size,
             });
         }
+        let timer = self.obs.timer();
         let stream = self.stream(ctx)?;
         let ts = self.tick();
         self.stats.writes += 1;
@@ -314,6 +324,7 @@ impl<D: BlockDevice> Lld<D> {
                     .insert(block, data.to_vec());
             }
         }
+        self.obs.write_done(timer);
         Ok(())
     }
 
@@ -336,12 +347,13 @@ impl<D: BlockDevice> Lld<D> {
             });
         }
         // Validate the context (and classify the stream) first.
+        let timer = self.obs.timer();
         let stream = self.stream(ctx)?;
         self.tick();
         self.stats.reads += 1;
 
         let source = self.resolve_read(stream, ctx, block)?;
-        match source {
+        let res = match source {
             DataSource::ShadowBuf(aru) => {
                 let data = &self.arus[&aru.get()].shadow_data[&block];
                 buf.copy_from_slice(data);
@@ -352,7 +364,11 @@ impl<D: BlockDevice> Lld<D> {
                 buf.fill(0);
                 Ok(())
             }
+        };
+        if res.is_ok() {
+            self.obs.read_done(timer);
         }
+        res
     }
 
     fn resolve_read(&self, stream: Stream, ctx: Ctx, block: BlockId) -> Result<DataSource> {
@@ -471,8 +487,11 @@ impl<D: BlockDevice> Lld<D> {
     /// Device errors; [`LldError::DiskFull`] if no free segment is
     /// available for the next write.
     pub fn flush(&mut self) -> Result<()> {
+        let timer = self.obs.timer();
         self.roll_segment(0)?;
         self.device.flush()?;
+        self.obs
+            .flush_done(self.ts_counter, self.stats.segments_sealed, timer);
         Ok(())
     }
 }

@@ -14,7 +14,8 @@ use crate::config::LldConfig;
 use crate::error::{LldError, Result};
 use crate::layout::Layout;
 use crate::lld::{Lld, StateRef};
-use crate::segment::{read_segment, SegmentInfo};
+use crate::obs::Obs;
+use crate::segment::{scan_segment, SegmentInfo, SegmentScan};
 use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
 use crate::summary::Record;
 use crate::types::{BlockId, PhysAddr, Position, SegmentId, Timestamp};
@@ -32,6 +33,10 @@ pub struct RecoveryReport {
     pub segments_scanned: u32,
     /// Valid segments replayed (sequence numbers above the checkpoint).
     pub segments_replayed: u32,
+    /// Slots holding a valid header but a summary that fails its
+    /// checksum — the signature of a segment write torn by the crash.
+    /// Such segments are treated as never written.
+    pub torn_tails_detected: u32,
     /// Summary records applied (committed effects).
     pub records_applied: u64,
     /// ARUs whose commit record was found (their records were applied).
@@ -90,17 +95,16 @@ impl<D: BlockDevice> Lld<D> {
 
         // Load the newest checkpoint, if any.
         let (ckpt, use_b_next) = checkpoint::load_latest(&device, &layout)?;
-        let (tables, mut ts_counter, mut next_block_raw, mut next_list_raw, ckpt_seq) =
-            match ckpt {
-                Some(c) => (
-                    c.tables,
-                    c.ts_counter,
-                    c.next_block_raw,
-                    c.next_list_raw,
-                    c.seq,
-                ),
-                None => (Tables::default(), 0, 1, 1, 0),
-            };
+        let (tables, mut ts_counter, mut next_block_raw, mut next_list_raw, ckpt_seq) = match ckpt {
+            Some(c) => (
+                c.tables,
+                c.ts_counter,
+                c.next_block_raw,
+                c.next_list_raw,
+                c.seq,
+            ),
+            None => (Tables::default(), 0, 1, 1, 0),
+        };
         report.checkpoint_seq = ckpt_seq;
 
         // The checkpoint id counters are lower bounds; raise them past
@@ -145,6 +149,7 @@ impl<D: BlockDevice> Lld<D> {
             cleaning: false,
             cache: crate::cache::BlockCache::new(config.read_cache_blocks),
             stats: Default::default(),
+            obs: Obs::new(config.obs),
             layout,
         };
 
@@ -164,12 +169,16 @@ impl<D: BlockDevice> Lld<D> {
         let mut max_seq_seen = ckpt_seq;
         for slot in 0..ld.layout.n_segments {
             report.segments_scanned += 1;
-            if let Some(info) = read_segment(&ld.device, &ld.layout, SegmentId::new(slot))? {
-                ld.slot_seq[slot as usize] = info.seq;
-                max_seq_seen = max_seq_seen.max(info.seq);
-                if info.seq > ckpt_seq {
-                    chain.push(info);
+            match scan_segment(&ld.device, &ld.layout, SegmentId::new(slot))? {
+                SegmentScan::Valid(info) => {
+                    ld.slot_seq[slot as usize] = info.seq;
+                    max_seq_seen = max_seq_seen.max(info.seq);
+                    if info.seq > ckpt_seq {
+                        chain.push(info);
+                    }
                 }
+                SegmentScan::Torn => report.torn_tails_detected += 1,
+                SegmentScan::None => {}
             }
         }
         chain.sort_by_key(|i| i.seq);
@@ -236,8 +245,7 @@ impl<D: BlockDevice> Lld<D> {
         // checkpoint) or still holds live blocks; everything else is
         // free.
         for slot in 0..ld.layout.n_segments {
-            let used =
-                replayed_slots.contains(&slot) || ld.live_count[slot as usize] > 0;
+            let used = replayed_slots.contains(&slot) || ld.live_count[slot as usize] > 0;
             if !used {
                 ld.slot_seq[slot as usize] = 0;
                 ld.free_slots.insert(slot);
@@ -249,6 +257,7 @@ impl<D: BlockDevice> Lld<D> {
             let check = ld.check()?;
             report.orphan_blocks_freed = check.orphan_blocks_freed.len();
         }
+        ld.obs.recovery_done(ld.ts_counter, &report);
         Ok((ld, report))
     }
 
@@ -277,7 +286,9 @@ impl<D: BlockDevice> Lld<D> {
                 self.next_list_raw = self.next_list_raw.max(list.get() + 1);
                 Ok(())
             }
-            Record::Write { block, slot, ts, .. } => {
+            Record::Write {
+                block, slot, ts, ..
+            } => {
                 let ts = commit_ts.unwrap_or(ts);
                 let addr = PhysAddr { segment: seg, slot };
                 if self

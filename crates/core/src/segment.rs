@@ -149,27 +149,37 @@ pub(crate) struct SegmentInfo {
     pub(crate) records: Vec<Record>,
 }
 
-/// Reads and validates the segment in physical slot `slot`.
-///
-/// Returns `Ok(None)` for a slot that does not hold a valid sealed
-/// segment: never written, stale garbage, or a torn write (header or
-/// summary checksum mismatch). Recovery treats all three identically —
-/// the segment does not exist.
-pub(crate) fn read_segment<D: BlockDevice>(
+/// The outcome of probing one physical slot during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SegmentScan {
+    /// No sealed segment: the header never landed or is stale garbage.
+    None,
+    /// The header is intact but the summary fails its checksum — a
+    /// segment write torn by a crash. Treated as never written, but
+    /// counted separately so recovery can report it.
+    Torn,
+    /// A valid sealed segment.
+    Valid(SegmentInfo),
+}
+
+/// Probes the segment in physical slot `slot`, distinguishing a torn
+/// segment write (valid header, bad summary) from an empty or stale
+/// slot.
+pub(crate) fn scan_segment<D: BlockDevice>(
     device: &D,
     layout: &Layout,
     slot: SegmentId,
-) -> Result<Option<SegmentInfo>> {
+) -> Result<SegmentScan> {
     let off = layout.segment_offset(slot.get());
     let mut header = [0u8; HEADER_LEN];
     device.read_at(off, &mut header)?;
     let stored_crc = u32::from_le_bytes(header[HEADER_LEN - 4..].try_into().expect("4 bytes"));
     if crc32(&header[..HEADER_LEN - 4]) != stored_crc {
-        return Ok(None);
+        return Ok(SegmentScan::None);
     }
     let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
     if magic != SEGMENT_MAGIC {
-        return Ok(None);
+        return Ok(SegmentScan::None);
     }
     let seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let n_blocks = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
@@ -178,25 +188,42 @@ pub(crate) fn read_segment<D: BlockDevice>(
 
     let data_bytes = (1 + n_blocks as usize) * layout.block_size;
     if data_bytes + summary_len > layout.segment_bytes {
-        return Ok(None);
+        return Ok(SegmentScan::Torn);
     }
     let mut summary = vec![0u8; summary_len];
     device.read_at(off + data_bytes as u64, &mut summary)?;
     if crc32(&summary) != summary_crc {
-        return Ok(None);
+        return Ok(SegmentScan::Torn);
     }
     let records = Record::decode_all(&summary).map_err(|e| match e {
-        LldError::Corrupt(msg) => {
-            LldError::Corrupt(format!("segment {slot} seq {seq}: {msg}"))
-        }
+        LldError::Corrupt(msg) => LldError::Corrupt(format!("segment {slot} seq {seq}: {msg}")),
         other => other,
     })?;
-    Ok(Some(SegmentInfo {
+    Ok(SegmentScan::Valid(SegmentInfo {
         slot,
         seq,
         n_blocks,
         records,
     }))
+}
+
+/// Reads and validates the segment in physical slot `slot`.
+///
+/// Returns `Ok(None)` for a slot that does not hold a valid sealed
+/// segment: never written, stale garbage, or a torn write (header or
+/// summary checksum mismatch). Recovery treats all three identically —
+/// the segment does not exist (see [`scan_segment`] for the variant
+/// that reports torn writes separately).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn read_segment<D: BlockDevice>(
+    device: &D,
+    layout: &Layout,
+    slot: SegmentId,
+) -> Result<Option<SegmentInfo>> {
+    Ok(match scan_segment(device, layout, slot)? {
+        SegmentScan::Valid(info) => Some(info),
+        SegmentScan::None | SegmentScan::Torn => None,
+    })
 }
 
 #[cfg(test)]
@@ -258,9 +285,7 @@ mod tests {
         b.push_record(&sample_record(1));
         b.push_record(&sample_record(2));
         let bytes = b.seal();
-        device
-            .write_at(layout.segment_offset(1), &bytes)
-            .unwrap();
+        device.write_at(layout.segment_offset(1), &bytes).unwrap();
 
         let info = read_segment(&device, &layout, SegmentId::new(1))
             .unwrap()
@@ -270,7 +295,10 @@ mod tests {
         assert_eq!(info.records, vec![sample_record(1), sample_record(2)]);
 
         // Unwritten slots read as "no segment".
-        assert_eq!(read_segment(&device, &layout, SegmentId::new(2)).unwrap(), None);
+        assert_eq!(
+            read_segment(&device, &layout, SegmentId::new(2)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -289,7 +317,10 @@ mod tests {
         device
             .write_at(layout.segment_offset(0), &bytes[..bytes.len() - 9])
             .unwrap();
-        assert_eq!(read_segment(&device, &layout, SegmentId::new(0)).unwrap(), None);
+        assert_eq!(
+            read_segment(&device, &layout, SegmentId::new(0)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -300,7 +331,10 @@ mod tests {
         let mut bytes = b.seal();
         bytes[9] ^= 0x10; // flip a bit in seq
         device.write_at(layout.segment_offset(0), &bytes).unwrap();
-        assert_eq!(read_segment(&device, &layout, SegmentId::new(0)).unwrap(), None);
+        assert_eq!(
+            read_segment(&device, &layout, SegmentId::new(0)).unwrap(),
+            None
+        );
     }
 
     #[test]

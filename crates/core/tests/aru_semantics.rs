@@ -3,9 +3,7 @@
 //! `EndARU`, the read-visibility options, and the sequential ("old")
 //! mode.
 
-use ld_core::{
-    ConcurrencyMode, Ctx, Lld, LldConfig, LldError, Position, ReadVisibility,
-};
+use ld_core::{ConcurrencyMode, Ctx, Lld, LldConfig, LldError, Position, ReadVisibility};
 use ld_disk::MemDisk;
 
 const BS: usize = 512;

@@ -61,11 +61,16 @@ fn live_data_survives_relocation() {
         prev = Some(b);
     }
     // ...plus heavy churn on one hot block to wrap the log.
-    let hot = ld.new_block(Ctx::Simple, l, Position::After(prev.unwrap())).unwrap();
+    let hot = ld
+        .new_block(Ctx::Simple, l, Position::After(prev.unwrap()))
+        .unwrap();
     for i in 0..1200u32 {
         ld.write(Ctx::Simple, hot, &block((i % 250) as u8)).unwrap();
     }
-    assert!(ld.stats().blocks_relocated > 0, "cold blocks were relocated");
+    assert!(
+        ld.stats().blocks_relocated > 0,
+        "cold blocks were relocated"
+    );
     for (i, &b) in keep.iter().enumerate() {
         let mut buf = block(0);
         ld.read(Ctx::Simple, b, &mut buf).unwrap();
@@ -79,7 +84,9 @@ fn recovery_after_cleaning_sees_current_state() {
     let l = ld.new_list(Ctx::Simple).unwrap();
     let stable = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, stable, &block(0x55)).unwrap();
-    let hot = ld.new_block(Ctx::Simple, l, Position::After(stable)).unwrap();
+    let hot = ld
+        .new_block(Ctx::Simple, l, Position::After(stable))
+        .unwrap();
     for i in 0..1500u32 {
         ld.write(Ctx::Simple, hot, &block((i % 13) as u8)).unwrap();
     }
@@ -196,7 +203,9 @@ fn crash_during_cleaning_era_recovers_current_state() {
         ld.flush().unwrap();
 
         // Churn until the crash point fires (or the workload ends).
-        let hot = ld.new_block(Ctx::Simple, l, Position::After(prev.unwrap())).unwrap();
+        let hot = ld
+            .new_block(Ctx::Simple, l, Position::After(prev.unwrap()))
+            .unwrap();
         let mut crashed = false;
         for i in 0..3000u32 {
             if ld.write(Ctx::Simple, hot, &block((i % 199) as u8)).is_err() {

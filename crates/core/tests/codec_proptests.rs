@@ -1,61 +1,10 @@
-//! Property tests of the on-disk codecs: summary records and the
+//! Randomised tests of the on-disk codecs: summary records and the
 //! superblock must round-trip bit-exactly for arbitrary valid values,
-//! and reject corruption.
+//! and reject corruption. Driven by a seeded PRNG so every run checks
+//! the same (large) sample deterministically.
 
 use ld_core::{AruId, BlockId, Layout, ListId, LldConfig, Record, Timestamp};
-use proptest::prelude::*;
-
-fn id_raw() -> impl Strategy<Value = u64> {
-    1u64..=u64::MAX
-}
-
-fn opt_id_raw() -> impl Strategy<Value = u64> {
-    prop_oneof![Just(0u64), 1u64..=u64::MAX]
-}
-
-fn record_strategy() -> impl Strategy<Value = Record> {
-    prop_oneof![
-        (id_raw(), any::<u32>(), any::<u64>(), opt_id_raw()).prop_map(|(b, slot, ts, aru)| {
-            Record::Write {
-                block: BlockId::new(b),
-                slot,
-                ts: Timestamp::new(ts),
-                aru: AruId::decode_opt_public(aru),
-            }
-        }),
-        (id_raw(), any::<u64>()).prop_map(|(b, ts)| Record::NewBlock {
-            block: BlockId::new(b),
-            ts: Timestamp::new(ts),
-        }),
-        (id_raw(), any::<u64>()).prop_map(|(l, ts)| Record::NewList {
-            list: ListId::new(l),
-            ts: Timestamp::new(ts),
-        }),
-        (id_raw(), id_raw(), opt_id_raw(), any::<u64>(), opt_id_raw()).prop_map(
-            |(l, b, pred, ts, aru)| Record::Link {
-                list: ListId::new(l),
-                block: BlockId::new(b),
-                pred: BlockId::decode_opt_public(pred),
-                ts: Timestamp::new(ts),
-                aru: AruId::decode_opt_public(aru),
-            }
-        ),
-        (id_raw(), any::<u64>(), opt_id_raw()).prop_map(|(b, ts, aru)| Record::DeleteBlock {
-            block: BlockId::new(b),
-            ts: Timestamp::new(ts),
-            aru: AruId::decode_opt_public(aru),
-        }),
-        (id_raw(), any::<u64>(), opt_id_raw()).prop_map(|(l, ts, aru)| Record::DeleteList {
-            list: ListId::new(l),
-            ts: Timestamp::new(ts),
-            aru: AruId::decode_opt_public(aru),
-        }),
-        (id_raw(), any::<u64>()).prop_map(|(a, ts)| Record::Commit {
-            aru: AruId::new(a),
-            ts: Timestamp::new(ts),
-        }),
-    ]
-}
+use ld_disk::SmallRng;
 
 /// Public helpers mirroring the crate-internal optional-id encoding
 /// (0 = None).
@@ -73,45 +22,103 @@ impl DecodeOptPublic for BlockId {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn id_raw(rng: &mut SmallRng) -> u64 {
+    rng.next_u64().max(1)
+}
 
-    #[test]
-    fn record_streams_round_trip(records in proptest::collection::vec(record_strategy(), 0..64)) {
+fn opt_id_raw(rng: &mut SmallRng) -> u64 {
+    if rng.gen_bool(0.3) {
+        0
+    } else {
+        id_raw(rng)
+    }
+}
+
+fn random_record(rng: &mut SmallRng) -> Record {
+    match rng.gen_index(7) {
+        0 => Record::Write {
+            block: BlockId::new(id_raw(rng)),
+            slot: rng.next_u64() as u32,
+            ts: Timestamp::new(rng.next_u64()),
+            aru: AruId::decode_opt_public(opt_id_raw(rng)),
+        },
+        1 => Record::NewBlock {
+            block: BlockId::new(id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+        },
+        2 => Record::NewList {
+            list: ListId::new(id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+        },
+        3 => Record::Link {
+            list: ListId::new(id_raw(rng)),
+            block: BlockId::new(id_raw(rng)),
+            pred: BlockId::decode_opt_public(opt_id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+            aru: AruId::decode_opt_public(opt_id_raw(rng)),
+        },
+        4 => Record::DeleteBlock {
+            block: BlockId::new(id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+            aru: AruId::decode_opt_public(opt_id_raw(rng)),
+        },
+        5 => Record::DeleteList {
+            list: ListId::new(id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+            aru: AruId::decode_opt_public(opt_id_raw(rng)),
+        },
+        _ => Record::Commit {
+            aru: AruId::new(id_raw(rng)),
+            ts: Timestamp::new(rng.next_u64()),
+        },
+    }
+}
+
+#[test]
+fn record_streams_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_C001);
+    for _ in 0..256 {
+        let records: Vec<Record> = (0..rng.gen_index(64))
+            .map(|_| random_record(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         for r in &records {
             let before = buf.len();
             r.encode(&mut buf);
-            prop_assert_eq!(buf.len() - before, r.encoded_len());
+            assert_eq!(buf.len() - before, r.encoded_len());
         }
         let decoded = Record::decode_all(&buf).unwrap();
-        prop_assert_eq!(decoded, records);
+        assert_eq!(decoded, records);
     }
+}
 
-    #[test]
-    fn truncated_record_streams_are_rejected(
-        records in proptest::collection::vec(record_strategy(), 1..16),
-        cut in 1usize..16,
-    ) {
+#[test]
+fn truncated_record_streams_are_rejected() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_C002);
+    for _ in 0..256 {
+        let records: Vec<Record> = (0..1 + rng.gen_index(15))
+            .map(|_| random_record(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         for r in &records {
             r.encode(&mut buf);
         }
-        let cut = cut.min(buf.len() - 1).max(1);
+        let cut = (1 + rng.gen_index(15)).min(buf.len() - 1).max(1);
         // Cutting inside a record must produce an error, never a wrong
         // silent decode of the full stream.
-        match Record::decode_all(&buf[..buf.len() - cut]) {
-            Ok(decoded) => prop_assert!(decoded.len() < records.len()),
-            Err(_) => {}
+        if let Ok(decoded) = Record::decode_all(&buf[..buf.len() - cut]) {
+            assert!(decoded.len() < records.len());
         }
     }
+}
 
-    #[test]
-    fn superblock_round_trips(
-        capacity in (1u64 << 21)..(1u64 << 28),
-        seg_blocks in 4usize..64,
-        max_blocks in 16u64..10_000,
-    ) {
+#[test]
+fn superblock_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_C003);
+    for _ in 0..256 {
+        let capacity = rng.gen_range(1 << 21, 1 << 28);
+        let seg_blocks = rng.gen_range(4, 64) as usize;
+        let max_blocks = rng.gen_range(16, 10_000);
         let cfg = LldConfig {
             block_size: 4096,
             segment_bytes: 4096 * seg_blocks,
@@ -124,18 +131,20 @@ proptest! {
                 ld_core::ReadVisibility::OwnShadow,
             );
             let (decoded, conc, vis) = Layout::decode_superblock(&buf).unwrap();
-            prop_assert_eq!(decoded, layout);
-            prop_assert_eq!(conc, ld_core::ConcurrencyMode::Concurrent);
-            prop_assert_eq!(vis, ld_core::ReadVisibility::OwnShadow);
+            assert_eq!(decoded, layout);
+            assert_eq!(conc, ld_core::ConcurrencyMode::Concurrent);
+            assert_eq!(vis, ld_core::ReadVisibility::OwnShadow);
         }
     }
+}
 
-    #[test]
-    fn superblock_bit_flips_detected(
-        capacity in (1u64 << 21)..(1u64 << 26),
-        byte in 0usize..60,
-        bit in 0u8..8,
-    ) {
+#[test]
+fn superblock_bit_flips_detected() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_C004);
+    for _ in 0..256 {
+        let capacity = rng.gen_range(1 << 21, 1 << 26);
+        let byte = rng.gen_index(60);
+        let bit = rng.gen_index(8) as u8;
         let cfg = LldConfig {
             block_size: 4096,
             segment_bytes: 4096 * 16,
@@ -148,7 +157,7 @@ proptest! {
                 ld_core::ReadVisibility::OwnShadow,
             );
             buf[byte] ^= 1 << bit;
-            prop_assert!(Layout::decode_superblock(&buf).is_err());
+            assert!(Layout::decode_superblock(&buf).is_err());
         }
     }
 }

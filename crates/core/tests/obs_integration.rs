@@ -1,0 +1,193 @@
+//! Integration tests of the observability layer against a real logical
+//! disk: the trace ring must show the lifecycle of a committed ARU
+//! (begin → copy-on-write → seal → commit-record flush) and of an
+//! aborted ARU (begin → abort, with no flush), in sequence order, and
+//! the snapshot must bundle consistent counters and histograms.
+
+use ld_core::obs::{SpanOutcome, TraceEvent};
+use ld_core::{Ctx, Lld, LldConfig, ObsConfig, Position};
+use ld_disk::{DiskModel, MemDisk, SimDisk};
+
+const BS: usize = 512;
+
+fn config() -> LldConfig {
+    LldConfig {
+        block_size: BS,
+        segment_bytes: 16 * BS,
+        max_blocks: Some(256),
+        max_lists: Some(64),
+        ..LldConfig::default()
+    }
+}
+
+#[test]
+fn committed_and_aborted_aru_event_sequence() {
+    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+
+    // One ARU that commits and is flushed...
+    let aru1 = ld.begin_aru().unwrap();
+    let list = ld.new_list(Ctx::Aru(aru1)).unwrap();
+    let b = ld.new_block(Ctx::Aru(aru1), list, Position::First).unwrap();
+    ld.write(Ctx::Aru(aru1), b, &vec![7u8; BS]).unwrap();
+    ld.end_aru(aru1).unwrap();
+    ld.flush().unwrap();
+
+    // ...and one that aborts (its shadow state is discarded; nothing
+    // reaches the device, so no seal or flush events follow).
+    let aru2 = ld.begin_aru().unwrap();
+    let b2 = ld
+        .new_block(Ctx::Aru(aru2), list, Position::After(b))
+        .unwrap();
+    ld.write(Ctx::Aru(aru2), b2, &vec![9u8; BS]).unwrap();
+    ld.abort_aru(aru2).unwrap();
+
+    let events = ld.obs().ring().entries();
+    // Entries come back in strictly increasing sequence order.
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "events out of order: {w:?}");
+    }
+
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().position(|e| pred(&e.event));
+    let begin1 = pos(&|e| matches!(e, TraceEvent::AruBegin { aru } if *aru == aru1.get()))
+        .expect("aru1 begin");
+    let commit1 = pos(&|e| matches!(e, TraceEvent::AruCommit { aru, .. } if *aru == aru1.get()))
+        .expect("aru1 commit");
+    let seal = pos(&|e| matches!(e, TraceEvent::SegmentSeal { .. })).expect("segment seal");
+    let flush = pos(&|e| matches!(e, TraceEvent::Flush { .. })).expect("flush");
+    let begin2 = pos(&|e| matches!(e, TraceEvent::AruBegin { aru } if *aru == aru2.get()))
+        .expect("aru2 begin");
+    let abort2 = pos(&|e| matches!(e, TraceEvent::AruAbort { aru } if *aru == aru2.get()))
+        .expect("aru2 abort");
+
+    // Committed ARU: begin → commit → seal → commit-record flush.
+    assert!(begin1 < commit1, "begin before commit");
+    assert!(commit1 < seal, "commit buffered, sealed at flush");
+    assert!(seal < flush, "seal happens inside the flush");
+    // Aborted ARU: begin → abort after the first ARU's flush, and no
+    // further seal or flush events follow the abort.
+    assert!(flush < begin2, "aru2 begins after aru1's flush");
+    assert!(begin2 < abort2, "begin before abort");
+    assert!(
+        !events[abort2..].iter().any(|e| matches!(
+            e.event,
+            TraceEvent::SegmentSeal { .. } | TraceEvent::Flush { .. }
+        )),
+        "an aborted ARU must not cause segment or flush activity"
+    );
+
+    // The commit event carries the ARU's op and CoW counts.
+    match events[commit1].event {
+        TraceEvent::AruCommit {
+            ops, cow_records, ..
+        } => {
+            assert!(ops >= 3, "new_list + new_block + write, got {ops}");
+            assert!(
+                cow_records >= 1,
+                "list insert copies records, got {cow_records}"
+            );
+        }
+        ref e => panic!("expected commit event, got {e:?}"),
+    }
+
+    // Spans: aru1 committed, aru2 aborted, both with wall time.
+    let spans = ld.obs().spans();
+    let s1 = spans
+        .iter()
+        .find(|s| s.aru == aru1.get())
+        .expect("aru1 span");
+    let s2 = spans
+        .iter()
+        .find(|s| s.aru == aru2.get())
+        .expect("aru2 span");
+    assert_eq!(s1.outcome, SpanOutcome::Committed);
+    assert!(s1.end_ts.is_some() && s1.wall_nanos.is_some());
+    assert!(s1.ops >= 3);
+    assert_eq!(s2.outcome, SpanOutcome::Aborted);
+    assert!(s2.end_ts.unwrap() > s1.end_ts.unwrap());
+}
+
+#[test]
+fn snapshot_bundles_disk_and_lld_layers() {
+    let sim = SimDisk::new(MemDisk::new(4 << 20), DiskModel::hp_c3010());
+    let mut ld = Lld::format(sim, &config()).unwrap();
+
+    let aru = ld.begin_aru().unwrap();
+    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+    let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+    ld.write(Ctx::Aru(aru), b, &vec![1u8; BS]).unwrap();
+    ld.end_aru(aru).unwrap();
+    ld.flush().unwrap();
+    let mut buf = vec![0u8; BS];
+    ld.read(Ctx::Simple, b, &mut buf).unwrap();
+
+    let snap = ld.obs_snapshot();
+    assert!(snap.lld.writes >= 1);
+    assert!(snap.lld.arus_committed >= 1);
+    let disk = snap.disk.expect("SimDisk reports stats");
+    assert!(disk.writes >= 1, "flush reached the device");
+
+    // The acceptance-critical histograms carry samples with sane
+    // percentile math.
+    let end_aru = snap.histogram("end_aru").expect("end_aru histogram");
+    assert!(end_aru.count >= 1);
+    assert!(end_aru.p50() <= end_aru.max.max(1));
+    let disk_write = snap.histogram("disk_write").expect("disk_write histogram");
+    assert!(disk_write.count >= 1);
+    assert!(disk_write.p99() >= disk_write.p50());
+    let lld_write = snap.histogram("lld_write").expect("lld_write histogram");
+    assert_eq!(lld_write.count, snap.lld.writes);
+
+    // JSON output is produced and mentions the required pieces.
+    let json = snap.to_json();
+    assert!(json.contains("\"end_aru\""));
+    assert!(json.contains("\"disk_write\""));
+    assert!(json.contains("\"aru_commit\""));
+}
+
+#[test]
+fn disabled_obs_is_silent_but_counters_survive() {
+    let cfg = LldConfig {
+        obs: ObsConfig::disabled(),
+        ..config()
+    };
+    let mut ld = Lld::format(MemDisk::new(4 << 20), &cfg).unwrap();
+    let aru = ld.begin_aru().unwrap();
+    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+    let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+    ld.write(Ctx::Aru(aru), b, &vec![3u8; BS]).unwrap();
+    ld.end_aru(aru).unwrap();
+    ld.flush().unwrap();
+
+    let snap = ld.obs_snapshot();
+    assert!(snap.events.is_empty(), "no events when disabled");
+    assert!(snap.spans.is_empty(), "no spans when disabled");
+    for (name, h) in &snap.histograms {
+        assert!(h.is_empty(), "histogram {name} must stay empty");
+    }
+    // Plain counters are independent of the obs switch.
+    assert_eq!(snap.lld.arus_committed, 1);
+    assert!(snap.lld.writes >= 1);
+}
+
+#[test]
+fn recovery_report_reaches_snapshot() {
+    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+    let list = ld.new_list(Ctx::Simple).unwrap();
+    let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
+    ld.write(Ctx::Simple, b, &vec![5u8; BS]).unwrap();
+    ld.flush().unwrap();
+
+    let image = ld.into_device().into_image();
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    assert!(report.segments_replayed >= 1);
+
+    let snap = ld2.obs_snapshot();
+    let in_snap = snap.recovery.expect("recovery report in snapshot");
+    assert_eq!(in_snap, report);
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::RecoveryScan { .. })),
+        "recovery emits a scan event"
+    );
+}

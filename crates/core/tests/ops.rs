@@ -68,7 +68,9 @@ fn read_spans_segment_seal() {
     // Force many segment rolls.
     let mut prev = b;
     for i in 0..40u8 {
-        let nb = ld.new_block(Ctx::Simple, list, Position::After(prev)).unwrap();
+        let nb = ld
+            .new_block(Ctx::Simple, list, Position::After(prev))
+            .unwrap();
         ld.write(Ctx::Simple, nb, &block(i)).unwrap();
         prev = nb;
     }
@@ -84,11 +86,15 @@ fn list_order_first_and_after() {
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let b2 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
-    let b3 = ld.new_block(Ctx::Simple, list, Position::After(b1)).unwrap();
+    let b3 = ld
+        .new_block(Ctx::Simple, list, Position::After(b1))
+        .unwrap();
     // b2 at front, then b1, then b3 (inserted after b1).
     assert_eq!(ld.list_blocks(Ctx::Simple, list).unwrap(), vec![b2, b1, b3]);
     // last pointer: appending after b3 keeps order.
-    let b4 = ld.new_block(Ctx::Simple, list, Position::After(b3)).unwrap();
+    let b4 = ld
+        .new_block(Ctx::Simple, list, Position::After(b3))
+        .unwrap();
     assert_eq!(
         ld.list_blocks(Ctx::Simple, list).unwrap(),
         vec![b2, b1, b3, b4]
@@ -100,8 +106,12 @@ fn delete_block_relinks_list() {
     let mut ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
-    let b2 = ld.new_block(Ctx::Simple, list, Position::After(b1)).unwrap();
-    let b3 = ld.new_block(Ctx::Simple, list, Position::After(b2)).unwrap();
+    let b2 = ld
+        .new_block(Ctx::Simple, list, Position::After(b1))
+        .unwrap();
+    let b3 = ld
+        .new_block(Ctx::Simple, list, Position::After(b2))
+        .unwrap();
     // Delete the middle block.
     ld.delete_block(Ctx::Simple, b2).unwrap();
     assert_eq!(ld.list_blocks(Ctx::Simple, list).unwrap(), vec![b1, b3]);
@@ -126,7 +136,9 @@ fn delete_list_reclaims_members() {
     let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let first = prev;
     for _ in 0..5 {
-        prev = ld.new_block(Ctx::Simple, list, Position::After(prev)).unwrap();
+        prev = ld
+            .new_block(Ctx::Simple, list, Position::After(prev))
+            .unwrap();
     }
     assert_eq!(ld.allocated_block_count(), 6);
     ld.delete_list(Ctx::Simple, list).unwrap();
@@ -184,9 +196,7 @@ fn operations_on_missing_objects_fail() {
     assert!(ld.delete_list(Ctx::Simple, list).is_err());
     assert!(ld.delete_block(Ctx::Simple, b).is_err());
     assert!(ld.write(Ctx::Simple, b, &block(0)).is_err());
-    assert!(ld
-        .new_block(Ctx::Simple, list, Position::First)
-        .is_err());
+    assert!(ld.new_block(Ctx::Simple, list, Position::First).is_err());
 }
 
 #[test]
@@ -263,7 +273,9 @@ fn data_survives_many_overwrites_of_other_blocks() {
     let list = ld.new_list(Ctx::Simple).unwrap();
     let stable = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, stable, &block(0x5A)).unwrap();
-    let churn = ld.new_block(Ctx::Simple, list, Position::After(stable)).unwrap();
+    let churn = ld
+        .new_block(Ctx::Simple, list, Position::After(stable))
+        .unwrap();
     for i in 0..100u8 {
         ld.write(Ctx::Simple, churn, &block(i)).unwrap();
     }

@@ -1,4 +1,5 @@
-//! Property-based tests of the core invariants:
+//! Randomised tests of the core invariants, driven by a seeded PRNG so
+//! every run checks the same sample deterministically:
 //!
 //! 1. log-replay equivalence — recovering from the on-disk log after a
 //!    clean flush reproduces exactly the committed state;
@@ -7,8 +8,7 @@
 //! 3. isolation — an aborted ARU never affects the committed state.
 
 use ld_core::{Ctx, Lld, LldConfig, LldError, Position};
-use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
-use proptest::prelude::*;
+use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk, SmallRng};
 
 const BS: usize = 512;
 
@@ -27,7 +27,7 @@ fn block(byte: u8) -> Vec<u8> {
 }
 
 /// One step of a random workload. Object indices are taken modulo the
-/// number of existing objects, so any u8 is valid.
+/// number of existing objects, so any value is valid.
 #[derive(Debug, Clone)]
 enum Step {
     NewList,
@@ -39,16 +39,34 @@ enum Step {
     Flush,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        1 => Just(Step::NewList),
-        4 => any::<u8>().prop_map(|list| Step::NewBlockFirst { list }),
-        4 => any::<u8>().prop_map(|list| Step::NewBlockAfterLast { list }),
-        8 => (any::<u16>(), any::<u8>()).prop_map(|(pick, byte)| Step::Write { pick, byte }),
-        2 => any::<u16>().prop_map(|pick| Step::DeleteBlock { pick }),
-        1 => any::<u8>().prop_map(|list| Step::DeleteList { list }),
-        1 => Just(Step::Flush),
-    ]
+/// Weighted step choice matching the original distribution
+/// (1:4:4:8:2:1:1).
+fn random_step(rng: &mut SmallRng) -> Step {
+    match rng.gen_index(21) {
+        0 => Step::NewList,
+        1..=4 => Step::NewBlockFirst {
+            list: rng.gen_index(256) as u8,
+        },
+        5..=8 => Step::NewBlockAfterLast {
+            list: rng.gen_index(256) as u8,
+        },
+        9..=16 => Step::Write {
+            pick: rng.gen_index(65536) as u16,
+            byte: rng.gen_index(256) as u8,
+        },
+        17..=18 => Step::DeleteBlock {
+            pick: rng.gen_index(65536) as u16,
+        },
+        19 => Step::DeleteList {
+            list: rng.gen_index(256) as u8,
+        },
+        _ => Step::Flush,
+    }
+}
+
+fn random_steps(rng: &mut SmallRng, min: usize, max: usize) -> Vec<Step> {
+    let n = rng.gen_range(min as u64, max as u64) as usize;
+    (0..n).map(|_| random_step(rng)).collect()
 }
 
 /// Tracks the live objects so random steps stay mostly valid.
@@ -108,10 +126,8 @@ fn apply_steps<D: ld_disk::BlockDevice>(
                 let l = t.lists.swap_remove(idx);
                 let _ = ld.delete_list(ctx, l);
             }
-            Step::Flush => {
-                if ctx.is_simple() {
-                    ld.flush()?;
-                }
+            Step::Flush if ctx.is_simple() => {
+                ld.flush()?;
             }
             _ => {}
         }
@@ -119,12 +135,12 @@ fn apply_steps<D: ld_disk::BlockDevice>(
     Ok(())
 }
 
+/// One list's observable members and their data.
+type ListState = (ld_core::ListId, Vec<(ld_core::BlockId, Vec<u8>)>);
+
 /// Captures the full observable committed state: every list's members
 /// and every member's data.
-fn observable_state<D: ld_disk::BlockDevice>(
-    ld: &mut Lld<D>,
-    t: &Tracker,
-) -> Vec<(ld_core::ListId, Vec<(ld_core::BlockId, Vec<u8>)>)> {
+fn observable_state<D: ld_disk::BlockDevice>(ld: &mut Lld<D>, t: &Tracker) -> Vec<ListState> {
     let mut out = Vec::new();
     for &l in &t.lists {
         if let Ok(members) = ld.list_blocks(Ctx::Simple, l) {
@@ -140,13 +156,11 @@ fn observable_state<D: ld_disk::BlockDevice>(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn log_replay_reproduces_committed_state(
-        steps in proptest::collection::vec(step_strategy(), 1..120)
-    ) {
+#[test]
+fn log_replay_reproduces_committed_state() {
+    let mut rng = SmallRng::seed_from_u64(0x4C445F01);
+    for case in 0..32 {
+        let steps = random_steps(&mut rng, 1, 120);
         let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
         let mut t = Tracker::default();
         apply_steps(&mut ld, Ctx::Simple, &steps, &mut t).unwrap();
@@ -156,21 +170,26 @@ proptest! {
         let image = ld.into_device().into_image();
         let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
         let actual = observable_state(&mut ld2, &t);
-        prop_assert_eq!(expected, actual);
+        assert_eq!(expected, actual, "case {case}");
     }
+}
 
-    #[test]
-    fn aborted_aru_leaves_no_trace(
-        setup in proptest::collection::vec(step_strategy(), 1..40),
-        inside in proptest::collection::vec(step_strategy(), 1..40),
-    ) {
+#[test]
+fn aborted_aru_leaves_no_trace() {
+    let mut rng = SmallRng::seed_from_u64(0x4C445F02);
+    for case in 0..32 {
+        let setup = random_steps(&mut rng, 1, 40);
+        let inside = random_steps(&mut rng, 1, 40);
         let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
         let mut t = Tracker::default();
         apply_steps(&mut ld, Ctx::Simple, &setup, &mut t).unwrap();
         let before = observable_state(&mut ld, &t);
 
         let aru = ld.begin_aru().unwrap();
-        let mut t2 = Tracker { lists: t.lists.clone(), blocks: t.blocks.clone() };
+        let mut t2 = Tracker {
+            lists: t.lists.clone(),
+            blocks: t.blocks.clone(),
+        };
         // Whatever happens inside the ARU...
         let _ = apply_steps(&mut ld, Ctx::Aru(aru), &inside, &mut t2);
         // ...aborting it restores the committed view exactly (up to
@@ -178,20 +197,23 @@ proptest! {
         // list walks and reads of pre-existing objects).
         ld.abort_aru(aru).unwrap();
         let after = observable_state(&mut ld, &t);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    #[test]
-    fn crash_atomicity_at_any_point(
-        crash_after in 1000u64..60_000,
-        n_arus in 1usize..8,
-    ) {
+#[test]
+fn crash_atomicity_at_any_point() {
+    let mut rng = SmallRng::seed_from_u64(0x4C445F03);
+    for case in 0..32 {
+        let crash_after = rng.gen_range(1000, 60_000);
+        let n_arus = rng.gen_range(1, 8) as usize;
         // Each ARU creates its own list with 3 blocks of a known
         // pattern. After a crash at an arbitrary byte count, every
         // recovered list must be complete and correct — never partial.
         let sim = SimDisk::new(MemDisk::new(4 << 20), DiskModel::hp_c3010());
         let mut ld = Lld::format(sim, &config()).unwrap();
-        ld.device().set_faults(FaultPlan::new().crash_after_bytes(crash_after));
+        ld.device()
+            .set_faults(FaultPlan::new().crash_after_bytes(crash_after));
 
         let mut lists = Vec::new();
         let mut crashed = false;
@@ -211,8 +233,11 @@ proptest! {
             })();
             match run {
                 Ok(l) => lists.push((i, l)),
-                Err(LldError::Disk(_)) => { crashed = true; break 'outer; }
-                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                Err(LldError::Disk(_)) => {
+                    crashed = true;
+                    break 'outer;
+                }
+                Err(e) => panic!("case {case}: unexpected: {e}"),
             }
         }
         if !crashed {
@@ -225,13 +250,14 @@ proptest! {
 
         // Fully flushed ARUs must be present and complete.
         for (i, l) in &lists {
-            let members = ld2.list_blocks(Ctx::Simple, *l)
-                .map_err(|e| TestCaseError::fail(format!("flushed list {l} lost: {e}")))?;
-            prop_assert_eq!(members.len(), 3);
+            let members = ld2
+                .list_blocks(Ctx::Simple, *l)
+                .unwrap_or_else(|e| panic!("case {case}: flushed list {l} lost: {e}"));
+            assert_eq!(members.len(), 3);
             for (j, &b) in members.iter().enumerate() {
                 let mut buf = block(0);
                 ld2.read(Ctx::Simple, b, &mut buf).unwrap();
-                prop_assert_eq!(buf, block(*i as u8 * 3 + 1 + j as u8));
+                assert_eq!(buf, block(*i as u8 * 3 + 1 + j as u8));
             }
         }
         // Any other recovered list must also be complete (atomicity):
@@ -240,7 +266,7 @@ proptest! {
         for raw in 1..20u64 {
             let l = ld_core::ListId::new(raw);
             if let Ok(members) = ld2.list_blocks(Ctx::Simple, l) {
-                prop_assert_eq!(members.len(), 3, "partial ARU survived: list {}", l);
+                assert_eq!(members.len(), 3, "partial ARU survived: list {l}");
             }
         }
     }

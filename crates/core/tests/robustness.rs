@@ -3,7 +3,7 @@
 //! not reach.
 
 use ld_core::{Ctx, Lld, LldConfig, LldError, Position, ReadVisibility};
-use ld_disk::{BlockDevice, DiskModel, FaultPlan, MemDisk, SimDisk};
+use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
 
 const BS: usize = 512;
 
@@ -94,7 +94,7 @@ fn media_failure_on_read_is_reported() {
     assert!(info.addr.is_some());
     ld.device()
         .set_faults(FaultPlan::new().read_error_region(0..u64::MAX));
-    let mut buf = block(0);
+    let buf = block(0);
     // The block cache still holds the block (written through); evict it
     // is not possible from outside, so read a *fresh* instance instead.
     let image = ld.into_device().into_inner().into_image();
@@ -189,7 +189,10 @@ fn interleaved_aru_commit_then_reuse_of_freed_ids() {
     let mut buf = block(0);
     ld2.read(Ctx::Simple, reused, &mut buf).unwrap();
     assert_eq!(buf, block(0xEE));
-    assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![reused, other]);
+    assert_eq!(
+        ld2.list_blocks(Ctx::Simple, l).unwrap(),
+        vec![reused, other]
+    );
 }
 
 #[test]

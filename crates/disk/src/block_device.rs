@@ -43,6 +43,16 @@ pub trait BlockDevice: Send + Sync {
     /// Write barrier: returns once all previously written data is durable.
     fn flush(&self) -> Result<()>;
 
+    /// Point-in-time I/O statistics, if this device collects any.
+    ///
+    /// The default returns `None`; [`SimDisk`](crate::SimDisk) overrides
+    /// it. Generic code above the device (e.g. the logical disk's
+    /// `device_stats`) uses this to surface device counters without
+    /// naming the concrete device type.
+    fn stats_snapshot(&self) -> Option<crate::DiskStatsSnapshot> {
+        None
+    }
+
     /// Validates that a request lies within the device.
     ///
     /// # Errors
@@ -76,6 +86,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &D {
     fn flush(&self) -> Result<()> {
         (**self).flush()
     }
+    fn stats_snapshot(&self) -> Option<crate::DiskStatsSnapshot> {
+        (**self).stats_snapshot()
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
@@ -91,6 +104,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
     fn flush(&self) -> Result<()> {
         (**self).flush()
     }
+    fn stats_snapshot(&self) -> Option<crate::DiskStatsSnapshot> {
+        (**self).stats_snapshot()
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
@@ -105,6 +121,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     }
     fn flush(&self) -> Result<()> {
         (**self).flush()
+    }
+    fn stats_snapshot(&self) -> Option<crate::DiskStatsSnapshot> {
+        (**self).stats_snapshot()
     }
 }
 

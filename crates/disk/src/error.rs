@@ -67,12 +67,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.starts_with("request"));
         assert!(!s.ends_with('.'));
-        assert_eq!(DiskError::Crashed.to_string().contains("crash"), true);
+        assert!(DiskError::Crashed.to_string().contains("crash"));
     }
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let d: DiskError = io.into();
         assert!(matches!(d, DiskError::Io(_)));
     }

@@ -1,5 +1,5 @@
+use crate::sync::Mutex;
 use crate::{BlockDevice, Result};
-use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;

@@ -47,10 +47,13 @@ mod crc;
 mod error;
 mod faults;
 mod file;
+mod hist;
 mod mem;
 mod model;
+mod rng;
 mod sim;
 mod stats;
+mod sync;
 
 pub use block_device::BlockDevice;
 pub use clock::VirtualClock;
@@ -58,10 +61,15 @@ pub use crc::crc32;
 pub use error::DiskError;
 pub use faults::FaultPlan;
 pub use file::FileDisk;
+pub use hist::{
+    bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, HIST_BUCKETS,
+};
 pub use mem::MemDisk;
 pub use model::DiskModel;
+pub use rng::SmallRng;
 pub use sim::SimDisk;
 pub use stats::{DiskStats, DiskStatsSnapshot};
+pub use sync::Mutex;
 
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, DiskError>;

@@ -1,5 +1,5 @@
+use crate::sync::Mutex;
 use crate::{BlockDevice, Result};
-use parking_lot::Mutex;
 
 /// An in-memory block device.
 ///

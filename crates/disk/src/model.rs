@@ -190,7 +190,10 @@ mod tests {
         let cold = m.service_time(None, 0, 512, 1 << 30);
         assert_eq!(
             cold,
-            m.controller_overhead + m.avg_seek() + m.avg_rotational_latency() + m.transfer_time(512)
+            m.controller_overhead
+                + m.avg_seek()
+                + m.avg_rotational_latency()
+                + m.transfer_time(512)
         );
     }
 

@@ -1,6 +1,6 @@
 use crate::faults::WriteOutcome;
+use crate::sync::Mutex;
 use crate::{BlockDevice, DiskError, DiskModel, DiskStats, FaultPlan, Result, VirtualClock};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Head-position state shared by the time model across requests.
@@ -174,6 +174,10 @@ impl<D: BlockDevice> BlockDevice for SimDisk<D> {
         }
         self.stats.record_flush();
         self.inner.flush()
+    }
+
+    fn stats_snapshot(&self) -> Option<crate::DiskStatsSnapshot> {
+        Some(self.stats.snapshot())
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -5,6 +6,10 @@ use std::time::Duration;
 ///
 /// Counters are updated by [`SimDisk`](crate::SimDisk) on every request;
 /// [`DiskStats::snapshot`] produces a plain-value copy for reporting.
+/// Alongside the plain counters, per-operation latency histograms record
+/// the *modeled* service time of each request (nanoseconds on the
+/// virtual clock), so percentile queries reflect the simulated device,
+/// not host scheduling noise.
 #[derive(Debug, Default)]
 pub struct DiskStats {
     reads: AtomicU64,
@@ -15,6 +20,8 @@ pub struct DiskStats {
     sequential_writes: AtomicU64,
     sequential_reads: AtomicU64,
     busy_nanos: AtomicU64,
+    read_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
 }
 
 impl DiskStats {
@@ -29,8 +36,9 @@ impl DiskStats {
         if sequential {
             self.sequential_reads.fetch_add(1, Ordering::Relaxed);
         }
-        self.busy_nanos
-            .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = service.as_nanos() as u64;
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.read_hist.record(nanos);
     }
 
     pub(crate) fn record_write(&self, bytes: u64, sequential: bool, service: Duration) {
@@ -39,12 +47,23 @@ impl DiskStats {
         if sequential {
             self.sequential_writes.fetch_add(1, Ordering::Relaxed);
         }
-        self.busy_nanos
-            .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = service.as_nanos() as u64;
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.write_hist.record(nanos);
     }
 
     pub(crate) fn record_flush(&self) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The modeled read-service-time histogram.
+    pub fn read_hist(&self) -> &LatencyHistogram {
+        &self.read_hist
+    }
+
+    /// The modeled write-service-time histogram.
+    pub fn write_hist(&self) -> &LatencyHistogram {
+        &self.write_hist
     }
 
     /// Captures the current counter values.
@@ -58,6 +77,8 @@ impl DiskStats {
             sequential_writes: self.sequential_writes.load(Ordering::Relaxed),
             sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            read_hist: self.read_hist.snapshot(),
+            write_hist: self.write_hist.snapshot(),
         }
     }
 
@@ -71,6 +92,8 @@ impl DiskStats {
         self.sequential_writes.store(0, Ordering::Relaxed);
         self.sequential_reads.store(0, Ordering::Relaxed);
         self.busy_nanos.store(0, Ordering::Relaxed);
+        self.read_hist.reset();
+        self.write_hist.reset();
     }
 }
 
@@ -95,6 +118,10 @@ pub struct DiskStatsSnapshot {
     pub sequential_reads: u64,
     /// Total modeled device busy time.
     pub busy: Duration,
+    /// Modeled read service times (nanoseconds).
+    pub read_hist: HistogramSnapshot,
+    /// Modeled write service times (nanoseconds).
+    pub write_hist: HistogramSnapshot,
 }
 
 impl DiskStatsSnapshot {
@@ -128,6 +155,10 @@ mod tests {
         assert_eq!(snap.sequential_reads, 0);
         assert_eq!(snap.flushes, 1);
         assert_eq!(snap.busy, Duration::from_millis(19));
+        assert_eq!(snap.write_hist.count, 1);
+        assert_eq!(snap.write_hist.max, 2_000_000);
+        assert_eq!(snap.read_hist.count, 1);
+        assert_eq!(snap.read_hist.max, 17_000_000);
     }
 
     #[test]

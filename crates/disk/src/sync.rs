@@ -1,0 +1,74 @@
+//! A minimal mutex on top of [`std::sync::Mutex`].
+//!
+//! The workspace builds with no external crates, so this wrapper stands
+//! in for the usual third-party lock types: `lock()` never returns a
+//! guard `Result` (a poisoned lock means a thread panicked while holding
+//! it — we propagate the panic rather than limp on with possibly
+//! inconsistent state).
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutual-exclusion lock whose `lock` cannot fail.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (lock poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned: a holder panicked")
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock was poisoned.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("mutex poisoned: a holder panicked")
+    }
+
+    /// Returns a mutable reference to the inner value (no locking
+    /// needed: `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("mutex poisoned: a holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 2;
+        assert_eq!(m.into_inner(), 7);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

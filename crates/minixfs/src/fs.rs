@@ -42,6 +42,23 @@ pub struct FsStats {
     pub bytes_read: u64,
 }
 
+impl FsStats {
+    /// The counters as `(name, value)` pairs, in declaration order —
+    /// the shape [`ObsSnapshot::fs_ops`](ld_core::ObsSnapshot) expects,
+    /// so a caller can surface file-system activity alongside the LLD
+    /// and device layers.
+    pub fn as_named_counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("files_created".to_string(), self.files_created),
+            ("files_deleted".to_string(), self.files_deleted),
+            ("dirs_created".to_string(), self.dirs_created),
+            ("dirs_removed".to_string(), self.dirs_removed),
+            ("bytes_written".to_string(), self.bytes_written),
+            ("bytes_read".to_string(), self.bytes_read),
+        ]
+    }
+}
+
 /// A Minix-like file system on a Logical Disk.
 ///
 /// # Example
@@ -424,7 +441,12 @@ impl<L: LogicalDisk> MinixFs<L> {
 
     /// Scans `dir` for `name`; returns the inode and the (block index,
     /// slot) of the entry.
-    fn dir_lookup(&mut self, ctx: Ctx, dir: Ino, name: &str) -> Result<Option<(Ino, usize, usize)>> {
+    fn dir_lookup(
+        &mut self,
+        ctx: Ctx,
+        dir: Ino,
+        name: &str,
+    ) -> Result<Option<(Ino, usize, usize)>> {
         let blocks = self.data_blocks(ctx, dir)?;
         let slots = self.block_size / DIRENT_SIZE;
         let mut buf = vec![0u8; self.block_size];

@@ -112,9 +112,6 @@ mod tests {
     fn bad_mode_detected() {
         let mut block = vec![0u8; 64];
         block[0] = 99;
-        assert!(matches!(
-            Inode::decode(&block, 0),
-            Err(FsError::Corrupt(_))
-        ));
+        assert!(matches!(Inode::decode(&block, 0), Err(FsError::Corrupt(_))));
     }
 }

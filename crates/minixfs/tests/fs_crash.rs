@@ -4,7 +4,7 @@
 //! crash can strand partial meta-data, which the verifier detects.
 
 use ld_core::{Lld, LldConfig};
-use ld_disk::{BlockDevice, DiskModel, FaultPlan, MemDisk, SimDisk};
+use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
 use ld_minixfs::{FsConfig, FsError, MinixFs};
 
 const BS: usize = 512;
@@ -147,10 +147,7 @@ fn consistency_at_every_crash_point_with_arus() {
                     let st = fs2.stat(ino).unwrap();
                     assert!(st.size <= 900, "crash at {crash_at}: {path} oversized");
                     let mut buf = vec![0u8; st.size as usize];
-                    assert_eq!(
-                        fs2.read_at(ino, 0, &mut buf).unwrap(),
-                        st.size as usize
-                    );
+                    assert_eq!(fs2.read_at(ino, 0, &mut buf).unwrap(), st.size as usize);
                     assert_eq!(
                         buf,
                         vec![i as u8 + 1; st.size as usize],

@@ -164,10 +164,7 @@ fn truncate_on_directory_fails() {
     let mut fs = fresh();
     fs.mkdir("/dir").unwrap();
     let ino = fs.lookup("/dir").unwrap();
-    assert!(matches!(
-        fs.truncate(ino, 0),
-        Err(FsError::IsADirectory(_))
-    ));
+    assert!(matches!(fs.truncate(ino, 0), Err(FsError::IsADirectory(_))));
 }
 
 #[test]

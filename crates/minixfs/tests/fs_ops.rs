@@ -106,7 +106,12 @@ fn directories_nest() {
     let f = fs.create("/a/b/c/deep.txt").unwrap();
     fs.write_at(f, 0, b"x").unwrap();
     assert_eq!(fs.lookup("/a/b/c/deep.txt").unwrap(), f);
-    let names: Vec<String> = fs.readdir("/a/b").unwrap().into_iter().map(|e| e.name).collect();
+    let names: Vec<String> = fs
+        .readdir("/a/b")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     assert_eq!(names, vec!["c"]);
     assert!(fs.verify().unwrap().is_consistent());
 }
@@ -118,15 +123,18 @@ fn namespace_errors() {
     let f = fs.create("/d/f").unwrap();
     assert!(matches!(fs.create("/d/f"), Err(FsError::AlreadyExists(_))));
     assert!(matches!(fs.lookup("/nope"), Err(FsError::NotFound(_))));
-    assert!(matches!(fs.lookup("relative"), Err(FsError::InvalidPath(_))));
-    assert!(matches!(fs.create("/d/f/x"), Err(FsError::NotADirectory(_))));
+    assert!(matches!(
+        fs.lookup("relative"),
+        Err(FsError::InvalidPath(_))
+    ));
+    assert!(matches!(
+        fs.create("/d/f/x"),
+        Err(FsError::NotADirectory(_))
+    ));
     assert!(matches!(fs.unlink("/d"), Err(FsError::IsADirectory(_))));
     assert!(matches!(fs.rmdir("/d"), Err(FsError::DirectoryNotEmpty(_))));
     assert!(matches!(fs.rmdir("/d/f"), Err(FsError::NotADirectory(_))));
-    assert!(matches!(
-        fs.readdir("/d/f"),
-        Err(FsError::NotADirectory(_))
-    ));
+    assert!(matches!(fs.readdir("/d/f"), Err(FsError::NotADirectory(_))));
     let long = format!("/{}", "n".repeat(200));
     assert!(matches!(fs.create(&long), Err(FsError::NameTooLong(_))));
     let _ = f;

@@ -3,7 +3,6 @@
 use crate::{pattern_fill, rng};
 use ld_core::LogicalDisk;
 use ld_minixfs::{Ino, MinixFs, Result};
-use rand::seq::SliceRandom;
 
 /// The five phases of the large-file benchmark, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,8 +107,12 @@ impl LargeFileWorkload {
         let order: Vec<u64> = match phase {
             LargeFilePhase::Write2 | LargeFilePhase::Read2 => {
                 let mut v: Vec<u64> = (0..n).collect();
-                let salt = if phase == LargeFilePhase::Write2 { 1 } else { 2 };
-                v.shuffle(&mut rng(self.seed + salt));
+                let salt = if phase == LargeFilePhase::Write2 {
+                    1
+                } else {
+                    2
+                };
+                rng(self.seed + salt).shuffle(&mut v);
                 v
             }
             _ => (0..n).collect(),

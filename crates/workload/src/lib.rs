@@ -29,12 +29,11 @@ pub use large_file::{LargeFilePhase, LargeFileWorkload};
 pub use mixed::{MixedOp, MixedWorkload};
 pub use small_file::SmallFileWorkload;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ld_disk::SmallRng;
 
 /// A deterministic RNG for workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
 }
 
 /// Fills `buf` with a deterministic pattern derived from `tag` — cheap
@@ -68,9 +67,8 @@ mod tests {
 
     #[test]
     fn rng_is_seeded() {
-        use rand::Rng;
         let mut r1 = rng(42);
         let mut r2 = rng(42);
-        assert_eq!(r1.random::<u64>(), r2.random::<u64>());
+        assert_eq!(r1.next_u64(), r2.next_u64());
     }
 }

@@ -5,7 +5,6 @@
 use crate::{pattern_fill, rng};
 use ld_core::LogicalDisk;
 use ld_minixfs::{Ino, MinixFs, Result};
-use rand::Rng;
 
 /// One generated operation (exposed so tests can inspect traces).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,10 +55,10 @@ impl MixedWorkload {
         let mut sizes = vec![0usize; self.population];
         let mut out = Vec::with_capacity(self.ops);
         for _ in 0..self.ops {
-            let idx = r.random_range(0..self.population);
-            let roll: f64 = r.random();
+            let idx = r.gen_index(self.population);
+            let roll: f64 = r.gen_f64();
             if !alive[idx] {
-                let bytes = r.random_range(1..=self.max_file_size);
+                let bytes = 1 + r.gen_index(self.max_file_size);
                 alive[idx] = true;
                 sizes[idx] = bytes;
                 out.push(MixedOp::Create { idx, bytes });
@@ -67,9 +66,9 @@ impl MixedWorkload {
                 alive[idx] = false;
                 out.push(MixedOp::Delete { idx });
             } else if roll < 0.9 {
-                let offset = r.random_range(0..sizes[idx]) as u64;
-                let len = r
-                    .random_range(1..=self.max_file_size.min(sizes[idx] - offset as usize).max(1));
+                let offset = r.gen_index(sizes[idx]) as u64;
+                let len =
+                    1 + r.gen_index(self.max_file_size.min(sizes[idx] - offset as usize).max(1));
                 out.push(MixedOp::Overwrite { idx, offset, len });
             } else {
                 out.push(MixedOp::Flush);
@@ -128,7 +127,10 @@ mod tests {
             seed: 3,
         };
         assert_eq!(w.trace(), w.trace());
-        let w2 = MixedWorkload { seed: 4, ..w.clone() };
+        let w2 = MixedWorkload {
+            seed: 4,
+            ..w.clone()
+        };
         assert_ne!(w.trace(), w2.trace());
     }
 
@@ -140,7 +142,7 @@ mod tests {
             max_file_size: 1000,
             seed: 9,
         };
-        let mut alive = vec![false; 4];
+        let mut alive = [false; 4];
         for op in w.trace() {
             match op {
                 MixedOp::Create { idx, .. } => {

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after 2000 overwrites: {} segments sealed, {} cleaner runs, \
          {} blocks relocated, {} checkpoints, {} free segments",
-        s.segments_sealed, s.cleaner_runs, s.blocks_relocated, s.checkpoints,
+        s.segments_sealed,
+        s.cleaner_runs,
+        s.blocks_relocated,
+        s.checkpoints,
         ld.free_segments()
     );
     assert!(s.cleaner_runs > 0, "the cleaner must have run");

@@ -36,13 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ld.read(Ctx::Aru(a2), block, &mut buf)?;
     println!("ARU 2 sees its own shadow version: {}", buf[0]);
     ld.read(Ctx::Simple, block, &mut buf)?;
-    println!("the simple stream still sees the committed version: {}", buf[0]);
+    println!(
+        "the simple stream still sees the committed version: {}",
+        buf[0]
+    );
 
     // ARUs serialize at EndARU: a2 commits first, then a1; a1 wins.
     ld.end_aru(a2)?;
     ld.end_aru(a1)?;
     ld.read(Ctx::Simple, block, &mut buf)?;
-    println!("after both commits (a2 then a1), committed version: {}", buf[0]);
+    println!(
+        "after both commits (a2 then a1), committed version: {}",
+        buf[0]
+    );
     assert_eq!(buf[0], 1);
 
     // Two ARUs extending the same list merge at commit via the

@@ -9,11 +9,14 @@
 //!
 //! Run with: `cargo run --example kv_store`
 
-use ld_core::{BlockId, Ctx, Lld, LldConfig, ListId, LogicalDisk, Position};
+use ld_core::{BlockId, Ctx, ListId, Lld, LldConfig, LogicalDisk, Position};
 use ld_disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
 use std::collections::HashMap;
 
 const BS: usize = 4096;
+
+/// Index entries staged by a transaction: (key, bucket, block).
+type StagedEntries = Vec<(String, usize, BlockId)>;
 
 /// One bucket per key hash; each bucket is an LD list of record blocks.
 struct KvStore<L: LogicalDisk> {
@@ -67,7 +70,7 @@ impl<L: LogicalDisk> KvStore<L> {
     ) -> Result<(), Box<dyn std::error::Error>> {
         let aru = self.ld.begin_aru()?;
         let ctx = Ctx::Aru(aru);
-        let result = (|| -> Result<Vec<(String, usize, BlockId)>, Box<dyn std::error::Error>> {
+        let result = (|| -> Result<StagedEntries, Box<dyn std::error::Error>> {
             let mut new_index = Vec::new();
             for &(k, v) in puts {
                 // Upsert: delete the old record block, add a new one.

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     ld.end_aru(aru)?;
     assert_eq!(ld.list_blocks(Ctx::Simple, file)?, vec![b0, b1]);
-    println!("after  EndARU: list {file} = {:?}", ld.list_blocks(Ctx::Simple, file)?);
+    println!(
+        "after  EndARU: list {file} = {:?}",
+        ld.list_blocks(Ctx::Simple, file)?
+    );
 
     // Make it durable, crash, and recover.
     ld.flush()?;

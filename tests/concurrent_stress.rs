@@ -7,7 +7,6 @@
 //! semantics — isolation of shadow states, atomicity of commits, and
 //! unique identifier allocation.
 
-use crossbeam::thread;
 use ld_aru::core::{Ctx, Lld, LldConfig, Position};
 use ld_aru::disk::MemDisk;
 use parking_lot_like::Mutex;
@@ -43,10 +42,10 @@ fn interleaved_arus_from_threads_commit_atomically() {
     let n_threads = 4;
     let arus_per_thread = 25;
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..n_threads {
             let ld = &ld;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..arus_per_thread {
                     // Each ARU creates a private list of 3 patterned
                     // blocks. Lock per operation, so ARUs from different
@@ -58,9 +57,7 @@ fn interleaved_arus_from_threads_commit_atomically() {
                         .lock()
                         .new_block(Ctx::Aru(aru), list, Position::First)
                         .unwrap();
-                    ld.lock()
-                        .write(Ctx::Aru(aru), b1, &vec![tag; 512])
-                        .unwrap();
+                    ld.lock().write(Ctx::Aru(aru), b1, &vec![tag; 512]).unwrap();
                     let b2 = ld
                         .lock()
                         .new_block(Ctx::Aru(aru), list, Position::After(b1))
@@ -72,8 +69,7 @@ fn interleaved_arus_from_threads_commit_atomically() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let mut ld = ld.lock();
     let stats = *ld.stats();
@@ -107,10 +103,10 @@ fn interleaved_arus_from_threads_commit_atomically() {
 #[test]
 fn threads_with_aborts_and_commits_leave_clean_state() {
     let ld = Mutex::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..4 {
             let ld = &ld;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..20 {
                     let aru = ld.lock().begin_aru().unwrap();
                     let list = ld.lock().new_list(Ctx::Aru(aru)).unwrap();
@@ -118,7 +114,9 @@ fn threads_with_aborts_and_commits_leave_clean_state() {
                         .lock()
                         .new_block(Ctx::Aru(aru), list, Position::First)
                         .unwrap();
-                    ld.lock().write(Ctx::Aru(aru), b, &vec![t as u8; 512]).unwrap();
+                    ld.lock()
+                        .write(Ctx::Aru(aru), b, &vec![t as u8; 512])
+                        .unwrap();
                     if i % 2 == 0 {
                         ld.lock().end_aru(aru).unwrap();
                     } else {
@@ -127,8 +125,7 @@ fn threads_with_aborts_and_commits_leave_clean_state() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let mut ld = ld.lock();
     assert_eq!(ld.stats().arus_committed, 40);

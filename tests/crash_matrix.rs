@@ -1,13 +1,15 @@
-//! Property-based crash matrix over the whole stack: random mixed
+//! Randomized crash matrix over the whole stack: random mixed
 //! workloads, random crash points, and the single invariant that matters
 //! — after recovery the file system is consistent and every surviving
 //! file's content prefix is exactly what was written.
+//!
+//! Cases are generated from a seeded RNG, so every run explores the
+//! same deterministic matrix.
 
 use ld_aru::core::{Lld, LldConfig};
-use ld_aru::disk::{DiskModel, FaultPlan, MemDisk, SimDisk};
+use ld_aru::disk::{DiskModel, FaultPlan, MemDisk, SimDisk, SmallRng};
 use ld_aru::minixfs::{FsConfig, FsError, MinixFs};
 use ld_aru::workload::pattern_fill;
-use proptest::prelude::*;
 
 fn ld_config() -> LldConfig {
     LldConfig {
@@ -17,22 +19,24 @@ fn ld_config() -> LldConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn any_crash_point_recovers_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xC4A5_4001);
+    for case in 0..24 {
+        let crash_after = rng.gen_range(50_000, 4_000_000);
+        let n_files = 4 + rng.gen_index(20);
+        let file_blocks = 1 + rng.gen_index(3);
+        let flush_every = 1 + rng.gen_index(5);
 
-    #[test]
-    fn any_crash_point_recovers_consistent(
-        crash_after in 50_000u64..4_000_000,
-        n_files in 4usize..24,
-        file_blocks in 1usize..4,
-        flush_every in 1usize..6,
-    ) {
         let sim = SimDisk::new(MemDisk::new(48 << 20), DiskModel::hp_c3010())
             .with_faults(FaultPlan::new().crash_after_bytes(crash_after));
         let ld = Lld::format(sim, &ld_config()).unwrap();
         let mut fs = MinixFs::format(
             ld,
-            FsConfig { inode_count: 128, ..FsConfig::default() },
+            FsConfig {
+                inode_count: 128,
+                ..FsConfig::default()
+            },
         )
         .unwrap();
 
@@ -62,35 +66,49 @@ proptest! {
         let mut fs2 = MinixFs::mount(ld2, FsConfig::default()).unwrap();
 
         let report = fs2.verify().unwrap();
-        prop_assert!(report.is_consistent(), "problems: {:?}", report.problems);
+        assert!(
+            report.is_consistent(),
+            "case {case}: problems: {:?}",
+            report.problems
+        );
 
         // Every surviving file's persisted prefix matches its pattern.
         let mut expect = vec![0u8; size];
         for entry in fs2.readdir("/").unwrap() {
             let i: u64 = entry.name[1..].parse().unwrap();
             let st = fs2.stat(entry.ino).unwrap();
-            prop_assert!(st.size <= size as u64);
+            assert!(st.size <= size as u64, "case {case}");
             let mut buf = vec![0u8; st.size as usize];
             let got = fs2.read_at(entry.ino, 0, &mut buf).unwrap();
-            prop_assert_eq!(got as u64, st.size);
+            assert_eq!(got as u64, st.size, "case {case}");
             pattern_fill(&mut expect, i);
-            prop_assert_eq!(&buf[..], &expect[..st.size as usize], "file {} corrupt", i);
+            assert_eq!(
+                &buf[..],
+                &expect[..st.size as usize],
+                "case {case}: file {i} corrupt"
+            );
         }
     }
+}
 
-    #[test]
-    fn double_crash_during_recovery_era_is_safe(
-        crash_after in 100_000u64..1_000_000,
-        second_crash in 10_000u64..200_000,
-    ) {
-        // Crash once, recover, do a little work, crash again mid-work,
-        // recover again: consistency must hold at both steps.
+#[test]
+fn double_crash_during_recovery_era_is_safe() {
+    // Crash once, recover, do a little work, crash again mid-work,
+    // recover again: consistency must hold at both steps.
+    let mut rng = SmallRng::seed_from_u64(0xC4A5_4002);
+    for case in 0..24 {
+        let crash_after = rng.gen_range(100_000, 1_000_000);
+        let second_crash = rng.gen_range(10_000, 200_000);
+
         let sim = SimDisk::new(MemDisk::new(48 << 20), DiskModel::hp_c3010())
             .with_faults(FaultPlan::new().crash_after_bytes(crash_after));
         let ld = Lld::format(sim, &ld_config()).unwrap();
         let mut fs = MinixFs::format(
             ld,
-            FsConfig { inode_count: 64, ..FsConfig::default() },
+            FsConfig {
+                inode_count: 64,
+                ..FsConfig::default()
+            },
         )
         .unwrap();
         let _ = (|| -> Result<(), FsError> {
@@ -107,7 +125,7 @@ proptest! {
             .with_faults(FaultPlan::new().crash_after_bytes(second_crash));
         let (ld2, _) = Lld::recover(sim2).unwrap();
         let mut fs2 = MinixFs::mount(ld2, FsConfig::default()).unwrap();
-        prop_assert!(fs2.verify().unwrap().is_consistent());
+        assert!(fs2.verify().unwrap().is_consistent(), "case {case}");
 
         let _ = (|| -> Result<(), FsError> {
             for i in 0..12 {
@@ -122,6 +140,10 @@ proptest! {
         let (ld3, _) = Lld::recover(MemDisk::from_image(image2)).unwrap();
         let mut fs3 = MinixFs::mount(ld3, FsConfig::default()).unwrap();
         let report = fs3.verify().unwrap();
-        prop_assert!(report.is_consistent(), "problems: {:?}", report.problems);
+        assert!(
+            report.is_consistent(),
+            "case {case}: problems: {:?}",
+            report.problems
+        );
     }
 }
