@@ -58,7 +58,7 @@ fn bench_simple_ops(filter: Option<&str>) {
     let cfg = small_cfg();
 
     {
-        let mut ld = cfg.build_ld(Version::New);
+        let ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         let data = vec![7u8; 4096];
@@ -68,7 +68,7 @@ fn bench_simple_ops(filter: Option<&str>) {
     }
 
     {
-        let mut ld = cfg.build_ld(Version::New);
+        let ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         ld.write(Ctx::Simple, blk, &vec![7u8; 4096]).unwrap();
@@ -79,7 +79,7 @@ fn bench_simple_ops(filter: Option<&str>) {
     }
 
     {
-        let mut ld = cfg.build_ld(Version::New);
+        let ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         report("simple_ops/alloc_free_block", filter, 2000, || {
             let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
@@ -92,7 +92,7 @@ fn bench_aru_paths(filter: Option<&str>) {
     let cfg = small_cfg();
 
     {
-        let mut ld = cfg.build_ld(Version::New);
+        let ld = cfg.build_ld(Version::New);
         report("aru/begin_end_empty", filter, 5000, || {
             let aru = ld.begin_aru().unwrap();
             ld.end_aru(aru).unwrap();
@@ -100,7 +100,7 @@ fn bench_aru_paths(filter: Option<&str>) {
     }
 
     {
-        let mut ld = cfg.build_ld(Version::Old);
+        let ld = cfg.build_ld(Version::Old);
         report("aru/begin_end_empty_sequential", filter, 5000, || {
             let aru = ld.begin_aru().unwrap();
             ld.end_aru(aru).unwrap();
@@ -108,7 +108,7 @@ fn bench_aru_paths(filter: Option<&str>) {
     }
 
     {
-        let mut ld = cfg.build_ld(Version::New);
+        let ld = cfg.build_ld(Version::New);
         let list = ld.new_list(Ctx::Simple).unwrap();
         let blk = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
         let data = vec![3u8; 4096];
@@ -132,7 +132,7 @@ fn bench_predecessor_search(filter: Option<&str>) {
         // Each iteration consumes the list tail, so rebuild per sample:
         // time only the delete by accumulating elapsed time manually.
         let build = |cfg: &BenchConfig| -> (Lld<SimDisk<MemDisk>>, ld_core::BlockId) {
-            let mut ld = cfg.build_ld(Version::New);
+            let ld = cfg.build_ld(Version::New);
             let list = ld.new_list(Ctx::Simple).unwrap();
             let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
             for _ in 1..len {
@@ -147,7 +147,7 @@ fn bench_predecessor_search(filter: Option<&str>) {
         for sample in 0..=SAMPLES {
             let mut total_ns = 0u128;
             for _ in 0..iters {
-                let (mut ld, tail) = build(&cfg);
+                let (ld, tail) = build(&cfg);
                 let start = Instant::now();
                 ld.delete_block(Ctx::Simple, black_box(tail)).unwrap();
                 total_ns += start.elapsed().as_nanos();

@@ -31,10 +31,10 @@ fn main() {
         AruLatencyWorkload::paper()
     };
 
-    let mut ld = cfg.build_ld(Version::New);
+    let ld = cfg.build_ld(Version::New);
     let clock = Arc::clone(ld.device().clock());
-    let (res, timing) = measure(&clock, cfg.cpu_slowdown, || wl.run(&mut ld)).expect("run");
-    let stats = *ld.stats();
+    let (res, timing) = measure(&clock, cfg.cpu_slowdown, || wl.run(&ld)).expect("run");
+    let stats = ld.stats();
     let snap = ld.obs_snapshot();
 
     let report = Report {

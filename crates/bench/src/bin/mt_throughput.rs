@@ -1,0 +1,156 @@
+//! Multi-threaded throughput: N OS threads share one logical disk
+//! through its `&self` interface and commit disjoint ARUs with
+//! synchronous durability, so concurrent callers batch in the
+//! group-commit stage.
+//!
+//! The paper's prototype was single-threaded (§6 names a
+//! multi-threaded implementation as future work); this experiment
+//! measures what the shared-handle implementation adds: wall-clock
+//! ops/s at 1, 2, 4, and 8 threads, and how many durability callers
+//! each group-commit batch absorbed.
+//!
+//! Unlike the §5 experiments, throughput here is *wall-clock*: thread
+//! scaling is a property of the implementation's locking, not of the
+//! 1996 timing model. The disk is a [`LatencyDisk`] over memory — data
+//! moves at memory speed but each write barrier charges a realistic
+//! wall-clock cost, which is the window group commit batches in.
+//!
+//! Usage: `mt_throughput [--quick] [--json] [--threads 1,2,4,8] [--arus N]`
+
+use ld_bench::{BenchConfig, Version};
+use ld_core::obs::json::{Arr, Obj};
+use ld_core::Lld;
+use ld_disk::{LatencyDisk, MemDisk};
+use ld_workload::MtWorkload;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost charged per write barrier. A [`SimDisk`] barrier
+/// returns in nanoseconds of real time, so concurrent durability
+/// callers would almost never overlap a leader's flush; a realistic
+/// barrier cost is what gives group commit a window to batch in.
+///
+/// [`SimDisk`]: ld_disk::SimDisk
+const BARRIER_COST: Duration = Duration::from_micros(500);
+
+#[derive(Debug)]
+struct Run {
+    threads: usize,
+    arus: u64,
+    blocks: u64,
+    ops: u64,
+    wall_secs: f64,
+    ops_per_sec: f64,
+    flush_batches: u64,
+    flush_batch_callers: u64,
+    flush_batch_max: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = BenchConfig::from_args(&args);
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, 8];
+    let mut total_arus: usize = if quick { 400 } else { 4000 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                if let Some(v) = it.next() {
+                    let parsed: Vec<usize> =
+                        v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                    if !parsed.is_empty() {
+                        thread_counts = parsed;
+                    }
+                }
+            }
+            "--arus" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    total_arus = v;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut last_obs = None;
+    for &threads in &thread_counts {
+        let device = LatencyDisk::new(MemDisk::new(cfg.capacity), BARRIER_COST);
+        let ld = Lld::format(device, &cfg.ld_config(Version::New)).expect("format");
+        let wl = MtWorkload {
+            threads,
+            arus_per_thread: total_arus.max(threads) / threads,
+            blocks_per_aru: 2,
+            sync_every: 1,
+            seed: 42,
+        };
+        let start = Instant::now();
+        let report = wl.run(&ld).expect("workload");
+        let wall = start.elapsed().as_secs_f64();
+        let stats = ld.stats();
+        runs.push(Run {
+            threads,
+            arus: report.arus_committed,
+            blocks: report.blocks_written,
+            ops: report.ops,
+            wall_secs: wall,
+            ops_per_sec: report.ops as f64 / wall.max(1e-9),
+            flush_batches: stats.flush_batches,
+            flush_batch_callers: stats.flush_batch_callers,
+            flush_batch_max: stats.flush_batch_max,
+        });
+        last_obs = Some(ld.obs_snapshot());
+    }
+
+    if json {
+        let mut arr = Arr::new();
+        for r in &runs {
+            arr.push_raw(
+                &Obj::new()
+                    .u64("threads", r.threads as u64)
+                    .u64("arus", r.arus)
+                    .u64("blocks", r.blocks)
+                    .u64("ops", r.ops)
+                    .f64("wall_secs", r.wall_secs)
+                    .f64("ops_per_sec", r.ops_per_sec)
+                    .u64("flush_batches", r.flush_batches)
+                    .u64("flush_batch_callers", r.flush_batch_callers)
+                    .u64("flush_batch_max", r.flush_batch_max)
+                    .finish(),
+            );
+        }
+        let mut out = Obj::new();
+        out.u64("total_arus", total_arus as u64)
+            .raw("runs", &arr.finish());
+        if let Some(snap) = &last_obs {
+            out.raw("obs", &snap.to_json());
+        }
+        println!("{}", out.finish());
+        return;
+    }
+
+    println!("Multi-threaded throughput: {total_arus} ARUs (2 blocks each, end_aru_sync)");
+    println!("  threads |      ops |  wall (s) |      ops/s | batches | callers | max batch");
+    for r in &runs {
+        println!(
+            "  {:>7} | {:>8} | {:>9.3} | {:>10.0} | {:>7} | {:>7} | {:>9}",
+            r.threads,
+            r.ops,
+            r.wall_secs,
+            r.ops_per_sec,
+            r.flush_batches,
+            r.flush_batch_callers,
+            r.flush_batch_max
+        );
+    }
+    if let Some(r) = runs.iter().find(|r| r.threads >= 4) {
+        println!(
+            "  group commit at {} threads: {:.2} callers per barrier (max {})",
+            r.threads,
+            r.flush_batch_callers as f64 / r.flush_batches.max(1) as f64,
+            r.flush_batch_max
+        );
+    }
+}

@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use ld_core::{ConcurrencyMode, Ctx, ListId, Lld, LldConfig, Position};
-use ld_disk::{DiskModel, FileDisk, MemDisk, SimDisk};
+use ld_disk::{DiskModel, FileDisk, LatencyDisk, MemDisk, SimDisk};
 use ld_minixfs::{FsConfig, MinixFs};
 use std::fmt::Write as _;
 
@@ -80,10 +80,13 @@ ldctl — Logical Disk image tool
   ldctl cat <image> <path>        print a file's contents (lossy UTF-8)
   ldctl put <image> <path> <local-file>   copy a local file in
   ldctl verify <image>            run the file-system consistency check
-  ldctl stats [<image>] [--json]  observability snapshot: counters, latency
+  ldctl stats [<image>] [--json] [--threads N]
+                                  observability snapshot: counters, latency
                                   histograms, ARU spans, trace events; with
                                   no image, runs a scripted in-memory
-                                  workload on the simulated disk
+                                  workload on the simulated disk; --threads N
+                                  drives it from N OS threads sharing the
+                                  disk (group-commit batching under load)
   ldctl help                      this text
 ";
 
@@ -115,7 +118,7 @@ pub fn cmd_format(image: &str, args: &[String]) -> Result<String> {
         ..LldConfig::default()
     };
     let device = FileDisk::create(image, size)?;
-    let mut ld = Lld::format(device, &config)?;
+    let ld = Lld::format(device, &config)?;
     let mut out = format!(
         "formatted {image}: {} segments of {} KiB, {} byte blocks, {:?} ARUs\n",
         ld.n_segments(),
@@ -188,7 +191,7 @@ pub fn cmd_info(image: &str) -> Result<String> {
 /// `ldctl check`: recover with the orphan check and persist the result.
 pub fn cmd_check(image: &str) -> Result<String> {
     let device = FileDisk::open(image)?;
-    let (mut ld, report) = Lld::recover(device)?;
+    let (ld, report) = Lld::recover(device)?;
     ld.flush()?;
     Ok(format!(
         "recovered {image}: {} ARUs committed, {} discarded, {} orphaned blocks reclaimed\n",
@@ -199,7 +202,7 @@ pub fn cmd_check(image: &str) -> Result<String> {
 /// `ldctl dump`.
 pub fn cmd_dump(image: &str) -> Result<String> {
     let device = FileDisk::open(image)?;
-    let (mut ld, _) = Lld::recover_with(
+    let (ld, _) = Lld::recover_with(
         device,
         &LldConfig {
             check_on_recovery: false,
@@ -313,10 +316,19 @@ pub fn cmd_verify(image: &str) -> Result<String> {
 /// writes, reads, a delete, one explicitly committed ARU and one
 /// aborted ARU — on a simulated in-memory disk, so every layer of the
 /// snapshot (disk service times, LLD counters, histograms, spans,
-/// trace events, file-system ops) is exercised.
+/// trace events, file-system ops) is exercised. `--threads N` (no
+/// image) instead drives the simulated disk from N OS threads running
+/// synchronous disjoint ARUs, so the group-commit counters and the
+/// batch-size histogram carry real contention.
 pub fn cmd_stats(args: &[String]) -> Result<String> {
     let json = args.iter().any(|a| a == "--json");
-    let image = args.iter().find(|a| !a.starts_with("--"));
+    let threads = parse_u64(args, "--threads")?.unwrap_or(1) as usize;
+    // Skip flags and their values when looking for the image operand.
+    let image = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
+        .map(|(_, a)| a);
 
     let snap = match image {
         Some(image) => {
@@ -324,6 +336,7 @@ pub fn cmd_stats(args: &[String]) -> Result<String> {
             let (ld, _) = Lld::recover(device)?;
             ld.obs_snapshot()
         }
+        None if threads > 1 => threaded_snapshot(threads)?,
         None => scripted_snapshot()?,
     };
     if json {
@@ -364,7 +377,7 @@ fn scripted_snapshot() -> Result<ld_core::ObsSnapshot> {
 
     // Direct logical-disk traffic: one committed ARU (with a
     // copy-on-write of a committed block) and one aborted ARU.
-    let ld = fs.ld_mut();
+    let ld = fs.ld();
     let aru = ld.begin_aru()?;
     let list = ld.new_list(Ctx::Aru(aru))?;
     let blk = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
@@ -378,6 +391,36 @@ fn scripted_snapshot() -> Result<ld_core::ObsSnapshot> {
     let mut snap = fs.ld().obs_snapshot();
     snap.fs_ops = fs.stats().as_named_counters();
     Ok(snap)
+}
+
+/// The `stats --threads N` workload: N OS threads share one simulated
+/// logical disk through its `&self` interface, each committing a
+/// stream of synchronous disjoint ARUs (see [`cmd_stats`]).
+///
+/// The simulated device is wrapped in a [`LatencyDisk`] so each write
+/// barrier costs real wall-clock time: that is the window in which
+/// concurrent durability callers pile into one group-commit batch, and
+/// without it the batching counters this command exists to show would
+/// stay at 1.
+fn threaded_snapshot(threads: usize) -> Result<ld_core::ObsSnapshot> {
+    let sim = SimDisk::new(MemDisk::new(16 << 20), DiskModel::hp_c3010());
+    let ld = Lld::format(
+        LatencyDisk::new(sim, std::time::Duration::from_micros(500)),
+        &LldConfig {
+            block_size: 512,
+            segment_bytes: 16 * 512,
+            ..LldConfig::default()
+        },
+    )?;
+    let wl = ld_workload::MtWorkload {
+        threads,
+        arus_per_thread: 50,
+        blocks_per_aru: 2,
+        sync_every: 1,
+        seed: 1,
+    };
+    wl.run(&ld)?;
+    Ok(ld.obs_snapshot())
 }
 
 /// Dispatches a full argument vector (without the program name).

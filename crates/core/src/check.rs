@@ -24,35 +24,41 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// Run automatically at the end of [`recover`](Lld::recover) (unless
     /// disabled in the configuration); it may also be run manually on a
-    /// quiescent disk.
+    /// quiescent disk — the orphan scan and the deletions are not one
+    /// atomic step, so concurrent mutators could allocate blocks the
+    /// check then frees.
     ///
     /// # Errors
     ///
     /// Returns [`LldError::ArusActive`] if any ARU is active: an active
     /// ARU legitimately owns allocated-but-unlinked blocks, and freeing
     /// them would corrupt its commit.
-    pub fn check(&mut self) -> Result<CheckReport> {
-        if !self.arus.is_empty() {
-            return Err(LldError::ArusActive {
-                count: self.arus.len(),
-            });
-        }
-        let ids: HashSet<BlockId> = self
-            .persistent
-            .blocks
-            .keys()
-            .chain(self.committed.blocks.keys())
-            .copied()
-            .collect();
-        let mut orphans: Vec<BlockId> = ids
-            .into_iter()
-            .filter(|&id| {
-                self.committed_view_block(id)
-                    .map(|r| r.allocated && r.list.is_none())
-                    .unwrap_or(false)
-            })
-            .collect();
-        orphans.sort_unstable();
+    pub fn check(&self) -> Result<CheckReport> {
+        let orphans = {
+            let map = self.map.read();
+            if !map.arus.is_empty() {
+                return Err(LldError::ArusActive {
+                    count: map.arus.len(),
+                });
+            }
+            let ids: HashSet<BlockId> = map
+                .persistent
+                .blocks
+                .keys()
+                .chain(map.committed.blocks.keys())
+                .copied()
+                .collect();
+            let mut orphans: Vec<BlockId> = ids
+                .into_iter()
+                .filter(|&id| {
+                    map.committed_view_block(id)
+                        .map(|r| r.allocated && r.list.is_none())
+                        .unwrap_or(false)
+                })
+                .collect();
+            orphans.sort_unstable();
+            orphans
+        };
         for &b in &orphans {
             self.delete_block(Ctx::Simple, b)?;
         }

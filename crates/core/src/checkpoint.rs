@@ -15,7 +15,7 @@
 
 use crate::error::{LldError, Result};
 use crate::layout::{Layout, CKPT_BLOCK_ENTRY, CKPT_HEADER, CKPT_LIST_ENTRY};
-use crate::lld::Lld;
+use crate::lld::{Lld, Mutation};
 use crate::state::{BlockRecord, ListRecord, Tables};
 use crate::types::{BlockId, ListId, PhysAddr, SegmentId, Timestamp};
 use ld_disk::{crc32, BlockDevice};
@@ -67,26 +67,35 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// Device errors; [`LldError::DiskFull`] if no segment slot is free
     /// for the next segment.
-    pub fn checkpoint(&mut self) -> Result<()> {
-        if self.seal_current()? && !self.free_slots.is_empty() {
+    pub fn checkpoint(&self) -> Result<()> {
+        self.with_mutation(|m| m.checkpoint_inner())
+    }
+}
+
+impl<D: BlockDevice> Mutation<'_, D> {
+    /// See [`Lld::checkpoint`]; also called by the cleaner when its
+    /// candidate segments are not yet covered.
+    pub(crate) fn checkpoint_inner(&mut self) -> Result<()> {
+        if self.seal_current()? && !self.log.free_slots.is_empty() {
             self.open_segment(0)?;
         }
         let covered = self
+            .log
             .builder
             .as_ref()
             .map(|b| b.seq() - 1)
-            .unwrap_or(self.next_seq - 1);
+            .unwrap_or(self.log.next_seq - 1);
 
         // Encode payload: every block record, then every list record.
-        let nb = self.persistent.blocks.len() as u64;
-        let nl = self.persistent.lists.len() as u64;
-        debug_assert!(nb <= self.layout.max_blocks && nl <= self.layout.max_lists);
+        let nb = self.map.persistent.blocks.len() as u64;
+        let nl = self.map.persistent.lists.len() as u64;
+        debug_assert!(nb <= self.lld.layout.max_blocks && nl <= self.lld.layout.max_lists);
         let mut payload =
             Vec::with_capacity((nb * CKPT_BLOCK_ENTRY + nl * CKPT_LIST_ENTRY) as usize);
-        let mut block_ids: Vec<BlockId> = self.persistent.blocks.keys().copied().collect();
+        let mut block_ids: Vec<BlockId> = self.map.persistent.blocks.keys().copied().collect();
         block_ids.sort_unstable();
         for id in block_ids {
-            let r = &self.persistent.blocks[&id];
+            let r = &self.map.persistent.blocks[&id];
             payload.extend_from_slice(&id.get().to_le_bytes());
             match r.addr {
                 Some(a) => {
@@ -102,42 +111,42 @@ impl<D: BlockDevice> Lld<D> {
             payload.extend_from_slice(&ListId::encode_opt(r.list).to_le_bytes());
             payload.extend_from_slice(&r.ts.get().to_le_bytes());
         }
-        let mut list_ids: Vec<ListId> = self.persistent.lists.keys().copied().collect();
+        let mut list_ids: Vec<ListId> = self.map.persistent.lists.keys().copied().collect();
         list_ids.sort_unstable();
         for id in list_ids {
-            let r = &self.persistent.lists[&id];
+            let r = &self.map.persistent.lists[&id];
             payload.extend_from_slice(&id.get().to_le_bytes());
             payload.extend_from_slice(&BlockId::encode_opt(r.first).to_le_bytes());
             payload.extend_from_slice(&BlockId::encode_opt(r.last).to_le_bytes());
             payload.extend_from_slice(&r.ts.get().to_le_bytes());
         }
-        if CKPT_HEADER + payload.len() as u64 > self.layout.ckpt_area_size {
+        if CKPT_HEADER + payload.len() as u64 > self.lld.layout.ckpt_area_size {
             return Err(LldError::Corrupt(
                 "checkpoint exceeds its reserved area".into(),
             ));
         }
         let header = encode_header(
             covered,
-            self.ts_counter,
-            self.next_block_raw,
-            self.next_list_raw,
+            self.lld.now(),
+            self.map.next_block_raw,
+            self.map.next_list_raw,
             nb,
             nl,
             crc32(&payload),
         );
-        let area = if self.ckpt_use_b {
-            self.layout.ckpt_b
+        let area = if self.log.ckpt_use_b {
+            self.lld.layout.ckpt_b
         } else {
-            self.layout.ckpt_a
+            self.lld.layout.ckpt_a
         };
-        self.device.write_at(area, &header)?;
-        self.device.write_at(area + CKPT_HEADER, &payload)?;
-        self.device.flush()?;
-        self.ckpt_use_b = !self.ckpt_use_b;
-        self.checkpoint_seq = covered;
-        self.stats.checkpoints += 1;
-        self.obs.event(
-            self.ts_counter,
+        self.lld.device.write_at(area, &header)?;
+        self.lld.device.write_at(area + CKPT_HEADER, &payload)?;
+        self.lld.device.flush()?;
+        self.log.ckpt_use_b = !self.log.ckpt_use_b;
+        self.log.checkpoint_seq = covered;
+        self.lld.stats.checkpoints.inc();
+        self.lld.obs.event(
+            self.lld.now(),
             crate::obs::TraceEvent::Checkpoint {
                 covered_seq: covered,
                 bytes: CKPT_HEADER + payload.len() as u64,

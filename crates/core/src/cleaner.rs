@@ -14,7 +14,7 @@
 //! checkpoint automatically when its candidates are not yet covered.
 
 use crate::error::Result;
-use crate::lld::Lld;
+use crate::lld::{Lld, Mutation};
 use crate::types::{BlockId, SegmentId};
 use ld_disk::BlockDevice;
 
@@ -29,38 +29,49 @@ impl<D: BlockDevice> Lld<D> {
     /// Device errors; [`LldError::DiskFull`](crate::LldError::DiskFull)
     /// if relocation itself runs out of space (the device is genuinely
     /// full).
-    pub fn run_cleaner(&mut self) -> Result<()> {
-        if self.cleaning {
+    pub fn run_cleaner(&self) -> Result<()> {
+        self.with_mutation(|m| m.run_cleaner_inner())
+    }
+}
+
+impl<D: BlockDevice> Mutation<'_, D> {
+    /// Cleaner entry point, also called from
+    /// [`roll_segment`](Mutation::roll_segment) when free slots are
+    /// scarce. The `cleaning` flag guards against re-entry through the
+    /// segment rolls cleaning itself performs.
+    pub(crate) fn run_cleaner_inner(&mut self) -> Result<()> {
+        if self.log.cleaning {
             return Ok(());
         }
-        self.cleaning = true;
+        self.log.cleaning = true;
         let result = self.clean_until_target();
-        self.cleaning = false;
+        self.log.cleaning = false;
         result
     }
 
     fn clean_until_target(&mut self) -> Result<()> {
-        self.stats.cleaner_runs += 1;
-        let relocated_before = self.stats.blocks_relocated;
+        self.lld.stats.cleaner_runs.inc();
+        let relocated_before = self.lld.stats.blocks_relocated.get();
         // Fast pass: checkpoint-covered segments with zero live blocks
         // are free for the taking (no relocation, no extra I/O), so
         // reclaim them all regardless of the target.
-        let current = self.builder.as_ref().map(|b| b.slot().get());
-        for slot in 0..self.layout.n_segments {
-            if Some(slot) == current || self.free_slots.contains(&slot) {
+        let current = self.log.builder.as_ref().map(|b| b.slot().get());
+        for slot in 0..self.lld.layout.n_segments {
+            if Some(slot) == current || self.log.free_slots.contains(&slot) {
                 continue;
             }
-            let seq = self.slot_seq[slot as usize];
-            if seq != 0 && seq <= self.checkpoint_seq && self.live_count[slot as usize] == 0 {
-                self.slot_seq[slot as usize] = 0;
-                self.free_slots.insert(slot);
+            let seq = self.log.slot_seq[slot as usize];
+            if seq != 0 && seq <= self.log.checkpoint_seq && self.log.live_count[slot as usize] == 0
+            {
+                self.log.slot_seq[slot as usize] = 0;
+                self.log.free_slots.insert(slot);
             }
         }
-        let target = self.cleaner_cfg.target_free_segments.max(1) as usize;
+        let target = self.lld.cleaner_cfg.target_free_segments.max(1) as usize;
         // Bounded by the number of segments: each iteration frees one
         // victim or stops.
-        for _ in 0..self.layout.n_segments {
-            if self.free_slots.len() >= target {
+        for _ in 0..self.lld.layout.n_segments {
+            if self.log.free_slots.len() >= target {
                 break;
             }
             let Some(victim) = self.pick_victim()? else {
@@ -68,11 +79,11 @@ impl<D: BlockDevice> Lld<D> {
             };
             self.clean_segment(victim)?;
         }
-        self.obs.event(
-            self.ts_counter,
+        self.lld.obs.event(
+            self.lld.now(),
             crate::obs::TraceEvent::CleanerPass {
-                free_segments: self.free_slots.len() as u32,
-                blocks_relocated: self.stats.blocks_relocated - relocated_before,
+                free_segments: self.log.free_slots.len() as u32,
+                blocks_relocated: self.lld.stats.blocks_relocated.get() - relocated_before,
             },
         );
         Ok(())
@@ -82,24 +93,24 @@ impl<D: BlockDevice> Lld<D> {
     /// checkpoint first if no candidate is covered by one.
     fn pick_victim(&mut self) -> Result<Option<SegmentId>> {
         for attempt in 0..2 {
-            let current = self.builder.as_ref().map(|b| b.slot().get());
+            let current = self.log.builder.as_ref().map(|b| b.slot().get());
             let mut best: Option<(u32, u32)> = None; // (live, slot)
             let mut uncovered = false;
-            for slot in 0..self.layout.n_segments {
-                if Some(slot) == current || self.free_slots.contains(&slot) {
+            for slot in 0..self.lld.layout.n_segments {
+                if Some(slot) == current || self.log.free_slots.contains(&slot) {
                     continue;
                 }
-                let seq = self.slot_seq[slot as usize];
+                let seq = self.log.slot_seq[slot as usize];
                 if seq == 0 {
                     // Holds no sealed segment and is not free: cannot
                     // happen in a consistent state, but skip defensively.
                     continue;
                 }
-                if seq > self.checkpoint_seq {
+                if seq > self.log.checkpoint_seq {
                     uncovered = true;
                     continue;
                 }
-                let live = self.live_count[slot as usize];
+                let live = self.log.live_count[slot as usize];
                 if best.is_none_or(|(l, _)| live < l) {
                     best = Some((live, slot));
                 }
@@ -110,7 +121,7 @@ impl<D: BlockDevice> Lld<D> {
             if uncovered && attempt == 0 {
                 // All candidates are newer than the last checkpoint:
                 // take one now and retry.
-                self.checkpoint()?;
+                self.checkpoint_inner()?;
                 continue;
             }
             break;
@@ -122,38 +133,40 @@ impl<D: BlockDevice> Lld<D> {
     /// records, and frees the slot.
     fn clean_segment(&mut self, victim: SegmentId) -> Result<()> {
         let residents: Vec<BlockId> = {
-            let mut v: Vec<BlockId> = self.residents[victim.get() as usize]
+            let mut v: Vec<BlockId> = self.log.residents[victim.get() as usize]
                 .iter()
                 .copied()
                 .collect();
             v.sort_unstable();
             v
         };
-        let mut buf = vec![0u8; self.layout.block_size];
+        let mut buf = vec![0u8; self.lld.layout.block_size];
         for id in residents {
             let rec = self
+                .map
                 .committed_view_block(id)
                 .cloned()
                 .expect("resident block has a committed record");
             let addr = rec.addr.expect("resident block has an address");
             debug_assert_eq!(addr.segment, victim);
             // The victim is sealed, so its data is on the device.
-            self.device
-                .read_at(self.layout.block_offset(addr), &mut buf)?;
+            self.lld
+                .device
+                .read_at(self.lld.layout.block_offset(addr), &mut buf)?;
             // Re-enter the block with its original timestamp: the
             // relocation is not a logical write.
             self.place_block_data(id, &buf, rec.ts, None, 0)?;
-            self.stats.blocks_relocated += 1;
+            self.lld.stats.blocks_relocated.inc();
         }
-        debug_assert!(self.residents[victim.get() as usize].is_empty());
+        debug_assert!(self.log.residents[victim.get() as usize].is_empty());
         // Make the relocation records durable before the victim's old
         // records become unreachable, then release the victim *before*
         // opening the next segment — the freed slot may be the only one
         // left.
         self.seal_current()?;
-        self.slot_seq[victim.get() as usize] = 0;
-        self.free_slots.insert(victim.get());
-        if self.builder.is_none() {
+        self.log.slot_seq[victim.get() as usize] = 0;
+        self.log.free_slots.insert(victim.get());
+        if self.log.builder.is_none() {
             self.open_segment(0)?;
         }
         Ok(())

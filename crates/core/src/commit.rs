@@ -18,7 +18,7 @@
 use crate::aru::{Aru, ListOp};
 use crate::config::ConcurrencyMode;
 use crate::error::{LldError, Result};
-use crate::lld::{Lld, StateRef};
+use crate::lld::{Lld, Mutation, StateRef};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, Position, Timestamp};
 use ld_disk::BlockDevice;
@@ -28,6 +28,12 @@ impl<D: BlockDevice> Lld<D> {
     /// of the committed state atomically, and will become persistent
     /// together (the commit record serializes the ARU at this point in
     /// the merged stream).
+    ///
+    /// Durability remains lazy: the unit survives a crash once the
+    /// segment holding its commit record reaches disk (next
+    /// [`flush`](Lld::flush) / segment roll). Use
+    /// [`end_aru_sync`](Lld::end_aru_sync) to commit *and* wait for
+    /// durability.
     ///
     /// # Errors
     ///
@@ -40,36 +46,37 @@ impl<D: BlockDevice> Lld<D> {
     ///   ARU's effects, but the on-disk log can never commit partially
     ///   (no commit record was written); flush-and-recover yields a
     ///   consistent state.
-    pub fn end_aru(&mut self, id: AruId) -> Result<()> {
-        let raw = id.get();
-        if !self.arus.contains_key(&raw) {
-            return Err(LldError::UnknownAru(id));
-        }
+    pub fn end_aru(&self, id: AruId) -> Result<()> {
         let timer = self.obs.timer();
-        match self.concurrency {
-            ConcurrencyMode::Sequential => {
-                // "Old" LLD: operations already applied to the committed
-                // state (tagged); only the commit record is needed.
-                let aru = self.arus.remove(&raw).expect("checked above");
-                let ts = self.tick();
-                self.emit(Record::Commit { aru: id, ts })?;
-                self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
-                self.stats.arus_committed += 1;
-                self.obs.aru_commit(raw, ts.get(), timer);
-                Ok(())
+        let raw = id.get();
+        let res = self.with_mutation(|m| {
+            if !m.map.arus.contains_key(&raw) {
+                return Err(LldError::UnknownAru(id));
             }
-            ConcurrencyMode::Concurrent => {
-                let res = self.commit_concurrent(id);
-                match &res {
-                    Ok(()) => self.obs.aru_commit(raw, self.ts_counter, timer),
-                    Err(LldError::CommitConflict { .. }) => {
-                        self.obs.aru_conflict(raw, self.ts_counter)
-                    }
-                    Err(_) => {}
+            match m.lld.concurrency {
+                ConcurrencyMode::Sequential => {
+                    // "Old" LLD: operations already applied to the
+                    // committed state (tagged); only the commit record is
+                    // needed.
+                    let aru = m.map.arus.remove(&raw).expect("checked above");
+                    let ts = m.tick();
+                    m.emit(Record::Commit { aru: id, ts })?;
+                    m.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
+                    m.lld.stats.arus_committed.inc();
+                    Ok(ts.get())
                 }
-                res
+                ConcurrencyMode::Concurrent => {
+                    m.commit_concurrent(id)?;
+                    Ok(m.lld.now())
+                }
             }
+        });
+        match &res {
+            Ok(ts) => self.obs.aru_commit(raw, *ts, timer),
+            Err(LldError::CommitConflict { .. }) => self.obs.aru_conflict(raw, self.now()),
+            Err(_) => {}
         }
+        res.map(|_| ())
     }
 
     /// Aborts an atomic recovery unit, discarding its shadow state.
@@ -84,25 +91,28 @@ impl<D: BlockDevice> Lld<D> {
     /// [`LldError::AbortUnsupported`] in sequential mode, where
     /// operations apply directly to the committed state and cannot be
     /// rolled back at run time.
-    pub fn abort_aru(&mut self, id: AruId) -> Result<()> {
-        if !self.arus.contains_key(&id.get()) {
+    pub fn abort_aru(&self, id: AruId) -> Result<()> {
+        let mut map = self.map.write();
+        if !map.arus.contains_key(&id.get()) {
             return Err(LldError::UnknownAru(id));
         }
         if self.concurrency == ConcurrencyMode::Sequential {
             return Err(LldError::AbortUnsupported);
         }
-        self.arus.remove(&id.get());
-        self.stats.arus_aborted += 1;
-        self.obs.aru_abort(id.get(), self.ts_counter);
+        map.arus.remove(&id.get());
+        self.stats.arus_aborted.inc();
+        self.obs.aru_abort(id.get(), self.now());
         Ok(())
     }
+}
 
-    fn release_ids(&mut self, blocks: Vec<BlockId>, lists: Vec<ListId>) {
+impl<D: BlockDevice> Mutation<'_, D> {
+    pub(crate) fn release_ids(&mut self, blocks: Vec<BlockId>, lists: Vec<ListId>) {
         for b in blocks {
-            self.free_blocks.insert(b.get());
+            self.map.free_blocks.insert(b.get());
         }
         for l in lists {
-            self.free_lists.insert(l.get());
+            self.map.free_lists.insert(l.get());
         }
     }
 
@@ -116,9 +126,13 @@ impl<D: BlockDevice> Lld<D> {
         //     against a scratch shadow state so the committed state is
         //     untouched on failure.
         let mut conflict: Option<String> = None;
-        let data_blocks: Vec<BlockId> = self.arus[&raw].shadow_data.keys().copied().collect();
+        let data_blocks: Vec<BlockId> = self.map.arus[&raw].shadow_data.keys().copied().collect();
         for b in &data_blocks {
-            if self.committed_view_block(*b).is_none_or(|r| !r.allocated) {
+            if self
+                .map
+                .committed_view_block(*b)
+                .is_none_or(|r| !r.allocated)
+            {
                 conflict = Some(format!(
                     "buffered write to {b}, which is no longer allocated"
                 ));
@@ -126,10 +140,11 @@ impl<D: BlockDevice> Lld<D> {
             }
         }
         if conflict.is_none() {
-            let ops = self.arus[&raw].link_log.clone();
-            let temp = AruId::new(self.next_aru_raw);
-            self.next_aru_raw += 1;
-            self.arus
+            let ops = self.map.arus[&raw].link_log.clone();
+            let temp = AruId::new(self.map.next_aru_raw);
+            self.map.next_aru_raw += 1;
+            self.map
+                .arus
                 .insert(temp.get(), Aru::new(temp, Timestamp::ZERO));
             let mut fb = Vec::new();
             let mut fl = Vec::new();
@@ -145,23 +160,23 @@ impl<D: BlockDevice> Lld<D> {
                     break;
                 }
             }
-            self.arus.remove(&temp.get());
+            self.map.arus.remove(&temp.get());
         }
         if let Some(detail) = conflict {
-            self.arus.remove(&raw);
-            self.stats.commit_conflicts += 1;
-            self.stats.arus_aborted += 1;
+            self.map.arus.remove(&raw);
+            self.lld.stats.commit_conflicts.inc();
+            self.lld.stats.arus_aborted.inc();
             return Err(LldError::CommitConflict { aru: id, detail });
         }
 
         // ---- Real pass --------------------------------------------------------
-        let aru = self.arus.remove(&raw).expect("validated above");
+        let aru = self.map.arus.remove(&raw).expect("validated above");
         let commit_ts = self.tick();
 
         // 1. Buffered block data enters the segment stream, tagged.
         for (b, data) in &aru.shadow_data {
             self.place_block_data(*b, data, commit_ts, Some(id), 1)?;
-            self.stats.shadow_records_merged += 1;
+            self.lld.stats.shadow_records_merged.inc();
         }
 
         // 2. Re-execute the list-operation log in the committed state,
@@ -197,7 +212,7 @@ impl<D: BlockDevice> Lld<D> {
                 },
             };
             self.emit(rec)?;
-            self.stats.shadow_records_merged += 1;
+            self.lld.stats.shadow_records_merged.inc();
         }
 
         // 3. The commit record makes the whole unit recoverable.
@@ -210,7 +225,7 @@ impl<D: BlockDevice> Lld<D> {
         // after the commit record precedes any reallocation in the log.
         self.release_ids(freed_blocks, freed_lists);
         self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
-        self.stats.arus_committed += 1;
+        self.lld.stats.arus_committed.inc();
         Ok(())
     }
 
@@ -229,6 +244,7 @@ impl<D: BlockDevice> Lld<D> {
         match *op {
             ListOp::Insert { list, block, pred } => {
                 let rec = self
+                    .map
                     .view_block(st, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
@@ -242,7 +258,8 @@ impl<D: BlockDevice> Lld<D> {
                 self.insert_into_list(st, list, block, pos, ts)
             }
             ListOp::DeleteBlock { block } => {
-                self.view_block(st, block)
+                self.map
+                    .view_block(st, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.unlink_block(st, block, ts)?;

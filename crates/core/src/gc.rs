@@ -1,0 +1,130 @@
+//! The group-commit stage.
+//!
+//! Concurrent durability requests (`flush`, `end_aru_sync`) enqueue
+//! here: each caller takes a ticket, one caller becomes the *leader*,
+//! seals the open segment (under the mapping and log locks) and issues
+//! a single device barrier covering every ticket taken before the seal.
+//! Followers block on the batch outcome instead of issuing their own
+//! barriers — the classic group commit the paper's lazy `EndARU`
+//! durability invites.
+
+use crate::error::{LldError, Result};
+use crate::lld::Lld;
+use crate::types::AruId;
+use ld_disk::BlockDevice;
+use ld_disk::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct GcState {
+    /// Tickets issued to durability callers.
+    started: u64,
+    /// Highest ticket covered by a completed batch: every caller with
+    /// `ticket < done` has had its work sealed and barriered.
+    done: u64,
+    /// A leader is currently sealing / barriering.
+    leader_active: bool,
+    /// Outcome of the most recent batch (`None` = success). Followers
+    /// covered by a batch report its outcome; a follower that sleeps
+    /// through several batches reports the latest one — conservative,
+    /// since a device that fails a barrier keeps failing (and a later
+    /// successful barrier also covers earlier writes).
+    last_error: Option<LldError>,
+}
+
+/// The shared queue state of the group-commit stage. A leaf in the lock
+/// hierarchy: never hold it while acquiring the map or log locks.
+#[derive(Debug, Default)]
+pub(crate) struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+}
+
+impl GroupCommit {
+    pub(crate) fn new() -> Self {
+        GroupCommit::default()
+    }
+}
+
+impl<D: BlockDevice> Lld<D> {
+    /// Makes all completed operations durable: seals the current
+    /// segment (writing its summary) and barriers the device.
+    ///
+    /// Concurrent callers are batched: one leader performs the seal and
+    /// the barrier for the whole batch while the others wait on its
+    /// outcome, so `k` concurrent flushes cost one segment write and
+    /// one barrier, not `k`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the segment write or the barrier.
+    pub fn flush(&self) -> Result<()> {
+        let timer = self.obs.timer();
+        let mut st = self.gc.state.lock();
+        let ticket = st.started;
+        st.started += 1;
+        loop {
+            if st.done > ticket {
+                // A batch sealed after our ticket was taken: our work is
+                // covered by its outcome.
+                let res = match &st.last_error {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(()),
+                };
+                drop(st);
+                if res.is_ok() {
+                    self.obs
+                        .flush_done(self.now(), self.stats.segments_sealed.get(), timer);
+                }
+                return res;
+            }
+            if !st.leader_active {
+                break;
+            }
+            st = self.gc.cv.wait(st);
+        }
+
+        // Leader: everything started up to here is in the batch.
+        st.leader_active = true;
+        let covering = st.started;
+        let batch = covering - st.done;
+        drop(st);
+
+        // Seal under the state locks, then barrier without them so
+        // readers (and new mutations) proceed during the device wait —
+        // correct because the batch's writes were issued before this
+        // point and the barrier orders against issued writes.
+        let res = self
+            .with_mutation(|m| m.roll_segment(0))
+            .and_then(|()| self.device.flush().map_err(LldError::from));
+
+        self.stats.flush_batches.inc();
+        self.stats.flush_batch_callers.add(batch);
+        self.stats.flush_batch_max.record_max(batch);
+        self.obs.group_commit(self.now(), batch);
+
+        let mut st = self.gc.state.lock();
+        st.done = covering;
+        st.leader_active = false;
+        st.last_error = res.as_ref().err().cloned();
+        drop(st);
+        self.gc.cv.notify_all();
+
+        if res.is_ok() {
+            self.obs
+                .flush_done(self.now(), self.stats.segments_sealed.get(), timer);
+        }
+        res
+    }
+
+    /// [`end_aru`](Lld::end_aru) followed by a group-committed
+    /// [`flush`](Lld::flush): on success the ARU's effects are durable,
+    /// not merely committed. Concurrent callers share one barrier.
+    ///
+    /// # Errors
+    ///
+    /// Those of `end_aru` (the ARU is then gone) plus those of `flush`.
+    pub fn end_aru_sync(&self, aru: AruId) -> Result<()> {
+        self.end_aru(aru)?;
+        self.flush()
+    }
+}

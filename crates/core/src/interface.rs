@@ -8,12 +8,18 @@ use crate::lld::Lld;
 use crate::obs::ObsSnapshot;
 use crate::types::{AruId, BlockId, Ctx, ListId, Position};
 use ld_disk::BlockDevice;
+use std::sync::Arc;
 
 /// The Logical Disk interface with atomic recovery units.
 ///
 /// All operations take a [`Ctx`]: [`Ctx::Simple`] for a simple (self-
 /// atomic) operation, or [`Ctx::Aru`] to execute within an atomic
 /// recovery unit.
+///
+/// Every operation takes `&self`: implementations synchronize
+/// internally, so one logical disk can be shared across threads by
+/// reference or as an `Arc` (both of which implement this trait too,
+/// via blanket impls).
 ///
 /// # Example
 ///
@@ -22,7 +28,7 @@ use ld_disk::BlockDevice;
 /// use ld_core::{Ctx, LogicalDisk, Lld, LldConfig, Position};
 /// use ld_disk::MemDisk;
 ///
-/// fn create_object<L: LogicalDisk>(ld: &mut L, payload: &[u8]) -> Result<ld_core::ListId, ld_core::LldError> {
+/// fn create_object<L: LogicalDisk>(ld: &L, payload: &[u8]) -> Result<ld_core::ListId, ld_core::LldError> {
 ///     let aru = ld.begin_aru()?;
 ///     let list = ld.new_list(Ctx::Aru(aru))?;
 ///     let block = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
@@ -31,12 +37,12 @@ use ld_disk::BlockDevice;
 ///     Ok(list)
 /// }
 ///
-/// let mut ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
+/// let ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
 ///     block_size: 512,
 ///     segment_bytes: 8 * 512,
 ///     ..LldConfig::default()
 /// })?;
-/// let list = create_object(&mut ld, &[1u8; 512])?;
+/// let list = create_object(&ld, &[1u8; 512])?;
 /// assert_eq!(ld.list_blocks(Ctx::Simple, list)?.len(), 1);
 /// # Ok(())
 /// # }
@@ -47,77 +53,92 @@ pub trait LogicalDisk {
     /// # Errors
     ///
     /// Implementation-specific; see [`Lld::begin_aru`].
-    fn begin_aru(&mut self) -> Result<AruId>;
+    fn begin_aru(&self) -> Result<AruId>;
 
-    /// Commits an atomic recovery unit.
+    /// Commits an atomic recovery unit (lazy durability: the unit
+    /// survives a crash once its commit record reaches disk).
     ///
     /// # Errors
     ///
     /// Implementation-specific; see [`Lld::end_aru`].
-    fn end_aru(&mut self, aru: AruId) -> Result<()>;
+    fn end_aru(&self, aru: AruId) -> Result<()>;
 
     /// Aborts an atomic recovery unit (extension).
     ///
     /// # Errors
     ///
     /// Implementation-specific; see [`Lld::abort_aru`].
-    fn abort_aru(&mut self, aru: AruId) -> Result<()>;
+    fn abort_aru(&self, aru: AruId) -> Result<()>;
 
     /// Allocates a new list.
     ///
     /// # Errors
     ///
     /// See [`Lld::new_list`].
-    fn new_list(&mut self, ctx: Ctx) -> Result<ListId>;
+    fn new_list(&self, ctx: Ctx) -> Result<ListId>;
 
     /// Deletes a list and any blocks still on it.
     ///
     /// # Errors
     ///
     /// See [`Lld::delete_list`].
-    fn delete_list(&mut self, ctx: Ctx, list: ListId) -> Result<()>;
+    fn delete_list(&self, ctx: Ctx, list: ListId) -> Result<()>;
 
     /// Allocates a new block on `list` at `pos`.
     ///
     /// # Errors
     ///
     /// See [`Lld::new_block`].
-    fn new_block(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId>;
+    fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId>;
 
     /// Removes a block from its list and deallocates it.
     ///
     /// # Errors
     ///
     /// See [`Lld::delete_block`].
-    fn delete_block(&mut self, ctx: Ctx, block: BlockId) -> Result<()>;
+    fn delete_block(&self, ctx: Ctx, block: BlockId) -> Result<()>;
 
     /// Writes exactly one block of data.
     ///
     /// # Errors
     ///
     /// See [`Lld::write`].
-    fn write(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()>;
+    fn write(&self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()>;
 
     /// Reads exactly one block of data.
     ///
     /// # Errors
     ///
     /// See [`Lld::read`].
-    fn read(&mut self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()>;
+    fn read(&self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()>;
 
     /// Returns the blocks of `list` in order.
     ///
     /// # Errors
     ///
     /// See [`Lld::list_blocks`].
-    fn list_blocks(&mut self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>>;
+    fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>>;
 
     /// Ensures all committed data and meta-data are persistent.
     ///
     /// # Errors
     ///
     /// See [`Lld::flush`].
-    fn flush(&mut self) -> Result<()>;
+    fn flush(&self) -> Result<()>;
+
+    /// Commits an atomic recovery unit and makes it durable before
+    /// returning. The default is `end_aru` followed by `flush`;
+    /// implementations with a group-commit stage (like [`Lld`]) batch
+    /// the flushes of concurrent callers.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`end_aru`](LogicalDisk::end_aru) and
+    /// [`flush`](LogicalDisk::flush).
+    fn end_aru_sync(&self, aru: AruId) -> Result<()> {
+        self.end_aru(aru)?;
+        self.flush()
+    }
 
     /// The block size in bytes.
     fn block_size(&self) -> usize;
@@ -132,38 +153,41 @@ pub trait LogicalDisk {
 }
 
 impl<D: BlockDevice> LogicalDisk for Lld<D> {
-    fn begin_aru(&mut self) -> Result<AruId> {
+    fn begin_aru(&self) -> Result<AruId> {
         Lld::begin_aru(self)
     }
-    fn end_aru(&mut self, aru: AruId) -> Result<()> {
+    fn end_aru(&self, aru: AruId) -> Result<()> {
         Lld::end_aru(self, aru)
     }
-    fn abort_aru(&mut self, aru: AruId) -> Result<()> {
+    fn abort_aru(&self, aru: AruId) -> Result<()> {
         Lld::abort_aru(self, aru)
     }
-    fn new_list(&mut self, ctx: Ctx) -> Result<ListId> {
+    fn new_list(&self, ctx: Ctx) -> Result<ListId> {
         Lld::new_list(self, ctx)
     }
-    fn delete_list(&mut self, ctx: Ctx, list: ListId) -> Result<()> {
+    fn delete_list(&self, ctx: Ctx, list: ListId) -> Result<()> {
         Lld::delete_list(self, ctx, list)
     }
-    fn new_block(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+    fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
         Lld::new_block(self, ctx, list, pos)
     }
-    fn delete_block(&mut self, ctx: Ctx, block: BlockId) -> Result<()> {
+    fn delete_block(&self, ctx: Ctx, block: BlockId) -> Result<()> {
         Lld::delete_block(self, ctx, block)
     }
-    fn write(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
+    fn write(&self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
         Lld::write(self, ctx, block, data)
     }
-    fn read(&mut self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
+    fn read(&self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
         Lld::read(self, ctx, block, buf)
     }
-    fn list_blocks(&mut self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
+    fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
         Lld::list_blocks(self, ctx, list)
     }
-    fn flush(&mut self) -> Result<()> {
+    fn flush(&self) -> Result<()> {
         Lld::flush(self)
+    }
+    fn end_aru_sync(&self, aru: AruId) -> Result<()> {
+        Lld::end_aru_sync(self, aru)
     }
     fn block_size(&self) -> usize {
         Lld::block_size(self)
@@ -172,3 +196,55 @@ impl<D: BlockDevice> LogicalDisk for Lld<D> {
         Some(Lld::obs_snapshot(self))
     }
 }
+
+macro_rules! forward_logical_disk {
+    ($ty:ty) => {
+        impl<L: LogicalDisk + ?Sized> LogicalDisk for $ty {
+            fn begin_aru(&self) -> Result<AruId> {
+                (**self).begin_aru()
+            }
+            fn end_aru(&self, aru: AruId) -> Result<()> {
+                (**self).end_aru(aru)
+            }
+            fn abort_aru(&self, aru: AruId) -> Result<()> {
+                (**self).abort_aru(aru)
+            }
+            fn new_list(&self, ctx: Ctx) -> Result<ListId> {
+                (**self).new_list(ctx)
+            }
+            fn delete_list(&self, ctx: Ctx, list: ListId) -> Result<()> {
+                (**self).delete_list(ctx, list)
+            }
+            fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+                (**self).new_block(ctx, list, pos)
+            }
+            fn delete_block(&self, ctx: Ctx, block: BlockId) -> Result<()> {
+                (**self).delete_block(ctx, block)
+            }
+            fn write(&self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
+                (**self).write(ctx, block, data)
+            }
+            fn read(&self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
+                (**self).read(ctx, block, buf)
+            }
+            fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
+                (**self).list_blocks(ctx, list)
+            }
+            fn flush(&self) -> Result<()> {
+                (**self).flush()
+            }
+            fn end_aru_sync(&self, aru: AruId) -> Result<()> {
+                (**self).end_aru_sync(aru)
+            }
+            fn block_size(&self) -> usize {
+                (**self).block_size()
+            }
+            fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+                (**self).obs_snapshot()
+            }
+        }
+    };
+}
+
+forward_logical_disk!(&L);
+forward_logical_disk!(Arc<L>);

@@ -38,10 +38,11 @@
 //! use ld_core::{Ctx, Lld, LldConfig, Position};
 //! use ld_disk::MemDisk;
 //!
-//! let mut ld = Lld::format(MemDisk::new(8 << 20), &LldConfig::default())?;
+//! let ld = Lld::format(MemDisk::new(8 << 20), &LldConfig::default())?;
 //!
 //! // A file system would bundle all meta-data updates of one file
-//! // creation in one ARU:
+//! // creation in one ARU (every operation takes `&self`, so threads
+//! // can share the disk through an `Arc<Lld<_>>`):
 //! let aru = ld.begin_aru()?;
 //! let file = ld.new_list(Ctx::Aru(aru))?;
 //! let b0 = ld.new_block(Ctx::Aru(aru), file, Position::First)?;
@@ -67,6 +68,7 @@ mod cleaner;
 mod commit;
 mod config;
 mod error;
+mod gc;
 mod interface;
 mod layout;
 mod lld;

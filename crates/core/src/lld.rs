@@ -1,20 +1,27 @@
-//! The logical disk proper: struct definition, formatting, segment
-//! plumbing, and the version-state access helpers shared by all
-//! operations.
+//! The logical disk proper: the layered state (mapping layer behind a
+//! readers-writer lock, log pipeline behind an append mutex), struct
+//! definition, formatting, segment plumbing, and the version-state
+//! access helpers shared by all operations.
+//!
+//! See `docs/CONCURRENCY.md` for the lock hierarchy and the invariants
+//! each lock protects.
 
 use crate::aru::Aru;
 use crate::cache::BlockCache;
 use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 use crate::error::{LldError, Result};
+use crate::gc::GroupCommit;
 use crate::layout::{Layout, SUPERBLOCK_LEN};
 use crate::obs::{Obs, ObsSnapshot, TraceEvent};
 use crate::segment::SegmentBuilder;
 use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
-use crate::stats::LldStats;
+use crate::stats::{LldStats, StatsCell};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, PhysAddr, Position, SegmentId, Timestamp};
 use ld_disk::BlockDevice;
+use ld_disk::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Encoded length of a `Write` summary record (needed to reserve room
 /// for a data block and its record together, so they land in the same
@@ -32,75 +39,19 @@ pub(crate) enum StateRef {
     Shadow(AruId),
 }
 
-/// The log-structured Logical Disk with atomic recovery units.
+/// The mapping layer: block-number-map, list-table, committed overlay,
+/// and per-ARU shadow states, plus the identifier allocators they feed.
 ///
-/// `Lld` implements the LD interface — `Read`, `Write`, `NewBlock`,
-/// `DeleteBlock`, `NewList`, `DeleteList`, `Flush` — extended with
-/// `BeginARU` / `EndARU` ([`begin_aru`](Lld::begin_aru),
-/// [`end_aru`](Lld::end_aru)). All operations bracketed by an ARU become
-/// persistent atomically: after a crash, recovery
-/// ([`Lld::recover`]) restores either all or none of them.
-///
-/// The disk is single-threaded like the paper's prototype (which links
-/// LLD and the file system into one user process); concurrency of *ARUs*
-/// means interleaved logical streams, not OS threads. Wrap an `Lld` in a
-/// mutex to share it between threads.
-///
-/// # Example
-///
-/// ```
-/// # fn main() -> Result<(), ld_core::LldError> {
-/// use ld_core::{Ctx, Lld, LldConfig, Position};
-/// use ld_disk::MemDisk;
-///
-/// let mut ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
-///     block_size: 512,
-///     segment_bytes: 16 * 512,
-///     ..LldConfig::default()
-/// })?;
-///
-/// // Create a file's metadata and data atomically.
-/// let aru = ld.begin_aru()?;
-/// let list = ld.new_list(Ctx::Aru(aru))?;
-/// let block = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
-/// ld.write(Ctx::Aru(aru), block, &[7u8; 512])?;
-/// ld.end_aru(aru)?;
-///
-/// let mut buf = [0u8; 512];
-/// ld.read(Ctx::Simple, block, &mut buf)?;
-/// assert_eq!(buf[0], 7);
-/// # Ok(())
-/// # }
-/// ```
+/// Shared behind a [`RwLock`] so `Read` / `ListBlocks` hold only shared
+/// access while mutations hold it exclusively.
 #[derive(Debug)]
-pub struct Lld<D> {
-    pub(crate) device: D,
-    pub(crate) layout: Layout,
-    pub(crate) concurrency: ConcurrencyMode,
-    pub(crate) visibility: ReadVisibility,
-    pub(crate) cleaner_cfg: CleanerConfig,
-
+pub(crate) struct MapState {
     /// Persistent state: block-number-map and list-table.
     pub(crate) persistent: Tables,
     /// Committed-but-not-yet-persistent alternative records.
     pub(crate) committed: StateOverlay,
     /// Active ARUs, keyed by raw id.
     pub(crate) arus: BTreeMap<u64, Aru>,
-
-    /// The segment currently being filled in memory. `None` only
-    /// transiently (mid-roll) or when the disk is full.
-    pub(crate) builder: Option<SegmentBuilder>,
-    /// Per physical slot: log sequence number of the sealed segment it
-    /// holds (0 = none/invalid).
-    pub(crate) slot_seq: Vec<u64>,
-    /// Physical slots available for new segments.
-    pub(crate) free_slots: BTreeSet<u32>,
-    /// Per physical slot: number of blocks whose current address is in
-    /// it.
-    pub(crate) live_count: Vec<u32>,
-    /// Per physical slot: the blocks whose current address is in it
-    /// (the cleaner's work list).
-    pub(crate) residents: Vec<HashSet<BlockId>>,
 
     pub(crate) next_block_raw: u64,
     pub(crate) free_blocks: BTreeSet<u64>,
@@ -109,60 +60,14 @@ pub struct Lld<D> {
     pub(crate) free_lists: BTreeSet<u64>,
     pub(crate) allocated_lists: u64,
     pub(crate) next_aru_raw: u64,
-
-    pub(crate) ts_counter: u64,
-    pub(crate) next_seq: u64,
-    /// Highest segment sequence number covered by an on-disk checkpoint.
-    pub(crate) checkpoint_seq: u64,
-    pub(crate) ckpt_use_b: bool,
-    pub(crate) cleaning: bool,
-    pub(crate) cache: BlockCache,
-    pub(crate) stats: LldStats,
-    pub(crate) obs: Obs,
 }
 
-impl<D: BlockDevice> Lld<D> {
-    /// Formats `device` as a fresh, empty logical disk.
-    ///
-    /// Existing segment headers and checkpoints on the device are
-    /// invalidated so that recovery can never resurrect state from a
-    /// previous format.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`LldError::Config`] for an invalid configuration or a
-    /// device too small for four segments, and device errors.
-    pub fn format(device: D, config: &LldConfig) -> Result<Self> {
-        config.validate()?;
-        let layout = Layout::compute(device.capacity(), config)?;
-
-        // Write the superblock.
-        let sb = layout.encode_superblock(config.concurrency, config.visibility);
-        device.write_at(0, &sb)?;
-        // Invalidate both checkpoint areas and every segment header.
-        let zeros = [0u8; 64];
-        device.write_at(layout.ckpt_a, &zeros)?;
-        device.write_at(layout.ckpt_b, &zeros)?;
-        for slot in 0..layout.n_segments {
-            device.write_at(layout.segment_offset(slot), &zeros[..32])?;
-        }
-        device.flush()?;
-
-        let n = layout.n_segments as usize;
-        let mut ld = Lld {
-            device,
-            layout,
-            concurrency: config.concurrency,
-            visibility: config.visibility,
-            cleaner_cfg: config.cleaner,
+impl MapState {
+    pub(crate) fn fresh() -> Self {
+        MapState {
             persistent: Tables::default(),
             committed: StateOverlay::default(),
             arus: BTreeMap::new(),
-            builder: None,
-            slot_seq: vec![0; n],
-            free_slots: (0..n as u32).collect(),
-            live_count: vec![0; n],
-            residents: vec![HashSet::new(); n],
             next_block_raw: 1,
             free_blocks: BTreeSet::new(),
             allocated_blocks: 0,
@@ -170,201 +75,12 @@ impl<D: BlockDevice> Lld<D> {
             free_lists: BTreeSet::new(),
             allocated_lists: 0,
             next_aru_raw: 1,
-            ts_counter: 0,
-            next_seq: 1,
-            checkpoint_seq: 0,
-            ckpt_use_b: false,
-            cleaning: false,
-            cache: BlockCache::new(config.read_cache_blocks),
-            stats: LldStats::default(),
-            obs: Obs::new(config.obs),
-        };
-        ld.open_segment(0)?;
-        Ok(ld)
-    }
-
-    // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
-
-    /// The block size in bytes.
-    pub fn block_size(&self) -> usize {
-        self.layout.block_size
-    }
-
-    /// The segment size in bytes.
-    pub fn segment_bytes(&self) -> usize {
-        self.layout.segment_bytes
-    }
-
-    /// Number of segment slots on the device.
-    pub fn n_segments(&self) -> u32 {
-        self.layout.n_segments
-    }
-
-    /// Number of currently free segment slots.
-    pub fn free_segments(&self) -> u32 {
-        self.free_slots.len() as u32
-    }
-
-    /// The concurrency mode ("old" sequential vs "new" concurrent).
-    pub fn concurrency(&self) -> ConcurrencyMode {
-        self.concurrency
-    }
-
-    /// The read-visibility semantics in effect.
-    pub fn visibility(&self) -> ReadVisibility {
-        self.visibility
-    }
-
-    /// Operation counters.
-    pub fn stats(&self) -> &LldStats {
-        &self.stats
-    }
-
-    /// The observability bundle: trace events, latency histograms, ARU
-    /// lifecycle spans.
-    pub fn obs(&self) -> &Obs {
-        &self.obs
-    }
-
-    /// Counters and service-time histograms of the underlying device,
-    /// when it collects them (a [`SimDisk`](ld_disk::SimDisk) does;
-    /// plain [`MemDisk`](ld_disk::MemDisk) / `FileDisk` return `None`).
-    pub fn device_stats(&self) -> Option<ld_disk::DiskStatsSnapshot> {
-        self.device.stats_snapshot()
-    }
-
-    /// Captures everything observable about this disk in one bundle:
-    /// LLD counters, device counters, the `lld_read` / `lld_write` /
-    /// `end_aru` / `flush` latency histograms (plus `disk_read` /
-    /// `disk_write` when the device provides them), recent trace
-    /// events, ARU spans, and the recovery report if this disk was
-    /// recovered. `fs_ops` is left empty for a file-system caller to
-    /// fill.
-    pub fn obs_snapshot(&self) -> ObsSnapshot {
-        let disk = self.device.stats_snapshot();
-        let mut histograms: Vec<(String, ld_disk::HistogramSnapshot)> = self
-            .obs
-            .histograms()
-            .into_iter()
-            .map(|(n, h)| (n.to_string(), h))
-            .collect();
-        if let Some(d) = &disk {
-            histograms.push(("disk_read".to_string(), d.read_hist));
-            histograms.push(("disk_write".to_string(), d.write_hist));
-        }
-        ObsSnapshot {
-            lld: self.stats,
-            disk,
-            histograms,
-            events: self.obs.ring().entries(),
-            dropped_events: self.obs.ring().dropped(),
-            spans: self.obs.spans(),
-            recovery: self.obs.recovery_report(),
-            fs_ops: Vec::new(),
         }
     }
 
-    /// Resets the operation counters.
-    pub fn reset_stats(&mut self) {
-        self.stats.reset();
-    }
-
-    /// Identifiers of the currently active ARUs.
-    pub fn active_arus(&self) -> Vec<AruId> {
-        self.arus.keys().map(|&raw| AruId::new(raw)).collect()
-    }
-
-    /// The logical time at which an active ARU began, if it is active.
-    pub fn aru_started(&self, aru: AruId) -> Option<Timestamp> {
-        self.arus.get(&aru.get()).map(|a| a.started)
-    }
-
-    /// Number of blocks allocated in the committed state.
-    pub fn allocated_block_count(&self) -> u64 {
-        self.allocated_blocks
-    }
-
-    /// Number of lists allocated in the committed state.
-    pub fn allocated_list_count(&self) -> u64 {
-        self.allocated_lists
-    }
-
-    /// The highest segment sequence number covered by an on-disk
-    /// checkpoint (0 = no checkpoint; recovery scans the whole log).
-    pub fn checkpoint_seq(&self) -> u64 {
-        self.checkpoint_seq
-    }
-
-    /// Borrows the underlying device (e.g. to inspect simulator
-    /// statistics).
-    pub fn device(&self) -> &D {
-        &self.device
-    }
-
-    /// Consumes the logical disk and returns the device. Un-flushed
-    /// committed state is *not* written; this models a crash.
-    pub fn into_device(self) -> D {
-        self.device
-    }
-
-    /// A copy of the committed-state record of `block`, if allocated.
-    pub fn block_info(&self, block: BlockId) -> Option<BlockRecord> {
-        self.view_block(StateRef::Committed, block)
-            .filter(|r| r.allocated)
-            .cloned()
-    }
-
-    /// A copy of the committed-state record of `list`, if allocated.
-    pub fn list_info(&self, list: ListId) -> Option<ListRecord> {
-        self.view_list(StateRef::Committed, list)
-            .filter(|r| r.allocated)
-            .cloned()
-    }
-
     // ------------------------------------------------------------------
-    // Time and identifiers
-    // ------------------------------------------------------------------
-
-    /// Advances the logical clock and returns the new timestamp.
-    pub(crate) fn tick(&mut self) -> Timestamp {
-        self.ts_counter += 1;
-        Timestamp::new(self.ts_counter)
-    }
-
-    pub(crate) fn alloc_block_id(&mut self) -> Result<BlockId> {
-        if self.allocated_blocks >= self.layout.max_blocks {
-            return Err(LldError::DiskFull);
-        }
-        let raw = match self.free_blocks.pop_first() {
-            Some(raw) => raw,
-            None => {
-                let raw = self.next_block_raw;
-                self.next_block_raw += 1;
-                raw
-            }
-        };
-        Ok(BlockId::new(raw))
-    }
-
-    pub(crate) fn alloc_list_id(&mut self) -> Result<ListId> {
-        if self.allocated_lists >= self.layout.max_lists {
-            return Err(LldError::DiskFull);
-        }
-        let raw = match self.free_lists.pop_first() {
-            Some(raw) => raw,
-            None => {
-                let raw = self.next_list_raw;
-                self.next_list_raw += 1;
-                raw
-            }
-        };
-        Ok(ListId::new(raw))
-    }
-
-    // ------------------------------------------------------------------
-    // Version-state access (the standardised search)
+    // Version-state access (the standardised search) — pure queries, so
+    // the concurrent read path can run them under shared access.
     // ------------------------------------------------------------------
 
     /// The committed view of a block: committed overlay, falling through
@@ -411,6 +127,517 @@ impl<D: BlockDevice> Lld<D> {
         self.committed_view_list(id)
     }
 
+    /// Walks `list` in state `st`, returning the member blocks in order
+    /// plus the number of steps taken (the caller charges them to the
+    /// `list_walk_steps` counter).
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::ListNotAllocated`] if the list does not exist in the
+    /// state; [`LldError::Corrupt`] on a cycle or dangling successor.
+    pub(crate) fn walk_list(
+        &self,
+        st: StateRef,
+        list: ListId,
+        max_blocks: u64,
+    ) -> Result<(Vec<BlockId>, u64)> {
+        let rec = self
+            .view_list(st, list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        let mut out = Vec::new();
+        let mut cur = rec.first;
+        let bound = max_blocks + 1;
+        let mut steps = 0u64;
+        while let Some(b) = cur {
+            steps += 1;
+            if steps > bound {
+                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
+            }
+            let brec = self
+                .view_block(st, b)
+                .filter(|r| r.allocated)
+                .ok_or_else(|| {
+                    LldError::Corrupt(format!("list {list} references missing block {b}"))
+                })?;
+            out.push(b);
+            cur = brec.successor;
+        }
+        Ok((out, steps))
+    }
+
+    /// Validates that an insertion of a block into `list` at `pos` is
+    /// possible in state `st` (list allocated; predecessor allocated and
+    /// on the list).
+    pub(crate) fn validate_insert(&self, st: StateRef, list: ListId, pos: Position) -> Result<()> {
+        self.view_list(st, list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        if let Position::After(pred) = pos {
+            let p = self
+                .view_block(st, pred)
+                .filter(|r| r.allocated)
+                .ok_or(LldError::BlockNotAllocated(pred))?;
+            if p.list != Some(list) {
+                return Err(LldError::PredecessorNotOnList { list, pred });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The log pipeline: the open segment builder and the slot / sequence /
+/// free-slot / live-block accounting behind it, plus the cleaner and
+/// checkpoint cursors. Serialized by a single append mutex.
+#[derive(Debug)]
+pub(crate) struct LogState {
+    /// The segment currently being filled in memory. `None` only
+    /// transiently (mid-roll) or when the disk is full.
+    pub(crate) builder: Option<SegmentBuilder>,
+    /// Per physical slot: log sequence number of the sealed segment it
+    /// holds (0 = none/invalid).
+    pub(crate) slot_seq: Vec<u64>,
+    /// Physical slots available for new segments.
+    pub(crate) free_slots: BTreeSet<u32>,
+    /// Per physical slot: number of blocks whose current address is in
+    /// it.
+    pub(crate) live_count: Vec<u32>,
+    /// Per physical slot: the blocks whose current address is in it
+    /// (the cleaner's work list).
+    pub(crate) residents: Vec<HashSet<BlockId>>,
+    pub(crate) next_seq: u64,
+    /// Highest segment sequence number covered by an on-disk checkpoint.
+    pub(crate) checkpoint_seq: u64,
+    pub(crate) ckpt_use_b: bool,
+    pub(crate) cleaning: bool,
+}
+
+impl LogState {
+    pub(crate) fn fresh(n_segments: usize) -> Self {
+        LogState {
+            builder: None,
+            slot_seq: vec![0; n_segments],
+            free_slots: (0..n_segments as u32).collect(),
+            live_count: vec![0; n_segments],
+            residents: vec![HashSet::new(); n_segments],
+            next_seq: 1,
+            checkpoint_seq: 0,
+            ckpt_use_b: false,
+            cleaning: false,
+        }
+    }
+}
+
+/// The log-structured Logical Disk with atomic recovery units.
+///
+/// `Lld` implements the LD interface — `Read`, `Write`, `NewBlock`,
+/// `DeleteBlock`, `NewList`, `DeleteList`, `Flush` — extended with
+/// `BeginARU` / `EndARU` ([`begin_aru`](Lld::begin_aru),
+/// [`end_aru`](Lld::end_aru)). All operations bracketed by an ARU become
+/// persistent atomically: after a crash, recovery
+/// ([`Lld::recover`]) restores either all or none of them.
+///
+/// Every operation takes `&self`: the disk locks internally (a
+/// readers-writer lock over the mapping layer, a mutex over the log
+/// pipeline, and a group-commit stage batching concurrent flushes), so
+/// one `Lld` can be shared between OS threads directly — e.g. as an
+/// `Arc<Lld<D>>`, or by reference from scoped threads — with reads
+/// proceeding concurrently. Concurrency of *ARUs* is independent of
+/// threads: each thread (or interleaved logical stream) brackets its own
+/// operations with its own ARU.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ld_core::LldError> {
+/// use ld_core::{Ctx, Lld, LldConfig, Position};
+/// use ld_disk::MemDisk;
+///
+/// let ld = Lld::format(MemDisk::new(4 << 20), &LldConfig {
+///     block_size: 512,
+///     segment_bytes: 16 * 512,
+///     ..LldConfig::default()
+/// })?;
+///
+/// // Create a file's metadata and data atomically.
+/// let aru = ld.begin_aru()?;
+/// let list = ld.new_list(Ctx::Aru(aru))?;
+/// let block = ld.new_block(Ctx::Aru(aru), list, Position::First)?;
+/// ld.write(Ctx::Aru(aru), block, &[7u8; 512])?;
+/// ld.end_aru(aru)?;
+///
+/// let mut buf = [0u8; 512];
+/// ld.read(Ctx::Simple, block, &mut buf)?;
+/// assert_eq!(buf[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lld<D> {
+    pub(crate) device: D,
+    pub(crate) layout: Layout,
+    pub(crate) concurrency: ConcurrencyMode,
+    pub(crate) visibility: ReadVisibility,
+    pub(crate) cleaner_cfg: CleanerConfig,
+
+    /// The mapping layer (see [`MapState`]). Lock order: `map` before
+    /// `log`; never acquire `map` while holding `log`.
+    pub(crate) map: RwLock<MapState>,
+    /// The log pipeline (see [`LogState`]).
+    pub(crate) log: Mutex<LogState>,
+    /// Data-block read cache (leaf lock, held only across one probe or
+    /// insert).
+    pub(crate) cache: Mutex<BlockCache>,
+    /// The group-commit stage batching concurrent flushes.
+    pub(crate) gc: GroupCommit,
+
+    /// The logical operation clock.
+    pub(crate) ts_counter: AtomicU64,
+    pub(crate) stats: StatsCell,
+    pub(crate) obs: Obs,
+}
+
+/// An exclusive mutation session: both state layers locked, in order.
+///
+/// Every operation that changes the mapping or the log runs inside one
+/// of these (via [`Lld::with_mutation`]); the helpers below are the
+/// single-threaded core of the disk, unchanged in spirit from the
+/// paper's prototype — the session simply makes the exclusivity
+/// explicit.
+pub(crate) struct Mutation<'a, D> {
+    pub(crate) lld: &'a Lld<D>,
+    pub(crate) map: &'a mut MapState,
+    pub(crate) log: &'a mut LogState,
+}
+
+impl<D: BlockDevice> Lld<D> {
+    /// Formats `device` as a fresh, empty logical disk.
+    ///
+    /// Existing segment headers and checkpoints on the device are
+    /// invalidated so that recovery can never resurrect state from a
+    /// previous format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LldError::Config`] for an invalid configuration or a
+    /// device too small for four segments, and device errors.
+    pub fn format(device: D, config: &LldConfig) -> Result<Self> {
+        config.validate()?;
+        let layout = Layout::compute(device.capacity(), config)?;
+
+        // Write the superblock.
+        let sb = layout.encode_superblock(config.concurrency, config.visibility);
+        device.write_at(0, &sb)?;
+        // Invalidate both checkpoint areas and every segment header.
+        let zeros = [0u8; 64];
+        device.write_at(layout.ckpt_a, &zeros)?;
+        device.write_at(layout.ckpt_b, &zeros)?;
+        for slot in 0..layout.n_segments {
+            device.write_at(layout.segment_offset(slot), &zeros[..32])?;
+        }
+        device.flush()?;
+
+        let n = layout.n_segments as usize;
+        let ld = Lld {
+            device,
+            layout,
+            concurrency: config.concurrency,
+            visibility: config.visibility,
+            cleaner_cfg: config.cleaner,
+            map: RwLock::new(MapState::fresh()),
+            log: Mutex::new(LogState::fresh(n)),
+            cache: Mutex::new(BlockCache::new(config.read_cache_blocks)),
+            gc: GroupCommit::new(),
+            ts_counter: AtomicU64::new(0),
+            stats: StatsCell::default(),
+            obs: Obs::new(config.obs),
+        };
+        ld.with_mutation(|m| m.open_segment(0))?;
+        Ok(ld)
+    }
+
+    /// Runs `f` with both state layers locked exclusively, in the
+    /// canonical order (map, then log).
+    pub(crate) fn with_mutation<T>(&self, f: impl FnOnce(&mut Mutation<'_, D>) -> T) -> T {
+        let mut map = self.map.write();
+        let mut log = self.log.lock();
+        let mut m = Mutation {
+            lld: self,
+            map: &mut map,
+            log: &mut log,
+        };
+        f(&mut m)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.layout.block_size
+    }
+
+    /// The segment size in bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.layout.segment_bytes
+    }
+
+    /// Number of segment slots on the device.
+    pub fn n_segments(&self) -> u32 {
+        self.layout.n_segments
+    }
+
+    /// Number of currently free segment slots.
+    pub fn free_segments(&self) -> u32 {
+        self.log.lock().free_slots.len() as u32
+    }
+
+    /// The concurrency mode ("old" sequential vs "new" concurrent).
+    pub fn concurrency(&self) -> ConcurrencyMode {
+        self.concurrency
+    }
+
+    /// The read-visibility semantics in effect.
+    pub fn visibility(&self) -> ReadVisibility {
+        self.visibility
+    }
+
+    /// A snapshot of the operation counters.
+    pub fn stats(&self) -> LldStats {
+        self.stats.snapshot()
+    }
+
+    /// The observability bundle: trace events, latency histograms, ARU
+    /// lifecycle spans.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Counters and service-time histograms of the underlying device,
+    /// when it collects them (a [`SimDisk`](ld_disk::SimDisk) does;
+    /// plain [`MemDisk`](ld_disk::MemDisk) / `FileDisk` return `None`).
+    pub fn device_stats(&self) -> Option<ld_disk::DiskStatsSnapshot> {
+        self.device.stats_snapshot()
+    }
+
+    /// Captures everything observable about this disk in one bundle:
+    /// LLD counters, device counters, the `lld_read` / `lld_write` /
+    /// `end_aru` / `flush` / `group_commit_batch` histograms (plus
+    /// `disk_read` / `disk_write` when the device provides them), recent
+    /// trace events, ARU spans, and the recovery report if this disk was
+    /// recovered. `fs_ops` is left empty for a file-system caller to
+    /// fill.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let disk = self.device.stats_snapshot();
+        let mut histograms: Vec<(String, ld_disk::HistogramSnapshot)> = self
+            .obs
+            .histograms()
+            .into_iter()
+            .map(|(n, h)| (n.to_string(), h))
+            .collect();
+        if let Some(d) = &disk {
+            histograms.push(("disk_read".to_string(), d.read_hist));
+            histograms.push(("disk_write".to_string(), d.write_hist));
+        }
+        ObsSnapshot {
+            lld: self.stats.snapshot(),
+            disk,
+            histograms,
+            events: self.obs.ring().entries(),
+            dropped_events: self.obs.ring().dropped(),
+            spans: self.obs.spans(),
+            recovery: self.obs.recovery_report(),
+            fs_ops: Vec::new(),
+        }
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Identifiers of the currently active ARUs.
+    pub fn active_arus(&self) -> Vec<AruId> {
+        self.map
+            .read()
+            .arus
+            .keys()
+            .map(|&raw| AruId::new(raw))
+            .collect()
+    }
+
+    /// The logical time at which an active ARU began, if it is active.
+    pub fn aru_started(&self, aru: AruId) -> Option<Timestamp> {
+        self.map.read().arus.get(&aru.get()).map(|a| a.started)
+    }
+
+    /// Number of blocks allocated in the committed state.
+    pub fn allocated_block_count(&self) -> u64 {
+        self.map.read().allocated_blocks
+    }
+
+    /// Number of lists allocated in the committed state.
+    pub fn allocated_list_count(&self) -> u64 {
+        self.map.read().allocated_lists
+    }
+
+    /// The highest segment sequence number covered by an on-disk
+    /// checkpoint (0 = no checkpoint; recovery scans the whole log).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.log.lock().checkpoint_seq
+    }
+
+    /// Borrows the underlying device (e.g. to inspect simulator
+    /// statistics).
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Consumes the logical disk and returns the device. Un-flushed
+    /// committed state is *not* written; this models a crash.
+    pub fn into_device(self) -> D {
+        self.device
+    }
+
+    /// A copy of the committed-state record of `block`, if allocated.
+    pub fn block_info(&self, block: BlockId) -> Option<BlockRecord> {
+        self.map
+            .read()
+            .view_block(StateRef::Committed, block)
+            .filter(|r| r.allocated)
+            .cloned()
+    }
+
+    /// A copy of the committed-state record of `list`, if allocated.
+    pub fn list_info(&self, list: ListId) -> Option<ListRecord> {
+        self.map
+            .read()
+            .view_list(StateRef::Committed, list)
+            .filter(|r| r.allocated)
+            .cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Advances the logical clock and returns the new timestamp.
+    pub(crate) fn tick(&self) -> Timestamp {
+        Timestamp::new(self.ts_counter.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// The current logical time (for event records).
+    pub(crate) fn now(&self) -> u64 {
+        self.ts_counter.load(Ordering::Relaxed)
+    }
+
+    /// Raises the logical clock to at least `floor` (recovery replay).
+    pub(crate) fn raise_clock(&self, floor: u64) {
+        self.ts_counter.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared read plumbing
+    // ------------------------------------------------------------------
+
+    /// Reads the data of a block at `addr`: from the in-memory segment
+    /// buffer if the address is in the currently open segment, from the
+    /// cache or device otherwise.
+    ///
+    /// Callers must hold at least shared access to the mapping layer, so
+    /// the cleaner cannot relocate `addr` mid-read.
+    pub(crate) fn read_block_data(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        {
+            let log = self.log.lock();
+            if let Some(b) = &log.builder {
+                if b.slot() == addr.segment {
+                    if addr.slot >= b.n_blocks() {
+                        return Err(LldError::Corrupt(format!(
+                            "address {addr} beyond open segment contents"
+                        )));
+                    }
+                    buf.copy_from_slice(b.read_block(addr.slot));
+                    return Ok(());
+                }
+            }
+        }
+        if self.cache.lock().get(addr, buf) {
+            self.stats.cache_hits.inc();
+            return Ok(());
+        }
+        self.stats.cache_misses.inc();
+        self.device.read_at(self.layout.block_offset(addr), buf)?;
+        self.cache.lock().insert(addr, buf);
+        Ok(())
+    }
+
+    /// Reads the superblock of a formatted device.
+    pub(crate) fn read_superblock(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+        let mut buf = [0u8; SUPERBLOCK_LEN];
+        device.read_at(0, &mut buf)?;
+        Layout::decode_superblock(&buf)
+    }
+
+    /// Probes a formatted device without recovering it: returns the
+    /// layout and the semantic modes stored in the superblock.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::Corrupt`] if the device holds no valid superblock;
+    /// device errors.
+    pub fn probe(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
+        Self::read_superblock(device)
+    }
+}
+
+impl<D: BlockDevice> Mutation<'_, D> {
+    // ------------------------------------------------------------------
+    // Session conveniences
+    // ------------------------------------------------------------------
+
+    pub(crate) fn tick(&self) -> Timestamp {
+        self.lld.tick()
+    }
+
+    // ------------------------------------------------------------------
+    // Identifiers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_block_id(&mut self) -> Result<BlockId> {
+        if self.map.allocated_blocks >= self.lld.layout.max_blocks {
+            return Err(LldError::DiskFull);
+        }
+        let raw = match self.map.free_blocks.pop_first() {
+            Some(raw) => raw,
+            None => {
+                let raw = self.map.next_block_raw;
+                self.map.next_block_raw += 1;
+                raw
+            }
+        };
+        Ok(BlockId::new(raw))
+    }
+
+    pub(crate) fn alloc_list_id(&mut self) -> Result<ListId> {
+        if self.map.allocated_lists >= self.lld.layout.max_lists {
+            return Err(LldError::DiskFull);
+        }
+        let raw = match self.map.free_lists.pop_first() {
+            Some(raw) => raw,
+            None => {
+                let raw = self.map.next_list_raw;
+                self.map.next_list_raw += 1;
+                raw
+            }
+        };
+        Ok(ListId::new(raw))
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write record access
+    // ------------------------------------------------------------------
+
     /// Copy-on-write access to a block record in the given state: if the
     /// state has no alternative record yet, the version below is copied
     /// in (the paper: "the disk system applies modifications to a copy of
@@ -424,20 +651,27 @@ impl<D: BlockDevice> Lld<D> {
     pub(crate) fn block_mut(&mut self, st: StateRef, id: BlockId) -> Result<&mut BlockRecord> {
         match st {
             StateRef::Committed => {
-                if !self.committed.blocks.contains_key(&id) {
+                if !self.map.committed.blocks.contains_key(&id) {
                     let base = self
+                        .map
                         .persistent
                         .blocks
                         .get(&id)
                         .cloned()
                         .ok_or(LldError::BlockNotAllocated(id))?;
-                    self.committed.blocks.insert(id, base);
+                    self.map.committed.blocks.insert(id, base);
                 }
-                Ok(self.committed.blocks.get_mut(&id).expect("just inserted"))
+                Ok(self
+                    .map
+                    .committed
+                    .blocks
+                    .get_mut(&id)
+                    .expect("just inserted"))
             }
             StateRef::Shadow(aru) => {
                 let raw = aru.get();
                 if !self
+                    .map
                     .arus
                     .get(&raw)
                     .ok_or(LldError::UnknownAru(aru))?
@@ -446,12 +680,14 @@ impl<D: BlockDevice> Lld<D> {
                     .contains_key(&id)
                 {
                     let base = self
+                        .map
                         .committed_view_block(id)
                         .cloned()
                         .ok_or(LldError::BlockNotAllocated(id))?;
-                    self.stats.shadow_cow_records += 1;
-                    self.obs.span_cow(raw);
-                    self.arus
+                    self.lld.stats.shadow_cow_records.inc();
+                    self.lld.obs.span_cow(raw);
+                    self.map
+                        .arus
                         .get_mut(&raw)
                         .expect("checked above")
                         .shadow
@@ -459,6 +695,7 @@ impl<D: BlockDevice> Lld<D> {
                         .insert(id, base);
                 }
                 Ok(self
+                    .map
                     .arus
                     .get_mut(&raw)
                     .expect("checked above")
@@ -473,20 +710,27 @@ impl<D: BlockDevice> Lld<D> {
     pub(crate) fn list_mut(&mut self, st: StateRef, id: ListId) -> Result<&mut ListRecord> {
         match st {
             StateRef::Committed => {
-                if !self.committed.lists.contains_key(&id) {
+                if !self.map.committed.lists.contains_key(&id) {
                     let base = self
+                        .map
                         .persistent
                         .lists
                         .get(&id)
                         .cloned()
                         .ok_or(LldError::ListNotAllocated(id))?;
-                    self.committed.lists.insert(id, base);
+                    self.map.committed.lists.insert(id, base);
                 }
-                Ok(self.committed.lists.get_mut(&id).expect("just inserted"))
+                Ok(self
+                    .map
+                    .committed
+                    .lists
+                    .get_mut(&id)
+                    .expect("just inserted"))
             }
             StateRef::Shadow(aru) => {
                 let raw = aru.get();
                 if !self
+                    .map
                     .arus
                     .get(&raw)
                     .ok_or(LldError::UnknownAru(aru))?
@@ -495,12 +739,14 @@ impl<D: BlockDevice> Lld<D> {
                     .contains_key(&id)
                 {
                     let base = self
+                        .map
                         .committed_view_list(id)
                         .cloned()
                         .ok_or(LldError::ListNotAllocated(id))?;
-                    self.stats.shadow_cow_records += 1;
-                    self.obs.span_cow(raw);
-                    self.arus
+                    self.lld.stats.shadow_cow_records.inc();
+                    self.lld.obs.span_cow(raw);
+                    self.map
+                        .arus
                         .get_mut(&raw)
                         .expect("checked above")
                         .shadow
@@ -508,6 +754,7 @@ impl<D: BlockDevice> Lld<D> {
                         .insert(id, base);
                 }
                 Ok(self
+                    .map
                     .arus
                     .get_mut(&raw)
                     .expect("checked above")
@@ -532,13 +779,13 @@ impl<D: BlockDevice> Lld<D> {
         }
         if let Some(a) = old {
             let s = a.segment.get() as usize;
-            self.live_count[s] = self.live_count[s].saturating_sub(1);
-            self.residents[s].remove(&id);
+            self.log.live_count[s] = self.log.live_count[s].saturating_sub(1);
+            self.log.residents[s].remove(&id);
         }
         if let Some(a) = new {
             let s = a.segment.get() as usize;
-            self.live_count[s] += 1;
-            self.residents[s].insert(id);
+            self.log.live_count[s] += 1;
+            self.log.residents[s].insert(id);
         }
     }
 
@@ -547,56 +794,17 @@ impl<D: BlockDevice> Lld<D> {
     // recovery replay)
     // ------------------------------------------------------------------
 
-    /// Walks `list` in state `st`, returning the member blocks in order.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::ListNotAllocated`] if the list does not exist in the
-    /// state; [`LldError::Corrupt`] on a cycle or dangling successor.
+    /// Walks `list` in state `st`, returning the member blocks in order
+    /// and charging the steps to the stats.
     pub(crate) fn walk_list(&mut self, st: StateRef, list: ListId) -> Result<Vec<BlockId>> {
-        let rec = self
-            .view_list(st, list)
-            .filter(|r| r.allocated)
-            .ok_or(LldError::ListNotAllocated(list))?;
-        let mut out = Vec::new();
-        let mut cur = rec.first;
-        let bound = self.layout.max_blocks + 1;
-        let mut steps = 0u64;
-        while let Some(b) = cur {
-            steps += 1;
-            if steps > bound {
-                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
-            }
-            let brec = self
-                .view_block(st, b)
-                .filter(|r| r.allocated)
-                .ok_or_else(|| {
-                    LldError::Corrupt(format!("list {list} references missing block {b}"))
-                })?;
-            out.push(b);
-            cur = brec.successor;
-        }
-        self.stats.list_walk_steps += steps;
+        let (out, steps) = self.map.walk_list(st, list, self.lld.layout.max_blocks)?;
+        self.lld.stats.list_walk_steps.add(steps);
         Ok(out)
     }
 
-    /// Validates that an insertion of a block into `list` at `pos` is
-    /// possible in state `st` (list allocated; predecessor allocated and
-    /// on the list).
+    /// See [`MapState::validate_insert`].
     pub(crate) fn validate_insert(&self, st: StateRef, list: ListId, pos: Position) -> Result<()> {
-        self.view_list(st, list)
-            .filter(|r| r.allocated)
-            .ok_or(LldError::ListNotAllocated(list))?;
-        if let Position::After(pred) = pos {
-            let p = self
-                .view_block(st, pred)
-                .filter(|r| r.allocated)
-                .ok_or(LldError::BlockNotAllocated(pred))?;
-            if p.list != Some(list) {
-                return Err(LldError::PredecessorNotOnList { list, pred });
-            }
-        }
-        Ok(())
+        self.map.validate_insert(st, list, pos)
     }
 
     /// Inserts `block` (which must exist, allocated, and not on a list,
@@ -662,6 +870,7 @@ impl<D: BlockDevice> Lld<D> {
         ts: Timestamp,
     ) -> Result<()> {
         let rec = self
+            .map
             .view_block(st, block)
             .filter(|r| r.allocated)
             .ok_or(LldError::BlockNotAllocated(block))?;
@@ -672,12 +881,13 @@ impl<D: BlockDevice> Lld<D> {
 
         // Predecessor search: walk from the head of the list.
         let lrec = self
+            .map
             .view_list(st, list)
             .filter(|r| r.allocated)
             .ok_or(LldError::ListNotAllocated(list))?;
         let mut pred: Option<BlockId> = None;
         let mut cur = lrec.first;
-        let bound = self.layout.max_blocks + 1;
+        let bound = self.lld.layout.max_blocks + 1;
         let mut steps = 0u64;
         while let Some(b) = cur {
             if b == block {
@@ -688,14 +898,14 @@ impl<D: BlockDevice> Lld<D> {
                 return Err(LldError::Corrupt(format!("cycle while walking {list}")));
             }
             pred = Some(b);
-            cur = self.view_block(st, b).and_then(|r| r.successor);
+            cur = self.map.view_block(st, b).and_then(|r| r.successor);
             if cur.is_none() {
                 return Err(LldError::Corrupt(format!(
                     "{block} claims membership of {list} but is not on it"
                 )));
             }
         }
-        self.stats.list_walk_steps += steps;
+        self.lld.stats.list_walk_steps.add(steps);
 
         match pred {
             None => {
@@ -736,9 +946,9 @@ impl<D: BlockDevice> Lld<D> {
         ts: Timestamp,
     ) -> Result<()> {
         if st == StateRef::Committed {
-            let old = self.committed_view_block(block).and_then(|r| r.addr);
+            let old = self.map.committed_view_block(block).and_then(|r| r.addr);
             self.adjust_addr(block, old, None);
-            self.allocated_blocks = self.allocated_blocks.saturating_sub(1);
+            self.map.allocated_blocks = self.map.allocated_blocks.saturating_sub(1);
         }
         let bm = self.block_mut(st, block)?;
         bm.allocated = false;
@@ -752,7 +962,7 @@ impl<D: BlockDevice> Lld<D> {
     /// Marks `list` deallocated in state `st`.
     pub(crate) fn dealloc_list(&mut self, st: StateRef, list: ListId, ts: Timestamp) -> Result<()> {
         if st == StateRef::Committed {
-            self.allocated_lists = self.allocated_lists.saturating_sub(1);
+            self.map.allocated_lists = self.map.allocated_lists.saturating_sub(1);
         }
         let lm = self.list_mut(st, list)?;
         lm.allocated = false;
@@ -780,7 +990,7 @@ impl<D: BlockDevice> Lld<D> {
         summary: usize,
         reserve: usize,
     ) -> Result<()> {
-        let fits = match &self.builder {
+        let fits = match &self.log.builder {
             Some(b) => b.fits(blocks, summary),
             None => false,
         };
@@ -788,7 +998,7 @@ impl<D: BlockDevice> Lld<D> {
             return Ok(());
         }
         self.roll_segment(reserve)?;
-        match &self.builder {
+        match &self.log.builder {
             Some(b) if b.fits(blocks, summary) => Ok(()),
             Some(_) => Err(LldError::Config(
                 "request does not fit in an empty segment".into(),
@@ -801,15 +1011,15 @@ impl<D: BlockDevice> Lld<D> {
     /// opens a new one, running the cleaner if free segments are scarce.
     pub(crate) fn roll_segment(&mut self, reserve: usize) -> Result<()> {
         let had_content = self.seal_current()?;
-        if self.builder.is_none() {
+        if self.log.builder.is_none() {
             self.open_segment(reserve)?;
         }
         if had_content
-            && !self.cleaning
-            && self.cleaner_cfg.enabled
-            && (self.free_slots.len() as u32) < self.cleaner_cfg.min_free_segments
+            && !self.log.cleaning
+            && self.lld.cleaner_cfg.enabled
+            && (self.log.free_slots.len() as u32) < self.lld.cleaner_cfg.min_free_segments
         {
-            self.run_cleaner()?;
+            self.run_cleaner_inner()?;
         }
         Ok(())
     }
@@ -818,10 +1028,10 @@ impl<D: BlockDevice> Lld<D> {
     /// segment was actually written (the builder is then `None`); an
     /// empty builder is left in place and `false` returned.
     pub(crate) fn seal_current(&mut self) -> Result<bool> {
-        match self.builder.take() {
+        match self.log.builder.take() {
             None => Ok(false),
             Some(b) if b.is_empty() => {
-                self.builder = Some(b);
+                self.log.builder = Some(b);
                 Ok(false)
             }
             Some(b) => {
@@ -829,12 +1039,13 @@ impl<D: BlockDevice> Lld<D> {
                 let seal_blocks = b.n_blocks();
                 let bytes = b.seal();
                 let slot = b.slot().get();
-                self.device
-                    .write_at(self.layout.segment_offset(slot), &bytes)?;
-                self.slot_seq[slot as usize] = b.seq();
-                self.stats.segments_sealed += 1;
-                self.obs.event(
-                    self.ts_counter,
+                self.lld
+                    .device
+                    .write_at(self.lld.layout.segment_offset(slot), &bytes)?;
+                self.log.slot_seq[slot as usize] = b.seq();
+                self.lld.stats.segments_sealed.inc();
+                self.lld.obs.event(
+                    self.lld.now(),
                     TraceEvent::SegmentSeal {
                         segment: slot,
                         seq: seal_seq,
@@ -844,8 +1055,12 @@ impl<D: BlockDevice> Lld<D> {
                 );
                 // Committed → persistent transition: every committed
                 // alternative record's summary entry is now on disk.
-                self.stats.committed_records_drained += self.committed.len() as u64;
-                self.committed.drain_into(&mut self.persistent);
+                self.lld
+                    .stats
+                    .committed_records_drained
+                    .add(self.map.committed.len() as u64);
+                let map = &mut *self.map;
+                map.committed.drain_into(&mut map.persistent);
                 Ok(true)
             }
         }
@@ -854,21 +1069,24 @@ impl<D: BlockDevice> Lld<D> {
     /// Opens a new segment in a free slot, refusing if that would leave
     /// fewer than `reserve` slots free.
     pub(crate) fn open_segment(&mut self, reserve: usize) -> Result<()> {
-        debug_assert!(self.builder.is_none());
-        if self.free_slots.len() <= reserve {
+        debug_assert!(self.log.builder.is_none());
+        if self.log.free_slots.len() <= reserve {
             return Err(LldError::DiskFull);
         }
-        let slot = self.free_slots.pop_first().ok_or(LldError::DiskFull)?;
+        let slot = self.log.free_slots.pop_first().ok_or(LldError::DiskFull)?;
         // The slot may hold a cleaned segment whose blocks are cached;
         // new data written here must never be shadowed by stale entries.
-        self.cache.invalidate_segment(SegmentId::new(slot));
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.builder = Some(SegmentBuilder::new(
+        self.lld
+            .cache
+            .lock()
+            .invalidate_segment(SegmentId::new(slot));
+        let seq = self.log.next_seq;
+        self.log.next_seq += 1;
+        self.log.builder = Some(SegmentBuilder::new(
             SegmentId::new(slot),
             seq,
-            self.layout.block_size,
-            self.layout.segment_bytes,
+            self.lld.layout.block_size,
+            self.lld.layout.segment_bytes,
         ));
         Ok(())
     }
@@ -883,12 +1101,13 @@ impl<D: BlockDevice> Lld<D> {
     pub(crate) fn emit_reserve(&mut self, rec: Record, reserve: usize) -> Result<()> {
         let len = rec.encoded_len();
         self.ensure_room(0, len, reserve)?;
-        self.builder
+        self.log
+            .builder
             .as_mut()
             .expect("ensure_room leaves a builder")
             .push_record(&rec);
-        self.stats.records_emitted += 1;
-        self.stats.summary_bytes += len as u64;
+        self.lld.stats.records_emitted.inc();
+        self.lld.stats.summary_bytes.add(len as u64);
         Ok(())
     }
 
@@ -905,7 +1124,11 @@ impl<D: BlockDevice> Lld<D> {
         reserve: usize,
     ) -> Result<PhysAddr> {
         self.ensure_room(1, WRITE_REC_LEN, reserve)?;
-        let b = self.builder.as_mut().expect("ensure_room leaves a builder");
+        let b = self
+            .log
+            .builder
+            .as_mut()
+            .expect("ensure_room leaves a builder");
         let slot_idx = b.push_block(data);
         let addr = PhysAddr {
             segment: b.slot(),
@@ -918,59 +1141,16 @@ impl<D: BlockDevice> Lld<D> {
             aru: tag,
         };
         b.push_record(&rec);
-        self.stats.records_emitted += 1;
-        self.stats.summary_bytes += WRITE_REC_LEN as u64;
-        self.stats.data_blocks_written += 1;
+        self.lld.stats.records_emitted.inc();
+        self.lld.stats.summary_bytes.add(WRITE_REC_LEN as u64);
+        self.lld.stats.data_blocks_written.inc();
 
-        self.cache.insert(addr, data);
-        let old = self.committed_view_block(id).and_then(|r| r.addr);
+        self.lld.cache.lock().insert(addr, data);
+        let old = self.map.committed_view_block(id).and_then(|r| r.addr);
         self.adjust_addr(id, old, Some(addr));
         let r = self.block_mut(StateRef::Committed, id)?;
         r.addr = Some(addr);
         r.ts = ts;
         Ok(addr)
-    }
-
-    /// Reads the data of a block at `addr`: from the in-memory segment
-    /// buffer if the address is in the currently open segment, from the
-    /// device otherwise.
-    pub(crate) fn read_block_data(&mut self, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
-        if let Some(b) = &self.builder {
-            if b.slot() == addr.segment {
-                if addr.slot >= b.n_blocks() {
-                    return Err(LldError::Corrupt(format!(
-                        "address {addr} beyond open segment contents"
-                    )));
-                }
-                buf.copy_from_slice(b.read_block(addr.slot));
-                return Ok(());
-            }
-        }
-        if self.cache.get(addr, buf) {
-            self.stats.cache_hits += 1;
-            return Ok(());
-        }
-        self.stats.cache_misses += 1;
-        self.device.read_at(self.layout.block_offset(addr), buf)?;
-        self.cache.insert(addr, buf);
-        Ok(())
-    }
-
-    /// Reads the superblock of a formatted device.
-    pub(crate) fn read_superblock(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
-        let mut buf = [0u8; SUPERBLOCK_LEN];
-        device.read_at(0, &mut buf)?;
-        Layout::decode_superblock(&buf)
-    }
-
-    /// Probes a formatted device without recovering it: returns the
-    /// layout and the semantic modes stored in the superblock.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::Corrupt`] if the device holds no valid superblock;
-    /// device errors.
-    pub fn probe(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
-        Self::read_superblock(device)
     }
 }

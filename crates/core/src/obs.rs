@@ -120,6 +120,13 @@ pub enum TraceEvent {
         /// Segments sealed so far (after this flush).
         segments_sealed: u64,
     },
+    /// A group-commit leader sealed and barriered for a batch of
+    /// concurrent durability callers.
+    GroupCommit {
+        /// Number of `flush`/`end_aru_sync` callers served by the one
+        /// seal + barrier.
+        batch: u64,
+    },
     /// The cleaner finished a pass.
     CleanerPass {
         /// Free segment slots after the pass.
@@ -155,6 +162,7 @@ impl TraceEvent {
             TraceEvent::AruConflict { .. } => "aru_conflict",
             TraceEvent::SegmentSeal { .. } => "segment_seal",
             TraceEvent::Flush { .. } => "flush",
+            TraceEvent::GroupCommit { .. } => "group_commit",
             TraceEvent::CleanerPass { .. } => "cleaner_pass",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::RecoveryScan { .. } => "recovery_scan",
@@ -334,6 +342,7 @@ pub struct Obs {
     lld_write: LatencyHistogram,
     end_aru: LatencyHistogram,
     flush: LatencyHistogram,
+    group_commit_batch: LatencyHistogram,
     spans: Mutex<SpanTable>,
     recovery: Mutex<Option<RecoveryReport>>,
 }
@@ -348,6 +357,7 @@ impl Obs {
             lld_write: LatencyHistogram::new(),
             end_aru: LatencyHistogram::new(),
             flush: LatencyHistogram::new(),
+            group_commit_batch: LatencyHistogram::new(),
             spans: Mutex::new(SpanTable::default()),
             recovery: Mutex::new(None),
         }
@@ -415,6 +425,17 @@ impl Obs {
             self.flush.record(n);
             self.ring.record(ts, TraceEvent::Flush { segments_sealed });
         }
+    }
+
+    /// A group-commit leader finished a batch of `batch` durability
+    /// callers: records the batch size (into the `group_commit_batch`
+    /// histogram — size distribution, not latency) and the event.
+    pub(crate) fn group_commit(&self, ts: u64, batch: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.group_commit_batch.record(batch);
+        self.ring.record(ts, TraceEvent::GroupCommit { batch });
     }
 
     // ---- ARU lifecycle -----------------------------------------------
@@ -558,15 +579,16 @@ impl Obs {
         out
     }
 
-    /// Snapshot of the LLD-layer latency histograms as
-    /// `(name, snapshot)` pairs: `lld_read`, `lld_write`, `end_aru`,
-    /// `flush`.
+    /// Snapshot of the LLD-layer histograms as `(name, snapshot)`
+    /// pairs: `lld_read`, `lld_write`, `end_aru`, `flush` (latencies in
+    /// nanoseconds) and `group_commit_batch` (batch sizes, not times).
     pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
         vec![
             ("lld_read", self.lld_read.snapshot()),
             ("lld_write", self.lld_write.snapshot()),
             ("end_aru", self.end_aru.snapshot()),
             ("flush", self.flush.snapshot()),
+            ("group_commit_batch", self.group_commit_batch.snapshot()),
         ]
     }
 }
@@ -590,9 +612,10 @@ pub struct ObsSnapshot {
     /// Device counters and service-time histograms, when the device
     /// collects them (a [`SimDisk`](ld_disk::SimDisk) does).
     pub disk: Option<DiskStatsSnapshot>,
-    /// Named latency histograms: `lld_read`, `lld_write`, `end_aru`,
-    /// `flush` (wall time), plus `disk_read` / `disk_write` (modeled
-    /// service time) when the device provides them.
+    /// Named histograms: `lld_read`, `lld_write`, `end_aru`, `flush`
+    /// (wall time), `group_commit_batch` (batch sizes), plus
+    /// `disk_read` / `disk_write` (modeled service time) when the
+    /// device provides them.
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Recent trace events, in sequence order.
     pub events: Vec<TraceEntry>,
@@ -680,6 +703,9 @@ fn lld_stats_json(s: &LldStats) -> String {
     o.u64("committed_records_drained", s.committed_records_drained);
     o.u64("cache_hits", s.cache_hits);
     o.u64("cache_misses", s.cache_misses);
+    o.u64("flush_batches", s.flush_batches);
+    o.u64("flush_batch_callers", s.flush_batch_callers);
+    o.u64("flush_batch_max", s.flush_batch_max);
     o.finish()
 }
 
@@ -748,6 +774,9 @@ fn trace_entry_json(e: &TraceEntry) -> String {
         }
         TraceEvent::Flush { segments_sealed } => {
             o.u64("segments_sealed", segments_sealed);
+        }
+        TraceEvent::GroupCommit { batch } => {
+            o.u64("batch", batch);
         }
         TraceEvent::CleanerPass {
             free_segments,
@@ -834,6 +863,9 @@ impl fmt::Display for ObsSnapshot {
             ("committed_records_drained", s.committed_records_drained),
             ("cache_hits", s.cache_hits),
             ("cache_misses", s.cache_misses),
+            ("flush_batches", s.flush_batches),
+            ("flush_batch_callers", s.flush_batch_callers),
+            ("flush_batch_max", s.flush_batch_max),
         ] {
             writeln!(f, "  {name:<28} {v}")?;
         }

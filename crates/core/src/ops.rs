@@ -1,5 +1,6 @@
 //! The public LD operations: `Read`, `Write`, `NewBlock`, `DeleteBlock`,
-//! `NewList`, `DeleteList`, `Flush`, and `BeginARU`.
+//! `NewList`, `DeleteList`, and `BeginARU` (`Flush` lives in the
+//! group-commit stage, [`crate::gc`]).
 //!
 //! Figure 2 of the paper summarises which operation affects which state;
 //! this module implements exactly that table:
@@ -10,11 +11,15 @@
 //! * `NewBlock`/`NewList` *always* allocate in the committed state (the
 //!   allocation exception), with only the list insertion in the shadow
 //!   state.
+//!
+//! Reads (`read`, `list_blocks`) take only shared access to the mapping
+//! layer and so proceed concurrently; mutations run in an exclusive
+//! [`Mutation`] session over both layers.
 
 use crate::aru::{Aru, ListOp};
 use crate::config::{ConcurrencyMode, ReadVisibility};
 use crate::error::{LldError, Result};
-use crate::lld::{Lld, StateRef};
+use crate::lld::{Lld, MapState, Mutation, StateRef};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, Ctx, ListId, PhysAddr, Position, Timestamp};
 use ld_disk::BlockDevice;
@@ -41,11 +46,11 @@ enum DataSource {
 }
 
 impl<D: BlockDevice> Lld<D> {
-    fn stream(&self, ctx: Ctx) -> Result<Stream> {
+    fn stream_of(&self, map: &MapState, ctx: Ctx) -> Result<Stream> {
         match ctx {
             Ctx::Simple => Ok(Stream::Merged(None)),
             Ctx::Aru(id) => {
-                if !self.arus.contains_key(&id.get()) {
+                if !map.arus.contains_key(&id.get()) {
                     return Err(LldError::UnknownAru(id));
                 }
                 self.obs.span_op(id.get());
@@ -64,19 +69,20 @@ impl<D: BlockDevice> Lld<D> {
     /// In [`ConcurrencyMode::Sequential`] (the paper's "old" version),
     /// returns [`LldError::ConcurrencyUnsupported`] if an ARU is already
     /// active.
-    pub fn begin_aru(&mut self) -> Result<AruId> {
+    pub fn begin_aru(&self) -> Result<AruId> {
+        let mut map = self.map.write();
         if self.concurrency == ConcurrencyMode::Sequential {
-            if let Some((&raw, _)) = self.arus.iter().next() {
+            if let Some((&raw, _)) = map.arus.iter().next() {
                 return Err(LldError::ConcurrencyUnsupported {
                     active: AruId::new(raw),
                 });
             }
         }
         let ts = self.tick();
-        let id = AruId::new(self.next_aru_raw);
-        self.next_aru_raw += 1;
-        self.arus.insert(id.get(), Aru::new(id, ts));
-        self.stats.arus_begun += 1;
+        let id = AruId::new(map.next_aru_raw);
+        map.next_aru_raw += 1;
+        map.arus.insert(id.get(), Aru::new(id, ts));
+        self.stats.arus_begun.inc();
         self.obs.aru_begin(id.get(), ts.get());
         Ok(id)
     }
@@ -90,17 +96,8 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// [`LldError::UnknownAru`] for a dead context;
     /// [`LldError::DiskFull`] at the allocation limit.
-    pub fn new_list(&mut self, ctx: Ctx) -> Result<ListId> {
-        self.stream(ctx)?;
-        let ts = self.tick();
-        let id = self.alloc_list_id()?;
-        self.emit(Record::NewList { list: id, ts })?;
-        self.committed
-            .lists
-            .insert(id, crate::state::ListRecord::fresh(ts));
-        self.allocated_lists += 1;
-        self.stats.new_lists += 1;
-        Ok(id)
+    pub fn new_list(&self, ctx: Ctx) -> Result<ListId> {
+        self.with_mutation(|m| m.new_list_op(ctx))
     }
 
     /// Deletes `list` together with any blocks still on it.
@@ -114,52 +111,8 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// [`LldError::ListNotAllocated`] if the list is not visible in the
     /// operation's state.
-    pub fn delete_list(&mut self, ctx: Ctx, list: ListId) -> Result<()> {
-        let stream = self.stream(ctx)?;
-        let ts = self.tick();
-        self.stats.delete_lists += 1;
-        match stream {
-            Stream::Merged(tag) => {
-                let members = self.walk_list(StateRef::Committed, list)?;
-                for &b in &members {
-                    self.dealloc_block(StateRef::Committed, b, ts)?;
-                }
-                self.dealloc_list(StateRef::Committed, list, ts)?;
-                self.emit_reserve(Record::DeleteList { list, ts, aru: tag }, 0)?;
-                match tag {
-                    None => {
-                        for b in members {
-                            self.free_blocks.insert(b.get());
-                        }
-                        self.free_lists.insert(list.get());
-                    }
-                    Some(aru) => {
-                        let a = self.arus.get_mut(&aru.get()).expect("stream checked");
-                        a.pending_free_blocks.extend(members);
-                        a.pending_free_lists.push(list);
-                    }
-                }
-            }
-            Stream::Shadow(aru) => {
-                let st = StateRef::Shadow(aru);
-                let members = self.walk_list(st, list)?;
-                for &b in &members {
-                    self.dealloc_block(st, b, ts)?;
-                    self.arus
-                        .get_mut(&aru.get())
-                        .expect("stream checked")
-                        .shadow_data
-                        .remove(&b);
-                }
-                self.dealloc_list(st, list, ts)?;
-                self.arus
-                    .get_mut(&aru.get())
-                    .expect("stream checked")
-                    .link_log
-                    .push(ListOp::DeleteList { list });
-            }
-        }
-        Ok(())
+    pub fn delete_list(&self, ctx: Ctx, list: ListId) -> Result<()> {
+        self.with_mutation(|m| m.delete_list_op(ctx, list))
     }
 
     /// Allocates a new block on `list` at `pos`.
@@ -175,7 +128,280 @@ impl<D: BlockDevice> Lld<D> {
     /// [`LldError::PredecessorNotOnList`] if the insertion target is
     /// invalid in the operation's state; [`LldError::DiskFull`] at the
     /// allocation limit.
-    pub fn new_block(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+    pub fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+        self.with_mutation(|m| m.new_block_op(ctx, list, pos))
+    }
+
+    /// Removes `block` from its list and deallocates it.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::BlockNotAllocated`] if the block is not visible in
+    /// the operation's state.
+    pub fn delete_block(&self, ctx: Ctx, block: BlockId) -> Result<()> {
+        self.with_mutation(|m| m.delete_block_op(ctx, block))
+    }
+
+    /// Writes one block of data.
+    ///
+    /// Inside a concurrent ARU the data is buffered in the ARU's shadow
+    /// state and enters the segment stream at commit; otherwise it is
+    /// appended to the current segment immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::WrongBlockLength`] if `data` is not exactly one
+    /// block; [`LldError::BlockNotAllocated`] if the block is not
+    /// visible in the operation's state.
+    pub fn write(&self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
+        if data.len() != self.layout.block_size {
+            return Err(LldError::WrongBlockLength {
+                got: data.len(),
+                expected: self.layout.block_size,
+            });
+        }
+        let timer = self.obs.timer();
+        let res = self.with_mutation(|m| m.write_op(ctx, block, data));
+        if res.is_ok() {
+            self.obs.write_done(timer);
+        }
+        res
+    }
+
+    /// Reads one block of data into `buf`.
+    ///
+    /// What the read sees is governed by the configured
+    /// [`ReadVisibility`]; under the default option 3 a read inside an
+    /// ARU sees that ARU's shadow state and nothing of other ARUs.
+    /// A block that was allocated but never written reads as zeroes.
+    ///
+    /// Reads hold only shared access to the mapping layer, so any number
+    /// of them proceed concurrently (with each other and with nothing
+    /// else mutating).
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::WrongBlockLength`] if `buf` is not exactly one block;
+    /// [`LldError::BlockNotAllocated`] if the block is not visible.
+    pub fn read(&self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.layout.block_size {
+            return Err(LldError::WrongBlockLength {
+                got: buf.len(),
+                expected: self.layout.block_size,
+            });
+        }
+        // Validate the context (and classify the stream) first.
+        let timer = self.obs.timer();
+        let map = self.map.read();
+        let stream = self.stream_of(&map, ctx)?;
+        self.tick();
+        self.stats.reads.inc();
+
+        let source = self.resolve_read(&map, stream, block)?;
+        let res = match source {
+            DataSource::ShadowBuf(aru) => {
+                let data = &map.arus[&aru.get()].shadow_data[&block];
+                buf.copy_from_slice(data);
+                Ok(())
+            }
+            DataSource::Addr(addr) => self.read_block_data(addr, buf),
+            DataSource::Zeros => {
+                buf.fill(0);
+                Ok(())
+            }
+        };
+        if res.is_ok() {
+            self.obs.read_done(timer);
+        }
+        res
+    }
+
+    fn resolve_read(&self, map: &MapState, stream: Stream, block: BlockId) -> Result<DataSource> {
+        match self.visibility {
+            ReadVisibility::OwnShadow => match stream {
+                Stream::Shadow(aru) => self.resolve_shadow_chain(map, aru, block),
+                Stream::Merged(_) => Self::resolve_committed(map, block),
+            },
+            ReadVisibility::Committed => Self::resolve_committed(map, block),
+            ReadVisibility::AnyShadow => {
+                // Most recent version across every shadow state and the
+                // committed state.
+                let mut best: Option<(Timestamp, DataSource, bool)> = None;
+                for a in map.arus.values() {
+                    if let Some(rec) = a.shadow.blocks.get(&block) {
+                        let src = if a.shadow_data.contains_key(&block) {
+                            DataSource::ShadowBuf(a.id)
+                        } else {
+                            match map.committed_view_block(block).and_then(|r| r.addr) {
+                                Some(addr) => DataSource::Addr(addr),
+                                None => DataSource::Zeros,
+                            }
+                        };
+                        if best.as_ref().is_none_or(|(ts, _, _)| rec.ts > *ts) {
+                            best = Some((rec.ts, src, rec.allocated));
+                        }
+                    }
+                }
+                if let Some(rec) = map.committed_view_block(block) {
+                    if best.as_ref().is_none_or(|(ts, _, _)| rec.ts > *ts) {
+                        let src = match rec.addr {
+                            Some(addr) => DataSource::Addr(addr),
+                            None => DataSource::Zeros,
+                        };
+                        best = Some((rec.ts, src, rec.allocated));
+                    }
+                }
+                match best {
+                    Some((_, src, true)) => Ok(src),
+                    _ => Err(LldError::BlockNotAllocated(block)),
+                }
+            }
+        }
+    }
+
+    fn resolve_shadow_chain(
+        &self,
+        map: &MapState,
+        aru: AruId,
+        block: BlockId,
+    ) -> Result<DataSource> {
+        let a = &map.arus[&aru.get()];
+        if let Some(rec) = a.shadow.blocks.get(&block) {
+            if !rec.allocated {
+                return Err(LldError::BlockNotAllocated(block));
+            }
+            if a.shadow_data.contains_key(&block) {
+                return Ok(DataSource::ShadowBuf(aru));
+            }
+            // The ARU touched the block's links but not its data: fall
+            // through to the committed data.
+            return match map.committed_view_block(block).and_then(|r| r.addr) {
+                Some(addr) => Ok(DataSource::Addr(addr)),
+                None => Ok(DataSource::Zeros),
+            };
+        }
+        Self::resolve_committed(map, block)
+    }
+
+    fn resolve_committed(map: &MapState, block: BlockId) -> Result<DataSource> {
+        let rec = map
+            .committed_view_block(block)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::BlockNotAllocated(block))?;
+        Ok(match rec.addr {
+            Some(addr) => DataSource::Addr(addr),
+            None => DataSource::Zeros,
+        })
+    }
+
+    /// Returns the blocks of `list` in order, as visible to `ctx` under
+    /// the configured read visibility.
+    ///
+    /// Like [`read`](Lld::read), holds only shared access to the mapping
+    /// layer.
+    ///
+    /// # Errors
+    ///
+    /// [`LldError::ListNotAllocated`] if the list is not visible.
+    pub fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
+        let map = self.map.read();
+        let stream = self.stream_of(&map, ctx)?;
+        let st = match (self.visibility, stream) {
+            (ReadVisibility::OwnShadow, Stream::Shadow(aru)) => StateRef::Shadow(aru),
+            (ReadVisibility::AnyShadow, _) => {
+                // Walk with most-recent-shadow resolution: approximate by
+                // preferring the shadow of whichever ARU most recently
+                // touched the list record.
+                let best = map
+                    .arus
+                    .values()
+                    .filter_map(|a| a.shadow.lists.get(&list).map(|r| (r.ts, a.id)))
+                    .max_by_key(|(ts, _)| *ts);
+                match (best, map.committed_view_list(list)) {
+                    (Some((sts, aru)), Some(c)) if sts > c.ts => StateRef::Shadow(aru),
+                    (Some((_, _)), Some(_)) => StateRef::Committed,
+                    (Some((_, aru)), None) => StateRef::Shadow(aru),
+                    _ => StateRef::Committed,
+                }
+            }
+            _ => StateRef::Committed,
+        };
+        let (members, steps) = map.walk_list(st, list, self.layout.max_blocks)?;
+        self.stats.list_walk_steps.add(steps);
+        Ok(members)
+    }
+}
+
+impl<D: BlockDevice> Mutation<'_, D> {
+    fn stream(&self, ctx: Ctx) -> Result<Stream> {
+        self.lld.stream_of(self.map, ctx)
+    }
+
+    fn new_list_op(&mut self, ctx: Ctx) -> Result<ListId> {
+        self.stream(ctx)?;
+        let ts = self.tick();
+        let id = self.alloc_list_id()?;
+        self.emit(Record::NewList { list: id, ts })?;
+        self.map
+            .committed
+            .lists
+            .insert(id, crate::state::ListRecord::fresh(ts));
+        self.map.allocated_lists += 1;
+        self.lld.stats.new_lists.inc();
+        Ok(id)
+    }
+
+    fn delete_list_op(&mut self, ctx: Ctx, list: ListId) -> Result<()> {
+        let stream = self.stream(ctx)?;
+        let ts = self.tick();
+        self.lld.stats.delete_lists.inc();
+        match stream {
+            Stream::Merged(tag) => {
+                let members = self.walk_list(StateRef::Committed, list)?;
+                for &b in &members {
+                    self.dealloc_block(StateRef::Committed, b, ts)?;
+                }
+                self.dealloc_list(StateRef::Committed, list, ts)?;
+                self.emit_reserve(Record::DeleteList { list, ts, aru: tag }, 0)?;
+                match tag {
+                    None => {
+                        for b in members {
+                            self.map.free_blocks.insert(b.get());
+                        }
+                        self.map.free_lists.insert(list.get());
+                    }
+                    Some(aru) => {
+                        let a = self.map.arus.get_mut(&aru.get()).expect("stream checked");
+                        a.pending_free_blocks.extend(members);
+                        a.pending_free_lists.push(list);
+                    }
+                }
+            }
+            Stream::Shadow(aru) => {
+                let st = StateRef::Shadow(aru);
+                let members = self.walk_list(st, list)?;
+                for &b in &members {
+                    self.dealloc_block(st, b, ts)?;
+                    self.map
+                        .arus
+                        .get_mut(&aru.get())
+                        .expect("stream checked")
+                        .shadow_data
+                        .remove(&b);
+                }
+                self.dealloc_list(st, list, ts)?;
+                self.map
+                    .arus
+                    .get_mut(&aru.get())
+                    .expect("stream checked")
+                    .link_log
+                    .push(ListOp::DeleteList { list });
+            }
+        }
+        Ok(())
+    }
+
+    fn new_block_op(&mut self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
         let stream = self.stream(ctx)?;
         // Validate the insertion before allocating anything, so a failed
         // call leaves no trace.
@@ -188,11 +414,12 @@ impl<D: BlockDevice> Lld<D> {
         let ts = self.tick();
         let id = self.alloc_block_id()?;
         self.emit(Record::NewBlock { block: id, ts })?;
-        self.committed
+        self.map
+            .committed
             .blocks
             .insert(id, crate::state::BlockRecord::fresh(ts));
-        self.allocated_blocks += 1;
-        self.stats.new_blocks += 1;
+        self.map.allocated_blocks += 1;
+        self.lld.stats.new_blocks.inc();
 
         match stream {
             Stream::Merged(tag) => {
@@ -210,7 +437,8 @@ impl<D: BlockDevice> Lld<D> {
             }
             Stream::Shadow(aru) => {
                 self.insert_into_list(StateRef::Shadow(aru), list, id, pos, ts)?;
-                self.arus
+                self.map
+                    .arus
                     .get_mut(&aru.get())
                     .expect("stream checked")
                     .link_log
@@ -227,19 +455,14 @@ impl<D: BlockDevice> Lld<D> {
         Ok(id)
     }
 
-    /// Removes `block` from its list and deallocates it.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::BlockNotAllocated`] if the block is not visible in
-    /// the operation's state.
-    pub fn delete_block(&mut self, ctx: Ctx, block: BlockId) -> Result<()> {
+    fn delete_block_op(&mut self, ctx: Ctx, block: BlockId) -> Result<()> {
         let stream = self.stream(ctx)?;
         let ts = self.tick();
-        self.stats.delete_blocks += 1;
+        self.lld.stats.delete_blocks.inc();
         match stream {
             Stream::Merged(tag) => {
-                self.view_block(StateRef::Committed, block)
+                self.map
+                    .view_block(StateRef::Committed, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.unlink_block(StateRef::Committed, block, ts)?;
@@ -254,9 +477,10 @@ impl<D: BlockDevice> Lld<D> {
                 )?;
                 match tag {
                     None => {
-                        self.free_blocks.insert(block.get());
+                        self.map.free_blocks.insert(block.get());
                     }
                     Some(aru) => self
+                        .map
                         .arus
                         .get_mut(&aru.get())
                         .expect("stream checked")
@@ -266,12 +490,13 @@ impl<D: BlockDevice> Lld<D> {
             }
             Stream::Shadow(aru) => {
                 let st = StateRef::Shadow(aru);
-                self.view_block(st, block)
+                self.map
+                    .view_block(st, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.unlink_block(st, block, ts)?;
                 self.dealloc_block(st, block, ts)?;
-                let a = self.arus.get_mut(&aru.get()).expect("stream checked");
+                let a = self.map.arus.get_mut(&aru.get()).expect("stream checked");
                 a.shadow_data.remove(&block);
                 a.link_log.push(ListOp::DeleteBlock { block });
             }
@@ -279,219 +504,36 @@ impl<D: BlockDevice> Lld<D> {
         Ok(())
     }
 
-    /// Writes one block of data.
-    ///
-    /// Inside a concurrent ARU the data is buffered in the ARU's shadow
-    /// state and enters the segment stream at commit; otherwise it is
-    /// appended to the current segment immediately.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::WrongBlockLength`] if `data` is not exactly one
-    /// block; [`LldError::BlockNotAllocated`] if the block is not
-    /// visible in the operation's state.
-    pub fn write(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
-        if data.len() != self.layout.block_size {
-            return Err(LldError::WrongBlockLength {
-                got: data.len(),
-                expected: self.layout.block_size,
-            });
-        }
-        let timer = self.obs.timer();
+    fn write_op(&mut self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
         let stream = self.stream(ctx)?;
         let ts = self.tick();
-        self.stats.writes += 1;
+        self.lld.stats.writes.inc();
         match stream {
             Stream::Merged(tag) => {
-                self.view_block(StateRef::Committed, block)
+                self.map
+                    .view_block(StateRef::Committed, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.place_block_data(block, data, ts, tag, 1)?;
             }
             Stream::Shadow(aru) => {
                 let st = StateRef::Shadow(aru);
-                self.view_block(st, block)
+                self.map
+                    .view_block(st, block)
                     .filter(|r| r.allocated)
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 {
                     let bm = self.block_mut(st, block)?;
                     bm.ts = ts;
                 }
-                self.arus
+                self.map
+                    .arus
                     .get_mut(&aru.get())
                     .expect("stream checked")
                     .shadow_data
                     .insert(block, data.to_vec());
             }
         }
-        self.obs.write_done(timer);
-        Ok(())
-    }
-
-    /// Reads one block of data into `buf`.
-    ///
-    /// What the read sees is governed by the configured
-    /// [`ReadVisibility`]; under the default option 3 a read inside an
-    /// ARU sees that ARU's shadow state and nothing of other ARUs.
-    /// A block that was allocated but never written reads as zeroes.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::WrongBlockLength`] if `buf` is not exactly one block;
-    /// [`LldError::BlockNotAllocated`] if the block is not visible.
-    pub fn read(&mut self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
-        if buf.len() != self.layout.block_size {
-            return Err(LldError::WrongBlockLength {
-                got: buf.len(),
-                expected: self.layout.block_size,
-            });
-        }
-        // Validate the context (and classify the stream) first.
-        let timer = self.obs.timer();
-        let stream = self.stream(ctx)?;
-        self.tick();
-        self.stats.reads += 1;
-
-        let source = self.resolve_read(stream, ctx, block)?;
-        let res = match source {
-            DataSource::ShadowBuf(aru) => {
-                let data = &self.arus[&aru.get()].shadow_data[&block];
-                buf.copy_from_slice(data);
-                Ok(())
-            }
-            DataSource::Addr(addr) => self.read_block_data(addr, buf),
-            DataSource::Zeros => {
-                buf.fill(0);
-                Ok(())
-            }
-        };
-        if res.is_ok() {
-            self.obs.read_done(timer);
-        }
-        res
-    }
-
-    fn resolve_read(&self, stream: Stream, ctx: Ctx, block: BlockId) -> Result<DataSource> {
-        match self.visibility {
-            ReadVisibility::OwnShadow => match stream {
-                Stream::Shadow(aru) => self.resolve_shadow_chain(aru, block),
-                Stream::Merged(_) => self.resolve_committed(block),
-            },
-            ReadVisibility::Committed => self.resolve_committed(block),
-            ReadVisibility::AnyShadow => {
-                // Most recent version across every shadow state and the
-                // committed state.
-                let mut best: Option<(Timestamp, DataSource, bool)> = None;
-                for a in self.arus.values() {
-                    if let Some(rec) = a.shadow.blocks.get(&block) {
-                        let src = if a.shadow_data.contains_key(&block) {
-                            DataSource::ShadowBuf(a.id)
-                        } else {
-                            match self.committed_view_block(block).and_then(|r| r.addr) {
-                                Some(addr) => DataSource::Addr(addr),
-                                None => DataSource::Zeros,
-                            }
-                        };
-                        if best.as_ref().is_none_or(|(ts, _, _)| rec.ts > *ts) {
-                            best = Some((rec.ts, src, rec.allocated));
-                        }
-                    }
-                }
-                if let Some(rec) = self.committed_view_block(block) {
-                    if best.as_ref().is_none_or(|(ts, _, _)| rec.ts > *ts) {
-                        let src = match rec.addr {
-                            Some(addr) => DataSource::Addr(addr),
-                            None => DataSource::Zeros,
-                        };
-                        best = Some((rec.ts, src, rec.allocated));
-                    }
-                }
-                let _ = ctx;
-                match best {
-                    Some((_, src, true)) => Ok(src),
-                    _ => Err(LldError::BlockNotAllocated(block)),
-                }
-            }
-        }
-    }
-
-    fn resolve_shadow_chain(&self, aru: AruId, block: BlockId) -> Result<DataSource> {
-        let a = &self.arus[&aru.get()];
-        if let Some(rec) = a.shadow.blocks.get(&block) {
-            if !rec.allocated {
-                return Err(LldError::BlockNotAllocated(block));
-            }
-            if a.shadow_data.contains_key(&block) {
-                return Ok(DataSource::ShadowBuf(aru));
-            }
-            // The ARU touched the block's links but not its data: fall
-            // through to the committed data.
-            return match self.committed_view_block(block).and_then(|r| r.addr) {
-                Some(addr) => Ok(DataSource::Addr(addr)),
-                None => Ok(DataSource::Zeros),
-            };
-        }
-        self.resolve_committed(block)
-    }
-
-    fn resolve_committed(&self, block: BlockId) -> Result<DataSource> {
-        let rec = self
-            .committed_view_block(block)
-            .filter(|r| r.allocated)
-            .ok_or(LldError::BlockNotAllocated(block))?;
-        Ok(match rec.addr {
-            Some(addr) => DataSource::Addr(addr),
-            None => DataSource::Zeros,
-        })
-    }
-
-    /// Returns the blocks of `list` in order, as visible to `ctx` under
-    /// the configured read visibility.
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::ListNotAllocated`] if the list is not visible.
-    pub fn list_blocks(&mut self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
-        let stream = self.stream(ctx)?;
-        let st = match (self.visibility, stream) {
-            (ReadVisibility::OwnShadow, Stream::Shadow(aru)) => StateRef::Shadow(aru),
-            (ReadVisibility::AnyShadow, _) => {
-                // Walk with most-recent-shadow resolution: approximate by
-                // preferring the shadow of whichever ARU most recently
-                // touched the list record.
-                let best = self
-                    .arus
-                    .values()
-                    .filter_map(|a| a.shadow.lists.get(&list).map(|r| (r.ts, a.id)))
-                    .max_by_key(|(ts, _)| *ts);
-                match (best, self.committed_view_list(list)) {
-                    (Some((sts, aru)), Some(c)) if sts > c.ts => StateRef::Shadow(aru),
-                    (Some((_, _)), Some(_)) => StateRef::Committed,
-                    (Some((_, aru)), None) => StateRef::Shadow(aru),
-                    _ => StateRef::Committed,
-                }
-            }
-            _ => StateRef::Committed,
-        };
-        self.walk_list(st, list)
-    }
-
-    /// Makes all committed state persistent: seals and writes the
-    /// current segment and issues a device write barrier.
-    ///
-    /// After `flush` returns, every previously committed ARU and simple
-    /// operation will survive a crash.
-    ///
-    /// # Errors
-    ///
-    /// Device errors; [`LldError::DiskFull`] if no free segment is
-    /// available for the next write.
-    pub fn flush(&mut self) -> Result<()> {
-        let timer = self.obs.timer();
-        self.roll_segment(0)?;
-        self.device.flush()?;
-        self.obs
-            .flush_done(self.ts_counter, self.stats.segments_sealed, timer);
         Ok(())
     }
 }

@@ -12,15 +12,18 @@ use crate::aru::ListOp;
 use crate::checkpoint;
 use crate::config::LldConfig;
 use crate::error::{LldError, Result};
+use crate::gc::GroupCommit;
 use crate::layout::Layout;
-use crate::lld::{Lld, StateRef};
+use crate::lld::{Lld, LogState, MapState, Mutation, StateRef};
 use crate::obs::Obs;
 use crate::segment::{scan_segment, SegmentInfo, SegmentScan};
-use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
+use crate::state::{BlockRecord, ListRecord, Tables};
 use crate::summary::Record;
 use crate::types::{BlockId, PhysAddr, Position, SegmentId, Timestamp};
 use ld_disk::BlockDevice;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use ld_disk::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::AtomicU64;
 
 /// What recovery found and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -122,145 +125,146 @@ impl<D: BlockDevice> Lld<D> {
             ts_counter = ts_counter.max(t);
         }
 
-        let mut ld = Lld {
+        let mut map = MapState::fresh();
+        map.persistent = tables;
+        map.next_block_raw = next_block_raw;
+        map.next_list_raw = next_list_raw;
+        let mut log = LogState::fresh(n);
+        log.free_slots.clear();
+        log.checkpoint_seq = ckpt_seq;
+        log.ckpt_use_b = use_b_next;
+
+        let ld = Lld {
             device,
+            layout,
             concurrency: config.concurrency,
             visibility: config.visibility,
             cleaner_cfg: config.cleaner,
-            persistent: tables,
-            committed: StateOverlay::default(),
-            arus: BTreeMap::new(),
-            builder: None,
-            slot_seq: vec![0; n],
-            free_slots: BTreeSet::new(),
-            live_count: vec![0; n],
-            residents: vec![HashSet::new(); n],
-            next_block_raw,
-            free_blocks: BTreeSet::new(),
-            allocated_blocks: 0,
-            next_list_raw,
-            free_lists: BTreeSet::new(),
-            allocated_lists: 0,
-            next_aru_raw: 1,
-            ts_counter,
-            next_seq: 1,
-            checkpoint_seq: ckpt_seq,
-            ckpt_use_b: use_b_next,
-            cleaning: false,
-            cache: crate::cache::BlockCache::new(config.read_cache_blocks),
+            map: RwLock::new(map),
+            log: Mutex::new(log),
+            cache: Mutex::new(crate::cache::BlockCache::new(config.read_cache_blocks)),
+            gc: GroupCommit::new(),
+            ts_counter: AtomicU64::new(ts_counter),
             stats: Default::default(),
             obs: Obs::new(config.obs),
-            layout,
         };
 
-        // Initialise live-block accounting from the checkpoint tables.
-        let addrs: Vec<(BlockId, PhysAddr)> = ld
-            .persistent
-            .blocks
-            .iter()
-            .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
-            .collect();
-        for (id, a) in addrs {
-            ld.adjust_addr(id, None, Some(a));
-        }
-
-        // Scan every slot for valid sealed segments.
-        let mut chain: Vec<SegmentInfo> = Vec::new();
-        let mut max_seq_seen = ckpt_seq;
-        for slot in 0..ld.layout.n_segments {
-            report.segments_scanned += 1;
-            match scan_segment(&ld.device, &ld.layout, SegmentId::new(slot))? {
-                SegmentScan::Valid(info) => {
-                    ld.slot_seq[slot as usize] = info.seq;
-                    max_seq_seen = max_seq_seen.max(info.seq);
-                    if info.seq > ckpt_seq {
-                        chain.push(info);
-                    }
-                }
-                SegmentScan::Torn => report.torn_tails_detected += 1,
-                SegmentScan::None => {}
+        ld.with_mutation(|m| -> Result<()> {
+            // Initialise live-block accounting from the checkpoint tables.
+            let addrs: Vec<(BlockId, PhysAddr)> = m
+                .map
+                .persistent
+                .blocks
+                .iter()
+                .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
+                .collect();
+            for (id, a) in addrs {
+                m.adjust_addr(id, None, Some(a));
             }
-        }
-        chain.sort_by_key(|i| i.seq);
 
-        // Replay the contiguous chain above the checkpoint.
-        let mut expected = ckpt_seq + 1;
-        let mut replayed_slots: HashSet<u32> = HashSet::new();
-        let mut pending: BTreeMap<u64, Vec<(SegmentId, Record)>> = BTreeMap::new();
-        for info in &chain {
-            if info.seq != expected {
-                if info.seq < expected {
-                    return Err(LldError::Corrupt(format!(
-                        "duplicate segment sequence number {}",
-                        info.seq
-                    )));
-                }
-                report.ignored_after_gap += 1;
-                continue;
-            }
-            expected += 1;
-            report.segments_replayed += 1;
-            replayed_slots.insert(info.slot.get());
-            for rec in &info.records {
-                ts_counter = ts_counter.max(rec.ts().get());
-                match rec.aru_tag() {
-                    Some(aru) => {
-                        pending
-                            .entry(aru.get())
-                            .or_default()
-                            .push((info.slot, rec.clone()));
+            // Scan every slot for valid sealed segments.
+            let mut chain: Vec<SegmentInfo> = Vec::new();
+            let mut max_seq_seen = ckpt_seq;
+            let mut ts_max = 0u64;
+            for slot in 0..m.lld.layout.n_segments {
+                report.segments_scanned += 1;
+                match scan_segment(&m.lld.device, &m.lld.layout, SegmentId::new(slot))? {
+                    SegmentScan::Valid(info) => {
+                        m.log.slot_seq[slot as usize] = info.seq;
+                        max_seq_seen = max_seq_seen.max(info.seq);
+                        if info.seq > ckpt_seq {
+                            chain.push(info);
+                        }
                     }
-                    None => {
-                        if let Record::Commit { aru, ts } = rec {
-                            let actions = pending.remove(&aru.get()).unwrap_or_default();
-                            report.committed_arus += 1;
-                            for (slot, action) in actions {
-                                ld.replay_record(slot, &action, Some(*ts))?;
+                    SegmentScan::Torn => report.torn_tails_detected += 1,
+                    SegmentScan::None => {}
+                }
+            }
+            chain.sort_by_key(|i| i.seq);
+
+            // Replay the contiguous chain above the checkpoint.
+            let mut expected = ckpt_seq + 1;
+            let mut replayed_slots: HashSet<u32> = HashSet::new();
+            let mut pending: BTreeMap<u64, Vec<(SegmentId, Record)>> = BTreeMap::new();
+            for info in &chain {
+                if info.seq != expected {
+                    if info.seq < expected {
+                        return Err(LldError::Corrupt(format!(
+                            "duplicate segment sequence number {}",
+                            info.seq
+                        )));
+                    }
+                    report.ignored_after_gap += 1;
+                    continue;
+                }
+                expected += 1;
+                report.segments_replayed += 1;
+                replayed_slots.insert(info.slot.get());
+                for rec in &info.records {
+                    ts_max = ts_max.max(rec.ts().get());
+                    match rec.aru_tag() {
+                        Some(aru) => {
+                            pending
+                                .entry(aru.get())
+                                .or_default()
+                                .push((info.slot, rec.clone()));
+                        }
+                        None => {
+                            if let Record::Commit { aru, ts } = rec {
+                                let actions = pending.remove(&aru.get()).unwrap_or_default();
+                                report.committed_arus += 1;
+                                for (slot, action) in actions {
+                                    m.replay_record(slot, &action, Some(*ts))?;
+                                    report.records_applied += 1;
+                                }
+                            } else {
+                                m.replay_record(info.slot, rec, None)?;
                                 report.records_applied += 1;
                             }
-                        } else {
-                            ld.replay_record(info.slot, rec, None)?;
-                            report.records_applied += 1;
                         }
                     }
                 }
             }
-        }
-        // Whatever is still pending belongs to ARUs that never
-        // committed: discard (§3.3 — "the disk system undoes their
-        // operations").
-        report.discarded_arus = pending.len() as u64;
-        report.discarded_records = pending.values().map(|v| v.len() as u64).sum();
-        drop(pending);
+            // Whatever is still pending belongs to ARUs that never
+            // committed: discard (§3.3 — "the disk system undoes their
+            // operations").
+            report.discarded_arus = pending.len() as u64;
+            report.discarded_records = pending.values().map(|v| v.len() as u64).sum();
+            drop(pending);
 
-        // Everything replayed is persistent.
-        ld.committed.drain_into(&mut ld.persistent);
-        ld.allocated_blocks = ld.persistent.blocks.len() as u64;
-        ld.allocated_lists = ld.persistent.lists.len() as u64;
-        ld.ts_counter = ld.ts_counter.max(ts_counter);
-        ld.next_seq = max_seq_seen + 1;
+            // Everything replayed is persistent.
+            let map = &mut *m.map;
+            map.committed.drain_into(&mut map.persistent);
+            map.allocated_blocks = map.persistent.blocks.len() as u64;
+            map.allocated_lists = map.persistent.lists.len() as u64;
+            m.lld.raise_clock(ts_max);
+            m.log.next_seq = max_seq_seen + 1;
 
-        // Slot accounting: a slot stays in use if it is part of the
-        // replayed chain (its records are needed until the next
-        // checkpoint) or still holds live blocks; everything else is
-        // free.
-        for slot in 0..ld.layout.n_segments {
-            let used = replayed_slots.contains(&slot) || ld.live_count[slot as usize] > 0;
-            if !used {
-                ld.slot_seq[slot as usize] = 0;
-                ld.free_slots.insert(slot);
+            // Slot accounting: a slot stays in use if it is part of the
+            // replayed chain (its records are needed until the next
+            // checkpoint) or still holds live blocks; everything else is
+            // free.
+            for slot in 0..m.lld.layout.n_segments {
+                let used = replayed_slots.contains(&slot) || m.log.live_count[slot as usize] > 0;
+                if !used {
+                    m.log.slot_seq[slot as usize] = 0;
+                    m.log.free_slots.insert(slot);
+                }
             }
-        }
-        ld.open_segment(0)?;
+            m.open_segment(0)?;
+            Ok(())
+        })?;
 
         if config.check_on_recovery {
             let check = ld.check()?;
             report.orphan_blocks_freed = check.orphan_blocks_freed.len();
         }
-        ld.obs.recovery_done(ld.ts_counter, &report);
+        ld.obs.recovery_done(ld.now(), &report);
         Ok((ld, report))
     }
+}
 
+impl<D: BlockDevice> Mutation<'_, D> {
     /// Applies one summary record to the committed state during
     /// recovery. `commit_ts` overrides the record timestamp for records
     /// applied at their ARU's commit point (EndARU serialization).
@@ -273,17 +277,20 @@ impl<D: BlockDevice> Lld<D> {
         let corrupt = |msg: String| LldError::Corrupt(format!("replaying {seg}: {msg}"));
         match *rec {
             Record::NewBlock { block, ts } => {
-                self.committed.blocks.insert(block, BlockRecord::fresh(ts));
-                self.free_blocks.remove(&block.get());
-                self.allocated_blocks += 1;
-                self.next_block_raw = self.next_block_raw.max(block.get() + 1);
+                self.map
+                    .committed
+                    .blocks
+                    .insert(block, BlockRecord::fresh(ts));
+                self.map.free_blocks.remove(&block.get());
+                self.map.allocated_blocks += 1;
+                self.map.next_block_raw = self.map.next_block_raw.max(block.get() + 1);
                 Ok(())
             }
             Record::NewList { list, ts } => {
-                self.committed.lists.insert(list, ListRecord::fresh(ts));
-                self.free_lists.remove(&list.get());
-                self.allocated_lists += 1;
-                self.next_list_raw = self.next_list_raw.max(list.get() + 1);
+                self.map.committed.lists.insert(list, ListRecord::fresh(ts));
+                self.map.free_lists.remove(&list.get());
+                self.map.allocated_lists += 1;
+                self.map.next_list_raw = self.map.next_list_raw.max(list.get() + 1);
                 Ok(())
             }
             Record::Write {
@@ -292,12 +299,13 @@ impl<D: BlockDevice> Lld<D> {
                 let ts = commit_ts.unwrap_or(ts);
                 let addr = PhysAddr { segment: seg, slot };
                 if self
+                    .map
                     .committed_view_block(block)
                     .is_none_or(|r| !r.allocated)
                 {
                     return Err(corrupt(format!("write to unallocated {block}")));
                 }
-                let old = self.committed_view_block(block).and_then(|r| r.addr);
+                let old = self.map.committed_view_block(block).and_then(|r| r.addr);
                 self.adjust_addr(block, old, Some(addr));
                 let r = self.block_mut(StateRef::Committed, block)?;
                 r.addr = Some(addr);
@@ -332,7 +340,7 @@ impl<D: BlockDevice> Lld<D> {
                 )
                 .map_err(|e| corrupt(e.to_string()))?;
                 for b in fb {
-                    self.free_blocks.insert(b.get());
+                    self.map.free_blocks.insert(b.get());
                 }
                 Ok(())
             }
@@ -349,10 +357,10 @@ impl<D: BlockDevice> Lld<D> {
                 )
                 .map_err(|e| corrupt(e.to_string()))?;
                 for b in fb {
-                    self.free_blocks.insert(b.get());
+                    self.map.free_blocks.insert(b.get());
                 }
                 for l in fl {
-                    self.free_lists.insert(l.get());
+                    self.map.free_lists.insert(l.get());
                 }
                 Ok(())
             }

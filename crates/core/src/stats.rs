@@ -1,7 +1,9 @@
 //! Operation counters for the logical disk.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters of logical-disk activity since creation (or the last
-/// [`reset`](LldStats::reset)).
+/// [`Lld::reset_stats`](crate::Lld::reset_stats)).
 ///
 /// These make the costs the paper discusses directly observable:
 /// `list_walk_steps` counts predecessor-search steps (the cost the
@@ -61,12 +63,181 @@ pub struct LldStats {
     pub cache_hits: u64,
     /// Data-block reads that went to the device.
     pub cache_misses: u64,
+    /// Group-commit batches: leader flushes, each of which seals the
+    /// segment and issues one device barrier for every caller in the
+    /// batch.
+    pub flush_batches: u64,
+    /// Total `flush` callers served by group-commit batches (the sum of
+    /// all batch sizes; equals `flush_batches` when no batching
+    /// occurred).
+    pub flush_batch_callers: u64,
+    /// Largest group-commit batch observed.
+    pub flush_batch_max: u64,
 }
 
 impl LldStats {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         *self = LldStats::default();
+    }
+}
+
+/// One atomically updated counter (relaxed ordering: counters are
+/// diagnostics, not synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub(crate) fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub(crate) fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The live, shareable counterpart of [`LldStats`]: every field an
+/// atomic, updated from any thread without locking, snapshotted into
+/// the plain struct on demand.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    pub(crate) reads: Counter,
+    pub(crate) writes: Counter,
+    pub(crate) new_blocks: Counter,
+    pub(crate) delete_blocks: Counter,
+    pub(crate) new_lists: Counter,
+    pub(crate) delete_lists: Counter,
+    pub(crate) arus_begun: Counter,
+    pub(crate) arus_committed: Counter,
+    pub(crate) arus_aborted: Counter,
+    pub(crate) commit_conflicts: Counter,
+    pub(crate) segments_sealed: Counter,
+    pub(crate) records_emitted: Counter,
+    pub(crate) summary_bytes: Counter,
+    pub(crate) data_blocks_written: Counter,
+    pub(crate) blocks_relocated: Counter,
+    pub(crate) cleaner_runs: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) list_walk_steps: Counter,
+    pub(crate) shadow_cow_records: Counter,
+    pub(crate) shadow_records_merged: Counter,
+    pub(crate) committed_records_drained: Counter,
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) flush_batches: Counter,
+    pub(crate) flush_batch_callers: Counter,
+    pub(crate) flush_batch_max: Counter,
+}
+
+impl StatsCell {
+    pub(crate) fn snapshot(&self) -> LldStats {
+        LldStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            new_blocks: self.new_blocks.get(),
+            delete_blocks: self.delete_blocks.get(),
+            new_lists: self.new_lists.get(),
+            delete_lists: self.delete_lists.get(),
+            arus_begun: self.arus_begun.get(),
+            arus_committed: self.arus_committed.get(),
+            arus_aborted: self.arus_aborted.get(),
+            commit_conflicts: self.commit_conflicts.get(),
+            segments_sealed: self.segments_sealed.get(),
+            records_emitted: self.records_emitted.get(),
+            summary_bytes: self.summary_bytes.get(),
+            data_blocks_written: self.data_blocks_written.get(),
+            blocks_relocated: self.blocks_relocated.get(),
+            cleaner_runs: self.cleaner_runs.get(),
+            checkpoints: self.checkpoints.get(),
+            list_walk_steps: self.list_walk_steps.get(),
+            shadow_cow_records: self.shadow_cow_records.get(),
+            shadow_records_merged: self.shadow_records_merged.get(),
+            committed_records_drained: self.committed_records_drained.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            flush_batches: self.flush_batches.get(),
+            flush_batch_callers: self.flush_batch_callers.get(),
+            flush_batch_max: self.flush_batch_max.get(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        let StatsCell {
+            reads,
+            writes,
+            new_blocks,
+            delete_blocks,
+            new_lists,
+            delete_lists,
+            arus_begun,
+            arus_committed,
+            arus_aborted,
+            commit_conflicts,
+            segments_sealed,
+            records_emitted,
+            summary_bytes,
+            data_blocks_written,
+            blocks_relocated,
+            cleaner_runs,
+            checkpoints,
+            list_walk_steps,
+            shadow_cow_records,
+            shadow_records_merged,
+            committed_records_drained,
+            cache_hits,
+            cache_misses,
+            flush_batches,
+            flush_batch_callers,
+            flush_batch_max,
+        } = self;
+        for c in [
+            reads,
+            writes,
+            new_blocks,
+            delete_blocks,
+            new_lists,
+            delete_lists,
+            arus_begun,
+            arus_committed,
+            arus_aborted,
+            commit_conflicts,
+            segments_sealed,
+            records_emitted,
+            summary_bytes,
+            data_blocks_written,
+            blocks_relocated,
+            cleaner_runs,
+            checkpoints,
+            list_walk_steps,
+            shadow_cow_records,
+            shadow_records_merged,
+            committed_records_drained,
+            cache_hits,
+            cache_misses,
+            flush_batches,
+            flush_batch_callers,
+            flush_batch_max,
+        ] {
+            c.clear();
+        }
     }
 }
 
@@ -82,5 +253,20 @@ mod tests {
         s.list_walk_steps = 7;
         s.reset();
         assert_eq!(s, LldStats::default());
+    }
+
+    #[test]
+    fn cell_snapshot_and_reset() {
+        let c = StatsCell::default();
+        c.reads.inc();
+        c.summary_bytes.add(10);
+        c.flush_batch_max.record_max(3);
+        c.flush_batch_max.record_max(2);
+        let s = c.snapshot();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.summary_bytes, 10);
+        assert_eq!(s.flush_batch_max, 3);
+        c.reset();
+        assert_eq!(c.snapshot(), LldStats::default());
     }
 }

@@ -32,7 +32,7 @@ fn block(byte: u8) -> Vec<u8> {
 
 #[test]
 fn aru_sees_its_own_writes() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -51,7 +51,7 @@ fn aru_sees_its_own_writes() {
 
 #[test]
 fn concurrent_arus_are_isolated_from_each_other() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(0)).unwrap();
@@ -83,7 +83,7 @@ fn concurrent_arus_are_isolated_from_each_other() {
 fn commit_order_decides_even_against_op_order() {
     // a2 wrote later, but a1 commits later: a1 wins (ARUs serialize at
     // EndARU, not at Write).
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let a1 = ld.begin_aru().unwrap();
@@ -102,7 +102,7 @@ fn allocation_is_committed_immediately() {
     // §3.3: allocation happens in the merged stream so concurrent ARUs
     // can never get the same identifier — but the block is on no list
     // from any other stream's point of view.
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let a1 = ld.begin_aru().unwrap();
     let a2 = ld.begin_aru().unwrap();
@@ -134,7 +134,7 @@ fn allocation_is_committed_immediately() {
 
 #[test]
 fn abort_discards_shadow_state_but_not_allocations() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b0, &block(5)).unwrap();
@@ -159,7 +159,7 @@ fn abort_discards_shadow_state_but_not_allocations() {
 
 #[test]
 fn aru_delete_is_shadowed_until_commit() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
@@ -183,7 +183,7 @@ fn aru_delete_is_shadowed_until_commit() {
 
 #[test]
 fn aru_delete_list_including_own_insertions() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -203,7 +203,7 @@ fn aru_delete_list_including_own_insertions() {
 
 #[test]
 fn commit_conflict_when_predecessor_vanishes() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -220,7 +220,7 @@ fn commit_conflict_when_predecessor_vanishes() {
 
 #[test]
 fn commit_conflict_when_written_block_deleted() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -234,7 +234,7 @@ fn commit_conflict_when_written_block_deleted() {
 
 #[test]
 fn unknown_aru_rejected_everywhere() {
-    let mut ld = fresh();
+    let ld = fresh();
     let ghost = {
         let aru = ld.begin_aru().unwrap();
         ld.end_aru(aru).unwrap();
@@ -255,7 +255,7 @@ fn unknown_aru_rejected_everywhere() {
 
 #[test]
 fn empty_aru_commits_cheaply() {
-    let mut ld = fresh();
+    let ld = fresh();
     for _ in 0..100 {
         let aru = ld.begin_aru().unwrap();
         ld.end_aru(aru).unwrap();
@@ -275,7 +275,7 @@ fn sequential_mode_allows_one_aru_at_a_time() {
         concurrency: ConcurrencyMode::Sequential,
         ..config()
     };
-    let mut ld = fresh_with(&cfg);
+    let ld = fresh_with(&cfg);
     let a1 = ld.begin_aru().unwrap();
     assert!(matches!(
         ld.begin_aru(),
@@ -292,7 +292,7 @@ fn sequential_mode_applies_directly_and_cannot_abort() {
         concurrency: ConcurrencyMode::Sequential,
         ..config()
     };
-    let mut ld = fresh_with(&cfg);
+    let ld = fresh_with(&cfg);
     let l = ld.new_list(Ctx::Simple).unwrap();
     let aru = ld.begin_aru().unwrap();
     let b = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
@@ -312,7 +312,7 @@ fn sequential_mode_defers_id_reuse_to_commit() {
         concurrency: ConcurrencyMode::Sequential,
         ..config()
     };
-    let mut ld = fresh_with(&cfg);
+    let ld = fresh_with(&cfg);
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -337,7 +337,7 @@ fn visibility_committed_hides_own_shadow() {
         visibility: ReadVisibility::Committed,
         ..config()
     };
-    let mut ld = fresh_with(&cfg);
+    let ld = fresh_with(&cfg);
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -358,7 +358,7 @@ fn visibility_any_shadow_exposes_most_recent_write() {
         visibility: ReadVisibility::AnyShadow,
         ..config()
     };
-    let mut ld = fresh_with(&cfg);
+    let ld = fresh_with(&cfg);
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -383,7 +383,7 @@ fn visibility_any_shadow_exposes_most_recent_write() {
 fn shadow_link_change_without_data_write_reads_committed_data() {
     // An ARU that only relinks a block (no data write) must still read
     // the block's committed data through its shadow record.
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
@@ -408,7 +408,7 @@ fn shadow_link_change_without_data_write_reads_committed_data() {
 fn many_concurrent_arus_n_plus_2_versions() {
     // Up to n+2 versions of one block: n shadows + committed +
     // persistent.
-    let mut ld = fresh();
+    let ld = fresh();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(0)).unwrap();

@@ -28,7 +28,7 @@ fn small_disk() -> Lld<MemDisk> {
 
 #[test]
 fn overwrite_churn_triggers_cleaning_not_disk_full() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     // Each overwrite consumes a data slot; ~7 slots per segment and ~24
@@ -45,7 +45,7 @@ fn overwrite_churn_triggers_cleaning_not_disk_full() {
 
 #[test]
 fn live_data_survives_relocation() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let l = ld.new_list(Ctx::Simple).unwrap();
     // A handful of long-lived blocks...
     let mut keep = Vec::new();
@@ -80,7 +80,7 @@ fn live_data_survives_relocation() {
 
 #[test]
 fn recovery_after_cleaning_sees_current_state() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let stable = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, stable, &block(0x55)).unwrap();
@@ -94,7 +94,7 @@ fn recovery_after_cleaning_sees_current_state() {
     ld.flush().unwrap();
 
     let image = ld.into_device().into_image();
-    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
     assert!(report.checkpoint_seq > 0, "cleaning left a checkpoint");
     let mut buf = block(0);
     ld2.read(Ctx::Simple, stable, &mut buf).unwrap();
@@ -106,7 +106,7 @@ fn recovery_after_cleaning_sees_current_state() {
 
 #[test]
 fn genuinely_full_disk_reports_disk_full() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let l = ld.new_list(Ctx::Simple).unwrap();
     // Fill with *live* blocks until the device cannot take more.
     let mut prev = None;
@@ -142,7 +142,7 @@ fn genuinely_full_disk_reports_disk_full() {
 
 #[test]
 fn explicit_cleaner_run_is_safe_when_idle() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let free_before = ld.free_segments();
     ld.run_cleaner().unwrap();
     assert!(ld.free_segments() >= free_before.min(ld.n_segments() - 1));
@@ -150,7 +150,7 @@ fn explicit_cleaner_run_is_safe_when_idle() {
 
 #[test]
 fn manual_checkpoint_then_clean_reuses_dead_segments() {
-    let mut ld = small_disk();
+    let ld = small_disk();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     // Burn through several segments of overwrites (all dead but the
@@ -184,7 +184,7 @@ fn crash_during_cleaning_era_recovers_current_state() {
         let cap = 512 + 2 * 64 * 1024 + 24 * 8 * 512;
         let sim = SimDisk::new(MemDisk::new(cap as u64), DiskModel::hp_c3010())
             .with_faults(FaultPlan::new().crash_after_bytes(crash_at));
-        let mut ld = Lld::format(sim, &config()).unwrap();
+        let ld = Lld::format(sim, &config()).unwrap();
 
         // Stable blocks, flushed before the churn.
         let l = ld.new_list(Ctx::Simple).unwrap();
@@ -218,7 +218,7 @@ fn crash_during_cleaning_era_recovers_current_state() {
         }
 
         let image = ld.into_device().into_inner().into_image();
-        let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+        let (ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
         for (i, &b) in stable.iter().enumerate() {
             let mut buf = block(0);
             ld2.read(Ctx::Simple, b, &mut buf)

@@ -22,7 +22,7 @@ fn config() -> LldConfig {
 
 #[test]
 fn committed_and_aborted_aru_event_sequence() {
-    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
 
     // One ARU that commits and is flushed...
     let aru1 = ld.begin_aru().unwrap();
@@ -109,7 +109,7 @@ fn committed_and_aborted_aru_event_sequence() {
 #[test]
 fn snapshot_bundles_disk_and_lld_layers() {
     let sim = SimDisk::new(MemDisk::new(4 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &config()).unwrap();
+    let ld = Lld::format(sim, &config()).unwrap();
 
     let aru = ld.begin_aru().unwrap();
     let list = ld.new_list(Ctx::Aru(aru)).unwrap();
@@ -150,7 +150,7 @@ fn disabled_obs_is_silent_but_counters_survive() {
         obs: ObsConfig::disabled(),
         ..config()
     };
-    let mut ld = Lld::format(MemDisk::new(4 << 20), &cfg).unwrap();
+    let ld = Lld::format(MemDisk::new(4 << 20), &cfg).unwrap();
     let aru = ld.begin_aru().unwrap();
     let list = ld.new_list(Ctx::Aru(aru)).unwrap();
     let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
@@ -171,7 +171,7 @@ fn disabled_obs_is_silent_but_counters_survive() {
 
 #[test]
 fn recovery_report_reaches_snapshot() {
-    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &vec![5u8; BS]).unwrap();
@@ -190,4 +190,106 @@ fn recovery_report_reaches_snapshot() {
             .any(|e| matches!(e.event, TraceEvent::RecoveryScan { .. })),
         "recovery emits a scan event"
     );
+}
+
+#[test]
+fn mt_group_commit_stress_has_well_formed_aru_lifecycles() {
+    // Seeded multi-threaded stress: 4 OS threads share one disk and
+    // commit disjoint ARUs synchronously, so the group-commit stage
+    // batches their barriers. The trace must still contain one
+    // well-formed lifecycle per ARU (begin strictly before commit, no
+    // duplicates), and the group-commit accounting must balance: every
+    // durability caller is covered by exactly one batch.
+    use std::sync::Arc;
+
+    const THREADS: u64 = 4;
+    const ARUS_PER_THREAD: u64 = 20;
+    let cfg = LldConfig {
+        obs: ObsConfig {
+            ring_capacity: 1 << 15,
+            ..ObsConfig::default()
+        },
+        max_blocks: Some(1024),
+        max_lists: Some(256),
+        ..config()
+    };
+    let ld = Arc::new(Lld::format(MemDisk::new(16 << 20), &cfg).unwrap());
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ld = Arc::clone(&ld);
+            s.spawn(move || {
+                for i in 0..ARUS_PER_THREAD {
+                    let seed = (t * 1000 + i) as u8;
+                    let aru = ld.begin_aru().unwrap();
+                    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+                    let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+                    ld.write(Ctx::Aru(aru), b, &vec![seed; BS]).unwrap();
+                    ld.end_aru_sync(aru).unwrap();
+                }
+            });
+        }
+    });
+
+    let total_arus = THREADS * ARUS_PER_THREAD;
+    let events = ld.obs().ring().entries();
+    assert_eq!(ld.obs().ring().dropped(), 0, "ring sized for the run");
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "events out of order: {w:?}");
+    }
+
+    // Per-ARU lifecycle: exactly one begin and one commit, in order.
+    use std::collections::HashMap;
+    let mut begins: HashMap<u64, usize> = HashMap::new();
+    let mut commits: HashMap<u64, usize> = HashMap::new();
+    for (pos, e) in events.iter().enumerate() {
+        match e.event {
+            TraceEvent::AruBegin { aru } => {
+                assert!(begins.insert(aru, pos).is_none(), "duplicate begin {aru}");
+            }
+            TraceEvent::AruCommit { aru, .. } => {
+                assert!(commits.insert(aru, pos).is_none(), "duplicate commit {aru}");
+            }
+            TraceEvent::AruAbort { aru } | TraceEvent::AruConflict { aru } => {
+                panic!("unexpected abort/conflict for ARU {aru}")
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(begins.len() as u64, total_arus);
+    assert_eq!(commits.len() as u64, total_arus);
+    for (aru, b) in &begins {
+        let c = commits
+            .get(aru)
+            .unwrap_or_else(|| panic!("ARU {aru} never committed"));
+        assert!(b < c, "ARU {aru} commit before begin");
+    }
+
+    // Group-commit accounting balances: every synchronous caller was
+    // covered by exactly one batch, and the trace and the histogram
+    // agree with the counters.
+    let stats = ld.stats();
+    assert_eq!(stats.arus_committed, total_arus);
+    assert_eq!(stats.flush_batch_callers, total_arus);
+    let batches: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            TraceEvent::GroupCommit { batch } => Some(batch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(batches.len() as u64, stats.flush_batches);
+    assert!(!batches.is_empty(), "at least one group-commit batch");
+    assert_eq!(batches.iter().sum::<u64>(), total_arus);
+    assert_eq!(
+        batches.iter().copied().max().unwrap(),
+        stats.flush_batch_max
+    );
+
+    let snap = ld.obs_snapshot();
+    let h = snap
+        .histogram("group_commit_batch")
+        .expect("batch-size histogram");
+    assert_eq!(h.count, stats.flush_batches);
+    assert_eq!(h.max, stats.flush_batch_max);
 }

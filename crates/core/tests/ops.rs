@@ -38,7 +38,7 @@ fn format_and_accessors() {
 
 #[test]
 fn write_read_round_trip() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(0xAB)).unwrap();
@@ -49,7 +49,7 @@ fn write_read_round_trip() {
 
 #[test]
 fn unwritten_block_reads_as_zeroes() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let mut buf = block(0xFF);
@@ -61,7 +61,7 @@ fn unwritten_block_reads_as_zeroes() {
 fn read_spans_segment_seal() {
     // Data written into an earlier, sealed segment must still be
     // readable (from the device rather than the open buffer).
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(0x77)).unwrap();
@@ -82,7 +82,7 @@ fn read_spans_segment_seal() {
 
 #[test]
 fn list_order_first_and_after() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let b2 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
@@ -103,7 +103,7 @@ fn list_order_first_and_after() {
 
 #[test]
 fn delete_block_relinks_list() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let b2 = ld
@@ -131,7 +131,7 @@ fn delete_block_relinks_list() {
 
 #[test]
 fn delete_list_reclaims_members() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let mut prev = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     let first = prev;
@@ -151,7 +151,7 @@ fn delete_list_reclaims_members() {
 
 #[test]
 fn freed_identifiers_are_reused() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.delete_block(Ctx::Simple, b).unwrap();
@@ -161,7 +161,7 @@ fn freed_identifiers_are_reused() {
 
 #[test]
 fn wrong_block_length_rejected() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     assert!(matches!(
@@ -177,7 +177,7 @@ fn wrong_block_length_rejected() {
 
 #[test]
 fn predecessor_must_be_on_the_list() {
-    let mut ld = fresh();
+    let ld = fresh();
     let l1 = ld.new_list(Ctx::Simple).unwrap();
     let l2 = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, l1, Position::First).unwrap();
@@ -189,7 +189,7 @@ fn predecessor_must_be_on_the_list() {
 
 #[test]
 fn operations_on_missing_objects_fail() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.delete_list(Ctx::Simple, list).unwrap();
@@ -201,7 +201,7 @@ fn operations_on_missing_objects_fail() {
 
 #[test]
 fn allocation_limit_enforced() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let mut n = 0;
     loop {
@@ -217,7 +217,7 @@ fn allocation_limit_enforced() {
 
 #[test]
 fn overwrite_returns_latest_data() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     for i in 0..10u8 {
@@ -231,7 +231,7 @@ fn overwrite_returns_latest_data() {
 #[test]
 fn flush_writes_partial_segment() {
     let device = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(device, &config()).unwrap();
+    let ld = Lld::format(device, &config()).unwrap();
     let before = ld.device().stats().snapshot().writes;
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
@@ -244,7 +244,7 @@ fn flush_writes_partial_segment() {
 
 #[test]
 fn stats_count_operations() {
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -260,7 +260,7 @@ fn stats_count_operations() {
     assert_eq!(s.delete_blocks, 1);
     assert_eq!(s.delete_lists, 1);
     assert!(s.records_emitted >= 4);
-    let mut ld = ld;
+    let ld = ld;
     ld.reset_stats();
     assert_eq!(ld.stats().reads, 0);
 }
@@ -269,7 +269,7 @@ fn stats_count_operations() {
 fn data_survives_many_overwrites_of_other_blocks() {
     // Regression guard for address accounting: block 1's data must not
     // be disturbed by churn on other blocks across segment boundaries.
-    let mut ld = fresh();
+    let ld = fresh();
     let list = ld.new_list(Ctx::Simple).unwrap();
     let stable = ld.new_block(Ctx::Simple, list, Position::First).unwrap();
     ld.write(Ctx::Simple, stable, &block(0x5A)).unwrap();

@@ -211,7 +211,7 @@ fn crash_atomicity_at_any_point() {
         // pattern. After a crash at an arbitrary byte count, every
         // recovered list must be complete and correct — never partial.
         let sim = SimDisk::new(MemDisk::new(4 << 20), DiskModel::hp_c3010());
-        let mut ld = Lld::format(sim, &config()).unwrap();
+        let ld = Lld::format(sim, &config()).unwrap();
         ld.device()
             .set_faults(FaultPlan::new().crash_after_bytes(crash_after));
 
@@ -246,7 +246,7 @@ fn crash_atomicity_at_any_point() {
         }
 
         let image = ld.into_device().into_inner().into_image();
-        let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+        let (ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
 
         // Fully flushed ARUs must be present and complete.
         for (i, l) in &lists {

@@ -39,7 +39,7 @@ fn empty_disk_recovers_empty() {
 
 #[test]
 fn flushed_state_survives_crash() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let b2 = ld.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
@@ -47,7 +47,7 @@ fn flushed_state_survives_crash() {
     ld.write(Ctx::Simple, b2, &block(0x22)).unwrap();
     ld.flush().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     assert!(report.records_applied >= 5);
     assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b1, b2]);
     let mut buf = block(0);
@@ -61,7 +61,7 @@ fn flushed_state_survives_crash() {
 fn unflushed_committed_state_is_lost() {
     // Committed but never written to disk: recovery is to the most
     // recent *persistent* state.
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -69,7 +69,7 @@ fn unflushed_committed_state_is_lost() {
     // Overwrite after the flush; stays in the open segment buffer.
     ld.write(Ctx::Simple, b, &block(2)).unwrap();
 
-    let (mut ld2, _) = crash_and_recover(ld);
+    let (ld2, _) = crash_and_recover(ld);
     let mut buf = block(0);
     ld2.read(Ctx::Simple, b, &mut buf).unwrap();
     assert_eq!(buf, block(1));
@@ -77,7 +77,7 @@ fn unflushed_committed_state_is_lost() {
 
 #[test]
 fn uncommitted_aru_fully_undone() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b0, &block(1)).unwrap();
@@ -91,7 +91,7 @@ fn uncommitted_aru_fully_undone() {
     // Push everything that CAN reach disk to disk.
     ld.flush().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     // The ARU's effects are gone...
     assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b0]);
     let mut buf = block(0);
@@ -104,7 +104,7 @@ fn uncommitted_aru_fully_undone() {
 
 #[test]
 fn committed_aru_survives_as_a_unit() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let aru = ld.begin_aru().unwrap();
     let b1 = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
@@ -114,7 +114,7 @@ fn committed_aru_survives_as_a_unit() {
     ld.end_aru(aru).unwrap();
     ld.flush().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     assert_eq!(report.committed_arus, 1);
     assert_eq!(report.discarded_arus, 0);
     assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), vec![b1, b2]);
@@ -131,7 +131,7 @@ fn torn_final_segment_is_ignored() {
     // final segment write: recovery must fall back to the previous
     // persistent state.
     let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &config()).unwrap();
+    let ld = Lld::format(sim, &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -148,7 +148,7 @@ fn torn_final_segment_is_ignored() {
     assert!(matches!(err, ld_core::LldError::Disk(_)), "{err}");
 
     let image = ld.into_device().into_inner().into_image();
-    let (mut ld2, _report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let (ld2, _report) = Lld::recover(MemDisk::from_image(image)).unwrap();
     let mut buf = block(0);
     ld2.read(Ctx::Simple, b, &mut buf).unwrap();
     assert_eq!(buf, block(1), "torn write rolled back to persistent state");
@@ -159,7 +159,7 @@ fn aru_straddling_flush_is_atomic() {
     // Flush happens while an ARU is active; the ARU commits afterwards
     // but the commit never reaches disk. NOTHING of the ARU may
     // survive.
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b0, &block(1)).unwrap();
@@ -169,7 +169,7 @@ fn aru_straddling_flush_is_atomic() {
     ld.flush().unwrap(); // shadow data stays in memory
     ld.end_aru(aru).unwrap(); // commit record only in the open segment
 
-    let (mut ld2, _) = crash_and_recover(ld);
+    let (ld2, _) = crash_and_recover(ld);
     let mut buf = block(0);
     ld2.read(Ctx::Simple, b0, &mut buf).unwrap();
     assert_eq!(buf, block(1));
@@ -183,7 +183,7 @@ fn sequential_mode_crash_atomicity() {
         concurrency: ConcurrencyMode::Sequential,
         ..config()
     };
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b0, &block(1)).unwrap();
@@ -196,7 +196,7 @@ fn sequential_mode_crash_atomicity() {
     // Crash before EndARU, with the tagged records flushed.
     ld.flush().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     assert_eq!(report.discarded_arus, 1);
     let mut buf = block(0);
     ld2.read(Ctx::Simple, b0, &mut buf).unwrap();
@@ -206,11 +206,11 @@ fn sequential_mode_crash_atomicity() {
 
 #[test]
 fn recovery_preserves_id_allocation_monotonicity() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b1 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.flush().unwrap();
-    let (mut ld2, _) = crash_and_recover(ld);
+    let (ld2, _) = crash_and_recover(ld);
     let b2 = ld2.new_block(Ctx::Simple, l, Position::After(b1)).unwrap();
     assert_ne!(b1, b2);
     let l2 = ld2.new_list(Ctx::Simple).unwrap();
@@ -220,7 +220,7 @@ fn recovery_preserves_id_allocation_monotonicity() {
 #[test]
 fn double_recovery_is_stable() {
     // Recovering, doing nothing, and recovering again must converge.
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     for i in 0..10u8 {
         let aru = ld.begin_aru().unwrap();
@@ -231,7 +231,7 @@ fn double_recovery_is_stable() {
     ld.flush().unwrap();
     let (ld2, _) = crash_and_recover(ld);
     let count = ld2.allocated_block_count();
-    let (mut ld3, report) = crash_and_recover(ld2);
+    let (ld3, report) = crash_and_recover(ld2);
     assert_eq!(ld3.allocated_block_count(), count);
     assert_eq!(report.orphan_blocks_freed, 0);
     assert_eq!(ld3.list_blocks(Ctx::Simple, l).unwrap().len(), 10);
@@ -239,7 +239,7 @@ fn double_recovery_is_stable() {
 
 #[test]
 fn checkpoint_bounds_replay() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     for i in 0..50u8 {
@@ -251,7 +251,7 @@ fn checkpoint_bounds_replay() {
     ld.write(Ctx::Simple, b, &block(0xEE)).unwrap();
     ld.flush().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     assert_eq!(report.checkpoint_seq, ld2.checkpoint_seq());
     assert!(report.checkpoint_seq > 0);
     assert!(
@@ -266,13 +266,13 @@ fn checkpoint_bounds_replay() {
 
 #[test]
 fn checkpoint_alone_recovers_without_segments() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(0x42)).unwrap();
     ld.checkpoint().unwrap();
 
-    let (mut ld2, report) = crash_and_recover(ld);
+    let (ld2, report) = crash_and_recover(ld);
     assert_eq!(report.segments_replayed, 0);
     let mut buf = block(0);
     ld2.read(Ctx::Simple, b, &mut buf).unwrap();
@@ -282,7 +282,7 @@ fn checkpoint_alone_recovers_without_segments() {
 
 #[test]
 fn recovery_report_counts_discards() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     // Two committed ARUs, one uncommitted.
     for _ in 0..2 {
@@ -315,7 +315,7 @@ fn not_a_logical_disk_is_rejected() {
 
 #[test]
 fn recover_with_overrides_runtime_options() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let _ = l;
     ld.flush().unwrap();
@@ -333,7 +333,7 @@ fn recover_with_overrides_runtime_options() {
 fn state_identical_across_crash_for_mixed_workload() {
     // Drive a mixed workload, flush, snapshot the logical state, crash,
     // recover, and compare the full observable state.
-    let mut ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(4 << 20), &config()).unwrap();
     let mut lists = Vec::new();
     for i in 0..8u8 {
         let aru = ld.begin_aru().unwrap();
@@ -371,7 +371,7 @@ fn state_identical_across_crash_for_mixed_workload() {
         expected.push((l, blocks, datas));
     }
 
-    let (mut ld2, _) = crash_and_recover(ld);
+    let (ld2, _) = crash_and_recover(ld);
     for (l, blocks, datas) in expected {
         assert_eq!(ld2.list_blocks(Ctx::Simple, l).unwrap(), blocks);
         for (b, d) in blocks.iter().zip(datas.iter()) {

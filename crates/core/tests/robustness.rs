@@ -26,7 +26,7 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
     // Write two checkpoints (areas alternate), corrupt the newer one on
     // the raw image, and recover: the older checkpoint plus the log
     // replay must still reconstruct the latest state.
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
@@ -48,7 +48,7 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
     let b_off = layout.ckpt_b as usize;
     image[b_off + 4] ^= 0xFF;
 
-    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
     // Fell back to checkpoint #1.
     assert!(report.checkpoint_seq > 0);
     let mut buf = block(0);
@@ -58,7 +58,7 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
 
 #[test]
 fn both_checkpoints_corrupt_means_full_scan() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(7)).unwrap();
@@ -72,7 +72,7 @@ fn both_checkpoints_corrupt_means_full_scan() {
     image[layout.ckpt_a as usize + 4] ^= 0xFF;
     image[layout.ckpt_b as usize + 4] ^= 0xFF;
 
-    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
     assert_eq!(report.checkpoint_seq, 0, "no checkpoint usable");
     assert!(report.segments_replayed > 0, "full log scan");
     let mut buf = block(0);
@@ -83,7 +83,7 @@ fn both_checkpoints_corrupt_means_full_scan() {
 #[test]
 fn media_failure_on_read_is_reported() {
     let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &config()).unwrap();
+    let ld = Lld::format(sim, &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(9)).unwrap();
@@ -121,7 +121,7 @@ fn visibility_committed_applies_to_list_walks() {
         visibility: ReadVisibility::Committed,
         ..config()
     };
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -139,7 +139,7 @@ fn visibility_any_shadow_list_walk_sees_uncommitted_insert() {
         visibility: ReadVisibility::AnyShadow,
         ..config()
     };
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &cfg).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b0 = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -152,7 +152,7 @@ fn visibility_any_shadow_list_walk_sees_uncommitted_insert() {
 
 #[test]
 fn deleting_twice_within_aru_fails_cleanly() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -169,7 +169,7 @@ fn deleting_twice_within_aru_fails_cleanly() {
 fn interleaved_aru_commit_then_reuse_of_freed_ids() {
     // An id freed by a committed ARU must be reusable, and its reuse
     // must survive recovery in log order.
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     let aru = ld.begin_aru().unwrap();
@@ -185,7 +185,7 @@ fn interleaved_aru_commit_then_reuse_of_freed_ids() {
     ld.flush().unwrap();
 
     let image = ld.into_device().into_image();
-    let (mut ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
+    let (ld2, _) = Lld::recover(MemDisk::from_image(image)).unwrap();
     let mut buf = block(0);
     ld2.read(Ctx::Simple, reused, &mut buf).unwrap();
     assert_eq!(buf, block(0xEE));
@@ -202,7 +202,7 @@ fn read_cache_can_be_disabled() {
         ..config()
     };
     let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &cfg).unwrap();
+    let ld = Lld::format(sim, &cfg).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(5)).unwrap();
@@ -218,7 +218,7 @@ fn read_cache_can_be_disabled() {
 #[test]
 fn cache_hits_avoid_disk_time() {
     let sim = SimDisk::new(MemDisk::new(2 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &config()).unwrap();
+    let ld = Lld::format(sim, &config()).unwrap();
     let l = ld.new_list(Ctx::Simple).unwrap();
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(5)).unwrap();
@@ -246,9 +246,155 @@ fn probe_reports_superblock_without_recovery() {
 
 #[test]
 fn aru_started_accessor() {
-    let mut ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
+    let ld = Lld::format(MemDisk::new(2 << 20), &config()).unwrap();
     let aru = ld.begin_aru().unwrap();
     assert!(ld.aru_started(aru).is_some());
     ld.end_aru(aru).unwrap();
     assert!(ld.aru_started(aru).is_none());
+}
+
+#[test]
+fn mt_power_cut_preserves_per_aru_atomicity() {
+    // Four threads share one Arc<Lld<SimDisk>> and commit disjoint
+    // ARUs (a private list of three patterned blocks each) with
+    // synchronous durability, while fault injection cuts power midway
+    // through the run. After recovery every ARU must be all-or-nothing:
+    // an ARU whose end_aru_sync returned Ok must be fully present, and
+    // any list that survived with members at all must be complete and
+    // correctly patterned.
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const ARUS_PER_THREAD: usize = 12;
+    const BLOCKS_PER_ARU: usize = 3;
+
+    #[derive(Debug)]
+    struct AruRecord {
+        list: ld_core::ListId,
+        blocks: Vec<ld_core::BlockId>,
+        tag: u8,
+        committed: bool, // end_aru reached and returned Ok
+        durable: bool,   // the following flush returned Ok too
+    }
+
+    let sim = SimDisk::new(MemDisk::new(4 << 20), DiskModel::hp_c3010())
+        .with_faults(FaultPlan::new().crash_after_bytes(24 * 1024));
+    let ld = Arc::new(
+        Lld::format(
+            sim,
+            &LldConfig {
+                max_blocks: Some(1024),
+                max_lists: Some(256),
+                ..config()
+            },
+        )
+        .unwrap(),
+    );
+
+    let records: Vec<Vec<AruRecord>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ld = Arc::clone(&ld);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    'arus: for i in 0..ARUS_PER_THREAD {
+                        let tag = (t * 64 + i + 1) as u8;
+                        let Ok(aru) = ld.begin_aru() else { break };
+                        let Ok(list) = ld.new_list(Ctx::Aru(aru)) else {
+                            break;
+                        };
+                        let mut rec = AruRecord {
+                            list,
+                            blocks: Vec::new(),
+                            tag,
+                            committed: false,
+                            durable: false,
+                        };
+                        let mut prev = None;
+                        for k in 0..BLOCKS_PER_ARU {
+                            let pos = match prev {
+                                None => Position::First,
+                                Some(p) => Position::After(p),
+                            };
+                            let Ok(b) = ld.new_block(Ctx::Aru(aru), list, pos) else {
+                                out.push(rec);
+                                break 'arus;
+                            };
+                            rec.blocks.push(b);
+                            prev = Some(b);
+                            if ld
+                                .write(Ctx::Aru(aru), b, &block(tag ^ (k as u8) << 6))
+                                .is_err()
+                            {
+                                out.push(rec);
+                                break 'arus;
+                            }
+                        }
+                        rec.committed = ld.end_aru(aru).is_ok();
+                        rec.durable = rec.committed && ld.flush().is_ok();
+                        let done = !rec.committed || !rec.durable;
+                        out.push(rec);
+                        if done {
+                            break; // the power is out; stop this client
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let ld = Arc::try_unwrap(ld).expect("threads are done");
+    let image = ld.into_device().into_inner().into_image();
+    let (ld2, _report) = Lld::recover(MemDisk::from_image(image)).unwrap();
+
+    let mut durable_arus = 0;
+    let mut buf = block(0);
+    for rec in records.iter().flatten() {
+        // An Err means the list id itself never became persistent.
+        let survived = ld2.list_blocks(Ctx::Simple, rec.list).unwrap_or_default();
+        if rec.durable {
+            // A durability witness: flush() returned Ok, so the commit
+            // record reached the device before the power cut (after a
+            // crash SimDisk fails flushes too).
+            assert_eq!(
+                survived, rec.blocks,
+                "durable ARU (tag {}) must survive completely",
+                rec.tag
+            );
+            durable_arus += 1;
+        }
+        if survived.is_empty() {
+            continue; // discarded wholesale: the "none" outcome
+        }
+        // The "all" outcome: exactly the recorded blocks, all content
+        // intact. A partially surviving ARU would show up here.
+        assert!(
+            rec.committed,
+            "ARU (tag {}) survived without ever committing",
+            rec.tag
+        );
+        assert_eq!(
+            survived, rec.blocks,
+            "ARU (tag {}) survived partially",
+            rec.tag
+        );
+        for (k, &b) in survived.iter().enumerate() {
+            ld2.read(Ctx::Simple, b, &mut buf).unwrap();
+            assert_eq!(
+                buf,
+                block(rec.tag ^ (k as u8) << 6),
+                "block {k} of ARU (tag {}) corrupted",
+                rec.tag
+            );
+        }
+    }
+    assert!(
+        durable_arus >= 1,
+        "the crash point must allow some ARUs to become durable first"
+    );
 }

@@ -48,6 +48,7 @@ mod error;
 mod faults;
 mod file;
 mod hist;
+mod latency;
 mod mem;
 mod model;
 mod rng;
@@ -64,12 +65,13 @@ pub use file::FileDisk;
 pub use hist::{
     bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, HIST_BUCKETS,
 };
+pub use latency::LatencyDisk;
 pub use mem::MemDisk;
 pub use model::DiskModel;
 pub use rng::SmallRng;
 pub use sim::SimDisk;
 pub use stats::{DiskStats, DiskStatsSnapshot};
-pub use sync::Mutex;
+pub use sync::{Condvar, Mutex, RwLock};
 
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, DiskError>;

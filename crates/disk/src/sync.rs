@@ -1,12 +1,15 @@
-//! A minimal mutex on top of [`std::sync::Mutex`].
+//! Minimal lock primitives on top of `std::sync`.
 //!
-//! The workspace builds with no external crates, so this wrapper stands
-//! in for the usual third-party lock types: `lock()` never returns a
+//! The workspace builds with no external crates, so these wrappers stand
+//! in for the usual third-party lock types: acquiring never returns a
 //! guard `Result` (a poisoned lock means a thread panicked while holding
 //! it — we propagate the panic rather than limp on with possibly
 //! inconsistent state).
 
-use std::sync::{Mutex as StdMutex, MutexGuard};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
 
 /// A mutual-exclusion lock whose `lock` cannot fail.
 #[derive(Debug, Default)]
@@ -45,6 +48,96 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A readers-writer lock whose acquire methods cannot fail.
+///
+/// Any number of readers may hold the lock at once; a writer holds it
+/// exclusively. Used by the logical disk's mapping layer so reads
+/// proceed concurrently while mutations serialize.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Acquires shared read access, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous writer panicked (lock poisoning).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned: a writer panicked")
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous writer panicked (lock poisoning).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned: a writer panicked")
+    }
+
+    /// Consumes the lock and returns the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock was poisoned.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("rwlock poisoned: a writer panicked")
+    }
+
+    /// Returns a mutable reference to the inner value (no locking
+    /// needed: `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .expect("rwlock poisoned: a writer panicked")
+    }
+}
+
+/// A condition variable that pairs with [`Mutex`].
+///
+/// Waiting consumes and returns the [`Mutex`] guard, exactly like
+/// `std::sync::Condvar`, but never surfaces poisoning.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while waiting.
+    ///
+    /// Spurious wakeups are possible; callers re-check their predicate
+    /// in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associated mutex was poisoned.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0
+            .wait(guard)
+            .expect("mutex poisoned: a holder panicked")
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +163,49 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = std::sync::Arc::new(RwLock::new(0u64));
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 0);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = l.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        *l.write() += 1;
+                        let _ = *l.read();
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 2000);
+        let mut l = std::sync::Arc::try_unwrap(l).unwrap();
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 2001);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 }

@@ -112,7 +112,7 @@ impl<L: LogicalDisk> MinixFs<L> {
     /// Logical-disk errors, or [`FsError::Corrupt`] if the disk is not
     /// fresh (the superblock convention requires the first allocated
     /// list).
-    pub fn format(mut ld: L, cfg: FsConfig) -> Result<Self> {
+    pub fn format(ld: L, cfg: FsConfig) -> Result<Self> {
         let block_size = ld.block_size();
         let inodes_per_block = (block_size / INODE_SIZE) as u32;
         let inode_count = cfg.inode_count.max(2);
@@ -185,7 +185,7 @@ impl<L: LogicalDisk> MinixFs<L> {
     /// # Errors
     ///
     /// [`FsError::Corrupt`] if no valid superblock is found.
-    pub fn mount(mut ld: L, cfg: FsConfig) -> Result<Self> {
+    pub fn mount(ld: L, cfg: FsConfig) -> Result<Self> {
         let block_size = ld.block_size();
         let meta = ListId::new(META_LIST_RAW);
         let meta_blocks = ld
@@ -235,16 +235,12 @@ impl<L: LogicalDisk> MinixFs<L> {
     // Accessors
     // ------------------------------------------------------------------
 
-    /// The underlying logical disk.
+    /// The underlying logical disk. Every logical-disk operation takes
+    /// `&self`, so this is enough for statistics, explicit flushes or
+    /// checkpoints, and fault injection; do not mutate file-system
+    /// state through it.
     pub fn ld(&self) -> &L {
         &self.ld
-    }
-
-    /// Mutable access to the underlying logical disk (for statistics or
-    /// explicit checkpoints; do not mutate file-system state through
-    /// it).
-    pub fn ld_mut(&mut self) -> &mut L {
-        &mut self.ld
     }
 
     /// Consumes the file system, returning the logical disk. Nothing is

@@ -137,7 +137,7 @@ impl<L: LogicalDisk> MinixFs<L> {
         let mut buf = vec![0u8; self.block_size()];
         let mut out = Vec::new();
         for &b in &blocks {
-            self.ld_mut().read(Ctx::Simple, b, &mut buf)?;
+            self.ld().read(Ctx::Simple, b, &mut buf)?;
             for slot in 0..slots {
                 if let Some((ino, name)) = crate::dir::decode(&buf, slot)? {
                     out.push((name, ino));

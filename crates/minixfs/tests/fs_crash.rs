@@ -105,7 +105,7 @@ fn consistency_at_every_crash_point_with_arus() {
     let mut tested = 0;
     loop {
         let mut fs = sim_fs(fs_config());
-        fs.ld_mut()
+        fs.ld()
             .device()
             .set_faults(FaultPlan::new().crash_after_bytes(crash_at));
         let mut created: Vec<String> = Vec::new();
@@ -193,7 +193,7 @@ fn old_minixlld_can_be_left_inconsistent() {
     // let a few reach the disk and cut power mid-stream.
     let device_written = fs.ld().device().stats().snapshot().bytes_written;
     let _ = device_written;
-    fs.ld_mut()
+    fs.ld()
         .device()
         .set_faults(FaultPlan::new().crash_after_bytes(2 * BS as u64));
     let _ = fs.create("/partial"); // may or may not error, depending on buffering

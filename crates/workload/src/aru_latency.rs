@@ -31,7 +31,7 @@ impl AruLatencyWorkload {
     /// # Errors
     ///
     /// Logical-disk errors.
-    pub fn run<L: LogicalDisk>(&self, ld: &mut L) -> Result<AruLatencyResult> {
+    pub fn run<L: LogicalDisk>(&self, ld: &L) -> Result<AruLatencyResult> {
         for _ in 0..self.count {
             let aru = ld.begin_aru()?;
             ld.end_aru(aru)?;
@@ -49,7 +49,7 @@ mod tests {
 
     #[test]
     fn commit_records_fill_segments() {
-        let mut ld = Lld::format(
+        let ld = Lld::format(
             MemDisk::new(4 << 20),
             &LldConfig {
                 block_size: 512,
@@ -61,7 +61,7 @@ mod tests {
         )
         .unwrap();
         let w = AruLatencyWorkload { count: 1000 };
-        let res = w.run(&mut ld).unwrap();
+        let res = w.run(&ld).unwrap();
         assert_eq!(res.arus, 1000);
         // 1000 commit records × 17 bytes ≈ 17 KB; a segment holds
         // ~3.5 KB of summary here, so several segments were written.

@@ -12,6 +12,12 @@
 //! * [`AruLatencyWorkload`] — start and end an empty ARU 500,000 times
 //!   (the §5.3 latency experiment).
 //!
+//! [`MtWorkload`] goes beyond the paper's single-threaded prototype: N
+//! OS threads share one logical disk (every operation takes `&self`)
+//! and commit disjoint ARUs concurrently, driving the group-commit
+//! stage. [`MixedWorkload`] provides seeded mixed traffic for stress
+//! tests and the cleaner.
+//!
 //! All generators are deterministic: random orders come from a seeded
 //! RNG, so repeated runs (and the old/new comparisons) see identical
 //! operation streams.
@@ -22,11 +28,13 @@
 mod aru_latency;
 mod large_file;
 mod mixed;
+mod mt;
 mod small_file;
 
 pub use aru_latency::{AruLatencyResult, AruLatencyWorkload};
 pub use large_file::{LargeFilePhase, LargeFileWorkload};
 pub use mixed::{MixedOp, MixedWorkload};
+pub use mt::{MtReport, MtWorkload};
 pub use small_file::SmallFileWorkload;
 
 use ld_disk::SmallRng;

@@ -12,7 +12,7 @@ use ld_workload::pattern_fill;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A deliberately tiny disk: ~40 segments of 64 KiB.
-    let mut ld = Lld::format(
+    let ld = Lld::format(
         MemDisk::new(4 << 20),
         &LldConfig {
             block_size: 4096,
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // And the whole thing still recovers.
     ld.flush()?;
     let image = ld.into_device().into_image();
-    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image))?;
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image))?;
     println!(
         "recovery: checkpoint seq {}, {} segments replayed",
         report.checkpoint_seq, report.segments_replayed

@@ -11,7 +11,7 @@ use ld_core::{Ctx, Lld, LldConfig, LldError, Position};
 use ld_disk::MemDisk;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ld = Lld::format(
+    let ld = Lld::format(
         MemDisk::new(8 << 20),
         &LldConfig {
             segment_bytes: 128 * 1024,

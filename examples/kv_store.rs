@@ -27,7 +27,7 @@ struct KvStore<L: LogicalDisk> {
 }
 
 impl<L: LogicalDisk> KvStore<L> {
-    fn format(mut ld: L, n_buckets: usize) -> Result<Self, Box<dyn std::error::Error>> {
+    fn format(ld: L, n_buckets: usize) -> Result<Self, Box<dyn std::error::Error>> {
         let buckets = (0..n_buckets)
             .map(|_| ld.new_list(Ctx::Simple))
             .collect::<Result<Vec<_>, _>>()?;
@@ -38,7 +38,7 @@ impl<L: LogicalDisk> KvStore<L> {
         })
     }
 
-    fn open(mut ld: L, n_buckets: usize) -> Result<Self, Box<dyn std::error::Error>> {
+    fn open(ld: L, n_buckets: usize) -> Result<Self, Box<dyn std::error::Error>> {
         // Buckets are the first n lists handed out by a fresh disk.
         let buckets: Vec<ListId> = (1..=n_buckets as u64).map(ListId::new).collect();
         let mut index = HashMap::new();

@@ -9,7 +9,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A logical disk on an 8 MiB in-memory device, paper defaults
     // otherwise (4 KiB blocks, 0.5 MiB segments are too large for this
     // device, so shrink the segments).
-    let mut ld = Lld::format(
+    let ld = Lld::format(
         MemDisk::new(8 << 20),
         &LldConfig {
             segment_bytes: 128 * 1024,
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Make it durable, crash, and recover.
     ld.flush()?;
     let image = ld.into_device().into_image();
-    let (mut ld2, report) = Lld::recover(MemDisk::from_image(image))?;
+    let (ld2, report) = Lld::recover(MemDisk::from_image(image))?;
     println!(
         "recovered: {} segments replayed, {} records applied, {} ARUs committed",
         report.segments_replayed, report.records_applied, report.committed_arus

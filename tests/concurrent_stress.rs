@@ -1,30 +1,17 @@
-//! Thread-level stress: the logical disk behind a mutex, driven by
-//! several threads running interleaved ARUs (the "multi-threaded file
-//! systems or several independent clients" of §3.2).
+//! Thread-level stress: one logical disk shared by several OS threads
+//! running interleaved ARUs (the "multi-threaded file systems or
+//! several independent clients" of §3.2).
 //!
-//! The logical disk itself is single-threaded by design (like the
-//! paper's prototype); what must hold under interleaving is the ARU
-//! semantics — isolation of shadow states, atomicity of commits, and
+//! The logical disk synchronizes internally — every operation takes
+//! `&self` — so the threads share a plain `Arc<Lld<_>>` with no
+//! external lock. What must hold under interleaving is the ARU
+//! semantics: isolation of shadow states, atomicity of commits, and
 //! unique identifier allocation.
 
-use ld_aru::core::{Ctx, Lld, LldConfig, Position};
+use ld_aru::core::{Ctx, Lld, LldConfig, LogicalDisk, Position};
 use ld_aru::disk::MemDisk;
-use parking_lot_like::Mutex;
 use std::collections::HashSet;
-
-/// Tiny shim so this test doesn't need a direct parking_lot dependency.
-mod parking_lot_like {
-    pub use std::sync::Mutex as StdMutex;
-    pub struct Mutex<T>(StdMutex<T>);
-    impl<T> Mutex<T> {
-        pub fn new(v: T) -> Self {
-            Mutex(StdMutex::new(v))
-        }
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().expect("poisoned")
-        }
-    }
-}
+use std::sync::Arc;
 
 fn ld_config() -> LldConfig {
     LldConfig {
@@ -38,41 +25,34 @@ fn ld_config() -> LldConfig {
 
 #[test]
 fn interleaved_arus_from_threads_commit_atomically() {
-    let ld = Mutex::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
+    let ld = Arc::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
     let n_threads = 4;
     let arus_per_thread = 25;
 
     std::thread::scope(|s| {
         for t in 0..n_threads {
-            let ld = &ld;
+            let ld = Arc::clone(&ld);
             s.spawn(move || {
                 for i in 0..arus_per_thread {
                     // Each ARU creates a private list of 3 patterned
-                    // blocks. Lock per operation, so ARUs from different
-                    // threads genuinely interleave in the stream.
+                    // blocks; ARUs from different threads genuinely
+                    // interleave in the operation stream.
                     let tag = (t * 1000 + i) as u8;
-                    let aru = ld.lock().begin_aru().unwrap();
-                    let list = ld.lock().new_list(Ctx::Aru(aru)).unwrap();
-                    let b1 = ld
-                        .lock()
-                        .new_block(Ctx::Aru(aru), list, Position::First)
-                        .unwrap();
-                    ld.lock().write(Ctx::Aru(aru), b1, &vec![tag; 512]).unwrap();
+                    let aru = ld.begin_aru().unwrap();
+                    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+                    let b1 = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+                    ld.write(Ctx::Aru(aru), b1, &vec![tag; 512]).unwrap();
                     let b2 = ld
-                        .lock()
                         .new_block(Ctx::Aru(aru), list, Position::After(b1))
                         .unwrap();
-                    ld.lock()
-                        .write(Ctx::Aru(aru), b2, &vec![tag ^ 0xFF; 512])
-                        .unwrap();
-                    ld.lock().end_aru(aru).unwrap();
+                    ld.write(Ctx::Aru(aru), b2, &vec![tag ^ 0xFF; 512]).unwrap();
+                    ld.end_aru(aru).unwrap();
                 }
             });
         }
     });
 
-    let mut ld = ld.lock();
-    let stats = *ld.stats();
+    let stats = ld.stats();
     assert_eq!(stats.arus_committed, (n_threads * arus_per_thread) as u64);
     assert_eq!(stats.commit_conflicts, 0);
 
@@ -102,32 +82,26 @@ fn interleaved_arus_from_threads_commit_atomically() {
 
 #[test]
 fn threads_with_aborts_and_commits_leave_clean_state() {
-    let ld = Mutex::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
+    let ld = Arc::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
     std::thread::scope(|s| {
         for t in 0..4 {
-            let ld = &ld;
+            let ld = Arc::clone(&ld);
             s.spawn(move || {
                 for i in 0..20 {
-                    let aru = ld.lock().begin_aru().unwrap();
-                    let list = ld.lock().new_list(Ctx::Aru(aru)).unwrap();
-                    let b = ld
-                        .lock()
-                        .new_block(Ctx::Aru(aru), list, Position::First)
-                        .unwrap();
-                    ld.lock()
-                        .write(Ctx::Aru(aru), b, &vec![t as u8; 512])
-                        .unwrap();
+                    let aru = ld.begin_aru().unwrap();
+                    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+                    let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+                    ld.write(Ctx::Aru(aru), b, &vec![t as u8; 512]).unwrap();
                     if i % 2 == 0 {
-                        ld.lock().end_aru(aru).unwrap();
+                        ld.end_aru(aru).unwrap();
                     } else {
-                        ld.lock().abort_aru(aru).unwrap();
+                        ld.abort_aru(aru).unwrap();
                     }
                 }
             });
         }
     });
 
-    let mut ld = ld.lock();
     assert_eq!(ld.stats().arus_committed, 40);
     assert_eq!(ld.stats().arus_aborted, 40);
     // Aborted ARUs leave orphaned committed allocations; the check
@@ -136,4 +110,42 @@ fn threads_with_aborts_and_commits_leave_clean_state() {
     // not touch — they are reachable by id).
     let report = ld.check().unwrap();
     assert_eq!(report.orphan_blocks_freed.len(), 40);
+}
+
+#[test]
+fn concurrent_durability_callers_share_group_commit_batches() {
+    let ld = Arc::new(Lld::format(MemDisk::new(16 << 20), &ld_config()).unwrap());
+    let n_threads = 8;
+    let arus_per_thread = 10;
+
+    std::thread::scope(|s| {
+        for t in 0..n_threads {
+            let ld = Arc::clone(&ld);
+            s.spawn(move || {
+                for i in 0..arus_per_thread {
+                    let aru = ld.begin_aru().unwrap();
+                    let list = ld.new_list(Ctx::Aru(aru)).unwrap();
+                    let b = ld.new_block(Ctx::Aru(aru), list, Position::First).unwrap();
+                    ld.write(Ctx::Aru(aru), b, &vec![(t * 31 + i) as u8; 512])
+                        .unwrap();
+                    // Synchronous commit: every caller demands
+                    // durability, so the group-commit stage gets real
+                    // contention.
+                    ld.end_aru_sync(aru).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = ld.stats();
+    assert_eq!(stats.arus_committed, (n_threads * arus_per_thread) as u64);
+    // Every caller was covered by some batch, and no caller was counted
+    // twice.
+    assert_eq!(
+        stats.flush_batch_callers,
+        (n_threads * arus_per_thread) as u64
+    );
+    assert!(stats.flush_batches >= 1);
+    assert!(stats.flush_batches <= stats.flush_batch_callers);
+    assert!(stats.flush_batch_max >= 1);
 }

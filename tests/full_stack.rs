@@ -133,8 +133,8 @@ fn all_three_table1_versions_run_the_same_workload() {
 #[test]
 fn aru_latency_workload_recovers() {
     let sim = SimDisk::new(MemDisk::new(16 << 20), DiskModel::hp_c3010());
-    let mut ld = Lld::format(sim, &ld_config()).unwrap();
-    AruLatencyWorkload { count: 5000 }.run(&mut ld).unwrap();
+    let ld = Lld::format(sim, &ld_config()).unwrap();
+    AruLatencyWorkload { count: 5000 }.run(&ld).unwrap();
     assert_eq!(ld.stats().arus_committed, 5000);
     let image = ld.into_device().into_inner().into_image();
     let (_, report) = Lld::recover(MemDisk::from_image(image)).unwrap();
