@@ -15,13 +15,29 @@
 //! moves at memory speed but each write barrier charges a realistic
 //! wall-clock cost, which is the window group commit batches in.
 //!
-//! Usage: `mt_throughput [--quick] [--json] [--threads 1,2,4,8] [--arus N]`
+//! Two workload variants stress the sharded mapping layer directly
+//! (both commit lazily — `sync_every: 0` — so they are lock-bound, not
+//! barrier-bound):
+//!
+//! * `--disjoint`: each thread builds private lists, which spread
+//!   round-robin across the map shards — concurrent ARUs take disjoint
+//!   shard locks and should scale with threads;
+//! * `--hot`: every thread rewrites blocks of one shared list, all of
+//!   which live in a single map shard — the serialization floor that
+//!   sharding cannot remove.
+//!
+//! `--shards N` overrides the map shard count (as does the
+//! `LD_ARU_MAP_SHARDS` environment variable), so `--disjoint --shards 1`
+//! vs `--disjoint --shards 8` isolates what sharding buys.
+//!
+//! Usage: `mt_throughput [--quick] [--json] [--threads 1,2,4,8]
+//! [--arus N] [--disjoint | --hot] [--shards N]`
 
 use ld_bench::{BenchConfig, Version};
 use ld_core::obs::json::{Arr, Obj};
 use ld_core::Lld;
 use ld_disk::{LatencyDisk, MemDisk};
-use ld_workload::MtWorkload;
+use ld_workload::{MtMode, MtWorkload};
 use std::time::{Duration, Instant};
 
 /// Wall-clock cost charged per write barrier. A [`SimDisk`] barrier
@@ -43,6 +59,9 @@ struct Run {
     flush_batches: u64,
     flush_batch_callers: u64,
     flush_batch_max: u64,
+    scoped_mutations: u64,
+    full_mutations: u64,
+    cross_shard_commits: u64,
 }
 
 fn main() {
@@ -53,6 +72,12 @@ fn main() {
 
     let mut thread_counts: Vec<usize> = vec![1, 2, 4, 8];
     let mut total_arus: usize = if quick { 400 } else { 4000 };
+    // Default: the original sync-commit workload (group-commit study).
+    // --disjoint / --hot switch to the lazy-commit shard studies.
+    let mut mode = MtMode::Disjoint;
+    let mut sync_every = 1;
+    let mut label = "private lists, end_aru_sync";
+    let mut shards_override: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,20 +95,42 @@ fn main() {
                     total_arus = v;
                 }
             }
+            "--disjoint" => {
+                mode = MtMode::Disjoint;
+                sync_every = 0;
+                label = "disjoint lists, lazy commit";
+            }
+            "--hot" => {
+                mode = MtMode::HotShard;
+                sync_every = 0;
+                label = "one hot shard, lazy commit";
+            }
+            "--shards" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    shards_override = Some(v);
+                }
+            }
             _ => {}
         }
     }
+
+    let mut ld_cfg = cfg.ld_config(Version::New);
+    if let Some(n) = shards_override {
+        ld_cfg.map_shards = n;
+    }
+    let map_shards = ld_cfg.map_shards;
 
     let mut runs: Vec<Run> = Vec::new();
     let mut last_obs = None;
     for &threads in &thread_counts {
         let device = LatencyDisk::new(MemDisk::new(cfg.capacity), BARRIER_COST);
-        let ld = Lld::format(device, &cfg.ld_config(Version::New)).expect("format");
+        let ld = Lld::format(device, &ld_cfg).expect("format");
         let wl = MtWorkload {
             threads,
             arus_per_thread: total_arus.max(threads) / threads,
             blocks_per_aru: 2,
-            sync_every: 1,
+            sync_every,
+            mode,
             seed: 42,
         };
         let start = Instant::now();
@@ -100,6 +147,9 @@ fn main() {
             flush_batches: stats.flush_batches,
             flush_batch_callers: stats.flush_batch_callers,
             flush_batch_max: stats.flush_batch_max,
+            scoped_mutations: stats.scoped_mutations,
+            full_mutations: stats.full_mutations,
+            cross_shard_commits: stats.cross_shard_commits,
         });
         last_obs = Some(ld.obs_snapshot());
     }
@@ -118,11 +168,16 @@ fn main() {
                     .u64("flush_batches", r.flush_batches)
                     .u64("flush_batch_callers", r.flush_batch_callers)
                     .u64("flush_batch_max", r.flush_batch_max)
+                    .u64("scoped_mutations", r.scoped_mutations)
+                    .u64("full_mutations", r.full_mutations)
+                    .u64("cross_shard_commits", r.cross_shard_commits)
                     .finish(),
             );
         }
         let mut out = Obj::new();
         out.u64("total_arus", total_arus as u64)
+            .str("workload", label)
+            .u64("map_shards", map_shards as u64)
             .raw("runs", &arr.finish());
         if let Some(snap) = &last_obs {
             out.raw("obs", &snap.to_json());
@@ -131,18 +186,25 @@ fn main() {
         return;
     }
 
-    println!("Multi-threaded throughput: {total_arus} ARUs (2 blocks each, end_aru_sync)");
-    println!("  threads |      ops |  wall (s) |      ops/s | batches | callers | max batch");
+    println!(
+        "Multi-threaded throughput: {total_arus} ARUs, 2 blocks each ({label}), {map_shards} map shard(s)"
+    );
+    println!(
+        "  threads |      ops |  wall (s) |      ops/s | batches | callers | max batch |  scoped |    full | x-shard"
+    );
     for r in &runs {
         println!(
-            "  {:>7} | {:>8} | {:>9.3} | {:>10.0} | {:>7} | {:>7} | {:>9}",
+            "  {:>7} | {:>8} | {:>9.3} | {:>10.0} | {:>7} | {:>7} | {:>9} | {:>7} | {:>7} | {:>7}",
             r.threads,
             r.ops,
             r.wall_secs,
             r.ops_per_sec,
             r.flush_batches,
             r.flush_batch_callers,
-            r.flush_batch_max
+            r.flush_batch_max,
+            r.scoped_mutations,
+            r.full_mutations,
+            r.cross_shard_commits
         );
     }
     if let Some(r) = runs.iter().find(|r| r.threads >= 4) {

@@ -417,6 +417,7 @@ fn threaded_snapshot(threads: usize) -> Result<ld_core::ObsSnapshot> {
         arus_per_thread: 50,
         blocks_per_aru: 2,
         sync_every: 1,
+        mode: ld_workload::MtMode::Disjoint,
         seed: 1,
     };
     wl.run(&ld)?;

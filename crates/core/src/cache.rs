@@ -8,13 +8,17 @@
 //! [`BlockCache::invalidate_segment`] handles that single case.
 
 use crate::types::{PhysAddr, SegmentId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 #[derive(Debug)]
 pub(crate) struct BlockCache {
     capacity: usize,
     map: HashMap<PhysAddr, (u64, Vec<u8>)>,
     order: BTreeMap<u64, PhysAddr>,
+    /// Reverse index: the cached addresses living in each segment, so
+    /// invalidating a reused segment costs O(entries in that segment),
+    /// not a scan of the whole cache.
+    by_segment: HashMap<SegmentId, HashSet<PhysAddr>>,
     tick: u64,
 }
 
@@ -24,7 +28,19 @@ impl BlockCache {
             capacity,
             map: HashMap::new(),
             order: BTreeMap::new(),
+            by_segment: HashMap::new(),
             tick: 0,
+        }
+    }
+
+    /// Removes `addr` from the reverse index, dropping the segment's
+    /// set when it empties (so the index never outgrows the cache).
+    fn unindex(&mut self, addr: PhysAddr) {
+        if let Some(set) = self.by_segment.get_mut(&addr.segment) {
+            set.remove(&addr);
+            if set.is_empty() {
+                self.by_segment.remove(&addr.segment);
+            }
         }
     }
 
@@ -65,21 +81,24 @@ impl BlockCache {
             if let Some((&oldest, &victim)) = self.order.iter().next() {
                 self.order.remove(&oldest);
                 self.map.remove(&victim);
+                self.unindex(victim);
             }
         }
         self.map.insert(addr, (self.tick, data.to_vec()));
         self.order.insert(self.tick, addr);
+        self.by_segment
+            .entry(addr.segment)
+            .or_default()
+            .insert(addr);
     }
 
     /// Drops every entry whose address lies in `segment` (called when a
-    /// cleaned segment slot is reused).
+    /// cleaned segment slot is reused). O(entries in that segment) via
+    /// the reverse index.
     pub(crate) fn invalidate_segment(&mut self, segment: SegmentId) {
-        let stale: Vec<PhysAddr> = self
-            .map
-            .keys()
-            .filter(|a| a.segment == segment)
-            .copied()
-            .collect();
+        let Some(stale) = self.by_segment.remove(&segment) else {
+            return;
+        };
         for addr in stale {
             if let Some((stamp, _)) = self.map.remove(&addr) {
                 self.order.remove(&stamp);
@@ -152,6 +171,36 @@ mod tests {
         assert!(!c.get(addr(3, 1), &mut buf));
         assert!(c.get(addr(4, 0), &mut buf));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_insert_evict_invalidate_keeps_index_consistent() {
+        let mut c = BlockCache::new(2);
+        let mut buf = [0u8; 1];
+        // Fill, then evict the LRU entry (seg 3 slot 0) by inserting a
+        // third address: the reverse index must forget the victim.
+        c.insert(addr(3, 0), &[1]);
+        c.insert(addr(3, 1), &[2]);
+        c.insert(addr(4, 0), &[3]);
+        assert_eq!(c.len(), 2);
+        // Invalidating seg 3 must drop exactly the surviving seg-3
+        // entry, not resurrect or double-free the evicted one.
+        c.invalidate_segment(SegmentId::new(3));
+        assert_eq!(c.len(), 1);
+        assert!(!c.get(addr(3, 0), &mut buf));
+        assert!(!c.get(addr(3, 1), &mut buf));
+        assert!(c.get(addr(4, 0), &mut buf));
+        // Reuse the invalidated segment: new entries index cleanly and
+        // a second invalidation sees only them.
+        c.insert(addr(3, 0), &[7]);
+        c.insert(addr(3, 1), &[8]); // evicts seg 4 slot 0
+        assert!(!c.get(addr(4, 0), &mut buf));
+        c.invalidate_segment(SegmentId::new(4)); // nothing left there
+        assert_eq!(c.len(), 2);
+        c.invalidate_segment(SegmentId::new(3));
+        assert_eq!(c.len(), 0);
+        assert!(c.order.is_empty());
+        assert!(c.by_segment.is_empty());
     }
 
     #[test]

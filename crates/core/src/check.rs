@@ -35,23 +35,26 @@ impl<D: BlockDevice> Lld<D> {
     /// them would corrupt its commit.
     pub fn check(&self) -> Result<CheckReport> {
         let orphans = {
-            let map = self.map.read();
-            if !map.arus.is_empty() {
-                return Err(LldError::ArusActive {
-                    count: map.arus.len(),
-                });
+            let all = self.maps.all_set();
+            let view = self.read_view(all, all);
+            let active = view.held_aru_count();
+            if active > 0 {
+                return Err(LldError::ArusActive { count: active });
             }
-            let ids: HashSet<BlockId> = map
-                .persistent
-                .blocks
-                .keys()
-                .chain(map.committed.blocks.keys())
-                .copied()
+            let ids: HashSet<BlockId> = view
+                .shards_held()
+                .flat_map(|s| {
+                    s.persistent
+                        .blocks
+                        .keys()
+                        .chain(s.committed.blocks.keys())
+                        .copied()
+                })
                 .collect();
             let mut orphans: Vec<BlockId> = ids
                 .into_iter()
                 .filter(|&id| {
-                    map.committed_view_block(id)
+                    view.committed_view_block(id)
                         .map(|r| r.allocated && r.list.is_none())
                         .unwrap_or(false)
                 })

@@ -76,26 +76,50 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// See [`Lld::checkpoint`]; also called by the cleaner when its
     /// candidate segments are not yet covered.
     pub(crate) fn checkpoint_inner(&mut self) -> Result<()> {
-        if self.seal_current()? && !self.log.free_slots.is_empty() {
+        debug_assert!(self.map.holds_all_shards_write());
+        if self.seal_current()? && !self.log().free_slots.is_empty() {
             self.open_segment(0)?;
         }
-        let covered = self
-            .log
-            .builder
-            .as_ref()
-            .map(|b| b.seq() - 1)
-            .unwrap_or(self.log.next_seq - 1);
+        // A log-only seal (the flush leader) may have left committed
+        // records undrained; every record in the overlay now belongs to
+        // a sealed-or-current segment the checkpoint covers, so drain
+        // them all before snapshotting the persistent tables.
+        self.map.drain_committed();
+        let covered = {
+            let log = self.log();
+            log.builder
+                .as_ref()
+                .map(|b| b.seq() - 1)
+                .unwrap_or(log.next_seq - 1)
+        };
 
-        // Encode payload: every block record, then every list record.
-        let nb = self.map.persistent.blocks.len() as u64;
-        let nl = self.map.persistent.lists.len() as u64;
+        // Encode payload: every block record, then every list record,
+        // gathered across all shards in identifier order.
+        let nb = self
+            .map
+            .shards_held()
+            .map(|s| s.persistent.blocks.len() as u64)
+            .sum::<u64>();
+        let nl = self
+            .map
+            .shards_held()
+            .map(|s| s.persistent.lists.len() as u64)
+            .sum::<u64>();
         debug_assert!(nb <= self.lld.layout.max_blocks && nl <= self.lld.layout.max_lists);
         let mut payload =
             Vec::with_capacity((nb * CKPT_BLOCK_ENTRY + nl * CKPT_LIST_ENTRY) as usize);
-        let mut block_ids: Vec<BlockId> = self.map.persistent.blocks.keys().copied().collect();
+        let mut block_ids: Vec<BlockId> = self
+            .map
+            .shards_held()
+            .flat_map(|s| s.persistent.blocks.keys().copied())
+            .collect();
         block_ids.sort_unstable();
         for id in block_ids {
-            let r = &self.map.persistent.blocks[&id];
+            let r = &self
+                .map
+                .shard(self.map.shard_of(id.get()))
+                .persistent
+                .blocks[&id];
             payload.extend_from_slice(&id.get().to_le_bytes());
             match r.addr {
                 Some(a) => {
@@ -111,10 +135,14 @@ impl<D: BlockDevice> Mutation<'_, D> {
             payload.extend_from_slice(&ListId::encode_opt(r.list).to_le_bytes());
             payload.extend_from_slice(&r.ts.get().to_le_bytes());
         }
-        let mut list_ids: Vec<ListId> = self.map.persistent.lists.keys().copied().collect();
+        let mut list_ids: Vec<ListId> = self
+            .map
+            .shards_held()
+            .flat_map(|s| s.persistent.lists.keys().copied())
+            .collect();
         list_ids.sort_unstable();
         for id in list_ids {
-            let r = &self.map.persistent.lists[&id];
+            let r = &self.map.shard(self.map.shard_of(id.get())).persistent.lists[&id];
             payload.extend_from_slice(&id.get().to_le_bytes());
             payload.extend_from_slice(&BlockId::encode_opt(r.first).to_le_bytes());
             payload.extend_from_slice(&BlockId::encode_opt(r.last).to_le_bytes());
@@ -125,16 +153,31 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 "checkpoint exceeds its reserved area".into(),
             ));
         }
+        // The stored allocator floors are global: the max over shards.
+        // Recovery re-stripes them per shard with `striped_ceil` (the
+        // shard count is a runtime knob, not persisted).
+        let block_floor = self
+            .map
+            .shards_held()
+            .map(|s| s.next_block_raw)
+            .max()
+            .unwrap_or(1);
+        let list_floor = self
+            .map
+            .shards_held()
+            .map(|s| s.next_list_raw)
+            .max()
+            .unwrap_or(1);
         let header = encode_header(
             covered,
             self.lld.now(),
-            self.map.next_block_raw,
-            self.map.next_list_raw,
+            block_floor,
+            list_floor,
             nb,
             nl,
             crc32(&payload),
         );
-        let area = if self.log.ckpt_use_b {
+        let area = if self.log().ckpt_use_b {
             self.lld.layout.ckpt_b
         } else {
             self.lld.layout.ckpt_a
@@ -142,8 +185,9 @@ impl<D: BlockDevice> Mutation<'_, D> {
         self.lld.device.write_at(area, &header)?;
         self.lld.device.write_at(area + CKPT_HEADER, &payload)?;
         self.lld.device.flush()?;
-        self.log.ckpt_use_b = !self.log.ckpt_use_b;
-        self.log.checkpoint_seq = covered;
+        let use_b = !self.log().ckpt_use_b;
+        self.log().ckpt_use_b = use_b;
+        self.log().checkpoint_seq = covered;
         self.lld.stats.checkpoints.inc();
         self.lld.obs.event(
             self.lld.now(),

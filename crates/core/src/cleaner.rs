@@ -12,6 +12,12 @@
 //! records are covered by a checkpoint — otherwise a later recovery scan
 //! would miss operations that used to live there. The cleaner writes a
 //! checkpoint automatically when its candidates are not yet covered.
+//!
+//! The cleaner relocates blocks of arbitrary identifiers, so it only
+//! ever runs inside a *full* mutation session (all shards write-locked).
+//! Scoped sessions that notice space pressure set a flag instead; the
+//! owning operation runs the cleaner right after releasing its locks
+//! (see [`Lld::after_scoped`]).
 
 use crate::error::Result;
 use crate::lld::{Lld, Mutation};
@@ -37,15 +43,17 @@ impl<D: BlockDevice> Lld<D> {
 impl<D: BlockDevice> Mutation<'_, D> {
     /// Cleaner entry point, also called from
     /// [`roll_segment`](Mutation::roll_segment) when free slots are
-    /// scarce. The `cleaning` flag guards against re-entry through the
-    /// segment rolls cleaning itself performs.
+    /// scarce. Requires a full session. The `cleaning` flag guards
+    /// against re-entry through the segment rolls cleaning itself
+    /// performs.
     pub(crate) fn run_cleaner_inner(&mut self) -> Result<()> {
-        if self.log.cleaning {
+        debug_assert!(self.map.holds_all_shards_write());
+        if self.log().cleaning {
             return Ok(());
         }
-        self.log.cleaning = true;
+        self.log().cleaning = true;
         let result = self.clean_until_target();
-        self.log.cleaning = false;
+        self.log().cleaning = false;
         result
     }
 
@@ -55,23 +63,26 @@ impl<D: BlockDevice> Mutation<'_, D> {
         // Fast pass: checkpoint-covered segments with zero live blocks
         // are free for the taking (no relocation, no extra I/O), so
         // reclaim them all regardless of the target.
-        let current = self.log.builder.as_ref().map(|b| b.slot().get());
+        let current = self.log().builder.as_ref().map(|b| b.slot().get());
         for slot in 0..self.lld.layout.n_segments {
-            if Some(slot) == current || self.log.free_slots.contains(&slot) {
+            if Some(slot) == current || self.log().free_slots.contains(&slot) {
                 continue;
             }
-            let seq = self.log.slot_seq[slot as usize];
-            if seq != 0 && seq <= self.log.checkpoint_seq && self.log.live_count[slot as usize] == 0
+            let seq = self.log().slot_seq[slot as usize];
+            if seq != 0
+                && seq <= self.log().checkpoint_seq
+                && self.log().live_count[slot as usize] == 0
             {
-                self.log.slot_seq[slot as usize] = 0;
-                self.log.free_slots.insert(slot);
+                self.log().slot_seq[slot as usize] = 0;
+                self.log().free_slots.insert(slot);
             }
         }
+        self.sync_free_hint();
         let target = self.lld.cleaner_cfg.target_free_segments.max(1) as usize;
         // Bounded by the number of segments: each iteration frees one
         // victim or stops.
         for _ in 0..self.lld.layout.n_segments {
-            if self.log.free_slots.len() >= target {
+            if self.log().free_slots.len() >= target {
                 break;
             }
             let Some(victim) = self.pick_victim()? else {
@@ -79,10 +90,11 @@ impl<D: BlockDevice> Mutation<'_, D> {
             };
             self.clean_segment(victim)?;
         }
+        let free_segments = self.log().free_slots.len() as u32;
         self.lld.obs.event(
             self.lld.now(),
             crate::obs::TraceEvent::CleanerPass {
-                free_segments: self.log.free_slots.len() as u32,
+                free_segments,
                 blocks_relocated: self.lld.stats.blocks_relocated.get() - relocated_before,
             },
         );
@@ -93,24 +105,24 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// checkpoint first if no candidate is covered by one.
     fn pick_victim(&mut self) -> Result<Option<SegmentId>> {
         for attempt in 0..2 {
-            let current = self.log.builder.as_ref().map(|b| b.slot().get());
+            let current = self.log().builder.as_ref().map(|b| b.slot().get());
             let mut best: Option<(u32, u32)> = None; // (live, slot)
             let mut uncovered = false;
             for slot in 0..self.lld.layout.n_segments {
-                if Some(slot) == current || self.log.free_slots.contains(&slot) {
+                if Some(slot) == current || self.log().free_slots.contains(&slot) {
                     continue;
                 }
-                let seq = self.log.slot_seq[slot as usize];
+                let seq = self.log().slot_seq[slot as usize];
                 if seq == 0 {
                     // Holds no sealed segment and is not free: cannot
                     // happen in a consistent state, but skip defensively.
                     continue;
                 }
-                if seq > self.log.checkpoint_seq {
+                if seq > self.log().checkpoint_seq {
                     uncovered = true;
                     continue;
                 }
-                let live = self.log.live_count[slot as usize];
+                let live = self.log().live_count[slot as usize];
                 if best.is_none_or(|(l, _)| live < l) {
                     best = Some((live, slot));
                 }
@@ -133,7 +145,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// records, and frees the slot.
     fn clean_segment(&mut self, victim: SegmentId) -> Result<()> {
         let residents: Vec<BlockId> = {
-            let mut v: Vec<BlockId> = self.log.residents[victim.get() as usize]
+            let mut v: Vec<BlockId> = self.log().residents[victim.get() as usize]
                 .iter()
                 .copied()
                 .collect();
@@ -158,15 +170,16 @@ impl<D: BlockDevice> Mutation<'_, D> {
             self.place_block_data(id, &buf, rec.ts, None, 0)?;
             self.lld.stats.blocks_relocated.inc();
         }
-        debug_assert!(self.log.residents[victim.get() as usize].is_empty());
+        debug_assert!(self.log().residents[victim.get() as usize].is_empty());
         // Make the relocation records durable before the victim's old
         // records become unreachable, then release the victim *before*
         // opening the next segment — the freed slot may be the only one
         // left.
         self.seal_current()?;
-        self.log.slot_seq[victim.get() as usize] = 0;
-        self.log.free_slots.insert(victim.get());
-        if self.log.builder.is_none() {
+        self.log().slot_seq[victim.get() as usize] = 0;
+        self.log().free_slots.insert(victim.get());
+        self.sync_free_hint();
+        if self.log().builder.is_none() {
             self.open_segment(0)?;
         }
         Ok(())

@@ -14,14 +14,25 @@
 //! scratch shadow state first and reports
 //! [`LldError::CommitConflict`] — aborting the ARU — without touching
 //! the committed state.
+//!
+//! A commit locks only the shards its ARU touched: `EndARU` first
+//! inspects the ARU under its slot lock, computes the shard set of every
+//! buffered write and logged insertion, and — when the log is
+//! insert-only and free segments are plentiful — commits in a *scoped*
+//! session over exactly those shards. ARUs on disjoint shards therefore
+//! commit fully in parallel. Logs containing deletions (whose unlink
+//! walks may reach any shard) and commits under space pressure (which
+//! may need the inline cleaner) fall back to a full session.
 
 use crate::aru::{Aru, ListOp};
 use crate::config::ConcurrencyMode;
 use crate::error::{LldError, Result};
 use crate::lld::{Lld, Mutation, StateRef};
+use crate::shard::SCRATCH_ARU_RAW;
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, Position, Timestamp};
 use ld_disk::BlockDevice;
+use std::sync::atomic::Ordering;
 
 impl<D: BlockDevice> Lld<D> {
     /// Commits an atomic recovery unit: all its operations become part
@@ -49,28 +60,21 @@ impl<D: BlockDevice> Lld<D> {
     pub fn end_aru(&self, id: AruId) -> Result<()> {
         let timer = self.obs.timer();
         let raw = id.get();
-        let res = self.with_mutation(|m| {
-            if !m.map.arus.contains_key(&raw) {
-                return Err(LldError::UnknownAru(id));
-            }
-            match m.lld.concurrency {
-                ConcurrencyMode::Sequential => {
-                    // "Old" LLD: operations already applied to the
-                    // committed state (tagged); only the commit record is
-                    // needed.
-                    let aru = m.map.arus.remove(&raw).expect("checked above");
-                    let ts = m.tick();
-                    m.emit(Record::Commit { aru: id, ts })?;
-                    m.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
-                    m.lld.stats.arus_committed.inc();
-                    Ok(ts.get())
-                }
-                ConcurrencyMode::Concurrent => {
-                    m.commit_concurrent(id)?;
-                    Ok(m.lld.now())
-                }
-            }
-        });
+        let res = match self.concurrency {
+            ConcurrencyMode::Sequential => self.with_mutation(|m| {
+                // "Old" LLD: operations already applied to the committed
+                // state (tagged); only the commit record is needed.
+                let Some(aru) = m.map.aru_remove(raw) else {
+                    return Err(LldError::UnknownAru(id));
+                };
+                let ts = m.tick();
+                m.emit(Record::Commit { aru: id, ts })?;
+                m.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
+                m.lld.stats.arus_committed.inc();
+                Ok(ts.get())
+            }),
+            ConcurrencyMode::Concurrent => self.end_aru_concurrent(id),
+        };
         match &res {
             Ok(ts) => self.obs.aru_commit(raw, *ts, timer),
             Err(LldError::CommitConflict { .. }) => self.obs.aru_conflict(raw, self.now()),
@@ -79,11 +83,90 @@ impl<D: BlockDevice> Lld<D> {
         res.map(|_| ())
     }
 
+    fn end_aru_concurrent(&self, id: AruId) -> Result<u64> {
+        let raw = id.get();
+        // Plan the session under the ARU's slot lock alone: which shards
+        // does the commit touch, and is it insert-only?
+        let plan = {
+            let slots = self.maps.lock_arus(self.maps.bit_of(raw));
+            let Some(aru) = slots[0].1.get(&raw) else {
+                return Err(LldError::UnknownAru(id));
+            };
+            self.scoped_commit_shards(aru)
+                .filter(|_| self.commit_headroom_ok(aru.shadow_data.len() as u64))
+        };
+        let res = match plan {
+            Some(shards) => {
+                let r = self.with_mutation_at(self.maps.bit_of(raw), shards, |m| {
+                    // The slot lock was dropped between planning and the
+                    // session: the ARU may have been ended elsewhere.
+                    if !m.map.aru_contains(raw) {
+                        return Err(LldError::UnknownAru(id));
+                    }
+                    m.commit_concurrent(id)
+                });
+                self.after_scoped();
+                r
+            }
+            None => {
+                self.stats.commit_full_fallbacks.inc();
+                self.with_mutation(|m| {
+                    if !m.map.aru_contains(raw) {
+                        return Err(LldError::UnknownAru(id));
+                    }
+                    m.commit_concurrent(id)
+                })
+            }
+        };
+        res.map(|()| self.now())
+    }
+
+    /// The shard set a scoped commit of `aru` needs, or `None` if the
+    /// log contains deletions (whose unlink walks can reach any shard)
+    /// and must run in a full session.
+    fn scoped_commit_shards(&self, aru: &Aru) -> Option<u64> {
+        let mut set = 0u64;
+        for op in &aru.link_log {
+            match *op {
+                ListOp::Insert { list, block, pred } => {
+                    set |= self.maps.bit_of(list.get()) | self.maps.bit_of(block.get());
+                    if let Some(p) = pred {
+                        set |= self.maps.bit_of(p.get());
+                    }
+                }
+                ListOp::DeleteBlock { .. } | ListOp::DeleteList { .. } => return None,
+            }
+        }
+        for b in aru.shadow_data.keys() {
+            set |= self.maps.bit_of(b.get());
+        }
+        for b in aru.shadow.blocks.keys() {
+            set |= self.maps.bit_of(b.get());
+        }
+        for l in aru.shadow.lists.keys() {
+            set |= self.maps.bit_of(l.get());
+        }
+        Some(set)
+    }
+
+    /// Whether a scoped commit that will stream `buffered` data blocks
+    /// has enough free segments to proceed without the inline cleaner
+    /// (which only a full session may run).
+    fn commit_headroom_ok(&self, buffered: u64) -> bool {
+        if !self.cleaner_cfg.enabled {
+            return true;
+        }
+        let slots = u64::from(self.layout.slots_per_segment()).max(1);
+        let needed = buffered / slots + 1;
+        self.free_slots_hint.load(Ordering::Relaxed)
+            > u64::from(self.cleaner_cfg.min_free_segments) + needed
+    }
+
     /// Aborts an atomic recovery unit, discarding its shadow state.
     ///
     /// This is an extension beyond the paper (whose ARUs are only undone
     /// implicitly, by failure); it falls out of the shadow-state design
-    /// for free.
+    /// for free. Touches nothing but the ARU's own slot.
     ///
     /// # Errors
     ///
@@ -92,14 +175,14 @@ impl<D: BlockDevice> Lld<D> {
     /// operations apply directly to the committed state and cannot be
     /// rolled back at run time.
     pub fn abort_aru(&self, id: AruId) -> Result<()> {
-        let mut map = self.map.write();
-        if !map.arus.contains_key(&id.get()) {
+        let mut slots = self.maps.lock_arus(self.maps.bit_of(id.get()));
+        if !slots[0].1.contains_key(&id.get()) {
             return Err(LldError::UnknownAru(id));
         }
         if self.concurrency == ConcurrencyMode::Sequential {
             return Err(LldError::AbortUnsupported);
         }
-        map.arus.remove(&id.get());
+        slots[0].1.remove(&id.get());
         self.stats.arus_aborted.inc();
         self.obs.aru_abort(id.get(), self.now());
         Ok(())
@@ -109,10 +192,10 @@ impl<D: BlockDevice> Lld<D> {
 impl<D: BlockDevice> Mutation<'_, D> {
     pub(crate) fn release_ids(&mut self, blocks: Vec<BlockId>, lists: Vec<ListId>) {
         for b in blocks {
-            self.map.free_blocks.insert(b.get());
+            self.map.block_shard_mut(b).free_blocks.insert(b.get());
         }
         for l in lists {
-            self.map.free_lists.insert(l.get());
+            self.map.list_shard_mut(l).free_lists.insert(l.get());
         }
     }
 
@@ -124,9 +207,18 @@ impl<D: BlockDevice> Mutation<'_, D> {
         //     committed state;
         // (b) the list-operation log must re-apply cleanly, checked
         //     against a scratch shadow state so the committed state is
-        //     untouched on failure.
+        //     untouched on failure. The scratch ARU lives outside the
+        //     slot table (sentinel id), so validation needs no extra
+        //     locks.
         let mut conflict: Option<String> = None;
-        let data_blocks: Vec<BlockId> = self.map.arus[&raw].shadow_data.keys().copied().collect();
+        let data_blocks: Vec<BlockId> = self
+            .map
+            .aru(raw)
+            .expect("caller checked")
+            .shadow_data
+            .keys()
+            .copied()
+            .collect();
         for b in &data_blocks {
             if self
                 .map
@@ -140,17 +232,14 @@ impl<D: BlockDevice> Mutation<'_, D> {
             }
         }
         if conflict.is_none() {
-            let ops = self.map.arus[&raw].link_log.clone();
-            let temp = AruId::new(self.map.next_aru_raw);
-            self.map.next_aru_raw += 1;
-            self.map
-                .arus
-                .insert(temp.get(), Aru::new(temp, Timestamp::ZERO));
+            let ops = self.map.aru(raw).expect("caller checked").link_log.clone();
+            let scratch = AruId::new(SCRATCH_ARU_RAW);
+            self.map.scratch = Some(Aru::new(scratch, Timestamp::ZERO));
             let mut fb = Vec::new();
             let mut fl = Vec::new();
             for op in &ops {
                 if let Err(e) = self.apply_list_op(
-                    StateRef::Shadow(temp),
+                    StateRef::Shadow(scratch),
                     op,
                     Timestamp::ZERO,
                     &mut fb,
@@ -160,18 +249,44 @@ impl<D: BlockDevice> Mutation<'_, D> {
                     break;
                 }
             }
-            self.map.arus.remove(&temp.get());
+            self.map.scratch = None;
         }
         if let Some(detail) = conflict {
-            self.map.arus.remove(&raw);
+            self.map.aru_remove(raw);
             self.lld.stats.commit_conflicts.inc();
             self.lld.stats.arus_aborted.inc();
             return Err(LldError::CommitConflict { aru: id, detail });
         }
 
         // ---- Real pass --------------------------------------------------------
-        let aru = self.map.arus.remove(&raw).expect("validated above");
+        let aru = self.map.aru_remove(raw).expect("validated above");
         let commit_ts = self.tick();
+
+        // Shard-spread observability: how many mapping shards did this
+        // unit's effects touch?
+        let mut touched = 0u64;
+        for b in aru.shadow_data.keys() {
+            touched |= self.lld.maps.bit_of(b.get());
+        }
+        for op in &aru.link_log {
+            match *op {
+                ListOp::Insert { list, block, pred } => {
+                    touched |= self.lld.maps.bit_of(list.get()) | self.lld.maps.bit_of(block.get());
+                    if let Some(p) = pred {
+                        touched |= self.lld.maps.bit_of(p.get());
+                    }
+                }
+                ListOp::DeleteBlock { block } => touched |= self.lld.maps.bit_of(block.get()),
+                ListOp::DeleteList { list } => touched |= self.lld.maps.bit_of(list.get()),
+            }
+        }
+        let spread = u64::from(touched.count_ones());
+        if spread > 1 {
+            self.lld.stats.cross_shard_commits.inc();
+        } else {
+            self.lld.stats.single_shard_commits.inc();
+        }
+        self.lld.obs.shard_spread(spread);
 
         // 1. Buffered block data enters the segment stream, tagged.
         for (b, data) in &aru.shadow_data {
@@ -223,6 +338,8 @@ impl<D: BlockDevice> Mutation<'_, D> {
 
         // Identifiers deallocated by the ARU become reusable only now,
         // after the commit record precedes any reallocation in the log.
+        // (Scoped commits are insert-only and free nothing, so the
+        // per-shard inserts below never reach an un-held shard.)
         self.release_ids(freed_blocks, freed_lists);
         self.release_ids(aru.pending_free_blocks, aru.pending_free_lists);
         self.lld.stats.arus_committed.inc();

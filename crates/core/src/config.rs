@@ -113,6 +113,17 @@ pub struct LldConfig {
     /// Capacity of the data-block read cache, in blocks (0 disables).
     /// Plays the role of the Minix buffer cache in the paper's stack.
     pub read_cache_blocks: usize,
+    /// Number of hash-partitioned mapping-layer shards (power of two,
+    /// 1..=64; default 8). Block and list identifiers hash to a shard by
+    /// `id & (map_shards - 1)`, and each shard carries its own
+    /// readers-writer lock, so operations on identifiers in different
+    /// shards never contend. A runtime knob, not persisted on disk: the
+    /// same device may be recovered with any shard count.
+    ///
+    /// The default honours the `LD_ARU_MAP_SHARDS` environment variable
+    /// when it holds a valid count (CI uses it to force the degenerate
+    /// single-shard configuration).
+    pub map_shards: usize,
     /// Observability: event tracing, latency histograms, and ARU spans
     /// (default on; see [`ObsConfig::disabled`]).
     pub obs: ObsConfig,
@@ -130,9 +141,21 @@ impl Default for LldConfig {
             max_lists: None,
             check_on_recovery: true,
             read_cache_blocks: 1024,
+            map_shards: default_map_shards(),
             obs: ObsConfig::default(),
         }
     }
+}
+
+/// Maximum supported shard count (shard sets are u64 bitmasks).
+pub(crate) const MAX_MAP_SHARDS: usize = 64;
+
+fn default_map_shards() -> usize {
+    std::env::var("LD_ARU_MAP_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n.is_power_of_two() && n <= MAX_MAP_SHARDS)
+        .unwrap_or(8)
 }
 
 impl LldConfig {
@@ -169,6 +192,12 @@ impl LldConfig {
             return Err(LldError::Config(
                 "cleaner.target_free_segments must be >= min_free_segments".into(),
             ));
+        }
+        if !self.map_shards.is_power_of_two() || self.map_shards > MAX_MAP_SHARDS {
+            return Err(LldError::Config(format!(
+                "map_shards {} must be a power of two in 1..={MAX_MAP_SHARDS}",
+                self.map_shards
+            )));
         }
         Ok(())
     }
@@ -239,5 +268,23 @@ mod tests {
         c.cleaner.min_free_segments = 0;
         c.cleaner.target_free_segments = 0;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_shard_counts() {
+        for bad in [0usize, 3, 6, 128] {
+            let c = LldConfig {
+                map_shards: bad,
+                ..LldConfig::default()
+            };
+            assert!(c.validate().is_err(), "map_shards {bad} should be rejected");
+        }
+        for good in [1usize, 2, 8, 64] {
+            let c = LldConfig {
+                map_shards: good,
+                ..LldConfig::default()
+            };
+            assert!(c.validate().is_ok());
+        }
     }
 }

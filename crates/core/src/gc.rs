@@ -89,13 +89,16 @@ impl<D: BlockDevice> Lld<D> {
         let batch = covering - st.done;
         drop(st);
 
-        // Seal under the state locks, then barrier without them so
-        // readers (and new mutations) proceed during the device wait —
+        // Seal under the log lock alone (a log-only scoped session: the
+        // seal touches no mapping shard, so readers and shard-scoped
+        // writers proceed during the seal), then barrier without any
+        // lock so the whole stack proceeds during the device wait —
         // correct because the batch's writes were issued before this
         // point and the barrier orders against issued writes.
         let res = self
-            .with_mutation(|m| m.roll_segment(0))
+            .with_mutation_at(0, 0, |m| m.roll_segment(0))
             .and_then(|()| self.device.flush().map_err(LldError::from));
+        self.after_scoped();
 
         self.stats.flush_batches.inc();
         self.stats.flush_batch_callers.add(batch);

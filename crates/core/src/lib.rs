@@ -76,6 +76,7 @@ pub mod obs;
 mod ops;
 mod recovery;
 mod segment;
+mod shard;
 mod state;
 mod stats;
 mod summary;
@@ -91,6 +92,7 @@ pub use obs::{
     AruSpan, Obs, ObsConfig, ObsSnapshot, SpanOutcome, TraceEntry, TraceEvent, TraceRing,
 };
 pub use recovery::RecoveryReport;
+pub use shard::ShardLockStats;
 pub use state::{BlockRecord, ListRecord};
 pub use stats::LldStats;
 pub use summary::Record;

@@ -1,12 +1,18 @@
-//! The logical disk proper: the layered state (mapping layer behind a
-//! readers-writer lock, log pipeline behind an append mutex), struct
-//! definition, formatting, segment plumbing, and the version-state
-//! access helpers shared by all operations.
+//! The logical disk proper: the layered state (sharded mapping layer,
+//! log pipeline behind an append mutex), struct definition, formatting,
+//! segment plumbing, and the version-state access helpers shared by all
+//! operations.
+//!
+//! The mapping layer is hash-partitioned into shards (see
+//! [`crate::shard`]): operations lock only the ARU slots and map shards
+//! they touch, so disjoint-ARU writers proceed in parallel, while
+//! multi-shard operations (cross-shard commits, the cleaner, the
+//! checkpointer) acquire their locks in ascending index order through
+//! the same [`Mutation`] session type.
 //!
 //! See `docs/CONCURRENCY.md` for the lock hierarchy and the invariants
 //! each lock protects.
 
-use crate::aru::Aru;
 use crate::cache::BlockCache;
 use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 use crate::error::{LldError, Result};
@@ -14,177 +20,23 @@ use crate::gc::GroupCommit;
 use crate::layout::{Layout, SUPERBLOCK_LEN};
 use crate::obs::{Obs, ObsSnapshot, TraceEvent};
 use crate::segment::SegmentBuilder;
-use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
+use crate::shard::{MapView, Maps, WalkOutcome, SCRATCH_ARU_RAW};
+use crate::state::{BlockRecord, ListRecord};
 use crate::stats::{LldStats, StatsCell};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, PhysAddr, Position, SegmentId, Timestamp};
 use ld_disk::BlockDevice;
-use ld_disk::{Mutex, RwLock};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use ld_disk::Mutex;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::MutexGuard;
+
+pub(crate) use crate::shard::{ShardLockStats, StateRef};
 
 /// Encoded length of a `Write` summary record (needed to reserve room
 /// for a data block and its record together, so they land in the same
 /// segment).
 pub(crate) const WRITE_REC_LEN: usize = 1 + 8 + 4 + 8 + 8;
-
-/// Which version state an internal operation targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum StateRef {
-    /// The merged stream's committed state.
-    Committed,
-    /// The shadow state of one ARU (resolution falls through to the
-    /// committed state, which falls through to the persistent state —
-    /// the paper's standardised search).
-    Shadow(AruId),
-}
-
-/// The mapping layer: block-number-map, list-table, committed overlay,
-/// and per-ARU shadow states, plus the identifier allocators they feed.
-///
-/// Shared behind a [`RwLock`] so `Read` / `ListBlocks` hold only shared
-/// access while mutations hold it exclusively.
-#[derive(Debug)]
-pub(crate) struct MapState {
-    /// Persistent state: block-number-map and list-table.
-    pub(crate) persistent: Tables,
-    /// Committed-but-not-yet-persistent alternative records.
-    pub(crate) committed: StateOverlay,
-    /// Active ARUs, keyed by raw id.
-    pub(crate) arus: BTreeMap<u64, Aru>,
-
-    pub(crate) next_block_raw: u64,
-    pub(crate) free_blocks: BTreeSet<u64>,
-    pub(crate) allocated_blocks: u64,
-    pub(crate) next_list_raw: u64,
-    pub(crate) free_lists: BTreeSet<u64>,
-    pub(crate) allocated_lists: u64,
-    pub(crate) next_aru_raw: u64,
-}
-
-impl MapState {
-    pub(crate) fn fresh() -> Self {
-        MapState {
-            persistent: Tables::default(),
-            committed: StateOverlay::default(),
-            arus: BTreeMap::new(),
-            next_block_raw: 1,
-            free_blocks: BTreeSet::new(),
-            allocated_blocks: 0,
-            next_list_raw: 1,
-            free_lists: BTreeSet::new(),
-            allocated_lists: 0,
-            next_aru_raw: 1,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Version-state access (the standardised search) — pure queries, so
-    // the concurrent read path can run them under shared access.
-    // ------------------------------------------------------------------
-
-    /// The committed view of a block: committed overlay, falling through
-    /// to the persistent table. May return a deallocated record.
-    pub(crate) fn committed_view_block(&self, id: BlockId) -> Option<&BlockRecord> {
-        self.committed
-            .blocks
-            .get(&id)
-            .or_else(|| self.persistent.blocks.get(&id))
-    }
-
-    pub(crate) fn committed_view_list(&self, id: ListId) -> Option<&ListRecord> {
-        self.committed
-            .lists
-            .get(&id)
-            .or_else(|| self.persistent.lists.get(&id))
-    }
-
-    /// Resolves a block record in the given state (shadow → committed →
-    /// persistent). May return a deallocated record.
-    pub(crate) fn view_block(&self, st: StateRef, id: BlockId) -> Option<&BlockRecord> {
-        if let StateRef::Shadow(aru) = st {
-            if let Some(rec) = self
-                .arus
-                .get(&aru.get())
-                .and_then(|a| a.shadow.blocks.get(&id))
-            {
-                return Some(rec);
-            }
-        }
-        self.committed_view_block(id)
-    }
-
-    pub(crate) fn view_list(&self, st: StateRef, id: ListId) -> Option<&ListRecord> {
-        if let StateRef::Shadow(aru) = st {
-            if let Some(rec) = self
-                .arus
-                .get(&aru.get())
-                .and_then(|a| a.shadow.lists.get(&id))
-            {
-                return Some(rec);
-            }
-        }
-        self.committed_view_list(id)
-    }
-
-    /// Walks `list` in state `st`, returning the member blocks in order
-    /// plus the number of steps taken (the caller charges them to the
-    /// `list_walk_steps` counter).
-    ///
-    /// # Errors
-    ///
-    /// [`LldError::ListNotAllocated`] if the list does not exist in the
-    /// state; [`LldError::Corrupt`] on a cycle or dangling successor.
-    pub(crate) fn walk_list(
-        &self,
-        st: StateRef,
-        list: ListId,
-        max_blocks: u64,
-    ) -> Result<(Vec<BlockId>, u64)> {
-        let rec = self
-            .view_list(st, list)
-            .filter(|r| r.allocated)
-            .ok_or(LldError::ListNotAllocated(list))?;
-        let mut out = Vec::new();
-        let mut cur = rec.first;
-        let bound = max_blocks + 1;
-        let mut steps = 0u64;
-        while let Some(b) = cur {
-            steps += 1;
-            if steps > bound {
-                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
-            }
-            let brec = self
-                .view_block(st, b)
-                .filter(|r| r.allocated)
-                .ok_or_else(|| {
-                    LldError::Corrupt(format!("list {list} references missing block {b}"))
-                })?;
-            out.push(b);
-            cur = brec.successor;
-        }
-        Ok((out, steps))
-    }
-
-    /// Validates that an insertion of a block into `list` at `pos` is
-    /// possible in state `st` (list allocated; predecessor allocated and
-    /// on the list).
-    pub(crate) fn validate_insert(&self, st: StateRef, list: ListId, pos: Position) -> Result<()> {
-        self.view_list(st, list)
-            .filter(|r| r.allocated)
-            .ok_or(LldError::ListNotAllocated(list))?;
-        if let Position::After(pred) = pos {
-            let p = self
-                .view_block(st, pred)
-                .filter(|r| r.allocated)
-                .ok_or(LldError::BlockNotAllocated(pred))?;
-            if p.list != Some(list) {
-                return Err(LldError::PredecessorNotOnList { list, pred });
-            }
-        }
-        Ok(())
-    }
-}
 
 /// The log pipeline: the open segment builder and the slot / sequence /
 /// free-slot / live-block accounting behind it, plus the cleaner and
@@ -237,14 +89,15 @@ impl LogState {
 /// persistent atomically: after a crash, recovery
 /// ([`Lld::recover`]) restores either all or none of them.
 ///
-/// Every operation takes `&self`: the disk locks internally (a
-/// readers-writer lock over the mapping layer, a mutex over the log
-/// pipeline, and a group-commit stage batching concurrent flushes), so
-/// one `Lld` can be shared between OS threads directly — e.g. as an
-/// `Arc<Lld<D>>`, or by reference from scoped threads — with reads
-/// proceeding concurrently. Concurrency of *ARUs* is independent of
-/// threads: each thread (or interleaved logical stream) brackets its own
-/// operations with its own ARU.
+/// Every operation takes `&self`: the disk locks internally (a sharded
+/// readers-writer mapping layer, a mutex over the log pipeline, and a
+/// group-commit stage batching concurrent flushes), so one `Lld` can be
+/// shared between OS threads directly — e.g. as an `Arc<Lld<D>>`, or by
+/// reference from scoped threads — with reads proceeding concurrently
+/// and writers in disjoint ARUs touching disjoint shard locks.
+/// Concurrency of *ARUs* is independent of threads: each thread (or
+/// interleaved logical stream) brackets its own operations with its own
+/// ARU.
 ///
 /// # Example
 ///
@@ -280,9 +133,9 @@ pub struct Lld<D> {
     pub(crate) visibility: ReadVisibility,
     pub(crate) cleaner_cfg: CleanerConfig,
 
-    /// The mapping layer (see [`MapState`]). Lock order: `map` before
-    /// `log`; never acquire `map` while holding `log`.
-    pub(crate) map: RwLock<MapState>,
+    /// The sharded mapping layer (see [`crate::shard`]). Lock order:
+    /// ARU slots ascending, then map shards ascending, then `log`.
+    pub(crate) maps: Maps,
     /// The log pipeline (see [`LogState`]).
     pub(crate) log: Mutex<LogState>,
     /// Data-block read cache (leaf lock, held only across one probe or
@@ -293,21 +146,34 @@ pub struct Lld<D> {
 
     /// The logical operation clock.
     pub(crate) ts_counter: AtomicU64,
+    /// Lock-free mirror of `log.free_slots.len()`: scoped sessions
+    /// cannot run the cleaner (it touches every shard), so operations
+    /// consult this hint and route through a full session when free
+    /// segments are scarce enough that a mid-operation clean may be
+    /// needed.
+    pub(crate) free_slots_hint: AtomicU64,
+    /// Set by a scoped session whose segment roll found free segments
+    /// scarce; drained by [`after_scoped`](Lld::after_scoped).
+    pub(crate) needs_clean: AtomicBool,
     pub(crate) stats: StatsCell,
     pub(crate) obs: Obs,
 }
 
-/// An exclusive mutation session: both state layers locked, in order.
+/// An exclusive mutation session: a set of ARU slots and map shards
+/// locked exclusively (in the canonical ascending order), plus the log
+/// mutex, acquired lazily on first use.
 ///
 /// Every operation that changes the mapping or the log runs inside one
-/// of these (via [`Lld::with_mutation`]); the helpers below are the
-/// single-threaded core of the disk, unchanged in spirit from the
-/// paper's prototype — the session simply makes the exclusivity
+/// of these — a *full* session ([`Lld::with_mutation`]) holding every
+/// slot and shard, or a *scoped* one ([`Lld::with_mutation_at`])
+/// holding only the shards its identifiers hash to. The helpers below
+/// are the single-threaded core of the disk, unchanged in spirit from
+/// the paper's prototype — the session simply makes the exclusivity
 /// explicit.
 pub(crate) struct Mutation<'a, D> {
     pub(crate) lld: &'a Lld<D>,
-    pub(crate) map: &'a mut MapState,
-    pub(crate) log: &'a mut LogState,
+    pub(crate) map: MapView<'a>,
+    pub(crate) log_guard: Option<MutexGuard<'a, LogState>>,
 }
 
 impl<D: BlockDevice> Lld<D> {
@@ -344,11 +210,13 @@ impl<D: BlockDevice> Lld<D> {
             concurrency: config.concurrency,
             visibility: config.visibility,
             cleaner_cfg: config.cleaner,
-            map: RwLock::new(MapState::fresh()),
+            maps: Maps::fresh(config.map_shards),
             log: Mutex::new(LogState::fresh(n)),
             cache: Mutex::new(BlockCache::new(config.read_cache_blocks)),
             gc: GroupCommit::new(),
             ts_counter: AtomicU64::new(0),
+            free_slots_hint: AtomicU64::new(n as u64),
+            needs_clean: AtomicBool::new(false),
             stats: StatsCell::default(),
             obs: Obs::new(config.obs),
         };
@@ -356,17 +224,70 @@ impl<D: BlockDevice> Lld<D> {
         Ok(ld)
     }
 
-    /// Runs `f` with both state layers locked exclusively, in the
-    /// canonical order (map, then log).
+    /// Runs `f` in a *full* mutation session: every ARU slot and every
+    /// map shard locked exclusively, in the canonical order.
     pub(crate) fn with_mutation<T>(&self, f: impl FnOnce(&mut Mutation<'_, D>) -> T) -> T {
-        let mut map = self.map.write();
-        let mut log = self.log.lock();
+        self.stats.full_mutations.inc();
+        let all = self.maps.all_set();
+        let arus = self.maps.lock_arus(all);
+        let shards = self.maps.lock_write(all);
         let mut m = Mutation {
             lld: self,
-            map: &mut map,
-            log: &mut log,
+            map: MapView::new(self.maps.nshards(), arus, shards),
+            log_guard: None,
         };
         f(&mut m)
+    }
+
+    /// Runs `f` in a *scoped* mutation session holding only the ARU
+    /// slots in `aru_set` and the map shards in `shard_set` (bitmasks;
+    /// both acquired ascending, slots before shards). The caller is
+    /// responsible for covering every identifier the operation touches
+    /// and for calling [`after_scoped`](Lld::after_scoped) once the
+    /// session's locks are released.
+    pub(crate) fn with_mutation_at<T>(
+        &self,
+        aru_set: u64,
+        shard_set: u64,
+        f: impl FnOnce(&mut Mutation<'_, D>) -> T,
+    ) -> T {
+        self.stats.scoped_mutations.inc();
+        let arus = self.maps.lock_arus(aru_set);
+        let shards = self.maps.lock_write(shard_set);
+        let mut m = Mutation {
+            lld: self,
+            map: MapView::new(self.maps.nshards(), arus, shards),
+            log_guard: None,
+        };
+        f(&mut m)
+    }
+
+    /// Acquires a read-only view of the ARU slots in `aru_set` and the
+    /// map shards in `shard_set` (shared access; same canonical order).
+    pub(crate) fn read_view(&self, aru_set: u64, shard_set: u64) -> MapView<'_> {
+        let arus = self.maps.lock_arus(aru_set);
+        let shards = self.maps.lock_read(shard_set);
+        MapView::new(self.maps.nshards(), arus, shards)
+    }
+
+    /// Whether a scoped session may run right now: when free segments
+    /// are scarce the operation routes through a full session instead,
+    /// so the inline cleaner can rescue it mid-operation.
+    pub(crate) fn scoped_ok(&self) -> bool {
+        !self.cleaner_cfg.enabled
+            || self.free_slots_hint.load(Ordering::Relaxed)
+                > u64::from(self.cleaner_cfg.min_free_segments)
+    }
+
+    /// Post-scoped-session housekeeping: runs the cleaner under a full
+    /// session when a scoped segment roll found free segments scarce.
+    /// Must be called with no mapping-layer locks held.
+    pub(crate) fn after_scoped(&self) {
+        if self.needs_clean.swap(false, Ordering::Relaxed) {
+            // An error here resurfaces on the next operation that needs
+            // space.
+            let _ = self.run_cleaner();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -403,6 +324,17 @@ impl<D: BlockDevice> Lld<D> {
         self.visibility
     }
 
+    /// Number of hash partitions of the mapping layer.
+    pub fn map_shards(&self) -> usize {
+        self.maps.nshards() as usize
+    }
+
+    /// Per-shard lock-acquisition counters (shared and exclusive
+    /// acquisitions of each shard's readers-writer lock).
+    pub fn shard_stats(&self) -> Vec<ShardLockStats> {
+        self.maps.shard_stats()
+    }
+
     /// A snapshot of the operation counters.
     pub fn stats(&self) -> LldStats {
         self.stats.snapshot()
@@ -423,11 +355,11 @@ impl<D: BlockDevice> Lld<D> {
 
     /// Captures everything observable about this disk in one bundle:
     /// LLD counters, device counters, the `lld_read` / `lld_write` /
-    /// `end_aru` / `flush` / `group_commit_batch` histograms (plus
-    /// `disk_read` / `disk_write` when the device provides them), recent
-    /// trace events, ARU spans, and the recovery report if this disk was
-    /// recovered. `fs_ops` is left empty for a file-system caller to
-    /// fill.
+    /// `end_aru` / `flush` / `group_commit_batch` / `aru_shard_spread`
+    /// histograms (plus `disk_read` / `disk_write` when the device
+    /// provides them), per-shard lock counters, recent trace events,
+    /// ARU spans, and the recovery report if this disk was recovered.
+    /// `fs_ops` is left empty for a file-system caller to fill.
     pub fn obs_snapshot(&self) -> ObsSnapshot {
         let disk = self.device.stats_snapshot();
         let mut histograms: Vec<(String, ld_disk::HistogramSnapshot)> = self
@@ -444,6 +376,7 @@ impl<D: BlockDevice> Lld<D> {
             lld: self.stats.snapshot(),
             disk,
             histograms,
+            shards: self.maps.shard_stats(),
             events: self.obs.ring().entries(),
             dropped_events: self.obs.ring().dropped(),
             spans: self.obs.spans(),
@@ -459,27 +392,26 @@ impl<D: BlockDevice> Lld<D> {
 
     /// Identifiers of the currently active ARUs.
     pub fn active_arus(&self) -> Vec<AruId> {
-        self.map
-            .read()
-            .arus
-            .keys()
-            .map(|&raw| AruId::new(raw))
-            .collect()
+        let slots = self.maps.lock_arus(self.maps.all_set());
+        let mut raws: Vec<u64> = slots.iter().flat_map(|(_, m)| m.keys().copied()).collect();
+        raws.sort_unstable();
+        raws.into_iter().map(AruId::new).collect()
     }
 
     /// The logical time at which an active ARU began, if it is active.
     pub fn aru_started(&self, aru: AruId) -> Option<Timestamp> {
-        self.map.read().arus.get(&aru.get()).map(|a| a.started)
+        let slots = self.maps.lock_arus(self.maps.bit_of(aru.get()));
+        slots[0].1.get(&aru.get()).map(|a| a.started)
     }
 
     /// Number of blocks allocated in the committed state.
     pub fn allocated_block_count(&self) -> u64 {
-        self.map.read().allocated_blocks
+        self.maps.allocated_blocks.load(Ordering::Relaxed)
     }
 
     /// Number of lists allocated in the committed state.
     pub fn allocated_list_count(&self) -> u64 {
-        self.map.read().allocated_lists
+        self.maps.allocated_lists.load(Ordering::Relaxed)
     }
 
     /// The highest segment sequence number covered by an on-disk
@@ -502,18 +434,16 @@ impl<D: BlockDevice> Lld<D> {
 
     /// A copy of the committed-state record of `block`, if allocated.
     pub fn block_info(&self, block: BlockId) -> Option<BlockRecord> {
-        self.map
-            .read()
-            .view_block(StateRef::Committed, block)
+        let view = self.read_view(0, self.maps.bit_of(block.get()));
+        view.committed_view_block(block)
             .filter(|r| r.allocated)
             .cloned()
     }
 
     /// A copy of the committed-state record of `list`, if allocated.
     pub fn list_info(&self, list: ListId) -> Option<ListRecord> {
-        self.map
-            .read()
-            .view_list(StateRef::Committed, list)
+        let view = self.read_view(0, self.maps.bit_of(list.get()));
+        view.committed_view_list(list)
             .filter(|r| r.allocated)
             .cloned()
     }
@@ -545,8 +475,8 @@ impl<D: BlockDevice> Lld<D> {
     /// buffer if the address is in the currently open segment, from the
     /// cache or device otherwise.
     ///
-    /// Callers must hold at least shared access to the mapping layer, so
-    /// the cleaner cannot relocate `addr` mid-read.
+    /// Callers must hold at least shared access to the shard mapping
+    /// `addr`'s block, so the cleaner cannot relocate `addr` mid-read.
     pub(crate) fn read_block_data(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
         {
             let log = self.log.lock();
@@ -591,7 +521,7 @@ impl<D: BlockDevice> Lld<D> {
     }
 }
 
-impl<D: BlockDevice> Mutation<'_, D> {
+impl<'a, D: BlockDevice> Mutation<'a, D> {
     // ------------------------------------------------------------------
     // Session conveniences
     // ------------------------------------------------------------------
@@ -600,38 +530,42 @@ impl<D: BlockDevice> Mutation<'_, D> {
         self.lld.tick()
     }
 
+    /// The log pipeline, locked lazily on first use (the canonical
+    /// order puts `log` after every mapping-layer lock, all of which
+    /// this session acquired at construction).
+    pub(crate) fn log(&mut self) -> &mut LogState {
+        let lld = self.lld;
+        self.log_guard.get_or_insert_with(|| lld.log.lock())
+    }
+
+    /// Mirrors the free-slot count into the lock-free routing hint.
+    pub(crate) fn sync_free_hint(&mut self) {
+        let n = self.log().free_slots.len() as u64;
+        self.lld.free_slots_hint.store(n, Ordering::Relaxed);
+    }
+
     // ------------------------------------------------------------------
     // Identifiers
     // ------------------------------------------------------------------
 
-    pub(crate) fn alloc_block_id(&mut self) -> Result<BlockId> {
-        if self.map.allocated_blocks >= self.lld.layout.max_blocks {
-            return Err(LldError::DiskFull);
-        }
-        let raw = match self.map.free_blocks.pop_first() {
-            Some(raw) => raw,
-            None => {
-                let raw = self.map.next_block_raw;
-                self.map.next_block_raw += 1;
-                raw
-            }
-        };
-        Ok(BlockId::new(raw))
+    /// Allocates a block id owned by `shard` (reserving the allocation
+    /// against the global cap; callers release the reservation with
+    /// [`Maps::unreserve_block`] if the operation fails before the
+    /// record is entered).
+    pub(crate) fn alloc_block_id(&mut self, shard: u32) -> Result<BlockId> {
+        self.lld
+            .maps
+            .try_reserve_block(self.lld.layout.max_blocks)?;
+        let n = u64::from(self.lld.maps.nshards());
+        Ok(BlockId::new(self.map.shard_mut(shard).alloc_block_raw(n)))
     }
 
-    pub(crate) fn alloc_list_id(&mut self) -> Result<ListId> {
-        if self.map.allocated_lists >= self.lld.layout.max_lists {
-            return Err(LldError::DiskFull);
-        }
-        let raw = match self.map.free_lists.pop_first() {
-            Some(raw) => raw,
-            None => {
-                let raw = self.map.next_list_raw;
-                self.map.next_list_raw += 1;
-                raw
-            }
-        };
-        Ok(ListId::new(raw))
+    /// Allocates a list id owned by `shard` (see
+    /// [`alloc_block_id`](Self::alloc_block_id)).
+    pub(crate) fn alloc_list_id(&mut self, shard: u32) -> Result<ListId> {
+        self.lld.maps.try_reserve_list(self.lld.layout.max_lists)?;
+        let n = u64::from(self.lld.maps.nshards());
+        Ok(ListId::new(self.map.shard_mut(shard).alloc_list_raw(n)))
     }
 
     // ------------------------------------------------------------------
@@ -651,44 +585,39 @@ impl<D: BlockDevice> Mutation<'_, D> {
     pub(crate) fn block_mut(&mut self, st: StateRef, id: BlockId) -> Result<&mut BlockRecord> {
         match st {
             StateRef::Committed => {
-                if !self.map.committed.blocks.contains_key(&id) {
-                    let base = self
-                        .map
+                let sh = self.map.block_shard_mut(id);
+                if !sh.committed.blocks.contains_key(&id) {
+                    let base = sh
                         .persistent
                         .blocks
                         .get(&id)
                         .cloned()
                         .ok_or(LldError::BlockNotAllocated(id))?;
-                    self.map.committed.blocks.insert(id, base);
+                    sh.committed.blocks.insert(id, base);
                 }
-                Ok(self
-                    .map
-                    .committed
-                    .blocks
-                    .get_mut(&id)
-                    .expect("just inserted"))
+                Ok(sh.committed.blocks.get_mut(&id).expect("just inserted"))
             }
             StateRef::Shadow(aru) => {
                 let raw = aru.get();
-                if !self
+                let present = self
                     .map
-                    .arus
-                    .get(&raw)
+                    .aru(raw)
                     .ok_or(LldError::UnknownAru(aru))?
                     .shadow
                     .blocks
-                    .contains_key(&id)
-                {
+                    .contains_key(&id);
+                if !present {
                     let base = self
                         .map
                         .committed_view_block(id)
                         .cloned()
                         .ok_or(LldError::BlockNotAllocated(id))?;
                     self.lld.stats.shadow_cow_records.inc();
-                    self.lld.obs.span_cow(raw);
+                    if raw != SCRATCH_ARU_RAW {
+                        self.lld.obs.span_cow(raw);
+                    }
                     self.map
-                        .arus
-                        .get_mut(&raw)
+                        .aru_mut(raw)
                         .expect("checked above")
                         .shadow
                         .blocks
@@ -696,8 +625,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 }
                 Ok(self
                     .map
-                    .arus
-                    .get_mut(&raw)
+                    .aru_mut(raw)
                     .expect("checked above")
                     .shadow
                     .blocks
@@ -710,44 +638,39 @@ impl<D: BlockDevice> Mutation<'_, D> {
     pub(crate) fn list_mut(&mut self, st: StateRef, id: ListId) -> Result<&mut ListRecord> {
         match st {
             StateRef::Committed => {
-                if !self.map.committed.lists.contains_key(&id) {
-                    let base = self
-                        .map
+                let sh = self.map.list_shard_mut(id);
+                if !sh.committed.lists.contains_key(&id) {
+                    let base = sh
                         .persistent
                         .lists
                         .get(&id)
                         .cloned()
                         .ok_or(LldError::ListNotAllocated(id))?;
-                    self.map.committed.lists.insert(id, base);
+                    sh.committed.lists.insert(id, base);
                 }
-                Ok(self
-                    .map
-                    .committed
-                    .lists
-                    .get_mut(&id)
-                    .expect("just inserted"))
+                Ok(sh.committed.lists.get_mut(&id).expect("just inserted"))
             }
             StateRef::Shadow(aru) => {
                 let raw = aru.get();
-                if !self
+                let present = self
                     .map
-                    .arus
-                    .get(&raw)
+                    .aru(raw)
                     .ok_or(LldError::UnknownAru(aru))?
                     .shadow
                     .lists
-                    .contains_key(&id)
-                {
+                    .contains_key(&id);
+                if !present {
                     let base = self
                         .map
                         .committed_view_list(id)
                         .cloned()
                         .ok_or(LldError::ListNotAllocated(id))?;
                     self.lld.stats.shadow_cow_records.inc();
-                    self.lld.obs.span_cow(raw);
+                    if raw != SCRATCH_ARU_RAW {
+                        self.lld.obs.span_cow(raw);
+                    }
                     self.map
-                        .arus
-                        .get_mut(&raw)
+                        .aru_mut(raw)
                         .expect("checked above")
                         .shadow
                         .lists
@@ -755,8 +678,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 }
                 Ok(self
                     .map
-                    .arus
-                    .get_mut(&raw)
+                    .aru_mut(raw)
                     .expect("checked above")
                     .shadow
                     .lists
@@ -777,15 +699,16 @@ impl<D: BlockDevice> Mutation<'_, D> {
         if old == new {
             return;
         }
+        let log = self.log();
         if let Some(a) = old {
             let s = a.segment.get() as usize;
-            self.log.live_count[s] = self.log.live_count[s].saturating_sub(1);
-            self.log.residents[s].remove(&id);
+            log.live_count[s] = log.live_count[s].saturating_sub(1);
+            log.residents[s].remove(&id);
         }
         if let Some(a) = new {
             let s = a.segment.get() as usize;
-            self.log.live_count[s] += 1;
-            self.log.residents[s].insert(id);
+            log.live_count[s] += 1;
+            log.residents[s].insert(id);
         }
     }
 
@@ -797,12 +720,21 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// Walks `list` in state `st`, returning the member blocks in order
     /// and charging the steps to the stats.
     pub(crate) fn walk_list(&mut self, st: StateRef, list: ListId) -> Result<Vec<BlockId>> {
-        let (out, steps) = self.map.walk_list(st, list, self.lld.layout.max_blocks)?;
-        self.lld.stats.list_walk_steps.add(steps);
-        Ok(out)
+        match self.map.walk_list(st, list, self.lld.layout.max_blocks)? {
+            WalkOutcome::Done { members, steps } => {
+                self.lld.stats.list_walk_steps.add(steps);
+                Ok(members)
+            }
+            // Mutation shard plans cover every identifier they walk;
+            // operations that can reach arbitrary identifiers (the
+            // deletions) run under full sessions.
+            WalkOutcome::NeedShard(s) => Err(LldError::Corrupt(format!(
+                "internal: mutation session is missing map shard {s} walking {list}"
+            ))),
+        }
     }
 
-    /// See [`MapState::validate_insert`].
+    /// See [`MapView::validate_insert`].
     pub(crate) fn validate_insert(&self, st: StateRef, list: ListId, pos: Position) -> Result<()> {
         self.map.validate_insert(st, list, pos)
     }
@@ -948,7 +880,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
         if st == StateRef::Committed {
             let old = self.map.committed_view_block(block).and_then(|r| r.addr);
             self.adjust_addr(block, old, None);
-            self.map.allocated_blocks = self.map.allocated_blocks.saturating_sub(1);
+            self.lld.maps.unreserve_block();
         }
         let bm = self.block_mut(st, block)?;
         bm.allocated = false;
@@ -962,7 +894,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// Marks `list` deallocated in state `st`.
     pub(crate) fn dealloc_list(&mut self, st: StateRef, list: ListId, ts: Timestamp) -> Result<()> {
         if st == StateRef::Committed {
-            self.map.allocated_lists = self.map.allocated_lists.saturating_sub(1);
+            self.lld.maps.unreserve_list();
         }
         let lm = self.list_mut(st, list)?;
         lm.allocated = false;
@@ -990,7 +922,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
         summary: usize,
         reserve: usize,
     ) -> Result<()> {
-        let fits = match &self.log.builder {
+        let fits = match &self.log().builder {
             Some(b) => b.fits(blocks, summary),
             None => false,
         };
@@ -998,7 +930,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
             return Ok(());
         }
         self.roll_segment(reserve)?;
-        match &self.log.builder {
+        match &self.log().builder {
             Some(b) if b.fits(blocks, summary) => Ok(()),
             Some(_) => Err(LldError::Config(
                 "request does not fit in an empty segment".into(),
@@ -1008,18 +940,26 @@ impl<D: BlockDevice> Mutation<'_, D> {
     }
 
     /// Seals and writes the current segment (if it has content) and
-    /// opens a new one, running the cleaner if free segments are scarce.
+    /// opens a new one. When free segments are scarce, a full session
+    /// runs the cleaner inline; a scoped session cannot (the cleaner
+    /// touches every shard) and instead flags
+    /// [`Lld::after_scoped`] to run it once the session's locks drop.
     pub(crate) fn roll_segment(&mut self, reserve: usize) -> Result<()> {
         let had_content = self.seal_current()?;
-        if self.log.builder.is_none() {
+        if self.log().builder.is_none() {
             self.open_segment(reserve)?;
         }
         if had_content
-            && !self.log.cleaning
             && self.lld.cleaner_cfg.enabled
-            && (self.log.free_slots.len() as u32) < self.lld.cleaner_cfg.min_free_segments
+            && (self.log().free_slots.len() as u32) < self.lld.cleaner_cfg.min_free_segments
         {
-            self.run_cleaner_inner()?;
+            if self.map.holds_all_shards_write() {
+                if !self.log().cleaning {
+                    self.run_cleaner_inner()?;
+                }
+            } else {
+                self.lld.needs_clean.store(true, Ordering::Relaxed);
+            }
         }
         Ok(())
     }
@@ -1028,10 +968,10 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// segment was actually written (the builder is then `None`); an
     /// empty builder is left in place and `false` returned.
     pub(crate) fn seal_current(&mut self) -> Result<bool> {
-        match self.log.builder.take() {
+        match self.log().builder.take() {
             None => Ok(false),
             Some(b) if b.is_empty() => {
-                self.log.builder = Some(b);
+                self.log().builder = Some(b);
                 Ok(false)
             }
             Some(b) => {
@@ -1042,7 +982,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 self.lld
                     .device
                     .write_at(self.lld.layout.segment_offset(slot), &bytes)?;
-                self.log.slot_seq[slot as usize] = b.seq();
+                self.log().slot_seq[slot as usize] = b.seq();
                 self.lld.stats.segments_sealed.inc();
                 self.lld.obs.event(
                     self.lld.now(),
@@ -1053,14 +993,15 @@ impl<D: BlockDevice> Mutation<'_, D> {
                         bytes: bytes.len() as u64,
                     },
                 );
-                // Committed → persistent transition: every committed
-                // alternative record's summary entry is now on disk.
-                self.lld
-                    .stats
-                    .committed_records_drained
-                    .add(self.map.committed.len() as u64);
-                let map = &mut *self.map;
-                map.committed.drain_into(&mut map.persistent);
+                // Committed → persistent transition for every shard this
+                // session holds exclusively: their alternative records'
+                // summary entries are now on disk. Records of shards this
+                // session does not hold drain at a later seal that does
+                // (the overlay keeps every view correct meanwhile, and
+                // the checkpointer runs under a full session, so its
+                // encode always sees fully drained tables).
+                let drained = self.map.drain_committed();
+                self.lld.stats.committed_records_drained.add(drained);
                 Ok(true)
             }
         }
@@ -1069,25 +1010,31 @@ impl<D: BlockDevice> Mutation<'_, D> {
     /// Opens a new segment in a free slot, refusing if that would leave
     /// fewer than `reserve` slots free.
     pub(crate) fn open_segment(&mut self, reserve: usize) -> Result<()> {
-        debug_assert!(self.log.builder.is_none());
-        if self.log.free_slots.len() <= reserve {
+        debug_assert!(self.log().builder.is_none());
+        if self.log().free_slots.len() <= reserve {
             return Err(LldError::DiskFull);
         }
-        let slot = self.log.free_slots.pop_first().ok_or(LldError::DiskFull)?;
+        let slot = self
+            .log()
+            .free_slots
+            .pop_first()
+            .ok_or(LldError::DiskFull)?;
+        self.sync_free_hint();
         // The slot may hold a cleaned segment whose blocks are cached;
         // new data written here must never be shadowed by stale entries.
         self.lld
             .cache
             .lock()
             .invalidate_segment(SegmentId::new(slot));
-        let seq = self.log.next_seq;
-        self.log.next_seq += 1;
-        self.log.builder = Some(SegmentBuilder::new(
+        let seq = self.log().next_seq;
+        self.log().next_seq += 1;
+        let builder = SegmentBuilder::new(
             SegmentId::new(slot),
             seq,
             self.lld.layout.block_size,
             self.lld.layout.segment_bytes,
-        ));
+        );
+        self.log().builder = Some(builder);
         Ok(())
     }
 
@@ -1101,7 +1048,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
     pub(crate) fn emit_reserve(&mut self, rec: Record, reserve: usize) -> Result<()> {
         let len = rec.encoded_len();
         self.ensure_room(0, len, reserve)?;
-        self.log
+        self.log()
             .builder
             .as_mut()
             .expect("ensure_room leaves a builder")
@@ -1124,23 +1071,26 @@ impl<D: BlockDevice> Mutation<'_, D> {
         reserve: usize,
     ) -> Result<PhysAddr> {
         self.ensure_room(1, WRITE_REC_LEN, reserve)?;
-        let b = self
-            .log
-            .builder
-            .as_mut()
-            .expect("ensure_room leaves a builder");
-        let slot_idx = b.push_block(data);
-        let addr = PhysAddr {
-            segment: b.slot(),
-            slot: slot_idx,
+        let addr = {
+            let b = self
+                .log()
+                .builder
+                .as_mut()
+                .expect("ensure_room leaves a builder");
+            let slot_idx = b.push_block(data);
+            let addr = PhysAddr {
+                segment: b.slot(),
+                slot: slot_idx,
+            };
+            let rec = Record::Write {
+                block: id,
+                slot: slot_idx,
+                ts,
+                aru: tag,
+            };
+            b.push_record(&rec);
+            addr
         };
-        let rec = Record::Write {
-            block: id,
-            slot: slot_idx,
-            ts,
-            aru: tag,
-        };
-        b.push_record(&rec);
         self.lld.stats.records_emitted.inc();
         self.lld.stats.summary_bytes.add(WRITE_REC_LEN as u64);
         self.lld.stats.data_blocks_written.inc();

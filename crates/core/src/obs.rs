@@ -27,6 +27,7 @@
 //! a single branch.
 
 use crate::recovery::RecoveryReport;
+use crate::shard::ShardLockStats;
 use crate::stats::LldStats;
 use ld_disk::{DiskStatsSnapshot, HistogramSnapshot, LatencyHistogram, Mutex};
 use std::collections::BTreeMap;
@@ -343,6 +344,7 @@ pub struct Obs {
     end_aru: LatencyHistogram,
     flush: LatencyHistogram,
     group_commit_batch: LatencyHistogram,
+    aru_shard_spread: LatencyHistogram,
     spans: Mutex<SpanTable>,
     recovery: Mutex<Option<RecoveryReport>>,
 }
@@ -358,6 +360,7 @@ impl Obs {
             end_aru: LatencyHistogram::new(),
             flush: LatencyHistogram::new(),
             group_commit_batch: LatencyHistogram::new(),
+            aru_shard_spread: LatencyHistogram::new(),
             spans: Mutex::new(SpanTable::default()),
             recovery: Mutex::new(None),
         }
@@ -436,6 +439,16 @@ impl Obs {
         }
         self.group_commit_batch.record(batch);
         self.ring.record(ts, TraceEvent::GroupCommit { batch });
+    }
+
+    /// A concurrent-ARU commit touched `n` map shards: records the
+    /// spread (into the `aru_shard_spread` histogram — shard counts,
+    /// not times).
+    #[inline]
+    pub(crate) fn shard_spread(&self, n: u64) {
+        if self.cfg.enabled {
+            self.aru_shard_spread.record(n);
+        }
     }
 
     // ---- ARU lifecycle -----------------------------------------------
@@ -581,7 +594,8 @@ impl Obs {
 
     /// Snapshot of the LLD-layer histograms as `(name, snapshot)`
     /// pairs: `lld_read`, `lld_write`, `end_aru`, `flush` (latencies in
-    /// nanoseconds) and `group_commit_batch` (batch sizes, not times).
+    /// nanoseconds), `group_commit_batch` (batch sizes, not times), and
+    /// `aru_shard_spread` (map shards touched per concurrent commit).
     pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
         vec![
             ("lld_read", self.lld_read.snapshot()),
@@ -589,6 +603,7 @@ impl Obs {
             ("end_aru", self.end_aru.snapshot()),
             ("flush", self.flush.snapshot()),
             ("group_commit_batch", self.group_commit_batch.snapshot()),
+            ("aru_shard_spread", self.aru_shard_spread.snapshot()),
         ]
     }
 }
@@ -623,6 +638,8 @@ pub struct ObsSnapshot {
     pub dropped_events: u64,
     /// ARU lifecycle spans (finished, then active).
     pub spans: Vec<AruSpan>,
+    /// Per-map-shard lock acquisition counters, one entry per shard.
+    pub shards: Vec<ShardLockStats>,
     /// The report of the recovery that produced this disk, if it was
     /// recovered rather than formatted.
     pub recovery: Option<RecoveryReport>,
@@ -665,6 +682,11 @@ impl ObsSnapshot {
             spans.push_raw(&span_json(s));
         }
         o.raw("spans", &spans.finish());
+        let mut shards = json::Arr::new();
+        for s in &self.shards {
+            shards.push_raw(&shard_json(s));
+        }
+        o.raw("shards", &shards.finish());
         match &self.recovery {
             Some(r) => o.raw("recovery", &recovery_json(r)),
             None => o.null("recovery"),
@@ -706,6 +728,20 @@ fn lld_stats_json(s: &LldStats) -> String {
     o.u64("flush_batches", s.flush_batches);
     o.u64("flush_batch_callers", s.flush_batch_callers);
     o.u64("flush_batch_max", s.flush_batch_max);
+    o.u64("full_mutations", s.full_mutations);
+    o.u64("scoped_mutations", s.scoped_mutations);
+    o.u64("single_shard_commits", s.single_shard_commits);
+    o.u64("cross_shard_commits", s.cross_shard_commits);
+    o.u64("commit_full_fallbacks", s.commit_full_fallbacks);
+    o.u64("walk_escalations", s.walk_escalations);
+    o.finish()
+}
+
+fn shard_json(s: &ShardLockStats) -> String {
+    let mut o = json::Obj::new();
+    o.u64("shard", s.shard as u64);
+    o.u64("read_locks", s.read_locks);
+    o.u64("write_locks", s.write_locks);
     o.finish()
 }
 
@@ -866,8 +902,29 @@ impl fmt::Display for ObsSnapshot {
             ("flush_batches", s.flush_batches),
             ("flush_batch_callers", s.flush_batch_callers),
             ("flush_batch_max", s.flush_batch_max),
+            ("full_mutations", s.full_mutations),
+            ("scoped_mutations", s.scoped_mutations),
+            ("single_shard_commits", s.single_shard_commits),
+            ("cross_shard_commits", s.cross_shard_commits),
+            ("commit_full_fallbacks", s.commit_full_fallbacks),
+            ("walk_escalations", s.walk_escalations),
         ] {
             writeln!(f, "  {name:<28} {v}")?;
+        }
+        if !self.shards.is_empty() {
+            writeln!(f, "Map shards")?;
+            writeln!(
+                f,
+                "  {:>6} {:>12} {:>12}",
+                "shard", "read_locks", "write_locks"
+            )?;
+            for s in &self.shards {
+                writeln!(
+                    f,
+                    "  {:>6} {:>12} {:>12}",
+                    s.shard, s.read_locks, s.write_locks
+                )?;
+            }
         }
         if let Some(d) = &self.disk {
             writeln!(f, "Disk")?;
@@ -1222,6 +1279,11 @@ mod tests {
             events: obs.ring().entries(),
             dropped_events: obs.ring().dropped(),
             spans: obs.spans(),
+            shards: vec![ShardLockStats {
+                shard: 0,
+                read_locks: 3,
+                write_locks: 1,
+            }],
             recovery: None,
             fs_ops: vec![("files_created".into(), 2)],
         };
@@ -1233,6 +1295,7 @@ mod tests {
         assert!(j.contains("\"type\":\"aru_begin\""));
         assert!(j.contains("\"type\":\"aru_commit\""));
         assert!(j.contains("\"outcome\":\"committed\""));
+        assert!(j.contains("\"shards\":[{\"shard\":0,\"read_locks\":3,\"write_locks\":1}]"));
         assert!(j.contains("\"files_created\":2"));
         // Display renders without panicking and mentions the sections.
         let text = snap.to_string();

@@ -12,17 +12,25 @@
 //!   allocation exception), with only the list insertion in the shadow
 //!   state.
 //!
-//! Reads (`read`, `list_blocks`) take only shared access to the mapping
-//! layer and so proceed concurrently; mutations run in an exclusive
-//! [`Mutation`] session over both layers.
+//! Each operation locks only what it touches: reads take shared access
+//! to the one shard their block hashes to (escalating to all shards
+//! only when a list walk crosses a shard boundary), and the hot
+//! mutations — `Write`, `NewBlock`, `NewList` — run in *scoped*
+//! sessions over their identifiers' shards, so operations on disjoint
+//! shards proceed fully in parallel. The deletions walk and unlink
+//! across arbitrary identifiers and therefore run in full sessions, as
+//! does any operation when free segments are scarce (only a full
+//! session may run the cleaner inline).
 
 use crate::aru::{Aru, ListOp};
 use crate::config::{ConcurrencyMode, ReadVisibility};
 use crate::error::{LldError, Result};
-use crate::lld::{Lld, MapState, Mutation, StateRef};
+use crate::lld::{Lld, Mutation, StateRef};
+use crate::shard::{MapView, WalkOutcome};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, Ctx, ListId, PhysAddr, Position, Timestamp};
 use ld_disk::BlockDevice;
+use std::sync::atomic::Ordering;
 
 /// How an operation's context maps onto the version states, given the
 /// configured concurrency mode.
@@ -46,11 +54,11 @@ enum DataSource {
 }
 
 impl<D: BlockDevice> Lld<D> {
-    fn stream_of(&self, map: &MapState, ctx: Ctx) -> Result<Stream> {
+    fn stream_of(&self, map: &MapView<'_>, ctx: Ctx) -> Result<Stream> {
         match ctx {
             Ctx::Simple => Ok(Stream::Merged(None)),
             Ctx::Aru(id) => {
-                if !map.arus.contains_key(&id.get()) {
+                if !map.aru_contains(id.get()) {
                     return Err(LldError::UnknownAru(id));
                 }
                 self.obs.span_op(id.get());
@@ -62,6 +70,15 @@ impl<D: BlockDevice> Lld<D> {
         }
     }
 
+    /// The ARU-slot set a context needs: the slot its ARU hashes to,
+    /// or none for simple operations.
+    pub(crate) fn ctx_aru_set(&self, ctx: Ctx) -> u64 {
+        match ctx {
+            Ctx::Simple => 0,
+            Ctx::Aru(id) => self.maps.bit_of(id.get()),
+        }
+    }
+
     /// Begins a new atomic recovery unit and returns its identifier.
     ///
     /// # Errors
@@ -70,20 +87,36 @@ impl<D: BlockDevice> Lld<D> {
     /// returns [`LldError::ConcurrencyUnsupported`] if an ARU is already
     /// active.
     pub fn begin_aru(&self) -> Result<AruId> {
-        let mut map = self.map.write();
-        if self.concurrency == ConcurrencyMode::Sequential {
-            if let Some((&raw, _)) = map.arus.iter().next() {
-                return Err(LldError::ConcurrencyUnsupported {
-                    active: AruId::new(raw),
-                });
+        let id = match self.concurrency {
+            ConcurrencyMode::Sequential => {
+                // The single-ARU invariant spans every slot.
+                let mut slots = self.maps.lock_arus(self.maps.all_set());
+                if let Some(raw) = slots.iter().flat_map(|(_, m)| m.keys().copied()).next() {
+                    return Err(LldError::ConcurrencyUnsupported {
+                        active: AruId::new(raw),
+                    });
+                }
+                let ts = self.tick();
+                let id = AruId::new(self.maps.next_aru_raw.fetch_add(1, Ordering::Relaxed));
+                let idx = self.maps.shard_of(id.get());
+                let slot = slots
+                    .iter_mut()
+                    .find(|(i, _)| *i == idx)
+                    .expect("all slots held");
+                slot.1.insert(id.get(), Aru::new(id, ts));
+                self.obs.aru_begin(id.get(), ts.get());
+                id
             }
-        }
-        let ts = self.tick();
-        let id = AruId::new(map.next_aru_raw);
-        map.next_aru_raw += 1;
-        map.arus.insert(id.get(), Aru::new(id, ts));
+            ConcurrencyMode::Concurrent => {
+                let ts = self.tick();
+                let id = AruId::new(self.maps.next_aru_raw.fetch_add(1, Ordering::Relaxed));
+                let mut slots = self.maps.lock_arus(self.maps.bit_of(id.get()));
+                slots[0].1.insert(id.get(), Aru::new(id, ts));
+                self.obs.aru_begin(id.get(), ts.get());
+                id
+            }
+        };
         self.stats.arus_begun.inc();
-        self.obs.aru_begin(id.get(), ts.get());
         Ok(id)
     }
 
@@ -91,13 +124,25 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// Allocation always happens in the committed state, even inside an
     /// ARU, so concurrent ARUs can never receive the same identifier.
+    /// The owning shard is chosen round-robin, spreading independent
+    /// lists (and the blocks later allocated on them, which share the
+    /// list's shard) across the mapping-layer partitions.
     ///
     /// # Errors
     ///
     /// [`LldError::UnknownAru`] for a dead context;
     /// [`LldError::DiskFull`] at the allocation limit.
     pub fn new_list(&self, ctx: Ctx) -> Result<ListId> {
-        self.with_mutation(|m| m.new_list_op(ctx))
+        let shard = self.maps.pick_list_shard();
+        if self.scoped_ok() {
+            let res = self.with_mutation_at(self.ctx_aru_set(ctx), 1u64 << shard, |m| {
+                m.new_list_op(ctx, shard)
+            });
+            self.after_scoped();
+            res
+        } else {
+            self.with_mutation(|m| m.new_list_op(ctx, shard))
+        }
     }
 
     /// Deletes `list` together with any blocks still on it.
@@ -105,7 +150,8 @@ impl<D: BlockDevice> Lld<D> {
     /// Deleting the list directly — rather than first deallocating every
     /// block — avoids the per-block predecessor searches; this is the
     /// improved deletion policy of the paper's "new, delete"
-    /// configuration.
+    /// configuration. The walk can reach blocks on any shard, so the
+    /// operation runs in a full session.
     ///
     /// # Errors
     ///
@@ -120,7 +166,9 @@ impl<D: BlockDevice> Lld<D> {
     /// The identifier allocation is committed immediately (even inside
     /// an ARU); the insertion into the list belongs to the operation's
     /// stream. Other streams therefore see the block as allocated but on
-    /// no list until the ARU commits (§3.3).
+    /// no list until the ARU commits (§3.3). The block id is allocated
+    /// from the *list's* shard, so building a list stays a single-shard
+    /// operation.
     ///
     /// # Errors
     ///
@@ -129,10 +177,25 @@ impl<D: BlockDevice> Lld<D> {
     /// invalid in the operation's state; [`LldError::DiskFull`] at the
     /// allocation limit.
     pub fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
-        self.with_mutation(|m| m.new_block_op(ctx, list, pos))
+        if self.scoped_ok() {
+            let mut set = self.maps.bit_of(list.get());
+            if let Position::After(p) = pos {
+                set |= self.maps.bit_of(p.get());
+            }
+            let res = self.with_mutation_at(self.ctx_aru_set(ctx), set, |m| {
+                m.new_block_op(ctx, list, pos)
+            });
+            self.after_scoped();
+            res
+        } else {
+            self.with_mutation(|m| m.new_block_op(ctx, list, pos))
+        }
     }
 
     /// Removes `block` from its list and deallocates it.
+    ///
+    /// The predecessor search walks the whole list, which can reach any
+    /// shard, so the operation runs in a full session.
     ///
     /// # Errors
     ///
@@ -146,7 +209,9 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// Inside a concurrent ARU the data is buffered in the ARU's shadow
     /// state and enters the segment stream at commit; otherwise it is
-    /// appended to the current segment immediately.
+    /// appended to the current segment immediately. Either way the
+    /// operation touches only the block's shard (plus the ARU's slot),
+    /// so writers on disjoint shards proceed in parallel.
     ///
     /// # Errors
     ///
@@ -161,7 +226,16 @@ impl<D: BlockDevice> Lld<D> {
             });
         }
         let timer = self.obs.timer();
-        let res = self.with_mutation(|m| m.write_op(ctx, block, data));
+        let res = if self.scoped_ok() {
+            let r =
+                self.with_mutation_at(self.ctx_aru_set(ctx), self.maps.bit_of(block.get()), |m| {
+                    m.write_op(ctx, block, data)
+                });
+            self.after_scoped();
+            r
+        } else {
+            self.with_mutation(|m| m.write_op(ctx, block, data))
+        };
         if res.is_ok() {
             self.obs.write_done(timer);
         }
@@ -175,9 +249,9 @@ impl<D: BlockDevice> Lld<D> {
     /// ARU sees that ARU's shadow state and nothing of other ARUs.
     /// A block that was allocated but never written reads as zeroes.
     ///
-    /// Reads hold only shared access to the mapping layer, so any number
-    /// of them proceed concurrently (with each other and with nothing
-    /// else mutating).
+    /// Reads hold shared access to the one shard the block hashes to
+    /// (plus the context ARU's slot), so reads of blocks on different
+    /// shards never touch the same lock.
     ///
     /// # Errors
     ///
@@ -192,15 +266,21 @@ impl<D: BlockDevice> Lld<D> {
         }
         // Validate the context (and classify the stream) first.
         let timer = self.obs.timer();
-        let map = self.map.read();
-        let stream = self.stream_of(&map, ctx)?;
+        let aru_set = if self.visibility == ReadVisibility::AnyShadow {
+            // Option 1 scans every shadow state.
+            self.maps.all_set()
+        } else {
+            self.ctx_aru_set(ctx)
+        };
+        let view = self.read_view(aru_set, self.maps.bit_of(block.get()));
+        let stream = self.stream_of(&view, ctx)?;
         self.tick();
         self.stats.reads.inc();
 
-        let source = self.resolve_read(&map, stream, block)?;
+        let source = self.resolve_read(&view, stream, block)?;
         let res = match source {
             DataSource::ShadowBuf(aru) => {
-                let data = &map.arus[&aru.get()].shadow_data[&block];
+                let data = &view.aru(aru.get()).expect("resolved above").shadow_data[&block];
                 buf.copy_from_slice(data);
                 Ok(())
             }
@@ -216,7 +296,12 @@ impl<D: BlockDevice> Lld<D> {
         res
     }
 
-    fn resolve_read(&self, map: &MapState, stream: Stream, block: BlockId) -> Result<DataSource> {
+    fn resolve_read(
+        &self,
+        map: &MapView<'_>,
+        stream: Stream,
+        block: BlockId,
+    ) -> Result<DataSource> {
         match self.visibility {
             ReadVisibility::OwnShadow => match stream {
                 Stream::Shadow(aru) => self.resolve_shadow_chain(map, aru, block),
@@ -225,9 +310,9 @@ impl<D: BlockDevice> Lld<D> {
             ReadVisibility::Committed => Self::resolve_committed(map, block),
             ReadVisibility::AnyShadow => {
                 // Most recent version across every shadow state and the
-                // committed state.
+                // committed state (the view holds every ARU slot here).
                 let mut best: Option<(Timestamp, DataSource, bool)> = None;
-                for a in map.arus.values() {
+                for a in map.arus_held() {
                     if let Some(rec) = a.shadow.blocks.get(&block) {
                         let src = if a.shadow_data.contains_key(&block) {
                             DataSource::ShadowBuf(a.id)
@@ -261,11 +346,11 @@ impl<D: BlockDevice> Lld<D> {
 
     fn resolve_shadow_chain(
         &self,
-        map: &MapState,
+        map: &MapView<'_>,
         aru: AruId,
         block: BlockId,
     ) -> Result<DataSource> {
-        let a = &map.arus[&aru.get()];
+        let a = map.aru(aru.get()).expect("stream checked");
         if let Some(rec) = a.shadow.blocks.get(&block) {
             if !rec.allocated {
                 return Err(LldError::BlockNotAllocated(block));
@@ -283,7 +368,7 @@ impl<D: BlockDevice> Lld<D> {
         Self::resolve_committed(map, block)
     }
 
-    fn resolve_committed(map: &MapState, block: BlockId) -> Result<DataSource> {
+    fn resolve_committed(map: &MapView<'_>, block: BlockId) -> Result<DataSource> {
         let rec = map
             .committed_view_block(block)
             .filter(|r| r.allocated)
@@ -297,56 +382,83 @@ impl<D: BlockDevice> Lld<D> {
     /// Returns the blocks of `list` in order, as visible to `ctx` under
     /// the configured read visibility.
     ///
-    /// Like [`read`](Lld::read), holds only shared access to the mapping
-    /// layer.
+    /// Like [`read`](Lld::read), holds only shared access — initially
+    /// to the list's own shard. If the walk reaches a block on another
+    /// shard, the view is dropped and re-acquired over all shards (one
+    /// escalation at most, counted in `walk_escalations`).
     ///
     /// # Errors
     ///
     /// [`LldError::ListNotAllocated`] if the list is not visible.
     pub fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
-        let map = self.map.read();
-        let stream = self.stream_of(&map, ctx)?;
-        let st = match (self.visibility, stream) {
-            (ReadVisibility::OwnShadow, Stream::Shadow(aru)) => StateRef::Shadow(aru),
-            (ReadVisibility::AnyShadow, _) => {
-                // Walk with most-recent-shadow resolution: approximate by
-                // preferring the shadow of whichever ARU most recently
-                // touched the list record.
-                let best = map
-                    .arus
-                    .values()
-                    .filter_map(|a| a.shadow.lists.get(&list).map(|r| (r.ts, a.id)))
-                    .max_by_key(|(ts, _)| *ts);
-                match (best, map.committed_view_list(list)) {
-                    (Some((sts, aru)), Some(c)) if sts > c.ts => StateRef::Shadow(aru),
-                    (Some((_, _)), Some(_)) => StateRef::Committed,
-                    (Some((_, aru)), None) => StateRef::Shadow(aru),
-                    _ => StateRef::Committed,
+        let any_shadow = self.visibility == ReadVisibility::AnyShadow;
+        let aru_set = if any_shadow {
+            self.maps.all_set()
+        } else {
+            self.ctx_aru_set(ctx)
+        };
+        let mut shard_set = if any_shadow {
+            self.maps.all_set()
+        } else {
+            self.maps.bit_of(list.get())
+        };
+        loop {
+            let view = self.read_view(aru_set, shard_set);
+            let stream = self.stream_of(&view, ctx)?;
+            let st = match (self.visibility, stream) {
+                (ReadVisibility::OwnShadow, Stream::Shadow(aru)) => StateRef::Shadow(aru),
+                (ReadVisibility::AnyShadow, _) => {
+                    // Walk with most-recent-shadow resolution: approximate by
+                    // preferring the shadow of whichever ARU most recently
+                    // touched the list record.
+                    let best = view
+                        .arus_held()
+                        .filter_map(|a| a.shadow.lists.get(&list).map(|r| (r.ts, a.id)))
+                        .max_by_key(|(ts, _)| *ts);
+                    match (best, view.committed_view_list(list)) {
+                        (Some((sts, aru)), Some(c)) if sts > c.ts => StateRef::Shadow(aru),
+                        (Some((_, _)), Some(_)) => StateRef::Committed,
+                        (Some((_, aru)), None) => StateRef::Shadow(aru),
+                        _ => StateRef::Committed,
+                    }
+                }
+                _ => StateRef::Committed,
+            };
+            match view.walk_list(st, list, self.layout.max_blocks)? {
+                WalkOutcome::Done { members, steps } => {
+                    self.stats.list_walk_steps.add(steps);
+                    return Ok(members);
+                }
+                WalkOutcome::NeedShard(_) => {
+                    // The list crosses shards: re-acquire over all of
+                    // them. A second escalation is impossible.
+                    drop(view);
+                    self.stats.walk_escalations.inc();
+                    shard_set = self.maps.all_set();
                 }
             }
-            _ => StateRef::Committed,
-        };
-        let (members, steps) = map.walk_list(st, list, self.layout.max_blocks)?;
-        self.stats.list_walk_steps.add(steps);
-        Ok(members)
+        }
     }
 }
 
 impl<D: BlockDevice> Mutation<'_, D> {
     fn stream(&self, ctx: Ctx) -> Result<Stream> {
-        self.lld.stream_of(self.map, ctx)
+        self.lld.stream_of(&self.map, ctx)
     }
 
-    fn new_list_op(&mut self, ctx: Ctx) -> Result<ListId> {
+    fn new_list_op(&mut self, ctx: Ctx, shard: u32) -> Result<ListId> {
         self.stream(ctx)?;
         let ts = self.tick();
-        let id = self.alloc_list_id()?;
-        self.emit(Record::NewList { list: id, ts })?;
+        let id = self.alloc_list_id(shard)?;
+        if let Err(e) = self.emit(Record::NewList { list: id, ts }) {
+            self.lld.maps.unreserve_list();
+            return Err(e);
+        }
         self.map
+            .list_shard_mut(id)
             .committed
             .lists
             .insert(id, crate::state::ListRecord::fresh(ts));
-        self.map.allocated_lists += 1;
         self.lld.stats.new_lists.inc();
         Ok(id)
     }
@@ -365,13 +477,10 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 self.emit_reserve(Record::DeleteList { list, ts, aru: tag }, 0)?;
                 match tag {
                     None => {
-                        for b in members {
-                            self.map.free_blocks.insert(b.get());
-                        }
-                        self.map.free_lists.insert(list.get());
+                        self.release_ids(members, vec![list]);
                     }
                     Some(aru) => {
-                        let a = self.map.arus.get_mut(&aru.get()).expect("stream checked");
+                        let a = self.map.aru_mut(aru.get()).expect("stream checked");
                         a.pending_free_blocks.extend(members);
                         a.pending_free_lists.push(list);
                     }
@@ -383,16 +492,14 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 for &b in &members {
                     self.dealloc_block(st, b, ts)?;
                     self.map
-                        .arus
-                        .get_mut(&aru.get())
+                        .aru_mut(aru.get())
                         .expect("stream checked")
                         .shadow_data
                         .remove(&b);
                 }
                 self.dealloc_list(st, list, ts)?;
                 self.map
-                    .arus
-                    .get_mut(&aru.get())
+                    .aru_mut(aru.get())
                     .expect("stream checked")
                     .link_log
                     .push(ListOp::DeleteList { list });
@@ -412,13 +519,18 @@ impl<D: BlockDevice> Mutation<'_, D> {
         self.validate_insert(target, list, pos)?;
 
         let ts = self.tick();
-        let id = self.alloc_block_id()?;
-        self.emit(Record::NewBlock { block: id, ts })?;
+        // The block id comes from the list's shard: the session already
+        // holds it, and the list's members stay single-shard.
+        let id = self.alloc_block_id(self.map.shard_of(list.get()))?;
+        if let Err(e) = self.emit(Record::NewBlock { block: id, ts }) {
+            self.lld.maps.unreserve_block();
+            return Err(e);
+        }
         self.map
+            .block_shard_mut(id)
             .committed
             .blocks
             .insert(id, crate::state::BlockRecord::fresh(ts));
-        self.map.allocated_blocks += 1;
         self.lld.stats.new_blocks.inc();
 
         match stream {
@@ -438,8 +550,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
             Stream::Shadow(aru) => {
                 self.insert_into_list(StateRef::Shadow(aru), list, id, pos, ts)?;
                 self.map
-                    .arus
-                    .get_mut(&aru.get())
+                    .aru_mut(aru.get())
                     .expect("stream checked")
                     .link_log
                     .push(ListOp::Insert {
@@ -477,12 +588,11 @@ impl<D: BlockDevice> Mutation<'_, D> {
                 )?;
                 match tag {
                     None => {
-                        self.map.free_blocks.insert(block.get());
+                        self.release_ids(vec![block], Vec::new());
                     }
                     Some(aru) => self
                         .map
-                        .arus
-                        .get_mut(&aru.get())
+                        .aru_mut(aru.get())
                         .expect("stream checked")
                         .pending_free_blocks
                         .push(block),
@@ -496,7 +606,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                     .ok_or(LldError::BlockNotAllocated(block))?;
                 self.unlink_block(st, block, ts)?;
                 self.dealloc_block(st, block, ts)?;
-                let a = self.map.arus.get_mut(&aru.get()).expect("stream checked");
+                let a = self.map.aru_mut(aru.get()).expect("stream checked");
                 a.shadow_data.remove(&block);
                 a.link_log.push(ListOp::DeleteBlock { block });
             }
@@ -527,8 +637,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                     bm.ts = ts;
                 }
                 self.map
-                    .arus
-                    .get_mut(&aru.get())
+                    .aru_mut(aru.get())
                     .expect("stream checked")
                     .shadow_data
                     .insert(block, data.to_vec());

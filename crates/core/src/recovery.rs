@@ -7,23 +7,30 @@
 //! record never reached disk are discarded wholesale, and blocks they
 //! allocated (allocation is always committed) are reclaimed by the
 //! consistency check.
+//!
+//! The shard count is a runtime knob, not an on-disk property: the
+//! checkpoint stores global allocator floors, and
+//! [`Maps::from_tables`] redistributes the recovered records and
+//! re-stripes the allocators for whatever shard count this process
+//! runs with.
 
 use crate::aru::ListOp;
 use crate::checkpoint;
-use crate::config::LldConfig;
+use crate::config::{LldConfig, MAX_MAP_SHARDS};
 use crate::error::{LldError, Result};
 use crate::gc::GroupCommit;
 use crate::layout::Layout;
-use crate::lld::{Lld, LogState, MapState, Mutation, StateRef};
+use crate::lld::{Lld, LogState, Mutation, StateRef};
 use crate::obs::Obs;
 use crate::segment::{scan_segment, SegmentInfo, SegmentScan};
+use crate::shard::Maps;
 use crate::state::{BlockRecord, ListRecord, Tables};
 use crate::summary::Record;
 use crate::types::{BlockId, PhysAddr, Position, SegmentId, Timestamp};
 use ld_disk::BlockDevice;
-use ld_disk::{Mutex, RwLock};
+use ld_disk::Mutex;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What recovery found and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -76,9 +83,9 @@ impl<D: BlockDevice> Lld<D> {
     }
 
     /// Recovers with explicit runtime options (concurrency mode, read
-    /// visibility, cleaner tuning, `check_on_recovery`). Structural
-    /// parameters (block size, segment size, limits) always come from
-    /// the superblock.
+    /// visibility, cleaner tuning, shard count, `check_on_recovery`).
+    /// Structural parameters (block size, segment size, limits) always
+    /// come from the superblock.
     ///
     /// # Errors
     ///
@@ -93,12 +100,18 @@ impl<D: BlockDevice> Lld<D> {
         layout: Layout,
         config: LldConfig,
     ) -> Result<(Self, RecoveryReport)> {
+        if !config.map_shards.is_power_of_two() || config.map_shards > MAX_MAP_SHARDS {
+            return Err(LldError::Config(format!(
+                "map_shards {} must be a power of two in 1..={MAX_MAP_SHARDS}",
+                config.map_shards
+            )));
+        }
         let n = layout.n_segments as usize;
         let mut report = RecoveryReport::default();
 
         // Load the newest checkpoint, if any.
         let (ckpt, use_b_next) = checkpoint::load_latest(&device, &layout)?;
-        let (tables, mut ts_counter, mut next_block_raw, mut next_list_raw, ckpt_seq) = match ckpt {
+        let (tables, mut ts_counter, next_block_raw, next_list_raw, ckpt_seq) = match ckpt {
             Some(c) => (
                 c.tables,
                 c.ts_counter,
@@ -110,14 +123,6 @@ impl<D: BlockDevice> Lld<D> {
         };
         report.checkpoint_seq = ckpt_seq;
 
-        // The checkpoint id counters are lower bounds; raise them past
-        // anything actually present.
-        for id in tables.blocks.keys() {
-            next_block_raw = next_block_raw.max(id.get() + 1);
-        }
-        for id in tables.lists.keys() {
-            next_list_raw = next_list_raw.max(id.get() + 1);
-        }
         for t in tables.blocks.values().map(|r| r.ts.get()) {
             ts_counter = ts_counter.max(t);
         }
@@ -125,10 +130,11 @@ impl<D: BlockDevice> Lld<D> {
             ts_counter = ts_counter.max(t);
         }
 
-        let mut map = MapState::fresh();
-        map.persistent = tables;
-        map.next_block_raw = next_block_raw;
-        map.next_list_raw = next_list_raw;
+        // Distribute the checkpoint tables to their owning shards; the
+        // stored floors are global and get re-striped per shard (then
+        // raised past every id actually present).
+        let maps = Maps::from_tables(config.map_shards, tables, next_block_raw, next_list_raw);
+
         let mut log = LogState::fresh(n);
         log.free_slots.clear();
         log.checkpoint_seq = ckpt_seq;
@@ -140,11 +146,13 @@ impl<D: BlockDevice> Lld<D> {
             concurrency: config.concurrency,
             visibility: config.visibility,
             cleaner_cfg: config.cleaner,
-            map: RwLock::new(map),
+            maps,
             log: Mutex::new(log),
             cache: Mutex::new(crate::cache::BlockCache::new(config.read_cache_blocks)),
             gc: GroupCommit::new(),
             ts_counter: AtomicU64::new(ts_counter),
+            free_slots_hint: AtomicU64::new(0),
+            needs_clean: AtomicBool::new(false),
             stats: Default::default(),
             obs: Obs::new(config.obs),
         };
@@ -153,10 +161,13 @@ impl<D: BlockDevice> Lld<D> {
             // Initialise live-block accounting from the checkpoint tables.
             let addrs: Vec<(BlockId, PhysAddr)> = m
                 .map
-                .persistent
-                .blocks
-                .iter()
-                .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
+                .shards_held()
+                .flat_map(|s| {
+                    s.persistent
+                        .blocks
+                        .iter()
+                        .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
+                })
                 .collect();
             for (id, a) in addrs {
                 m.adjust_addr(id, None, Some(a));
@@ -170,7 +181,7 @@ impl<D: BlockDevice> Lld<D> {
                 report.segments_scanned += 1;
                 match scan_segment(&m.lld.device, &m.lld.layout, SegmentId::new(slot))? {
                     SegmentScan::Valid(info) => {
-                        m.log.slot_seq[slot as usize] = info.seq;
+                        m.log().slot_seq[slot as usize] = info.seq;
                         max_seq_seen = max_seq_seen.max(info.seq);
                         if info.seq > ckpt_seq {
                             chain.push(info);
@@ -233,24 +244,34 @@ impl<D: BlockDevice> Lld<D> {
             drop(pending);
 
             // Everything replayed is persistent.
-            let map = &mut *m.map;
-            map.committed.drain_into(&mut map.persistent);
-            map.allocated_blocks = map.persistent.blocks.len() as u64;
-            map.allocated_lists = map.persistent.lists.len() as u64;
+            m.map.drain_committed();
+            let nb: u64 = m
+                .map
+                .shards_held()
+                .map(|s| s.persistent.blocks.len() as u64)
+                .sum();
+            let nl: u64 = m
+                .map
+                .shards_held()
+                .map(|s| s.persistent.lists.len() as u64)
+                .sum();
+            m.lld.maps.allocated_blocks.store(nb, Ordering::Relaxed);
+            m.lld.maps.allocated_lists.store(nl, Ordering::Relaxed);
             m.lld.raise_clock(ts_max);
-            m.log.next_seq = max_seq_seen + 1;
+            m.log().next_seq = max_seq_seen + 1;
 
             // Slot accounting: a slot stays in use if it is part of the
             // replayed chain (its records are needed until the next
             // checkpoint) or still holds live blocks; everything else is
             // free.
             for slot in 0..m.lld.layout.n_segments {
-                let used = replayed_slots.contains(&slot) || m.log.live_count[slot as usize] > 0;
+                let used = replayed_slots.contains(&slot) || m.log().live_count[slot as usize] > 0;
                 if !used {
-                    m.log.slot_seq[slot as usize] = 0;
-                    m.log.free_slots.insert(slot);
+                    m.log().slot_seq[slot as usize] = 0;
+                    m.log().free_slots.insert(slot);
                 }
             }
+            m.sync_free_hint();
             m.open_segment(0)?;
             Ok(())
         })?;
@@ -275,22 +296,18 @@ impl<D: BlockDevice> Mutation<'_, D> {
         commit_ts: Option<Timestamp>,
     ) -> Result<()> {
         let corrupt = |msg: String| LldError::Corrupt(format!("replaying {seg}: {msg}"));
+        let nshards = u64::from(self.lld.maps.nshards());
         match *rec {
             Record::NewBlock { block, ts } => {
-                self.map
-                    .committed
-                    .blocks
-                    .insert(block, BlockRecord::fresh(ts));
-                self.map.free_blocks.remove(&block.get());
-                self.map.allocated_blocks += 1;
-                self.map.next_block_raw = self.map.next_block_raw.max(block.get() + 1);
+                let sh = self.map.block_shard_mut(block);
+                sh.committed.blocks.insert(block, BlockRecord::fresh(ts));
+                sh.note_block_id(block.get(), nshards);
                 Ok(())
             }
             Record::NewList { list, ts } => {
-                self.map.committed.lists.insert(list, ListRecord::fresh(ts));
-                self.map.free_lists.remove(&list.get());
-                self.map.allocated_lists += 1;
-                self.map.next_list_raw = self.map.next_list_raw.max(list.get() + 1);
+                let sh = self.map.list_shard_mut(list);
+                sh.committed.lists.insert(list, ListRecord::fresh(ts));
+                sh.note_list_id(list.get(), nshards);
                 Ok(())
             }
             Record::Write {
@@ -339,9 +356,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                     &mut fl,
                 )
                 .map_err(|e| corrupt(e.to_string()))?;
-                for b in fb {
-                    self.map.free_blocks.insert(b.get());
-                }
+                self.release_ids(fb, fl);
                 Ok(())
             }
             Record::DeleteList { list, ts, .. } => {
@@ -356,12 +371,7 @@ impl<D: BlockDevice> Mutation<'_, D> {
                     &mut fl,
                 )
                 .map_err(|e| corrupt(e.to_string()))?;
-                for b in fb {
-                    self.map.free_blocks.insert(b.get());
-                }
-                for l in fl {
-                    self.map.free_lists.insert(l.get());
-                }
+                self.release_ids(fb, fl);
                 Ok(())
             }
             Record::Commit { .. } => Err(corrupt("nested commit record".into())),

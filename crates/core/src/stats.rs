@@ -73,6 +73,22 @@ pub struct LldStats {
     pub flush_batch_callers: u64,
     /// Largest group-commit batch observed.
     pub flush_batch_max: u64,
+    /// Mutation sessions that locked every map shard (deletions,
+    /// cross-shard commits, cleaner, checkpoint, recovery, or any
+    /// operation under space pressure).
+    pub full_mutations: u64,
+    /// Mutation sessions scoped to the shards their identifiers hash to.
+    pub scoped_mutations: u64,
+    /// Concurrent-ARU commits whose effects touched a single map shard.
+    pub single_shard_commits: u64,
+    /// Concurrent-ARU commits whose effects spanned several map shards.
+    pub cross_shard_commits: u64,
+    /// `EndARU` calls that fell back to a full session (deletion in the
+    /// log, or free segments too scarce for a scoped commit).
+    pub commit_full_fallbacks: u64,
+    /// Read-path list walks that crossed a shard boundary and re-ran
+    /// holding every shard.
+    pub walk_escalations: u64,
 }
 
 impl LldStats {
@@ -145,6 +161,12 @@ pub(crate) struct StatsCell {
     pub(crate) flush_batches: Counter,
     pub(crate) flush_batch_callers: Counter,
     pub(crate) flush_batch_max: Counter,
+    pub(crate) full_mutations: Counter,
+    pub(crate) scoped_mutations: Counter,
+    pub(crate) single_shard_commits: Counter,
+    pub(crate) cross_shard_commits: Counter,
+    pub(crate) commit_full_fallbacks: Counter,
+    pub(crate) walk_escalations: Counter,
 }
 
 impl StatsCell {
@@ -176,6 +198,12 @@ impl StatsCell {
             flush_batches: self.flush_batches.get(),
             flush_batch_callers: self.flush_batch_callers.get(),
             flush_batch_max: self.flush_batch_max.get(),
+            full_mutations: self.full_mutations.get(),
+            scoped_mutations: self.scoped_mutations.get(),
+            single_shard_commits: self.single_shard_commits.get(),
+            cross_shard_commits: self.cross_shard_commits.get(),
+            commit_full_fallbacks: self.commit_full_fallbacks.get(),
+            walk_escalations: self.walk_escalations.get(),
         }
     }
 
@@ -207,6 +235,12 @@ impl StatsCell {
             flush_batches,
             flush_batch_callers,
             flush_batch_max,
+            full_mutations,
+            scoped_mutations,
+            single_shard_commits,
+            cross_shard_commits,
+            commit_full_fallbacks,
+            walk_escalations,
         } = self;
         for c in [
             reads,
@@ -235,6 +269,12 @@ impl StatsCell {
             flush_batches,
             flush_batch_callers,
             flush_batch_max,
+            full_mutations,
+            scoped_mutations,
+            single_shard_commits,
+            cross_shard_commits,
+            commit_full_fallbacks,
+            walk_escalations,
         ] {
             c.clear();
         }

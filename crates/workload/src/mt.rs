@@ -11,6 +11,22 @@
 use crate::pattern_fill;
 use ld_core::{Ctx, LogicalDisk, Position, Result};
 
+/// How the threads' working sets relate to each other (and therefore
+/// to the logical disk's map shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MtMode {
+    /// Each thread builds its own private lists. New lists spread
+    /// round-robin across the map shards, so concurrent ARUs mostly
+    /// touch disjoint shards — the best case for sharded locking.
+    #[default]
+    Disjoint,
+    /// All threads rewrite pre-allocated blocks of one shared list.
+    /// Every block of a list is allocated from the list's own map
+    /// shard, so every writer contends on that single shard — the
+    /// worst case, where sharding cannot help.
+    HotShard,
+}
+
 /// N threads, each committing a stream of small ARUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MtWorkload {
@@ -24,6 +40,8 @@ pub struct MtWorkload {
     /// never (lazy durability, one flush at the end). `1` makes every
     /// commit durable, which maximizes group-commit contention.
     pub sync_every: usize,
+    /// How the threads' working sets overlap.
+    pub mode: MtMode,
     /// Mixed into the data patterns so distinct runs write distinct
     /// bytes.
     pub seed: u64,
@@ -50,6 +68,7 @@ impl MtWorkload {
             arus_per_thread: 50,
             blocks_per_aru: 2,
             sync_every: 1,
+            mode: MtMode::Disjoint,
             seed: 1,
         }
     }
@@ -73,6 +92,13 @@ impl MtWorkload {
     ///
     /// Panics if a worker thread itself panics.
     pub fn run<L: LogicalDisk + Sync>(&self, ld: &L) -> Result<MtReport> {
+        match self.mode {
+            MtMode::Disjoint => self.run_disjoint(ld),
+            MtMode::HotShard => self.run_hot(ld),
+        }
+    }
+
+    fn run_disjoint<L: LogicalDisk + Sync>(&self, ld: &L) -> Result<MtReport> {
         let block_size = ld.block_size();
         let results: Vec<Result<MtReport>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
@@ -126,6 +152,72 @@ impl MtWorkload {
         ld.flush()?;
         Ok(total)
     }
+
+    /// The hot-shard variant: one shared list is pre-built with
+    /// `threads * blocks_per_aru` blocks (all in the list's map shard),
+    /// each thread owns a disjoint slice of them, and every ARU
+    /// rewrites its thread's blocks. ARUs never conflict (disjoint
+    /// blocks) but every write and commit serializes on one shard.
+    fn run_hot<L: LogicalDisk + Sync>(&self, ld: &L) -> Result<MtReport> {
+        let block_size = ld.block_size();
+        let list = ld.new_list(Ctx::Simple)?;
+        let mut blocks = Vec::with_capacity(self.threads * self.blocks_per_aru);
+        let mut prev = None;
+        for _ in 0..self.threads * self.blocks_per_aru {
+            let pos = match prev {
+                None => Position::First,
+                Some(p) => Position::After(p),
+            };
+            let b = ld.new_block(Ctx::Simple, list, pos)?;
+            blocks.push(b);
+            prev = Some(b);
+        }
+        let results: Vec<Result<MtReport>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|t| {
+                    let mine = &blocks[t * self.blocks_per_aru..(t + 1) * self.blocks_per_aru];
+                    s.spawn(move || -> Result<MtReport> {
+                        let mut data = vec![0u8; block_size];
+                        let mut report = MtReport::default();
+                        for i in 0..self.arus_per_thread {
+                            let tag = self
+                                .seed
+                                .wrapping_mul(0x0010_0000_000F)
+                                .wrapping_add((t * 1_000_003 + i) as u64);
+                            let aru = ld.begin_aru()?;
+                            for (b, &blk) in mine.iter().enumerate() {
+                                pattern_fill(&mut data, tag ^ (b as u64) << 48);
+                                ld.write(Ctx::Aru(aru), blk, &data)?;
+                                report.blocks_written += 1;
+                            }
+                            if self.sync_every > 0 && (i + 1) % self.sync_every == 0 {
+                                ld.end_aru_sync(aru)?;
+                            } else {
+                                ld.end_aru(aru)?;
+                            }
+                            report.arus_committed += 1;
+                            // begin + per-block write + commit.
+                            report.ops += 2 + mine.len() as u64;
+                        }
+                        Ok(report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut total = MtReport::default();
+        for r in results {
+            let r = r?;
+            total.arus_committed += r.arus_committed;
+            total.blocks_written += r.blocks_written;
+            total.ops += r.ops;
+        }
+        ld.flush()?;
+        Ok(total)
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +248,7 @@ mod tests {
             arus_per_thread: 25,
             blocks_per_aru: 2,
             sync_every: 0,
+            mode: MtMode::Disjoint,
             seed: 7,
         };
         let report = w.run(&ld).unwrap();
@@ -186,11 +279,35 @@ mod tests {
             arus_per_thread: 10,
             blocks_per_aru: 1,
             sync_every: 2,
+            mode: MtMode::Disjoint,
             seed: 3,
         };
         let report = w.run(&ld).unwrap();
         assert_eq!(report.arus_committed, 10);
         // Single-threaded sync commits can never batch.
         assert_eq!(ld.stats().flush_batch_max, 1);
+    }
+
+    #[test]
+    fn hot_shard_mode_rewrites_without_conflicts() {
+        let ld = ld();
+        let w = MtWorkload {
+            threads: 4,
+            arus_per_thread: 20,
+            blocks_per_aru: 2,
+            sync_every: 0,
+            mode: MtMode::HotShard,
+            seed: 11,
+        };
+        let report = w.run(&ld).unwrap();
+        assert_eq!(report.arus_committed, 80);
+        assert_eq!(report.blocks_written, 160);
+        assert_eq!(report.ops, 80 * 4);
+        let stats = ld.stats();
+        assert_eq!(stats.arus_committed, 80);
+        assert_eq!(stats.commit_conflicts, 0);
+        // Only the setup allocated blocks: threads * blocks_per_aru.
+        assert_eq!(stats.new_blocks, 8);
+        assert!(ld.active_arus().is_empty());
     }
 }

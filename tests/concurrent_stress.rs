@@ -57,11 +57,13 @@ fn interleaved_arus_from_threads_commit_atomically() {
     assert_eq!(stats.commit_conflicts, 0);
 
     // Every committed list is complete and correctly patterned, and no
-    // block id was handed out twice.
+    // block id was handed out twice. List ids are striped across the
+    // map shards (shard s owns ids ≡ s mod nshards), so the allocated
+    // ids are unique but not dense — scan the whole id space.
     let mut seen_blocks = HashSet::new();
     let mut lists_found = 0;
     let mut buf = vec![0u8; 512];
-    for raw in 1..=(n_threads * arus_per_thread) as u64 {
+    for raw in 1..=512u64 {
         let list = ld_aru::core::ListId::new(raw);
         let Ok(blocks) = ld.list_blocks(Ctx::Simple, list) else {
             continue;
