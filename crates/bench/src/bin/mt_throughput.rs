@@ -30,12 +30,23 @@
 //! `LD_ARU_MAP_SHARDS` environment variable), so `--disjoint --shards 1`
 //! vs `--disjoint --shards 8` isolates what sharding buys.
 //!
+//! A third study, `--clean-pressure`, pits the inline segment cleaner
+//! against the background `cleanerd`: an overwrite-churn workload
+//! (each thread rewrites its own pre-allocated blocks, syncing every
+//! 4th commit) on a deliberately tiny device wraps the log continuously,
+//! so the cleaner runs throughout. The same workload is run twice per
+//! thread count — inline cleaning (stalls every foreground thread for
+//! the length of a full pass, checkpoint barrier included) vs
+//! `cleanerd` (passes run on their own thread; the foreground only
+//! pauses for short relocation windows) — and the report is foreground
+//! ops/s for each plus the background/inline speedup.
+//!
 //! Usage: `mt_throughput [--quick] [--json] [--threads 1,2,4,8]
-//! [--arus N] [--disjoint | --hot] [--shards N]`
+//! [--arus N] [--disjoint | --hot | --clean-pressure] [--shards N]`
 
 use ld_bench::{BenchConfig, Version};
 use ld_core::obs::json::{Arr, Obj};
-use ld_core::Lld;
+use ld_core::{CleanerConfig, Lld, LldConfig};
 use ld_disk::{LatencyDisk, MemDisk};
 use ld_workload::{MtMode, MtWorkload};
 use std::time::{Duration, Instant};
@@ -47,6 +58,14 @@ use std::time::{Duration, Instant};
 ///
 /// [`SimDisk`]: ld_disk::SimDisk
 const BARRIER_COST: Duration = Duration::from_micros(500);
+
+/// Wall-clock cost charged per media read in the `--clean-pressure`
+/// runs (the other runs never read the device on the hot path). This
+/// is what the cleaner pays per relocated block: the inline cleaner
+/// pays it on the foreground path under full locks, while `cleanerd`
+/// prefetches victim data with no locks held, overlapping the reads
+/// with foreground commits.
+const READ_COST: Duration = Duration::from_micros(250);
 
 #[derive(Debug)]
 struct Run {
@@ -78,9 +97,11 @@ fn main() {
     let mut sync_every = 1;
     let mut label = "private lists, end_aru_sync";
     let mut shards_override: Option<usize> = None;
+    let mut clean_pressure = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--clean-pressure" => clean_pressure = true,
             "--threads" => {
                 if let Some(v) = it.next() {
                     let parsed: Vec<usize> =
@@ -112,6 +133,18 @@ fn main() {
             }
             _ => {}
         }
+    }
+
+    if clean_pressure {
+        let arus = if args.iter().any(|a| a == "--arus") {
+            total_arus
+        } else if quick {
+            400
+        } else {
+            2000
+        };
+        run_clean_pressure(&thread_counts, arus, shards_override, json);
+        return;
     }
 
     let mut ld_cfg = cfg.ld_config(Version::New);
@@ -213,6 +246,167 @@ fn main() {
             r.threads,
             r.flush_batch_callers as f64 / r.flush_batches.max(1) as f64,
             r.flush_batch_max
+        );
+    }
+}
+
+/// One inline-vs-background measurement at a fixed thread count.
+#[derive(Debug)]
+struct PressureRun {
+    threads: usize,
+    inline_ops_per_sec: f64,
+    background_ops_per_sec: f64,
+    speedup: f64,
+    inline_cleaner_runs: u64,
+    inline_relocated: u64,
+    background_passes: u64,
+    background_relocated: u64,
+    backpressure_stalls: u64,
+}
+
+/// Runs the overwrite-churn workload on a tiny device twice per thread
+/// count — inline cleaner, then `cleanerd` — and reports foreground
+/// ops/s for each. The device holds only 16 segments of 64 KiB while
+/// each group-committed sync fills roughly one segment, so the log
+/// wraps every handful of commits and cleaning cost is a first-order
+/// term in the foreground wall clock.
+fn run_clean_pressure(
+    thread_counts: &[usize],
+    total_arus: usize,
+    shards_override: Option<usize>,
+    json: bool,
+) {
+    let one = |threads: usize, background: bool| -> (f64, ld_core::LldStats) {
+        let mut cfg = LldConfig {
+            block_size: 512,
+            segment_bytes: 8 * 512,
+            max_blocks: Some(512),
+            max_lists: Some(64),
+            cleaner: CleanerConfig {
+                background,
+                // Clean early and far ahead (the churn consumes slots
+                // fast), and throttle the foreground only when nearly
+                // out of slots.
+                target_free_segments: 8,
+                backpressure_free_segments: 1,
+                ..CleanerConfig::default()
+            },
+            ..LldConfig::default()
+        };
+        if let Some(n) = shards_override {
+            cfg.map_shards = n;
+        }
+        // Superblock + both checkpoint areas + 16 segments.
+        let cap = 512 + 2 * 64 * 1024 + 16 * 8 * 512;
+        // Media reads cost real time here: relocation is read-dominated,
+        // and `cleanerd` issues its victim reads with no locks held
+        // (prefetch), so that cost overlaps the foreground — while the
+        // inline cleaner pays it on the foreground path.
+        let device =
+            LatencyDisk::new(MemDisk::new(cap as u64), BARRIER_COST).with_read_delay(READ_COST);
+        let ld = Lld::format(device, &cfg).expect("format");
+        // Cold data topping the live set up to ~80% of the data slots
+        // (the churn working set is 8 blocks per thread): cold blocks
+        // are never rewritten, so every log wrap must *relocate* them —
+        // without them churn segments die wholesale and cleaning
+        // degenerates to reclaiming dead segments, which costs nothing
+        // worth moving off the foreground path.
+        let cold_blocks = 88usize.saturating_sub(8 * threads);
+        {
+            use ld_core::{Ctx, Position};
+            let list = ld.new_list(Ctx::Simple).expect("cold list");
+            let mut prev = None;
+            let data = vec![0xCD_u8; 512];
+            for _ in 0..cold_blocks {
+                let pos = match prev {
+                    None => Position::First,
+                    Some(p) => Position::After(p),
+                };
+                let b = ld.new_block(Ctx::Simple, list, pos).expect("cold block");
+                ld.write(Ctx::Simple, b, &data).expect("cold write");
+                prev = Some(b);
+            }
+            ld.flush().expect("cold flush");
+        }
+        let wl = MtWorkload {
+            threads,
+            arus_per_thread: total_arus.max(threads) / threads,
+            blocks_per_aru: 2,
+            sync_every: 4,
+            mode: MtMode::Churn,
+            seed: 42,
+        };
+        let start = Instant::now();
+        let report = wl.run(&ld).expect("workload");
+        let wall = start.elapsed().as_secs_f64();
+        (report.ops as f64 / wall.max(1e-9), ld.stats())
+    };
+
+    let mut runs: Vec<PressureRun> = Vec::new();
+    for &threads in thread_counts {
+        let (inline_ops, inline_stats) = one(threads, false);
+        let (bg_ops, bg_stats) = one(threads, true);
+        runs.push(PressureRun {
+            threads,
+            inline_ops_per_sec: inline_ops,
+            background_ops_per_sec: bg_ops,
+            speedup: bg_ops / inline_ops.max(1e-9),
+            inline_cleaner_runs: inline_stats.cleaner_runs,
+            inline_relocated: inline_stats.blocks_relocated,
+            background_passes: bg_stats.cleaner_passes,
+            background_relocated: bg_stats.cleaner_blocks_relocated,
+            backpressure_stalls: bg_stats.backpressure_stalls,
+        });
+    }
+
+    if json {
+        let mut arr = Arr::new();
+        for r in &runs {
+            arr.push_raw(
+                &Obj::new()
+                    .u64("threads", r.threads as u64)
+                    .f64("inline_ops_per_sec", r.inline_ops_per_sec)
+                    .f64("background_ops_per_sec", r.background_ops_per_sec)
+                    .f64("speedup", r.speedup)
+                    .u64("inline_cleaner_runs", r.inline_cleaner_runs)
+                    .u64("inline_relocated", r.inline_relocated)
+                    .u64("background_passes", r.background_passes)
+                    .u64("background_relocated", r.background_relocated)
+                    .u64("backpressure_stalls", r.backpressure_stalls)
+                    .finish(),
+            );
+        }
+        let mut out = Obj::new();
+        out.u64("total_arus", total_arus as u64)
+            .str("workload", "overwrite churn, sync every 4th commit")
+            .raw("runs", &arr.finish());
+        println!("{}", out.finish());
+        return;
+    }
+
+    println!(
+        "Clean pressure: {total_arus} ARUs of overwrite churn (2 blocks each, sync every 4th) \
+         on a 16-segment device"
+    );
+    println!(
+        "  threads | inline ops/s | cleanerd ops/s | speedup | inline runs/reloc | bg passes/reloc | stalls"
+    );
+    for r in &runs {
+        println!(
+            "  {:>7} | {:>12.0} | {:>14.0} | {:>6.2}x | {:>11} | {:>9} | {:>6}",
+            r.threads,
+            r.inline_ops_per_sec,
+            r.background_ops_per_sec,
+            r.speedup,
+            format!("{}/{}", r.inline_cleaner_runs, r.inline_relocated),
+            format!("{}/{}", r.background_passes, r.background_relocated),
+            r.backpressure_stalls
+        );
+    }
+    if let Some(r) = runs.iter().find(|r| r.threads >= 4) {
+        println!(
+            "  at {} threads the background cleaner sustains {:.2}x the inline foreground ops/s",
+            r.threads, r.speedup
         );
     }
 }

@@ -7,7 +7,7 @@
 //! overhead to a log-based recovery procedure)".
 
 use crate::error::{LldError, Result};
-use crate::lld::Lld;
+use crate::lld::LldInner;
 use crate::types::{BlockId, Ctx};
 use ld_disk::BlockDevice;
 use std::collections::HashSet;
@@ -19,10 +19,10 @@ pub struct CheckReport {
     pub orphan_blocks_freed: Vec<BlockId>,
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice> LldInner<D> {
     /// Frees every allocated block that belongs to no list.
     ///
-    /// Run automatically at the end of [`recover`](Lld::recover) (unless
+    /// Run automatically at the end of [`recover`](crate::Lld::recover) (unless
     /// disabled in the configuration); it may also be run manually on a
     /// quiescent disk — the orphan scan and the deletions are not one
     /// atomic step, so concurrent mutators could allocate blocks the

@@ -15,7 +15,7 @@
 
 use crate::error::{LldError, Result};
 use crate::layout::{Layout, CKPT_BLOCK_ENTRY, CKPT_HEADER, CKPT_LIST_ENTRY};
-use crate::lld::{Lld, Mutation};
+use crate::lld::{LldInner, Mutation};
 use crate::state::{BlockRecord, ListRecord, Tables};
 use crate::types::{BlockId, ListId, PhysAddr, SegmentId, Timestamp};
 use ld_disk::{crc32, BlockDevice};
@@ -56,7 +56,7 @@ fn encode_header(
     h.try_into().expect("header is CKPT_HEADER bytes")
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice> LldInner<D> {
     /// Writes a checkpoint of the persistent state.
     ///
     /// Seals the current segment first (so the committed state becomes
@@ -73,7 +73,7 @@ impl<D: BlockDevice> Lld<D> {
 }
 
 impl<D: BlockDevice> Mutation<'_, D> {
-    /// See [`Lld::checkpoint`]; also called by the cleaner when its
+    /// See [`LldInner::checkpoint`]; also called by the cleaner when its
     /// candidate segments are not yet covered.
     pub(crate) fn checkpoint_inner(&mut self) -> Result<()> {
         debug_assert!(self.map.holds_all_shards_write());

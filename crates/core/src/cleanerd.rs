@@ -1,0 +1,508 @@
+//! The background cleaner thread ("cleanerd").
+//!
+//! The inline cleaner (see `cleaner.rs`) runs inside a *full* mutation
+//! session — every shard write-locked — so cleaning stalls all ARU
+//! traffic for the whole pass. `cleanerd` moves that work to a
+//! dedicated thread that:
+//!
+//! 1. **snapshots** victim candidates and their live-block sets under
+//!    the log mutex alone (and prefilters the sets under shard *read*
+//!    locks),
+//! 2. **prefetches** every victim block's data from the device with no
+//!    lock held at all — a sealed victim's bytes are immutable until
+//!    its slot is freed, and a slot freed-and-reused mid-read is caught
+//!    by the re-validation below, so slow media reads never extend any
+//!    lock hold time,
+//! 3. **relocates** the prefetched blocks in short *scoped* write-lock
+//!    windows, re-validating each block's mapping at relocation time
+//!    and skipping blocks mutated since the snapshot,
+//! 4. writes the **covering checkpoint** itself, and only then
+//! 5. **releases** victim slots (after re-validating, under the same
+//!    full session as the checkpoint, that each slot is sealed,
+//!    covered, and empty of live blocks).
+//!
+//! Foreground operations in disjoint shards keep committing while
+//! phases 1–3 run; only the checkpoint in phase 4 takes a full session,
+//! exactly as a foreground checkpoint would.
+//!
+//! Lifecycle is watermark-driven: segment rolls kick the thread when
+//! free segments drop below the *low watermark*
+//! (`cleaner.target_free_segments`), and space-consuming foreground
+//! operations briefly stall at the *high watermark*
+//! (`cleaner.backpressure_free_segments`) to let the thread catch up.
+//! The inline full-session cleaner remains the emergency fallback: a
+//! full session under `min_free_segments` still cleans inline, and a
+//! scoped roll that cannot kick a healthy cleanerd sets the
+//! `needs_clean` flag as before.
+//!
+//! Lock order (see docs/CLEANER.md for the full proof): the
+//! coordination state below is a leaf lock, never held while acquiring
+//! any mapping-layer or log lock, and the pass itself only ever uses
+//! the ordinary session types, so cleanerd obeys the canonical
+//! ARU-slots → shards → log hierarchy by construction.
+
+use crate::error::Result;
+use crate::lld::{Lld, LldInner};
+use crate::types::{BlockId, PhysAddr, SegmentId};
+use ld_disk::{BlockDevice, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the thread sleeps between watermark polls when nobody
+/// kicks it (also the retry cadence after a futile pass).
+const POLL: Duration = Duration::from_millis(100);
+
+/// Upper bound on one foreground stall at the backpressure gate.
+const STALL_MAX: Duration = Duration::from_millis(50);
+
+/// Most victims one pass will snapshot (bounds the memory and the
+/// relocation work of a single pass; further victims wait for the next
+/// pass).
+const MAX_VICTIMS_PER_PASS: usize = 64;
+
+/// Live blocks relocated per scoped write window: small enough that a
+/// window never holds its shard locks for long, large enough to
+/// amortize the session setup.
+const RELOC_BATCH: usize = 16;
+
+/// Coordination state of the background cleaner thread. A leaf lock:
+/// never held while acquiring any mapping-layer or log lock.
+#[derive(Debug, Default)]
+pub(crate) struct Cleanerd {
+    state: Mutex<CleanerdState>,
+    /// Foreground → cleanerd: free segments fell below a watermark.
+    wake: Condvar,
+    /// Cleanerd → foreground: a pass freed slots (or the thread died);
+    /// backpressure stalls re-check their predicate.
+    eased: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CleanerdState {
+    /// The thread is alive and accepting kicks.
+    running: bool,
+    /// Shutdown requested; the thread exits at the next loop head.
+    stop: bool,
+    /// Pending wake-ups (coalesced; cleared when the thread starts a
+    /// round).
+    kicks: u64,
+    /// The last pass freed nothing: the disk is genuinely near-full of
+    /// live data, so kicks and stalls are pointless until the periodic
+    /// poll observes progress again. The inline fallback takes over.
+    futile: bool,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Cleanerd {
+    pub(crate) fn new() -> Self {
+        Cleanerd::default()
+    }
+
+    /// Wakes the cleaner thread. Returns `false` when there is no
+    /// healthy thread to wake (not running, stopping, or known-futile),
+    /// in which case the caller falls back to inline cleaning.
+    pub(crate) fn kick(&self) -> bool {
+        let mut st = self.state.lock();
+        if !st.running || st.stop || st.futile {
+            return false;
+        }
+        st.kicks += 1;
+        self.wake.notify_one();
+        true
+    }
+
+    /// Requests shutdown and joins the thread. Idempotent; called from
+    /// `Lld::into_device` and `Drop for Lld`.
+    pub(crate) fn shutdown_and_join(&self) {
+        let handle = {
+            let mut st = self.state.lock();
+            st.stop = true;
+            self.wake.notify_all();
+            self.eased.notify_all();
+            st.handle.take()
+        };
+        if let Some(h) = handle {
+            // A panic on the cleaner thread has already poisoned the
+            // state it held; surfacing it here would only mask the
+            // original panic location.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the cleaner thread when the configuration asks for one.
+pub(crate) fn spawn_if_configured<D: BlockDevice + 'static>(ld: &Lld<D>) {
+    if !ld.cleaner_cfg.enabled || !ld.cleaner_cfg.background {
+        return;
+    }
+    // Mark running before the spawn so a kick arriving between the two
+    // is accepted rather than falling back to inline cleaning.
+    ld.cleanerd.state.lock().running = true;
+    let inner = ld.arc_inner();
+    let handle = std::thread::Builder::new()
+        .name("ld-cleanerd".into())
+        .spawn(move || cleanerd_main(&inner))
+        .expect("spawning the cleanerd thread failed");
+    ld.cleanerd.state.lock().handle = Some(handle);
+}
+
+/// One victim chosen by the snapshot phase.
+struct Victim {
+    slot: u32,
+    /// Log sequence number the slot held at snapshot time; relocation
+    /// windows and the release re-verify it, so a victim freed and
+    /// reused by the inline cleaner in the meantime is simply dropped.
+    seq: u64,
+    /// Resident blocks at snapshot time (prefiltered under shard read
+    /// locks to those still mapped into this victim), with their data
+    /// prefetched lock-free before the write windows.
+    blocks: Vec<(BlockId, PhysAddr, Vec<u8>)>,
+    /// The victim changed under us (re-sealed or freed); skip it.
+    lost: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PassOutcome {
+    freed: u32,
+    relocated: u64,
+    stale: u64,
+}
+
+fn cleanerd_main<D: BlockDevice>(ld: &LldInner<D>) {
+    let low_watermark = u64::from(ld.cleaner_cfg.target_free_segments);
+    let mut st = ld.cleanerd.state.lock();
+    loop {
+        if st.stop {
+            break;
+        }
+        if st.kicks == 0 {
+            let (g, _timed_out) = ld.cleanerd.wake.wait_timeout(st, POLL);
+            st = g;
+            if st.stop {
+                break;
+            }
+        }
+        st.kicks = 0;
+        drop(st);
+
+        let mut attempted = false;
+        let mut freed_any = false;
+        while ld.free_slots_hint.load(Ordering::Relaxed) < low_watermark {
+            if ld.cleanerd.state.lock().stop {
+                break;
+            }
+            if !attempted {
+                attempted = true;
+                ld.obs
+                    .cleaner_wake(ld.now(), ld.free_slots_hint.load(Ordering::Relaxed) as u32);
+            }
+            let outcome = run_pass(ld);
+            // Waiters re-check their predicate whether or not the pass
+            // made progress (a dead end must not strand them for the
+            // full stall bound).
+            ld.cleanerd.eased.notify_all();
+            match outcome {
+                Ok(o) if o.freed > 0 => freed_any = true,
+                // No progress (nothing to reclaim, or a device error):
+                // stop this round and let the periodic poll retry.
+                _ => break,
+            }
+        }
+
+        st = ld.cleanerd.state.lock();
+        if attempted {
+            st.futile = !freed_any;
+        } else if ld.free_slots_hint.load(Ordering::Relaxed) >= low_watermark {
+            // Headroom restored by foreground deletions / inline
+            // cleaning: accept kicks again.
+            st.futile = false;
+        }
+    }
+    st.running = false;
+    drop(st);
+    ld.cleanerd.eased.notify_all();
+}
+
+/// One background cleaning pass: snapshot → relocate → checkpoint →
+/// release.
+fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
+    let timer = ld.obs.timer();
+    ld.stats.cleaner_runs.inc();
+    ld.stats.cleaner_passes.inc();
+    let mut out = PassOutcome::default();
+
+    // Phase 1: victim snapshot under the log mutex alone. Victims are
+    // sealed, non-free slots, packed greedily by ascending live count
+    // so that several mostly-empty segments compact into (at most) one
+    // output segment's worth of relocated blocks.
+    let slots_cap = ld.layout.slots_per_segment();
+    let mut victims: Vec<Victim> = {
+        let log = ld.log.lock();
+        let builder_slot = log.builder.as_ref().map(|b| b.slot().get());
+        let mut cands: Vec<(u32, u32, u64)> = (0..ld.layout.n_segments)
+            .filter(|&s| {
+                Some(s) != builder_slot
+                    && !log.free_slots.contains(&s)
+                    && log.slot_seq[s as usize] != 0
+            })
+            .map(|s| (log.live_count[s as usize], s, log.slot_seq[s as usize]))
+            .collect();
+        cands.sort_unstable();
+        let mut out = Vec::new();
+        let mut total_live = 0u32;
+        for (live, slot, seq) in cands {
+            if !out.is_empty()
+                && (total_live + live > slots_cap || out.len() >= MAX_VICTIMS_PER_PASS)
+            {
+                break;
+            }
+            out.push(Victim {
+                slot,
+                seq,
+                blocks: log.residents[slot as usize]
+                    .iter()
+                    .map(|&id| {
+                        // Placeholder address; phase 2 fills in the real
+                        // committed address under the shard read locks.
+                        (
+                            id,
+                            PhysAddr {
+                                segment: SegmentId::new(slot),
+                                slot: 0,
+                            },
+                            Vec::new(),
+                        )
+                    })
+                    .collect(),
+                lost: false,
+            });
+            total_live += live;
+        }
+        out
+    };
+    if victims.is_empty() {
+        return Ok(out);
+    }
+
+    // Phase 2: prefilter each victim's resident set under shard *read*
+    // locks — record the committed address of every block still mapped
+    // into the victim, drop the rest. Foreground writers stay
+    // unblocked; anything that moves after this is caught by the
+    // re-validation inside the write windows.
+    for v in &mut victims {
+        if v.blocks.is_empty() {
+            continue;
+        }
+        let mut bits = 0u64;
+        for (id, _, _) in &v.blocks {
+            bits |= ld.maps.bit_of(id.get());
+        }
+        let view = ld.read_view(0, bits);
+        v.blocks.retain_mut(|(id, addr, _)| {
+            match view
+                .committed_view_block(*id)
+                .filter(|r| r.allocated)
+                .and_then(|r| r.addr)
+            {
+                Some(a) if a.segment.get() == v.slot => {
+                    *addr = a;
+                    true
+                }
+                _ => {
+                    out.stale += 1;
+                    false
+                }
+            }
+        });
+        v.blocks.sort_unstable_by_key(|(id, _, _)| id.get());
+    }
+
+    // Phase 3: prefetch every victim block's data with *no* lock held.
+    // Safe because a sealed slot's bytes never change while the slot is
+    // allocated; the only way they can change is the slot being freed
+    // and reused, which bumps `slot_seq` — and the write windows below
+    // re-verify the sequence number (and each block's committed
+    // address) before any prefetched byte is placed, so a torn or stale
+    // read is discarded, never relocated. Keeping media reads — the
+    // slow half of relocation on a real device — outside the windows is
+    // what makes them short.
+    for v in &mut victims {
+        for (_, addr, data) in &mut v.blocks {
+            data.resize(ld.layout.block_size, 0);
+            if ld
+                .device
+                .read_at(ld.layout.block_offset(*addr), data)
+                .is_err()
+            {
+                v.lost = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 4: relocate in short scoped write windows. Each window
+    // first re-verifies (under the log mutex, which then stays held for
+    // the rest of the window) that the victim still holds the
+    // snapshotted sealed segment, then re-validates every block's
+    // committed address before copying it forward. Unlike the inline
+    // cleaner, relocation keeps one slot in reserve (`reserve = 1`):
+    // the victims are released only in the final phase, so until then
+    // the pass is a space *consumer* and must never take the last slot
+    // — that slot stays available for deletions and the inline
+    // fallback.
+    let mut aborted = false;
+    for v in &mut victims {
+        if aborted || v.lost {
+            // An earlier window failed (device error or out of room),
+            // or this victim's prefetch failed: stop relocating, but
+            // still release any victims completed before the failure.
+            v.lost = true;
+            continue;
+        }
+        let mut lost = false;
+        for chunk in v.blocks.chunks(RELOC_BATCH) {
+            let mut bits = 0u64;
+            for (id, _, _) in chunk {
+                bits |= ld.maps.bit_of(id.get());
+            }
+            let window = ld.with_mutation_at(0, bits, |m| -> Result<bool> {
+                {
+                    let log = m.log();
+                    let s = v.slot as usize;
+                    if log.slot_seq[s] != v.seq || log.free_slots.contains(&v.slot) {
+                        return Ok(false);
+                    }
+                }
+                for (id, addr, data) in chunk {
+                    let ts = match m
+                        .map
+                        .committed_view_block(*id)
+                        .filter(|r| r.allocated && r.addr == Some(*addr))
+                    {
+                        Some(r) => r.ts,
+                        None => {
+                            out.stale += 1;
+                            continue;
+                        }
+                    };
+                    // Still mapped at the prefetched address, and the
+                    // victim still holds the snapshotted segment: the
+                    // prefetched bytes are the committed version.
+                    m.place_block_data(*id, data, ts, None, 1)?;
+                    out.relocated += 1;
+                    m.lld.stats.blocks_relocated.inc();
+                    m.lld.stats.cleaner_blocks_relocated.inc();
+                }
+                Ok(true)
+            });
+            ld.after_scoped();
+            match window {
+                Ok(true) => {}
+                Ok(false) => {
+                    lost = true;
+                    break;
+                }
+                Err(_) => {
+                    lost = true;
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        v.lost = lost;
+    }
+
+    // Final phases under one full session: the covering checkpoint
+    // (which seals the segment holding the relocation records, so they
+    // are on disk before any victim can be reused) and the release
+    // sweep. The sweep frees *every* sealed slot that is covered by the
+    // checkpoint and empty of live blocks — provably reclaimable
+    // whatever happened since the snapshot — which both releases our
+    // victims and picks up any other segment foreground deletions
+    // emptied.
+    if victims.iter().all(|v| v.lost) {
+        // Nothing to release; the relocation records (if any) seal with
+        // the normal segment stream.
+        ld.obs.cleaner_pass_done(
+            ld.now(),
+            ld.free_slots_hint.load(Ordering::Relaxed) as u32,
+            out.relocated,
+            timer,
+        );
+        return Ok(out);
+    }
+    out.freed = ld.with_mutation(|m| -> Result<u32> {
+        m.checkpoint_inner()?;
+        let mut freed = 0u32;
+        let log = m.log();
+        let builder_slot = log.builder.as_ref().map(|b| b.slot().get());
+        for s in 0..log.slot_seq.len() {
+            let seq = log.slot_seq[s];
+            let slot = s as u32;
+            if seq == 0
+                || seq > log.checkpoint_seq
+                || log.live_count[s] != 0
+                || !log.residents[s].is_empty()
+                || Some(slot) == builder_slot
+                || log.free_slots.contains(&slot)
+            {
+                continue;
+            }
+            log.slot_seq[s] = 0;
+            log.free_slots.insert(slot);
+            freed += 1;
+        }
+        m.sync_free_hint();
+        Ok(freed)
+    })?;
+
+    ld.stats.cleaner_stale_skips.add(out.stale);
+    ld.obs.cleaner_pass_done(
+        ld.now(),
+        ld.free_slots_hint.load(Ordering::Relaxed) as u32,
+        out.relocated,
+        timer,
+    );
+    Ok(out)
+}
+
+impl<D: BlockDevice> LldInner<D> {
+    /// High-watermark backpressure gate: called by space-consuming
+    /// public operations *before they take any locks*. When free
+    /// segments are at or below `cleaner.backpressure_free_segments`
+    /// and a healthy cleanerd is running, the caller kicks it and waits
+    /// (bounded) for a pass to free slots, so the operation proceeds
+    /// scoped instead of degrading to a full session with inline
+    /// cleaning.
+    pub(crate) fn cleaner_gate(&self) {
+        let cfg = &self.cleaner_cfg;
+        if !cfg.enabled || !cfg.background {
+            return;
+        }
+        let stall_at = u64::from(cfg.backpressure_free_segments);
+        if self.free_slots_hint.load(Ordering::Relaxed) > stall_at {
+            return;
+        }
+        let deadline = Instant::now() + STALL_MAX;
+        let mut st = self.cleanerd.state.lock();
+        if !st.running || st.stop || st.futile {
+            return;
+        }
+        st.kicks += 1;
+        self.cleanerd.wake.notify_one();
+        self.stats.backpressure_stalls.inc();
+        while self.free_slots_hint.load(Ordering::Relaxed) <= stall_at
+            && st.running
+            && !st.stop
+            && !st.futile
+        {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _) = self.cleanerd.eased.wait_timeout(st, deadline - now);
+            st = g;
+        }
+    }
+}

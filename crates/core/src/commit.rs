@@ -27,14 +27,14 @@
 use crate::aru::{Aru, ListOp};
 use crate::config::ConcurrencyMode;
 use crate::error::{LldError, Result};
-use crate::lld::{Lld, Mutation, StateRef};
+use crate::lld::{LldInner, Mutation, StateRef};
 use crate::shard::SCRATCH_ARU_RAW;
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, Position, Timestamp};
 use ld_disk::BlockDevice;
 use std::sync::atomic::Ordering;
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice> LldInner<D> {
     /// Commits an atomic recovery unit: all its operations become part
     /// of the committed state atomically, and will become persistent
     /// together (the commit record serializes the ARU at this point in
@@ -42,8 +42,8 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// Durability remains lazy: the unit survives a crash once the
     /// segment holding its commit record reaches disk (next
-    /// [`flush`](Lld::flush) / segment roll). Use
-    /// [`end_aru_sync`](Lld::end_aru_sync) to commit *and* wait for
+    /// [`flush`](LldInner::flush) / segment roll). Use
+    /// [`end_aru_sync`](LldInner::end_aru_sync) to commit *and* wait for
     /// durability.
     ///
     /// # Errors
@@ -58,6 +58,7 @@ impl<D: BlockDevice> Lld<D> {
     ///   (no commit record was written); flush-and-recover yields a
     ///   consistent state.
     pub fn end_aru(&self, id: AruId) -> Result<()> {
+        self.cleaner_gate();
         let timer = self.obs.timer();
         let raw = id.get();
         let res = match self.concurrency {

@@ -57,6 +57,27 @@ pub struct CleanerConfig {
     /// Whether the cleaner may run at all. With the cleaner disabled the
     /// disk simply reports [`LldError::DiskFull`] when the log wraps.
     pub enabled: bool,
+    /// Run cleaning on a dedicated background thread (`cleanerd`). The
+    /// thread wakes when the free-segment count drops below
+    /// `target_free_segments` (the low watermark), relocates live blocks
+    /// in short scoped write windows, writes the covering checkpoint
+    /// itself, and releases victim slots — all off the foreground
+    /// mutation path. The inline full-session cleaner remains as the
+    /// emergency fallback when the device is genuinely near-full. See
+    /// docs/CLEANER.md.
+    ///
+    /// The default honours the `LD_ARU_CLEANERD` environment variable
+    /// (`1`/`true`/`on`/`yes`, case-insensitive; CI uses it to run the
+    /// whole suite in background mode).
+    pub background: bool,
+    /// High-watermark backpressure threshold for background mode: when
+    /// the free-segment count is at or below this value, foreground
+    /// space-consuming operations briefly stall (bounded, ~50ms) to give
+    /// `cleanerd` a window to free slots before they fall back to full
+    /// sessions with inline cleaning. Must not exceed
+    /// `min_free_segments` when the cleaner is enabled. Ignored unless
+    /// `background` is set.
+    pub backpressure_free_segments: u32,
 }
 
 impl Default for CleanerConfig {
@@ -65,6 +86,8 @@ impl Default for CleanerConfig {
             min_free_segments: 3,
             target_free_segments: 6,
             enabled: true,
+            background: default_cleaner_background(),
+            backpressure_free_segments: 3,
         }
     }
 }
@@ -158,6 +181,17 @@ fn default_map_shards() -> usize {
         .unwrap_or(8)
 }
 
+fn default_cleaner_background() -> bool {
+    std::env::var("LD_ARU_CLEANERD")
+        .map(|v| {
+            let v = v.trim();
+            ["1", "true", "on", "yes"]
+                .iter()
+                .any(|t| v.eq_ignore_ascii_case(t))
+        })
+        .unwrap_or(false)
+}
+
 impl LldConfig {
     /// Validates the configuration.
     ///
@@ -191,6 +225,14 @@ impl LldConfig {
         if self.cleaner.target_free_segments < self.cleaner.min_free_segments {
             return Err(LldError::Config(
                 "cleaner.target_free_segments must be >= min_free_segments".into(),
+            ));
+        }
+        if self.cleaner.enabled
+            && self.cleaner.background
+            && self.cleaner.backpressure_free_segments > self.cleaner.min_free_segments
+        {
+            return Err(LldError::Config(
+                "cleaner.backpressure_free_segments must be <= min_free_segments".into(),
             ));
         }
         if !self.map_shards.is_power_of_two() || self.map_shards > MAX_MAP_SHARDS {
@@ -267,6 +309,20 @@ mod tests {
         c.cleaner.enabled = false;
         c.cleaner.min_free_segments = 0;
         c.cleaner.target_free_segments = 0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_backpressure_above_min() {
+        let mut c = LldConfig::default();
+        c.cleaner.background = true;
+        c.cleaner.backpressure_free_segments = c.cleaner.min_free_segments;
+        assert!(c.validate().is_ok());
+        c.cleaner.backpressure_free_segments = c.cleaner.min_free_segments + 1;
+        assert!(c.validate().is_err());
+        // Irrelevant when the cleaner is disabled.
+        c.cleaner.enabled = false;
+        c.cleaner.min_free_segments = 2;
         assert!(c.validate().is_ok());
     }
 

@@ -9,7 +9,7 @@
 //! durability invites.
 
 use crate::error::{LldError, Result};
-use crate::lld::Lld;
+use crate::lld::LldInner;
 use crate::types::AruId;
 use ld_disk::BlockDevice;
 use ld_disk::{Condvar, Mutex};
@@ -45,7 +45,7 @@ impl GroupCommit {
     }
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice> LldInner<D> {
     /// Makes all completed operations durable: seals the current
     /// segment (writing its summary) and barriers the device.
     ///
@@ -119,8 +119,8 @@ impl<D: BlockDevice> Lld<D> {
         res
     }
 
-    /// [`end_aru`](Lld::end_aru) followed by a group-committed
-    /// [`flush`](Lld::flush): on success the ARU's effects are durable,
+    /// [`end_aru`](LldInner::end_aru) followed by a group-committed
+    /// [`flush`](LldInner::flush): on success the ARU's effects are durable,
     /// not merely committed. Concurrent callers share one barrier.
     ///
     /// # Errors

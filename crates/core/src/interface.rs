@@ -4,7 +4,7 @@
 //! exchanged transparently, without changing applications".
 
 use crate::error::Result;
-use crate::lld::Lld;
+use crate::lld::{Lld, LldInner};
 use crate::obs::ObsSnapshot;
 use crate::types::{AruId, BlockId, Ctx, ListId, Position};
 use ld_disk::BlockDevice;
@@ -154,46 +154,46 @@ pub trait LogicalDisk {
 
 impl<D: BlockDevice> LogicalDisk for Lld<D> {
     fn begin_aru(&self) -> Result<AruId> {
-        Lld::begin_aru(self)
+        LldInner::begin_aru(self)
     }
     fn end_aru(&self, aru: AruId) -> Result<()> {
-        Lld::end_aru(self, aru)
+        LldInner::end_aru(self, aru)
     }
     fn abort_aru(&self, aru: AruId) -> Result<()> {
-        Lld::abort_aru(self, aru)
+        LldInner::abort_aru(self, aru)
     }
     fn new_list(&self, ctx: Ctx) -> Result<ListId> {
-        Lld::new_list(self, ctx)
+        LldInner::new_list(self, ctx)
     }
     fn delete_list(&self, ctx: Ctx, list: ListId) -> Result<()> {
-        Lld::delete_list(self, ctx, list)
+        LldInner::delete_list(self, ctx, list)
     }
     fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
-        Lld::new_block(self, ctx, list, pos)
+        LldInner::new_block(self, ctx, list, pos)
     }
     fn delete_block(&self, ctx: Ctx, block: BlockId) -> Result<()> {
-        Lld::delete_block(self, ctx, block)
+        LldInner::delete_block(self, ctx, block)
     }
     fn write(&self, ctx: Ctx, block: BlockId, data: &[u8]) -> Result<()> {
-        Lld::write(self, ctx, block, data)
+        LldInner::write(self, ctx, block, data)
     }
     fn read(&self, ctx: Ctx, block: BlockId, buf: &mut [u8]) -> Result<()> {
-        Lld::read(self, ctx, block, buf)
+        LldInner::read(self, ctx, block, buf)
     }
     fn list_blocks(&self, ctx: Ctx, list: ListId) -> Result<Vec<BlockId>> {
-        Lld::list_blocks(self, ctx, list)
+        LldInner::list_blocks(self, ctx, list)
     }
     fn flush(&self) -> Result<()> {
-        Lld::flush(self)
+        LldInner::flush(self)
     }
     fn end_aru_sync(&self, aru: AruId) -> Result<()> {
-        Lld::end_aru_sync(self, aru)
+        LldInner::end_aru_sync(self, aru)
     }
     fn block_size(&self) -> usize {
-        Lld::block_size(self)
+        LldInner::block_size(self)
     }
     fn obs_snapshot(&self) -> Option<ObsSnapshot> {
-        Some(Lld::obs_snapshot(self))
+        Some(LldInner::obs_snapshot(self))
     }
 }
 

@@ -65,6 +65,7 @@ mod cache;
 mod check;
 mod checkpoint;
 mod cleaner;
+mod cleanerd;
 mod commit;
 mod config;
 mod error;
@@ -87,7 +88,7 @@ pub use config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 pub use error::{LldError, Result};
 pub use interface::LogicalDisk;
 pub use layout::Layout;
-pub use lld::Lld;
+pub use lld::{Lld, LldInner};
 pub use obs::{
     AruSpan, Obs, ObsConfig, ObsSnapshot, SpanOutcome, TraceEntry, TraceEvent, TraceRing,
 };

@@ -14,6 +14,7 @@
 //! each lock protects.
 
 use crate::cache::BlockCache;
+use crate::cleanerd::Cleanerd;
 use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 use crate::error::{LldError, Result};
 use crate::gc::GroupCommit;
@@ -29,7 +30,7 @@ use ld_disk::BlockDevice;
 use ld_disk::Mutex;
 use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::MutexGuard;
+use std::sync::{Arc, MutexGuard};
 
 pub(crate) use crate::shard::{ShardLockStats, StateRef};
 
@@ -127,6 +128,68 @@ impl LogState {
 /// ```
 #[derive(Debug)]
 pub struct Lld<D> {
+    /// Shared with the background cleaner thread (when enabled); `None`
+    /// only after [`into_device`](Lld::into_device) took the state out.
+    inner: Option<Arc<LldInner<D>>>,
+}
+
+impl<D> std::ops::Deref for Lld<D> {
+    type Target = LldInner<D>;
+    fn deref(&self) -> &LldInner<D> {
+        self.inner.as_ref().expect("logical disk already consumed")
+    }
+}
+
+impl<D> Drop for Lld<D> {
+    /// Stops and joins the background cleaner thread, if one is running.
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.cleanerd.shutdown_and_join();
+        }
+    }
+}
+
+impl<D> Lld<D> {
+    /// Wraps freshly built shared state (format / recovery).
+    pub(crate) fn from_inner(inner: LldInner<D>) -> Self {
+        Lld {
+            inner: Some(Arc::new(inner)),
+        }
+    }
+
+    /// Clones the shared-state handle (the background cleaner thread
+    /// holds one of these).
+    pub(crate) fn arc_inner(&self) -> Arc<LldInner<D>> {
+        self.inner
+            .as_ref()
+            .expect("logical disk already consumed")
+            .clone()
+    }
+
+    /// Consumes the logical disk and returns the device. Un-flushed
+    /// committed state is *not* written; this models a crash. The
+    /// background cleaner thread, if running, is stopped and joined
+    /// first.
+    pub fn into_device(mut self) -> D {
+        let inner = self.inner.take().expect("logical disk already consumed");
+        inner.cleanerd.shutdown_and_join();
+        // After the join the cleaner's handle clone is gone, so this
+        // session holds the only reference.
+        match Arc::try_unwrap(inner) {
+            Ok(inner) => inner.device,
+            Err(_) => unreachable!("outstanding references to the logical disk"),
+        }
+    }
+}
+
+/// The shared state and implementation behind [`Lld`].
+///
+/// Every public handle (`Lld`) dereferences to one of these; the
+/// background cleaner thread holds its own `Arc` to the same state. All
+/// operations documented on [`Lld`] live here and are reached through
+/// auto-deref.
+#[derive(Debug)]
+pub struct LldInner<D> {
     pub(crate) device: D,
     pub(crate) layout: Layout,
     pub(crate) concurrency: ConcurrencyMode,
@@ -153,10 +216,13 @@ pub struct Lld<D> {
     /// needed.
     pub(crate) free_slots_hint: AtomicU64,
     /// Set by a scoped session whose segment roll found free segments
-    /// scarce; drained by [`after_scoped`](Lld::after_scoped).
+    /// scarce; drained by [`after_scoped`](LldInner::after_scoped).
     pub(crate) needs_clean: AtomicBool,
     pub(crate) stats: StatsCell,
     pub(crate) obs: Obs,
+    /// Coordination state of the background cleaner thread (a leaf
+    /// lock: never held while acquiring any mapping-layer or log lock).
+    pub(crate) cleanerd: Cleanerd,
 }
 
 /// An exclusive mutation session: a set of ARU slots and map shards
@@ -164,24 +230,27 @@ pub struct Lld<D> {
 /// mutex, acquired lazily on first use.
 ///
 /// Every operation that changes the mapping or the log runs inside one
-/// of these — a *full* session ([`Lld::with_mutation`]) holding every
-/// slot and shard, or a *scoped* one ([`Lld::with_mutation_at`])
-/// holding only the shards its identifiers hash to. The helpers below
-/// are the single-threaded core of the disk, unchanged in spirit from
-/// the paper's prototype — the session simply makes the exclusivity
-/// explicit.
+/// of these — a *full* session ([`LldInner::with_mutation`]) holding
+/// every slot and shard, or a *scoped* one
+/// ([`LldInner::with_mutation_at`]) holding only the shards its
+/// identifiers hash to. The helpers below are the single-threaded core
+/// of the disk, unchanged in spirit from the paper's prototype — the
+/// session simply makes the exclusivity explicit.
 pub(crate) struct Mutation<'a, D> {
-    pub(crate) lld: &'a Lld<D>,
+    pub(crate) lld: &'a LldInner<D>,
     pub(crate) map: MapView<'a>,
     pub(crate) log_guard: Option<MutexGuard<'a, LogState>>,
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice + 'static> Lld<D> {
     /// Formats `device` as a fresh, empty logical disk.
     ///
     /// Existing segment headers and checkpoints on the device are
     /// invalidated so that recovery can never resurrect state from a
     /// previous format.
+    ///
+    /// When `config.cleaner.background` is set the background cleaner
+    /// thread is started (see docs/CLEANER.md).
     ///
     /// # Errors
     ///
@@ -204,7 +273,7 @@ impl<D: BlockDevice> Lld<D> {
         device.flush()?;
 
         let n = layout.n_segments as usize;
-        let ld = Lld {
+        let ld = Lld::from_inner(LldInner {
             device,
             layout,
             concurrency: config.concurrency,
@@ -219,11 +288,15 @@ impl<D: BlockDevice> Lld<D> {
             needs_clean: AtomicBool::new(false),
             stats: StatsCell::default(),
             obs: Obs::new(config.obs),
-        };
+            cleanerd: Cleanerd::new(),
+        });
         ld.with_mutation(|m| m.open_segment(0))?;
+        crate::cleanerd::spawn_if_configured(&ld);
         Ok(ld)
     }
+}
 
+impl<D: BlockDevice> LldInner<D> {
     /// Runs `f` in a *full* mutation session: every ARU slot and every
     /// map shard locked exclusively, in the canonical order.
     pub(crate) fn with_mutation<T>(&self, f: impl FnOnce(&mut Mutation<'_, D>) -> T) -> T {
@@ -243,8 +316,8 @@ impl<D: BlockDevice> Lld<D> {
     /// slots in `aru_set` and the map shards in `shard_set` (bitmasks;
     /// both acquired ascending, slots before shards). The caller is
     /// responsible for covering every identifier the operation touches
-    /// and for calling [`after_scoped`](Lld::after_scoped) once the
-    /// session's locks are released.
+    /// and for calling [`after_scoped`](LldInner::after_scoped) once
+    /// the session's locks are released.
     pub(crate) fn with_mutation_at<T>(
         &self,
         aru_set: u64,
@@ -426,12 +499,6 @@ impl<D: BlockDevice> Lld<D> {
         &self.device
     }
 
-    /// Consumes the logical disk and returns the device. Un-flushed
-    /// committed state is *not* written; this models a crash.
-    pub fn into_device(self) -> D {
-        self.device
-    }
-
     /// A copy of the committed-state record of `block`, if allocated.
     pub fn block_info(&self, block: BlockId) -> Option<BlockRecord> {
         let view = self.read_view(0, self.maps.bit_of(block.get()));
@@ -509,6 +576,13 @@ impl<D: BlockDevice> Lld<D> {
         Layout::decode_superblock(&buf)
     }
 
+    /// Whether this disk runs the background cleaner thread.
+    pub fn cleaner_background(&self) -> bool {
+        self.cleaner_cfg.enabled && self.cleaner_cfg.background
+    }
+}
+
+impl<D: BlockDevice> Lld<D> {
     /// Probes a formatted device without recovering it: returns the
     /// layout and the semantic modes stored in the superblock.
     ///
@@ -517,7 +591,7 @@ impl<D: BlockDevice> Lld<D> {
     /// [`LldError::Corrupt`] if the device holds no valid superblock;
     /// device errors.
     pub fn probe(device: &D) -> Result<(Layout, ConcurrencyMode, ReadVisibility)> {
-        Self::read_superblock(device)
+        LldInner::read_superblock(device)
     }
 }
 
@@ -942,23 +1016,30 @@ impl<'a, D: BlockDevice> Mutation<'a, D> {
     /// Seals and writes the current segment (if it has content) and
     /// opens a new one. When free segments are scarce, a full session
     /// runs the cleaner inline; a scoped session cannot (the cleaner
-    /// touches every shard) and instead flags
-    /// [`Lld::after_scoped`] to run it once the session's locks drop.
+    /// touches every shard) and instead wakes the background cleaner
+    /// thread, falling back to flagging
+    /// [`LldInner::after_scoped`] when no (healthy) cleanerd is
+    /// running.
     pub(crate) fn roll_segment(&mut self, reserve: usize) -> Result<()> {
         let had_content = self.seal_current()?;
         if self.log().builder.is_none() {
             self.open_segment(reserve)?;
         }
-        if had_content
-            && self.lld.cleaner_cfg.enabled
-            && (self.log().free_slots.len() as u32) < self.lld.cleaner_cfg.min_free_segments
-        {
-            if self.map.holds_all_shards_write() {
-                if !self.log().cleaning {
-                    self.run_cleaner_inner()?;
+        if had_content && self.lld.cleaner_cfg.enabled {
+            let free = self.log().free_slots.len() as u32;
+            if free < self.lld.cleaner_cfg.min_free_segments {
+                if self.map.holds_all_shards_write() {
+                    if !self.log().cleaning {
+                        self.run_cleaner_inner()?;
+                    }
+                } else if !self.lld.cleanerd.kick() {
+                    self.lld.needs_clean.store(true, Ordering::Relaxed);
                 }
-            } else {
-                self.lld.needs_clean.store(true, Ordering::Relaxed);
+            } else if free < self.lld.cleaner_cfg.target_free_segments {
+                // Low watermark: wake cleanerd early, while there is
+                // still headroom, so foreground operations never reach
+                // the full-session fallback at all.
+                let _ = self.lld.cleanerd.kick();
             }
         }
         Ok(())

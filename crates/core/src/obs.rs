@@ -128,6 +128,12 @@ pub enum TraceEvent {
         /// seal + barrier.
         batch: u64,
     },
+    /// The background cleaner thread woke with cleaning work (free
+    /// segments below the low watermark).
+    CleanerWake {
+        /// Free segment slots at wake-up.
+        free_segments: u32,
+    },
     /// The cleaner finished a pass.
     CleanerPass {
         /// Free segment slots after the pass.
@@ -164,6 +170,7 @@ impl TraceEvent {
             TraceEvent::SegmentSeal { .. } => "segment_seal",
             TraceEvent::Flush { .. } => "flush",
             TraceEvent::GroupCommit { .. } => "group_commit",
+            TraceEvent::CleanerWake { .. } => "cleaner_wake",
             TraceEvent::CleanerPass { .. } => "cleaner_pass",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::RecoveryScan { .. } => "recovery_scan",
@@ -345,6 +352,7 @@ pub struct Obs {
     flush: LatencyHistogram,
     group_commit_batch: LatencyHistogram,
     aru_shard_spread: LatencyHistogram,
+    cleaner_pass: LatencyHistogram,
     spans: Mutex<SpanTable>,
     recovery: Mutex<Option<RecoveryReport>>,
 }
@@ -361,6 +369,7 @@ impl Obs {
             flush: LatencyHistogram::new(),
             group_commit_batch: LatencyHistogram::new(),
             aru_shard_spread: LatencyHistogram::new(),
+            cleaner_pass: LatencyHistogram::new(),
             spans: Mutex::new(SpanTable::default()),
             recovery: Mutex::new(None),
         }
@@ -449,6 +458,35 @@ impl Obs {
         if self.cfg.enabled {
             self.aru_shard_spread.record(n);
         }
+    }
+
+    /// The background cleaner thread woke below the low watermark.
+    pub(crate) fn cleaner_wake(&self, ts: u64, free_segments: u32) {
+        self.event(ts, TraceEvent::CleanerWake { free_segments });
+    }
+
+    /// Completes one timed background cleaner pass: records the pass
+    /// duration (into the `cleaner_pass_ns` histogram) and the event.
+    pub(crate) fn cleaner_pass_done(
+        &self,
+        ts: u64,
+        free_segments: u32,
+        blocks_relocated: u64,
+        timer: Option<Instant>,
+    ) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.cleaner_pass.record(n);
+        }
+        self.ring.record(
+            ts,
+            TraceEvent::CleanerPass {
+                free_segments,
+                blocks_relocated,
+            },
+        );
     }
 
     // ---- ARU lifecycle -----------------------------------------------
@@ -593,8 +631,9 @@ impl Obs {
     }
 
     /// Snapshot of the LLD-layer histograms as `(name, snapshot)`
-    /// pairs: `lld_read`, `lld_write`, `end_aru`, `flush` (latencies in
-    /// nanoseconds), `group_commit_batch` (batch sizes, not times), and
+    /// pairs: `lld_read`, `lld_write`, `end_aru`, `flush`,
+    /// `cleaner_pass_ns` (latencies in nanoseconds),
+    /// `group_commit_batch` (batch sizes, not times), and
     /// `aru_shard_spread` (map shards touched per concurrent commit).
     pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
         vec![
@@ -604,6 +643,7 @@ impl Obs {
             ("flush", self.flush.snapshot()),
             ("group_commit_batch", self.group_commit_batch.snapshot()),
             ("aru_shard_spread", self.aru_shard_spread.snapshot()),
+            ("cleaner_pass_ns", self.cleaner_pass.snapshot()),
         ]
     }
 }
@@ -718,6 +758,10 @@ fn lld_stats_json(s: &LldStats) -> String {
     o.u64("data_blocks_written", s.data_blocks_written);
     o.u64("blocks_relocated", s.blocks_relocated);
     o.u64("cleaner_runs", s.cleaner_runs);
+    o.u64("cleaner_passes", s.cleaner_passes);
+    o.u64("cleaner_blocks_relocated", s.cleaner_blocks_relocated);
+    o.u64("cleaner_stale_skips", s.cleaner_stale_skips);
+    o.u64("backpressure_stalls", s.backpressure_stalls);
     o.u64("checkpoints", s.checkpoints);
     o.u64("list_walk_steps", s.list_walk_steps);
     o.u64("shadow_cow_records", s.shadow_cow_records);
@@ -814,6 +858,9 @@ fn trace_entry_json(e: &TraceEntry) -> String {
         TraceEvent::GroupCommit { batch } => {
             o.u64("batch", batch);
         }
+        TraceEvent::CleanerWake { free_segments } => {
+            o.u64("free_segments", free_segments as u64);
+        }
         TraceEvent::CleanerPass {
             free_segments,
             blocks_relocated,
@@ -892,6 +939,10 @@ impl fmt::Display for ObsSnapshot {
             ("data_blocks_written", s.data_blocks_written),
             ("blocks_relocated", s.blocks_relocated),
             ("cleaner_runs", s.cleaner_runs),
+            ("cleaner_passes", s.cleaner_passes),
+            ("cleaner_blocks_relocated", s.cleaner_blocks_relocated),
+            ("cleaner_stale_skips", s.cleaner_stale_skips),
+            ("backpressure_stalls", s.backpressure_stalls),
             ("checkpoints", s.checkpoints),
             ("list_walk_steps", s.list_walk_steps),
             ("shadow_cow_records", s.shadow_cow_records),

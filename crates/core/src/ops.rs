@@ -25,7 +25,7 @@
 use crate::aru::{Aru, ListOp};
 use crate::config::{ConcurrencyMode, ReadVisibility};
 use crate::error::{LldError, Result};
-use crate::lld::{Lld, Mutation, StateRef};
+use crate::lld::{LldInner, Mutation, StateRef};
 use crate::shard::{MapView, WalkOutcome};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, Ctx, ListId, PhysAddr, Position, Timestamp};
@@ -53,7 +53,7 @@ enum DataSource {
     Zeros,
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice> LldInner<D> {
     fn stream_of(&self, map: &MapView<'_>, ctx: Ctx) -> Result<Stream> {
         match ctx {
             Ctx::Simple => Ok(Stream::Merged(None)),
@@ -133,6 +133,7 @@ impl<D: BlockDevice> Lld<D> {
     /// [`LldError::UnknownAru`] for a dead context;
     /// [`LldError::DiskFull`] at the allocation limit.
     pub fn new_list(&self, ctx: Ctx) -> Result<ListId> {
+        self.cleaner_gate();
         let shard = self.maps.pick_list_shard();
         if self.scoped_ok() {
             let res = self.with_mutation_at(self.ctx_aru_set(ctx), 1u64 << shard, |m| {
@@ -177,6 +178,7 @@ impl<D: BlockDevice> Lld<D> {
     /// invalid in the operation's state; [`LldError::DiskFull`] at the
     /// allocation limit.
     pub fn new_block(&self, ctx: Ctx, list: ListId, pos: Position) -> Result<BlockId> {
+        self.cleaner_gate();
         if self.scoped_ok() {
             let mut set = self.maps.bit_of(list.get());
             if let Position::After(p) = pos {
@@ -225,6 +227,7 @@ impl<D: BlockDevice> Lld<D> {
                 expected: self.layout.block_size,
             });
         }
+        self.cleaner_gate();
         let timer = self.obs.timer();
         let res = if self.scoped_ok() {
             let r =
@@ -382,7 +385,7 @@ impl<D: BlockDevice> Lld<D> {
     /// Returns the blocks of `list` in order, as visible to `ctx` under
     /// the configured read visibility.
     ///
-    /// Like [`read`](Lld::read), holds only shared access — initially
+    /// Like [`read`](LldInner::read), holds only shared access — initially
     /// to the list's own shard. If the walk reaches a block on another
     /// shard, the view is dropped and re-acquired over all shards (one
     /// escalation at most, counted in `walk_escalations`).

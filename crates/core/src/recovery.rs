@@ -16,11 +16,12 @@
 
 use crate::aru::ListOp;
 use crate::checkpoint;
+use crate::cleanerd::Cleanerd;
 use crate::config::{LldConfig, MAX_MAP_SHARDS};
 use crate::error::{LldError, Result};
 use crate::gc::GroupCommit;
 use crate::layout::Layout;
-use crate::lld::{Lld, LogState, Mutation, StateRef};
+use crate::lld::{Lld, LldInner, LogState, Mutation, StateRef};
 use crate::obs::Obs;
 use crate::segment::{scan_segment, SegmentInfo, SegmentScan};
 use crate::shard::Maps;
@@ -62,7 +63,7 @@ pub struct RecoveryReport {
     pub orphan_blocks_freed: usize,
 }
 
-impl<D: BlockDevice> Lld<D> {
+impl<D: BlockDevice + 'static> Lld<D> {
     /// Recovers a logical disk from `device`, using the semantic modes
     /// stored in its superblock and default runtime options.
     ///
@@ -71,7 +72,7 @@ impl<D: BlockDevice> Lld<D> {
     /// [`LldError::Corrupt`] if the device holds no valid superblock or
     /// the log is internally inconsistent; device errors.
     pub fn recover(device: D) -> Result<(Self, RecoveryReport)> {
-        let (layout, concurrency, visibility) = Self::read_superblock(&device)?;
+        let (layout, concurrency, visibility) = LldInner::read_superblock(&device)?;
         let config = LldConfig {
             block_size: layout.block_size,
             segment_bytes: layout.segment_bytes,
@@ -91,7 +92,7 @@ impl<D: BlockDevice> Lld<D> {
     ///
     /// As for [`Lld::recover`].
     pub fn recover_with(device: D, config: &LldConfig) -> Result<(Self, RecoveryReport)> {
-        let (layout, _, _) = Self::read_superblock(&device)?;
+        let (layout, _, _) = LldInner::read_superblock(&device)?;
         Self::recover_inner(device, layout, config.clone())
     }
 
@@ -140,7 +141,7 @@ impl<D: BlockDevice> Lld<D> {
         log.checkpoint_seq = ckpt_seq;
         log.ckpt_use_b = use_b_next;
 
-        let ld = Lld {
+        let ld = Lld::from_inner(LldInner {
             device,
             layout,
             concurrency: config.concurrency,
@@ -155,7 +156,8 @@ impl<D: BlockDevice> Lld<D> {
             needs_clean: AtomicBool::new(false),
             stats: Default::default(),
             obs: Obs::new(config.obs),
-        };
+            cleanerd: Cleanerd::new(),
+        });
 
         ld.with_mutation(|m| -> Result<()> {
             // Initialise live-block accounting from the checkpoint tables.
@@ -281,6 +283,7 @@ impl<D: BlockDevice> Lld<D> {
             report.orphan_blocks_freed = check.orphan_blocks_freed.len();
         }
         ld.obs.recovery_done(ld.now(), &report);
+        crate::cleanerd::spawn_if_configured(&ld);
         Ok((ld, report))
     }
 }

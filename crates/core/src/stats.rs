@@ -45,8 +45,21 @@ pub struct LldStats {
     pub data_blocks_written: u64,
     /// Blocks copied forward by the segment cleaner.
     pub blocks_relocated: u64,
-    /// Cleaner invocations.
+    /// Cleaner invocations: inline full-session runs plus background
+    /// cleaner (`cleanerd`) passes.
     pub cleaner_runs: u64,
+    /// Background cleaner (`cleanerd`) passes only.
+    pub cleaner_passes: u64,
+    /// Blocks copied forward by background cleaner passes (a subset of
+    /// `blocks_relocated`).
+    pub cleaner_blocks_relocated: u64,
+    /// Snapshot candidates the background cleaner skipped because their
+    /// mapping changed between the victim snapshot and the relocation
+    /// window (the revalidation rule; see docs/CLEANER.md).
+    pub cleaner_stale_skips: u64,
+    /// Foreground operations that briefly stalled at the high-watermark
+    /// backpressure gate to let the background cleaner free slots.
+    pub backpressure_stalls: u64,
     /// Checkpoints written.
     pub checkpoints: u64,
     /// Steps taken walking lists to find predecessors or members.
@@ -151,6 +164,10 @@ pub(crate) struct StatsCell {
     pub(crate) data_blocks_written: Counter,
     pub(crate) blocks_relocated: Counter,
     pub(crate) cleaner_runs: Counter,
+    pub(crate) cleaner_passes: Counter,
+    pub(crate) cleaner_blocks_relocated: Counter,
+    pub(crate) cleaner_stale_skips: Counter,
+    pub(crate) backpressure_stalls: Counter,
     pub(crate) checkpoints: Counter,
     pub(crate) list_walk_steps: Counter,
     pub(crate) shadow_cow_records: Counter,
@@ -188,6 +205,10 @@ impl StatsCell {
             data_blocks_written: self.data_blocks_written.get(),
             blocks_relocated: self.blocks_relocated.get(),
             cleaner_runs: self.cleaner_runs.get(),
+            cleaner_passes: self.cleaner_passes.get(),
+            cleaner_blocks_relocated: self.cleaner_blocks_relocated.get(),
+            cleaner_stale_skips: self.cleaner_stale_skips.get(),
+            backpressure_stalls: self.backpressure_stalls.get(),
             checkpoints: self.checkpoints.get(),
             list_walk_steps: self.list_walk_steps.get(),
             shadow_cow_records: self.shadow_cow_records.get(),
@@ -225,6 +246,10 @@ impl StatsCell {
             data_blocks_written,
             blocks_relocated,
             cleaner_runs,
+            cleaner_passes,
+            cleaner_blocks_relocated,
+            cleaner_stale_skips,
+            backpressure_stalls,
             checkpoints,
             list_walk_steps,
             shadow_cow_records,
@@ -259,6 +284,10 @@ impl StatsCell {
             data_blocks_written,
             blocks_relocated,
             cleaner_runs,
+            cleaner_passes,
+            cleaner_blocks_relocated,
+            cleaner_stale_skips,
+            backpressure_stalls,
             checkpoints,
             list_walk_steps,
             shadow_cow_records,

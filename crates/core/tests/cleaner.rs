@@ -170,6 +170,53 @@ fn manual_checkpoint_then_clean_reuses_dead_segments() {
     assert_eq!(buf, block(39));
 }
 
+/// Regression for the sync-commit packing limit: a durability-heavy
+/// workload seals a nearly-empty paper-scale segment per commit (two
+/// 4 KB blocks in 0.5 MB), so after one log wrap almost every slot
+/// holds a sealed segment with a couple of live blocks. A cleaner that
+/// relocates one victim per sealed output frees one slot per slot
+/// consumed — zero net progress — and the disk wrongly reports
+/// `DiskFull` after ~900 commits. Packing several such victims into one
+/// output segment must keep this workload running indefinitely.
+#[test]
+fn sync_commit_storm_compacts_without_disk_full() {
+    let cfg = LldConfig {
+        block_size: 4096,
+        segment_bytes: 512 * 1024,
+        max_blocks: Some(4096),
+        max_lists: Some(2048),
+        ..LldConfig::default()
+    };
+    // ~34 MB: superblock + checkpoint areas + ~60 paper-scale segments.
+    let ld = Lld::format(MemDisk::new(34 << 20), &cfg).unwrap();
+    let mut lists = Vec::new();
+    for i in 0..950u32 {
+        let aru = ld.begin_aru().unwrap();
+        let l = ld.new_list(Ctx::Aru(aru)).unwrap();
+        let b0 = ld.new_block(Ctx::Aru(aru), l, Position::First).unwrap();
+        let b1 = ld.new_block(Ctx::Aru(aru), l, Position::After(b0)).unwrap();
+        let byte = (i % 251) as u8;
+        ld.write(Ctx::Aru(aru), b0, &vec![byte; 4096]).unwrap();
+        ld.write(Ctx::Aru(aru), b1, &vec![byte; 4096]).unwrap();
+        ld.end_aru_sync(aru)
+            .unwrap_or_else(|e| panic!("sync commit {i} failed: {e}"));
+        lists.push((l, b0, b1, byte));
+    }
+    let stats = ld.stats();
+    assert!(stats.cleaner_runs > 0, "cleaner never ran");
+    assert!(stats.blocks_relocated > 0, "nothing was relocated");
+    // Spot-check early commits: their blocks went through several
+    // relocations and must still read back intact.
+    for &(l, b0, b1, byte) in lists.iter().step_by(97) {
+        assert_eq!(ld.list_blocks(Ctx::Simple, l).unwrap(), vec![b0, b1]);
+        let mut buf = vec![0u8; 4096];
+        ld.read(Ctx::Simple, b0, &mut buf).unwrap();
+        assert_eq!(buf, vec![byte; 4096]);
+        ld.read(Ctx::Simple, b1, &mut buf).unwrap();
+        assert_eq!(buf, vec![byte; 4096]);
+    }
+}
+
 #[test]
 fn crash_during_cleaning_era_recovers_current_state() {
     // Sweep crash points through a workload that keeps the cleaner

@@ -127,6 +127,28 @@ impl Condvar {
             .expect("mutex poisoned: a holder panicked")
     }
 
+    /// Blocks until notified or `dur` elapses, releasing the guard while
+    /// waiting. Returns the reacquired guard and whether the wait timed
+    /// out (`true` means `dur` elapsed without a notification).
+    ///
+    /// Spurious wakeups are possible; callers re-check their predicate
+    /// in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associated mutex was poisoned.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) = self
+            .0
+            .wait_timeout(guard, dur)
+            .expect("mutex poisoned: a holder panicked");
+        (guard, res.timed_out())
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -188,6 +210,35 @@ mod tests {
         let mut l = std::sync::Arc::try_unwrap(l).unwrap();
         *l.get_mut() += 1;
         assert_eq!(l.into_inner(), 2001);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out_and_wakes() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody notifies: the wait must time out.
+        {
+            let (m, cv) = &*pair;
+            let g = m.lock();
+            let (g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(5));
+            assert!(timed_out);
+            assert!(!*g);
+        }
+        // A notification before the deadline wakes the waiter.
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                let (g, _) = cv.wait_timeout(ready, std::time::Duration::from_secs(30));
+                ready = g;
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum MtMode {
     /// shard, so every writer contends on that single shard — the
     /// worst case, where sharding cannot help.
     HotShard,
+    /// Each thread rewrites the pre-allocated blocks of its own private
+    /// list, over and over. The live working set stays tiny while every
+    /// ARU turns its previous versions into dead blocks, so on a small
+    /// device the log wraps continuously and the segment cleaner runs
+    /// throughout — the workload for comparing the inline cleaner
+    /// against the background `cleanerd`.
+    Churn,
 }
 
 /// N threads, each committing a stream of small ARUs.
@@ -95,6 +102,7 @@ impl MtWorkload {
         match self.mode {
             MtMode::Disjoint => self.run_disjoint(ld),
             MtMode::HotShard => self.run_hot(ld),
+            MtMode::Churn => self.run_churn(ld),
         }
     }
 
@@ -218,6 +226,83 @@ impl MtWorkload {
         ld.flush()?;
         Ok(total)
     }
+
+    /// The overwrite-churn variant: each thread gets a private list
+    /// pre-built with a pool of `4 * blocks_per_aru` blocks (lists
+    /// spread round-robin across the map shards), and every ARU
+    /// rewrites the next `blocks_per_aru` of them round-robin.
+    /// Rotating through a pool — rather than hammering the same pair —
+    /// means each version stays live for several ARUs, so sealed
+    /// segments hold a mix of live and dead blocks and the segment
+    /// cleaner has real relocation work to do on every pass, not just
+    /// free-for-the-taking dead segments.
+    fn run_churn<L: LogicalDisk + Sync>(&self, ld: &L) -> Result<MtReport> {
+        let block_size = ld.block_size();
+        let pool = 4 * self.blocks_per_aru;
+        let mut sets = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let list = ld.new_list(Ctx::Simple)?;
+            let mut mine = Vec::with_capacity(pool);
+            let mut prev = None;
+            for _ in 0..pool {
+                let pos = match prev {
+                    None => Position::First,
+                    Some(p) => Position::After(p),
+                };
+                let b = ld.new_block(Ctx::Simple, list, pos)?;
+                mine.push(b);
+                prev = Some(b);
+            }
+            sets.push(mine);
+        }
+        let results: Vec<Result<MtReport>> = std::thread::scope(|s| {
+            let handles: Vec<_> = sets
+                .iter()
+                .enumerate()
+                .map(|(t, mine)| {
+                    s.spawn(move || -> Result<MtReport> {
+                        let mut data = vec![0u8; block_size];
+                        let mut report = MtReport::default();
+                        for i in 0..self.arus_per_thread {
+                            let tag = self
+                                .seed
+                                .wrapping_mul(0x0010_0000_000F)
+                                .wrapping_add((t * 1_000_003 + i) as u64);
+                            let aru = ld.begin_aru()?;
+                            for b in 0..self.blocks_per_aru {
+                                let blk = mine[(i * self.blocks_per_aru + b) % pool];
+                                pattern_fill(&mut data, tag ^ (b as u64) << 48);
+                                ld.write(Ctx::Aru(aru), blk, &data)?;
+                                report.blocks_written += 1;
+                            }
+                            if self.sync_every > 0 && (i + 1) % self.sync_every == 0 {
+                                ld.end_aru_sync(aru)?;
+                            } else {
+                                ld.end_aru(aru)?;
+                            }
+                            report.arus_committed += 1;
+                            // begin + per-block write + commit.
+                            report.ops += 2 + self.blocks_per_aru as u64;
+                        }
+                        Ok(report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut total = MtReport::default();
+        for r in results {
+            let r = r?;
+            total.arus_committed += r.arus_committed;
+            total.blocks_written += r.blocks_written;
+            total.ops += r.ops;
+        }
+        ld.flush()?;
+        Ok(total)
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +371,37 @@ mod tests {
         assert_eq!(report.arus_committed, 10);
         // Single-threaded sync commits can never batch.
         assert_eq!(ld.stats().flush_batch_max, 1);
+    }
+
+    #[test]
+    fn churn_mode_wraps_the_log_and_keeps_the_cleaner_busy() {
+        // A deliberately tiny disk so the overwrite churn wraps the log.
+        let ld = Lld::format(
+            MemDisk::new(512 + 2 * 64 * 1024 + 24 * 8 * 512),
+            &LldConfig {
+                block_size: 512,
+                segment_bytes: 8 * 512,
+                max_blocks: Some(512),
+                max_lists: Some(64),
+                ..LldConfig::default()
+            },
+        )
+        .unwrap();
+        let w = MtWorkload {
+            threads: 4,
+            arus_per_thread: 100,
+            blocks_per_aru: 2,
+            sync_every: 4,
+            mode: MtMode::Churn,
+            seed: 13,
+        };
+        let report = w.run(&ld).unwrap();
+        assert_eq!(report.arus_committed, 400);
+        assert_eq!(report.blocks_written, 800);
+        let stats = ld.stats();
+        assert_eq!(stats.arus_committed, 400);
+        assert!(stats.cleaner_runs > 0, "churn must trigger the cleaner");
+        assert!(ld.active_arus().is_empty());
     }
 
     #[test]
