@@ -80,13 +80,16 @@ ldctl — Logical Disk image tool
   ldctl cat <image> <path>        print a file's contents (lossy UTF-8)
   ldctl put <image> <path> <local-file>   copy a local file in
   ldctl verify <image>            run the file-system consistency check
-  ldctl stats [<image>] [--json] [--threads N]
+  ldctl stats [<image>] [--json] [--threads N] [--pipeline]
                                   observability snapshot: counters, latency
                                   histograms, ARU spans, trace events; with
                                   no image, runs a scripted in-memory
                                   workload on the simulated disk; --threads N
                                   drives it from N OS threads sharing the
-                                  disk (group-commit batching under load)
+                                  disk (group-commit batching under load);
+                                  --pipeline routes writes through the
+                                  pipelined device layer (adds the queue
+                                  depth / submission latency histograms)
   ldctl help                      this text
 ";
 
@@ -323,6 +326,7 @@ pub fn cmd_verify(image: &str) -> Result<String> {
 pub fn cmd_stats(args: &[String]) -> Result<String> {
     let json = args.iter().any(|a| a == "--json");
     let threads = parse_u64(args, "--threads")?.unwrap_or(1) as usize;
+    let pipeline = args.iter().any(|a| a == "--pipeline");
     // Skip flags and their values when looking for the image operand.
     let image = args
         .iter()
@@ -336,7 +340,7 @@ pub fn cmd_stats(args: &[String]) -> Result<String> {
             let (ld, _) = Lld::recover(device)?;
             ld.obs_snapshot()
         }
-        None if threads > 1 => threaded_snapshot(threads)?,
+        None if threads > 1 => threaded_snapshot(threads, pipeline)?,
         None => scripted_snapshot()?,
     };
     if json {
@@ -401,14 +405,17 @@ fn scripted_snapshot() -> Result<ld_core::ObsSnapshot> {
 /// barrier costs real wall-clock time: that is the window in which
 /// concurrent durability callers pile into one group-commit batch, and
 /// without it the batching counters this command exists to show would
-/// stay at 1.
-fn threaded_snapshot(threads: usize) -> Result<ld_core::ObsSnapshot> {
+/// stay at 1. With `pipeline`, writes stream through the pipelined
+/// device layer instead, so the snapshot carries its queue-depth and
+/// submission-latency histograms and the in-flight barrier gauge.
+fn threaded_snapshot(threads: usize, pipeline: bool) -> Result<ld_core::ObsSnapshot> {
     let sim = SimDisk::new(MemDisk::new(16 << 20), DiskModel::hp_c3010());
     let ld = Lld::format(
         LatencyDisk::new(sim, std::time::Duration::from_micros(500)),
         &LldConfig {
             block_size: 512,
             segment_bytes: 16 * 512,
+            pipeline,
             ..LldConfig::default()
         },
     )?;

@@ -198,6 +198,17 @@ fn stats_on_image_includes_recovery() {
 }
 
 #[test]
+fn stats_threaded_pipeline_reports_queue_histograms() {
+    let json = run(&args(&["stats", "--threads", "2", "--pipeline", "--json"])).unwrap();
+    assert!(json.contains("\"pipeline_queue_depth\""), "{json}");
+    assert!(json.contains("\"pipeline_submit_ns\""), "{json}");
+    assert!(json.contains("\"group_commit_batch\""), "{json}");
+    // Without the flag the pipeline histograms must be absent.
+    let json = run(&args(&["stats", "--threads", "2", "--json"])).unwrap();
+    assert!(!json.contains("\"pipeline_queue_depth\""), "{json}");
+}
+
+#[test]
 fn format_requires_size() {
     let image = temp_image("nosize");
     assert!(matches!(

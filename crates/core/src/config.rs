@@ -147,6 +147,17 @@ pub struct LldConfig {
     /// when it holds a valid count (CI uses it to force the degenerate
     /// single-shard configuration).
     pub map_shards: usize,
+    /// Route device writes and barriers through a
+    /// [`PipelinedDisk`](ld_disk::PipelinedDisk): a dedicated I/O
+    /// thread with a bounded submission queue, so the group-commit
+    /// leader hands off a sealed segment and the next batch fills while
+    /// the previous barrier is still in flight. A runtime knob, not
+    /// persisted on disk. See docs/PIPELINE.md.
+    ///
+    /// The default honours the `LD_ARU_PIPELINE` environment variable
+    /// (`1`/`true`/`on`/`yes`, case-insensitive; CI uses it to run the
+    /// whole suite in pipelined mode).
+    pub pipeline: bool,
     /// Observability: event tracing, latency histograms, and ARU spans
     /// (default on; see [`ObsConfig::disabled`]).
     pub obs: ObsConfig,
@@ -165,6 +176,7 @@ impl Default for LldConfig {
             check_on_recovery: true,
             read_cache_blocks: 1024,
             map_shards: default_map_shards(),
+            pipeline: default_pipeline(),
             obs: ObsConfig::default(),
         }
     }
@@ -182,7 +194,15 @@ fn default_map_shards() -> usize {
 }
 
 fn default_cleaner_background() -> bool {
-    std::env::var("LD_ARU_CLEANERD")
+    env_flag("LD_ARU_CLEANERD")
+}
+
+fn default_pipeline() -> bool {
+    env_flag("LD_ARU_PIPELINE")
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
         .map(|v| {
             let v = v.trim();
             ["1", "true", "on", "yes"]

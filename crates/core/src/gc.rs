@@ -18,10 +18,19 @@ use ld_disk::{Condvar, Mutex};
 struct GcState {
     /// Tickets issued to durability callers.
     started: u64,
+    /// Highest ticket claimed into some leader's batch. Batch size is
+    /// computed against this (not `done`) under the state lock, so a
+    /// caller arriving while a pipelined batch is still in its barrier
+    /// wait is never counted twice and never lost: it is above
+    /// `claimed`, so it belongs to the next leader's batch.
+    claimed: u64,
     /// Highest ticket covered by a completed batch: every caller with
     /// `ticket < done` has had its work sealed and barriered.
     done: u64,
-    /// A leader is currently sealing / barriering.
+    /// A leader is currently sealing (and, on the synchronous device
+    /// path, barriering). On the pipelined path leadership is handed
+    /// off before the barrier wait, so the next batch seals while the
+    /// previous barrier is in flight.
     leader_active: bool,
     /// Outcome of the most recent batch (`None` = success). Followers
     /// covered by a batch report its outcome; a follower that sleeps
@@ -31,8 +40,12 @@ struct GcState {
     last_error: Option<LldError>,
 }
 
-/// The shared queue state of the group-commit stage. A leaf in the lock
-/// hierarchy: never hold it while acquiring the map or log locks.
+/// The shared queue state of the group-commit stage. Near the bottom of
+/// the lock hierarchy: never hold it while acquiring the map or log
+/// locks. The one lock that sits *below* it is the pipelined device's
+/// queue mutex — the leadership gate reads the in-flight barrier gauge
+/// while holding the gc state lock (and the pipeline never takes gc
+/// locks), so that order is acyclic.
 #[derive(Debug, Default)]
 pub(crate) struct GroupCommit {
     state: Mutex<GcState>,
@@ -77,17 +90,36 @@ impl<D: BlockDevice> LldInner<D> {
                 }
                 return res;
             }
-            if !st.leader_active {
+            // Claim leadership only when the device can absorb another
+            // barrier-producing batch. On the pipelined path the
+            // previous leader hands off while its barrier is still in
+            // flight; gating the claim on a free barrier slot (at most
+            // one batch flushing + one staged) keeps batches *large* —
+            // callers arriving while both slots are busy accumulate
+            // into the next batch instead of each leading a batch of
+            // one — and bounds how far write submission runs ahead of a
+            // pending barrier after a power cut. Waiters are woken by
+            // every batch completion (which is also when a slot frees).
+            if !st.leader_active && self.device.barrier_slot_free() {
                 break;
             }
             st = self.gc.cv.wait(st);
         }
 
-        // Leader: everything started up to here is in the batch.
+        // Leader: everything started up to here is in the batch. Batch
+        // accounting (including `flush_batch_max`) is recorded *before*
+        // the state lock drops: any caller that arrives between here
+        // and the seal took a ticket above `covering`, so it is part of
+        // the next batch and cannot make this one undercount.
         st.leader_active = true;
         let covering = st.started;
-        let batch = covering - st.done;
+        let batch = covering - st.claimed;
+        st.claimed = covering;
+        self.stats.flush_batches.inc();
+        self.stats.flush_batch_callers.add(batch);
+        self.stats.flush_batch_max.record_max(batch);
         drop(st);
+        self.obs.group_commit(self.now(), batch);
 
         // Seal under the log lock alone (a log-only scoped session: the
         // seal touches no mapping shard, so readers and shard-scoped
@@ -95,19 +127,49 @@ impl<D: BlockDevice> LldInner<D> {
         // lock so the whole stack proceeds during the device wait —
         // correct because the batch's writes were issued before this
         // point and the barrier orders against issued writes.
-        let res = self
-            .with_mutation_at(0, 0, |m| m.roll_segment(0))
-            .and_then(|()| self.device.flush().map_err(LldError::from));
-        self.after_scoped();
-
-        self.stats.flush_batches.inc();
-        self.stats.flush_batch_callers.add(batch);
-        self.stats.flush_batch_max.record_max(batch);
-        self.obs.group_commit(self.now(), batch);
+        let mut handed_off = false;
+        let res = if let Some(pipe) = self.device.as_pipelined() {
+            // Pipelined device: seal, *submit* the barrier, hand
+            // leadership off, then wait. The barrier's cover must be
+            // captured before the handoff — otherwise the next leader's
+            // seal writes would land inside this barrier's cover and a
+            // fault felling them would take this (already complete)
+            // batch down with it. Submitting also takes the barrier
+            // slot the claim gate checks, so the next leader seals only
+            // while the device is within its double-buffer bound. The
+            // wait runs this batch's inner flush on this thread while
+            // the I/O thread streams the next batch's seal writes to
+            // the device — the write/barrier overlap the pipeline
+            // exists for.
+            let seal = self.with_mutation_at(0, 0, |m| m.roll_segment(0));
+            self.after_scoped();
+            match seal.and_then(|()| pipe.submit_barrier().map_err(LldError::from)) {
+                Err(e) => Err(e),
+                Ok(ticket) => {
+                    self.gc.state.lock().leader_active = false;
+                    handed_off = true;
+                    self.gc.cv.notify_all();
+                    pipe.wait_barrier(ticket).map_err(LldError::from)
+                }
+            }
+        } else {
+            let res = self
+                .with_mutation_at(0, 0, |m| m.roll_segment(0))
+                .and_then(|()| self.device.flush().map_err(LldError::from));
+            self.after_scoped();
+            res
+        };
 
         let mut st = self.gc.state.lock();
-        st.done = covering;
-        st.leader_active = false;
+        // Barriers can complete out of submission order on the
+        // pipelined path (a later leader's barrier may retire first;
+        // it covers this batch's earlier writes), so `done` only moves
+        // forward.
+        st.done = st.done.max(covering);
+        if !handed_off {
+            // After a handoff the flag belongs to the next leader.
+            st.leader_active = false;
+        }
         st.last_error = res.as_ref().err().cloned();
         drop(st);
         self.gc.cv.notify_all();

@@ -20,14 +20,14 @@ use crate::error::{LldError, Result};
 use crate::gc::GroupCommit;
 use crate::layout::{Layout, SUPERBLOCK_LEN};
 use crate::obs::{Obs, ObsSnapshot, TraceEvent};
-use crate::segment::SegmentBuilder;
+use crate::segment::{SegmentBuilder, HEADER_LEN};
 use crate::shard::{MapView, Maps, WalkOutcome, SCRATCH_ARU_RAW};
 use crate::state::{BlockRecord, ListRecord};
 use crate::stats::{LldStats, StatsCell};
 use crate::summary::Record;
 use crate::types::{AruId, BlockId, ListId, PhysAddr, Position, SegmentId, Timestamp};
-use ld_disk::BlockDevice;
 use ld_disk::Mutex;
+use ld_disk::{BlockDevice, PipelinedDisk};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, MutexGuard};
@@ -77,6 +77,132 @@ impl LogState {
             checkpoint_seq: 0,
             ckpt_use_b: false,
             cleaning: false,
+        }
+    }
+}
+
+/// The device path below the logical disk: either the wrapped device
+/// directly (synchronous writes and barriers on the caller's thread) or
+/// a [`PipelinedDisk`] around it (writes queued to a dedicated I/O
+/// thread, barriers run on their waiters' threads; selected by
+/// [`LldConfig::pipeline`] / `LD_ARU_PIPELINE`).
+///
+/// The enum keeps `Lld<D>` generic over the *inner* device type in both
+/// modes, so the mode is a runtime knob: `device()` still borrows the
+/// `D` the caller handed in, and `into_device()` still returns it
+/// (draining and joining the pipeline's I/O thread first when one is
+/// running).
+#[derive(Debug)]
+pub(crate) enum DevicePath<D> {
+    /// Writes and barriers run on the caller's thread.
+    Sync(D),
+    /// Writes stream through the pipeline's I/O thread; barriers run on
+    /// the threads waiting for them, overlapping the next batch's
+    /// writes.
+    Pipelined(PipelinedDisk<D>),
+}
+
+impl<D: BlockDevice + 'static> DevicePath<D> {
+    pub(crate) fn new(device: D, pipelined: bool) -> Self {
+        if pipelined {
+            DevicePath::Pipelined(PipelinedDisk::new(device))
+        } else {
+            DevicePath::Sync(device)
+        }
+    }
+}
+
+impl<D> DevicePath<D> {
+    /// Borrows the inner device (bypassing the pipeline queue; only
+    /// meaningful for inspection or deliberately racy fault arming).
+    pub(crate) fn as_inner(&self) -> &D {
+        match self {
+            DevicePath::Sync(d) => d,
+            DevicePath::Pipelined(p) => p.inner(),
+        }
+    }
+
+    /// Whether the pipelined path is active (the group-commit leader
+    /// hands off the barrier wait when it is).
+    pub(crate) fn is_pipelined(&self) -> bool {
+        matches!(self, DevicePath::Pipelined(_))
+    }
+
+    /// The pipelined device, when that path is active. The group-commit
+    /// leader uses this to split its barrier into submit + wait so
+    /// leadership can be handed off in between.
+    pub(crate) fn as_pipelined(&self) -> Option<&PipelinedDisk<D>> {
+        match self {
+            DevicePath::Sync(_) => None,
+            DevicePath::Pipelined(p) => Some(p),
+        }
+    }
+
+    /// Whether the group-commit stage may start another
+    /// barrier-producing batch: always on the synchronous path (the
+    /// leader holds leadership through its own barrier), and gated on a
+    /// free pipeline barrier slot on the pipelined path.
+    pub(crate) fn barrier_slot_free(&self) -> bool {
+        match self {
+            DevicePath::Sync(_) => true,
+            DevicePath::Pipelined(p) => p.barrier_slot_free(),
+        }
+    }
+
+    /// The pipeline's counters and histograms, when pipelined.
+    pub(crate) fn pipeline_stats(&self) -> Option<ld_disk::PipelineStatsSnapshot> {
+        match self {
+            DevicePath::Sync(_) => None,
+            DevicePath::Pipelined(p) => Some(p.pipeline_stats()),
+        }
+    }
+
+    /// Resets the pipeline's counters, when pipelined.
+    pub(crate) fn reset_pipeline_stats(&self) {
+        if let DevicePath::Pipelined(p) = self {
+            p.reset_pipeline_stats();
+        }
+    }
+
+    /// Consumes the path, draining and joining the pipeline's I/O
+    /// thread if one is running, and returns the inner device.
+    pub(crate) fn unwrap(self) -> D {
+        match self {
+            DevicePath::Sync(d) => d,
+            DevicePath::Pipelined(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for DevicePath<D> {
+    fn capacity(&self) -> u64 {
+        match self {
+            DevicePath::Sync(d) => d.capacity(),
+            DevicePath::Pipelined(p) => p.capacity(),
+        }
+    }
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> ld_disk::Result<()> {
+        match self {
+            DevicePath::Sync(d) => d.read_at(offset, buf),
+            DevicePath::Pipelined(p) => p.read_at(offset, buf),
+        }
+    }
+    fn write_at(&self, offset: u64, buf: &[u8]) -> ld_disk::Result<()> {
+        match self {
+            DevicePath::Sync(d) => d.write_at(offset, buf),
+            DevicePath::Pipelined(p) => p.write_at(offset, buf),
+        }
+    }
+    fn flush(&self) -> ld_disk::Result<()> {
+        match self {
+            DevicePath::Sync(d) => d.flush(),
+            DevicePath::Pipelined(p) => p.flush(),
+        }
+    }
+    fn stats_snapshot(&self) -> Option<ld_disk::DiskStatsSnapshot> {
+        match self {
+            DevicePath::Sync(d) => d.stats_snapshot(),
+            DevicePath::Pipelined(p) => p.stats_snapshot(),
         }
     }
 }
@@ -176,7 +302,7 @@ impl<D> Lld<D> {
         // After the join the cleaner's handle clone is gone, so this
         // session holds the only reference.
         match Arc::try_unwrap(inner) {
-            Ok(inner) => inner.device,
+            Ok(inner) => inner.device.unwrap(),
             Err(_) => unreachable!("outstanding references to the logical disk"),
         }
     }
@@ -190,7 +316,7 @@ impl<D> Lld<D> {
 /// auto-deref.
 #[derive(Debug)]
 pub struct LldInner<D> {
-    pub(crate) device: D,
+    pub(crate) device: DevicePath<D>,
     pub(crate) layout: Layout,
     pub(crate) concurrency: ConcurrencyMode,
     pub(crate) visibility: ReadVisibility,
@@ -274,7 +400,7 @@ impl<D: BlockDevice + 'static> Lld<D> {
 
         let n = layout.n_segments as usize;
         let ld = Lld::from_inner(LldInner {
-            device,
+            device: DevicePath::new(device, config.pipeline),
             layout,
             concurrency: config.concurrency,
             visibility: config.visibility,
@@ -408,9 +534,16 @@ impl<D: BlockDevice> LldInner<D> {
         self.maps.shard_stats()
     }
 
-    /// A snapshot of the operation counters.
+    /// A snapshot of the operation counters. With the pipelined device
+    /// path, `pipeline_stalls` and `inflight_barriers` are filled from
+    /// the pipeline's counters (they stay 0 in synchronous mode).
     pub fn stats(&self) -> LldStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        if let Some(p) = self.device.pipeline_stats() {
+            s.pipeline_stalls = p.stalls;
+            s.inflight_barriers = p.inflight_barriers_max;
+        }
+        s
     }
 
     /// The observability bundle: trace events, latency histograms, ARU
@@ -445,8 +578,14 @@ impl<D: BlockDevice> LldInner<D> {
             histograms.push(("disk_read".to_string(), d.read_hist));
             histograms.push(("disk_write".to_string(), d.write_hist));
         }
+        if self.obs.enabled() {
+            if let Some(p) = self.device.pipeline_stats() {
+                histograms.push(("pipeline_queue_depth".to_string(), p.queue_depth));
+                histograms.push(("pipeline_submit_ns".to_string(), p.submit_ns));
+            }
+        }
         ObsSnapshot {
-            lld: self.stats.snapshot(),
+            lld: self.stats(),
             disk,
             histograms,
             shards: self.maps.shard_stats(),
@@ -458,9 +597,11 @@ impl<D: BlockDevice> LldInner<D> {
         }
     }
 
-    /// Resets the operation counters.
+    /// Resets the operation counters (including the pipeline's, when
+    /// the pipelined device path is active).
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.device.reset_pipeline_stats();
     }
 
     /// Identifiers of the currently active ARUs.
@@ -494,9 +635,16 @@ impl<D: BlockDevice> LldInner<D> {
     }
 
     /// Borrows the underlying device (e.g. to inspect simulator
-    /// statistics).
+    /// statistics). With the pipelined device path this borrows the
+    /// *inner* device behind the pipeline queue.
     pub fn device(&self) -> &D {
-        &self.device
+        self.device.as_inner()
+    }
+
+    /// Whether device writes and barriers run through the pipelined
+    /// I/O thread (see [`LldConfig::pipeline`]).
+    pub fn pipelined(&self) -> bool {
+        self.device.is_pipelined()
     }
 
     /// A copy of the committed-state record of `block`, if allocated.
@@ -1058,11 +1206,30 @@ impl<'a, D: BlockDevice> Mutation<'a, D> {
             Some(b) => {
                 let seal_seq = b.seq();
                 let seal_blocks = b.n_blocks();
-                let bytes = b.seal();
+                let seal_bytes = b.encoded_len() as u64;
                 let slot = b.slot().get();
-                self.lld
-                    .device
-                    .write_at(self.lld.layout.segment_offset(slot), &bytes)?;
+                let seg_off = self.lld.layout.segment_offset(slot);
+                if self.lld.device.is_pipelined() {
+                    // The data blocks were streamed to the device as they
+                    // were placed (see `place_block_data`), so the seal
+                    // writes only the tail: the summary, then the header
+                    // *last*. The pipeline applies writes in FIFO order,
+                    // so the header — the one thing that makes the slot
+                    // scan as a sealed segment — cannot reach the device
+                    // before every byte it vouches for; a crash anywhere
+                    // in the stream recovers as "no segment", the same
+                    // all-or-nothing the single-write path gets from its
+                    // prefix-torn writes.
+                    let data_end = (1 + u64::from(seal_blocks)) * self.lld.layout.block_size as u64;
+                    if !b.summary_bytes().is_empty() {
+                        self.lld
+                            .device
+                            .write_at(seg_off + data_end, b.summary_bytes())?;
+                    }
+                    self.lld.device.write_at(seg_off, &b.header_bytes())?;
+                } else {
+                    self.lld.device.write_at(seg_off, &b.seal())?;
+                }
                 self.log().slot_seq[slot as usize] = b.seq();
                 self.lld.stats.segments_sealed.inc();
                 self.lld.obs.event(
@@ -1071,7 +1238,7 @@ impl<'a, D: BlockDevice> Mutation<'a, D> {
                         segment: slot,
                         seq: seal_seq,
                         blocks: seal_blocks,
-                        bytes: bytes.len() as u64,
+                        bytes: seal_bytes,
                     },
                 );
                 // Committed → persistent transition for every shard this
@@ -1107,6 +1274,19 @@ impl<'a, D: BlockDevice> Mutation<'a, D> {
             .cache
             .lock()
             .invalidate_segment(SegmentId::new(slot));
+        if self.lld.device.is_pipelined() {
+            // This slot's data blocks will be streamed to the device
+            // *before* its header (header-last seal). If the slot holds
+            // an old sealed segment, its stale header would stay valid
+            // over half-overwritten data until the new header lands —
+            // and a crash in that window would resurrect the old
+            // segment filled with new bytes. Punch the old header first;
+            // FIFO write order then guarantees no scan of this slot
+            // succeeds until the new header is on disk.
+            self.lld
+                .device
+                .write_at(self.lld.layout.segment_offset(slot), &[0u8; HEADER_LEN])?;
+        }
         let seq = self.log().next_seq;
         self.log().next_seq += 1;
         let builder = SegmentBuilder::new(
@@ -1172,6 +1352,19 @@ impl<'a, D: BlockDevice> Mutation<'a, D> {
             b.push_record(&rec);
             addr
         };
+        if self.lld.device.is_pipelined() {
+            // Stream the block to its final device offset now — an
+            // enqueue onto the pipeline, applied by the I/O thread while
+            // this batch keeps filling (and while the previous batch's
+            // barrier is in flight). By seal time the data is on the
+            // device and the seal writes only summary + header. Safe
+            // because the builder is append-only (a block is never
+            // rewritten in place; re-placing allocates a new slot) and
+            // the slot's stale header was punched at `open_segment`.
+            self.lld
+                .device
+                .write_at(self.lld.layout.block_offset(addr), data)?;
+        }
         self.lld.stats.records_emitted.inc();
         self.lld.stats.summary_bytes.add(WRITE_REC_LEN as u64);
         self.lld.stats.data_blocks_written.inc();

@@ -778,6 +778,8 @@ fn lld_stats_json(s: &LldStats) -> String {
     o.u64("cross_shard_commits", s.cross_shard_commits);
     o.u64("commit_full_fallbacks", s.commit_full_fallbacks);
     o.u64("walk_escalations", s.walk_escalations);
+    o.u64("pipeline_stalls", s.pipeline_stalls);
+    o.u64("inflight_barriers", s.inflight_barriers);
     o.finish()
 }
 
@@ -959,6 +961,8 @@ impl fmt::Display for ObsSnapshot {
             ("cross_shard_commits", s.cross_shard_commits),
             ("commit_full_fallbacks", s.commit_full_fallbacks),
             ("walk_escalations", s.walk_escalations),
+            ("pipeline_stalls", s.pipeline_stalls),
+            ("inflight_barriers", s.inflight_barriers),
         ] {
             writeln!(f, "  {name:<28} {v}")?;
         }

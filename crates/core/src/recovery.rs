@@ -142,7 +142,7 @@ impl<D: BlockDevice + 'static> Lld<D> {
         log.ckpt_use_b = use_b_next;
 
         let ld = Lld::from_inner(LldInner {
-            device,
+            device: crate::lld::DevicePath::new(device, config.pipeline),
             layout,
             concurrency: config.concurrency,
             visibility: config.visibility,

@@ -23,7 +23,7 @@ use crate::types::SegmentId;
 use ld_disk::{crc32, BlockDevice};
 
 const SEGMENT_MAGIC: u64 = 0x4C44_5345_4739_3936; // "LDSEG996"
-const HEADER_LEN: usize = 32;
+pub(crate) const HEADER_LEN: usize = 32;
 
 /// A segment being filled in memory.
 #[derive(Debug)]
@@ -117,9 +117,11 @@ impl SegmentBuilder {
         &self.data[start..start + self.block_size]
     }
 
-    /// Encodes the segment for a single device write. Returns the bytes
-    /// to write at the segment's offset.
-    pub(crate) fn seal(&self) -> Vec<u8> {
+    /// Encodes the 32-byte sealed-segment header alone. A slot holds a
+    /// valid segment exactly when these bytes (with their CRC) are on
+    /// disk, which is what lets a streaming writer place data blocks
+    /// and summary first and commit the segment with the header *last*.
+    pub(crate) fn header_bytes(&self) -> [u8; HEADER_LEN] {
         let n_blocks = self.n_blocks();
         let summary_crc = crc32(&self.summary);
         let mut header = Vec::with_capacity(HEADER_LEN);
@@ -130,9 +132,26 @@ impl SegmentBuilder {
         header.extend_from_slice(&summary_crc.to_le_bytes());
         let header_crc = crc32(&header);
         header.extend_from_slice(&header_crc.to_le_bytes());
-        debug_assert_eq!(header.len(), HEADER_LEN);
+        header.try_into().expect("header is HEADER_LEN bytes")
+    }
 
-        let mut buf = vec![0u8; self.block_size + self.data.len() + self.summary.len()];
+    /// The encoded summary records accumulated so far. On disk they sit
+    /// immediately after the last data block.
+    pub(crate) fn summary_bytes(&self) -> &[u8] {
+        &self.summary
+    }
+
+    /// Total on-media size of the sealed segment: header block + data
+    /// blocks + summary.
+    pub(crate) fn encoded_len(&self) -> usize {
+        self.block_size + self.data.len() + self.summary.len()
+    }
+
+    /// Encodes the segment for a single device write. Returns the bytes
+    /// to write at the segment's offset.
+    pub(crate) fn seal(&self) -> Vec<u8> {
+        let header = self.header_bytes();
+        let mut buf = vec![0u8; self.encoded_len()];
         buf[..HEADER_LEN].copy_from_slice(&header);
         buf[self.block_size..self.block_size + self.data.len()].copy_from_slice(&self.data);
         buf[self.block_size + self.data.len()..].copy_from_slice(&self.summary);
@@ -334,6 +353,68 @@ mod tests {
         assert_eq!(
             read_segment(&device, &layout, SegmentId::new(0)).unwrap(),
             None
+        );
+    }
+
+    #[test]
+    fn streamed_writes_equal_single_seal_write() {
+        // The pipelined path streams data blocks first, then the
+        // summary, then the header last — in separate writes. The
+        // resulting image must scan identically to the single-write
+        // seal, and every prefix of that write order must scan as "no
+        // segment" (all-or-nothing without a big atomic write).
+        let layout = layout();
+        let mut b = SegmentBuilder::new(SegmentId::new(1), 42, 512, 8 * 512);
+        b.push_block(&vec![7u8; 512]);
+        b.push_block(&vec![9u8; 512]);
+        b.push_record(&sample_record(1));
+        let off = layout.segment_offset(1);
+
+        let streamed = MemDisk::new(1 << 20);
+        let id = SegmentId::new(1);
+        // Prefix 0: nothing written yet.
+        assert_eq!(read_segment(&streamed, &layout, id).unwrap(), None);
+        for (i, block) in [&b.data[..512], &b.data[512..]].into_iter().enumerate() {
+            streamed
+                .write_at(off + (1 + i as u64) * 512, block)
+                .unwrap();
+            assert_eq!(read_segment(&streamed, &layout, id).unwrap(), None);
+        }
+        streamed.write_at(off + 3 * 512, b.summary_bytes()).unwrap();
+        assert_eq!(read_segment(&streamed, &layout, id).unwrap(), None);
+        streamed.write_at(off, &b.header_bytes()).unwrap();
+
+        let single = MemDisk::new(1 << 20);
+        single.write_at(off, &b.seal()).unwrap();
+        assert_eq!(
+            read_segment(&streamed, &layout, id).unwrap(),
+            read_segment(&single, &layout, id).unwrap()
+        );
+        assert!(read_segment(&streamed, &layout, id).unwrap().is_some());
+    }
+
+    #[test]
+    fn punched_header_kills_a_stale_segment() {
+        // Reusing a slot for streaming: the old sealed segment's header
+        // must be invalidated before new data lands, or a crash
+        // mid-stream would resurrect the old segment over new bytes.
+        let layout = layout();
+        let device = MemDisk::new(1 << 20);
+        let mut old = SegmentBuilder::new(SegmentId::new(0), 3, 512, 8 * 512);
+        old.push_block(&vec![1u8; 512]);
+        old.push_record(&sample_record(1));
+        let off = layout.segment_offset(0);
+        device.write_at(off, &old.seal()).unwrap();
+        assert!(read_segment(&device, &layout, SegmentId::new(0))
+            .unwrap()
+            .is_some());
+        // Punch, then stream one new data block and crash.
+        device.write_at(off, &[0u8; HEADER_LEN]).unwrap();
+        device.write_at(off + 512, &vec![0xFFu8; 512]).unwrap();
+        assert_eq!(
+            read_segment(&device, &layout, SegmentId::new(0)).unwrap(),
+            None,
+            "stale header must not validate over mixed data"
         );
     }
 

@@ -102,6 +102,14 @@ pub struct LldStats {
     /// Read-path list walks that crossed a shard boundary and re-ran
     /// holding every shard.
     pub walk_escalations: u64,
+    /// Writers that blocked on the pipelined device's bounded
+    /// submission queue (0 when the synchronous device path is in use;
+    /// see `LldConfig::pipeline`).
+    pub pipeline_stalls: u64,
+    /// Maximum number of simultaneously in-flight (submitted but not
+    /// retired) device barriers observed on the pipelined path (0 in
+    /// synchronous mode).
+    pub inflight_barriers: u64,
 }
 
 impl LldStats {
@@ -225,6 +233,10 @@ impl StatsCell {
             cross_shard_commits: self.cross_shard_commits.get(),
             commit_full_fallbacks: self.commit_full_fallbacks.get(),
             walk_escalations: self.walk_escalations.get(),
+            // Filled from the pipelined device path (when active) by
+            // `Lld::stats`; the cell itself never counts these.
+            pipeline_stalls: 0,
+            inflight_barriers: 0,
         }
     }
 

@@ -260,6 +260,12 @@ fn crash_during_cleaning_era_recovers_current_state() {
                 break;
             }
         }
+        // On the pipelined device the crash latches on the I/O thread,
+        // so the writer may finish its enqueues without ever seeing the
+        // error; a durability probe drains the queue and surfaces it.
+        if !crashed {
+            crashed = ld.flush().is_err();
+        }
         if crashed {
             crashes_seen += 1;
         }

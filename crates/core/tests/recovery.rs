@@ -136,12 +136,14 @@ fn torn_final_segment_is_ignored() {
     let b = ld.new_block(Ctx::Simple, l, Position::First).unwrap();
     ld.write(Ctx::Simple, b, &block(1)).unwrap();
     ld.flush().unwrap();
-    // Arm a crash point that tears the *next* segment write roughly in
-    // half (the plan counts bytes from its own creation). The next
-    // segment write is ~2 blocks + summary; tearing after one block
-    // leaves a segment whose summary never landed.
+    // Arm a crash point that tears the *next* segment mid-way through
+    // its data block (the plan counts bytes from its own creation). On
+    // the single-write path the big seal write tears inside the header
+    // block; on the pipelined path the streamed data-block write tears
+    // before summary and header are even submitted. Either way the
+    // segment never becomes valid.
     ld.device()
-        .set_faults(FaultPlan::new().crash_after_bytes(BS as u64 + 100));
+        .set_faults(FaultPlan::new().crash_after_bytes(BS as u64 / 2));
 
     ld.write(Ctx::Simple, b, &block(2)).unwrap();
     let err = ld.flush().unwrap_err();

@@ -1,7 +1,6 @@
-use crate::sync::Mutex;
 use crate::{BlockDevice, Result};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 /// A file-backed block device.
@@ -9,6 +8,11 @@ use std::path::Path;
 /// Stores the disk image in a regular file, which is convenient for
 /// examples that inspect an image across process runs, and matches the
 /// paper's setup of a raw partition accessed through a file descriptor.
+///
+/// I/O uses positioned reads and writes (`pread`/`pwrite` via
+/// [`std::os::unix::fs::FileExt`]), so there is no shared cursor and no
+/// lock: any number of threads may read and write concurrently, exactly
+/// like the raw-disk file descriptor the paper's prototype used.
 ///
 /// # Example
 ///
@@ -24,7 +28,7 @@ use std::path::Path;
 /// ```
 #[derive(Debug)]
 pub struct FileDisk {
-    file: Mutex<File>,
+    file: File,
     capacity: u64,
 }
 
@@ -43,10 +47,7 @@ impl FileDisk {
             .truncate(true)
             .open(path)?;
         file.set_len(capacity)?;
-        Ok(FileDisk {
-            file: Mutex::new(file),
-            capacity,
-        })
+        Ok(FileDisk { file, capacity })
     }
 
     /// Opens an existing image file, using its current length as capacity.
@@ -58,10 +59,7 @@ impl FileDisk {
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let capacity = file.metadata()?.len();
-        Ok(FileDisk {
-            file: Mutex::new(file),
-            capacity,
-        })
+        Ok(FileDisk { file, capacity })
     }
 }
 
@@ -72,22 +70,18 @@ impl BlockDevice for FileDisk {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.check_bounds(offset, buf.len())?;
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(buf)?;
+        self.file.read_exact_at(buf, offset)?;
         Ok(())
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
         self.check_bounds(offset, buf.len())?;
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(buf)?;
+        self.file.write_all_at(buf, offset)?;
         Ok(())
     }
 
     fn flush(&self) -> Result<()> {
-        self.file.lock().sync_data()?;
+        self.file.sync_data()?;
         Ok(())
     }
 }
@@ -126,6 +120,27 @@ mod tests {
         let path = temp_path("bounds");
         let d = FileDisk::create(&path, 128).unwrap();
         assert!(d.write_at(120, &[0u8; 16]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_positioned_io() {
+        let path = temp_path("concurrent");
+        let d = std::sync::Arc::new(FileDisk::create(&path, 64 * 4096).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let off = (t * 8 + i) * 4096;
+                        d.write_at(off, &[t as u8 + 1; 4096]).unwrap();
+                        let mut buf = [0u8; 4096];
+                        d.read_at(off, &mut buf).unwrap();
+                        assert_eq!(buf, [t as u8 + 1; 4096]);
+                    }
+                });
+            }
+        });
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -51,6 +51,7 @@ mod hist;
 mod latency;
 mod mem;
 mod model;
+mod pipeline;
 mod rng;
 mod sim;
 mod stats;
@@ -68,6 +69,7 @@ pub use hist::{
 pub use latency::LatencyDisk;
 pub use mem::MemDisk;
 pub use model::DiskModel;
+pub use pipeline::{PipelineStatsSnapshot, PipelinedDisk};
 pub use rng::SmallRng;
 pub use sim::SimDisk;
 pub use stats::{DiskStats, DiskStatsSnapshot};
