@@ -62,7 +62,14 @@
 //!
 //! Usage: `mt_throughput [--quick] [--json] [--threads 1,2,4,8]
 //! [--arus N] [--disjoint | --hot | --clean-pressure | --pipeline]
-//! [--device mem|latency|file] [--shards N]`
+//! [--device mem|latency|file] [--shards N]
+//! [--trace-out FILE] [--sampler-out FILE]`
+//!
+//! `--trace-out FILE` enlarges the trace ring and writes the last run's
+//! commit trace as Chrome Trace Event Format; `--sampler-out FILE`
+//! turns the background metrics sampler on (200 Hz unless
+//! `LD_ARU_METRICS_HZ` overrides it) and writes the last run's time
+//! series as JSON Lines. Both apply to the default group-commit study.
 //!
 //! [`PipelinedDisk`]: ld_disk::PipelinedDisk
 
@@ -173,16 +180,19 @@ fn measure_run(
     barrier_cost: Duration,
     cfg: &LldConfig,
     wl: &MtWorkload,
-) -> (Run, ld_core::ObsSnapshot) {
+) -> (Run, ld_core::ObsSnapshot, String) {
     fn go<D: BlockDevice + 'static>(
         device: D,
         cfg: &LldConfig,
         wl: &MtWorkload,
-    ) -> (Run, ld_core::ObsSnapshot) {
+    ) -> (Run, ld_core::ObsSnapshot, String) {
         let ld = Lld::format(device, cfg).expect("format");
         let start = Instant::now();
         let report = wl.run(&ld).expect("workload");
         let wall = start.elapsed().as_secs_f64();
+        // Close the sampler series with a final data point (a no-op
+        // row when sampling is off).
+        ld.sample_now();
         let stats = ld.stats();
         let run = Run {
             threads: wl.threads,
@@ -200,7 +210,8 @@ fn measure_run(
             pipeline_stalls: stats.pipeline_stalls,
             inflight_barriers: stats.inflight_barriers,
         };
-        (run, ld.obs_snapshot())
+        let jsonl = ld.sampler_jsonl();
+        (run, ld.obs_snapshot(), jsonl)
     }
     match kind {
         DeviceKind::Mem => go(MemDisk::new(capacity), cfg, wl),
@@ -245,11 +256,15 @@ fn main() {
     let mut clean_pressure = false;
     let mut pipeline_compare = false;
     let mut device_kind = DeviceKind::Latency;
+    let mut trace_out: Option<String> = None;
+    let mut sampler_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--clean-pressure" => clean_pressure = true,
             "--pipeline" => pipeline_compare = true,
+            "--trace-out" => trace_out = it.next().cloned(),
+            "--sampler-out" => sampler_out = it.next().cloned(),
             "--device" => {
                 if let Some(k) = it.next().and_then(|v| DeviceKind::parse(v)) {
                     device_kind = k;
@@ -304,6 +319,14 @@ fn main() {
     if let Some(n) = shards_override {
         ld_cfg.map_shards = n;
     }
+    if trace_out.is_some() {
+        // Large enough to hold every stage event of the run, so the
+        // exported trace is complete rather than the ring's tail.
+        ld_cfg.obs.ring_capacity = 1 << 16;
+    }
+    if sampler_out.is_some() && ld_cfg.metrics_hz.is_none() {
+        ld_cfg.metrics_hz = Some(200.0);
+    }
     let map_shards = ld_cfg.map_shards;
 
     if pipeline_compare {
@@ -320,6 +343,7 @@ fn main() {
 
     let mut runs: Vec<Run> = Vec::new();
     let mut last_obs = None;
+    let mut last_jsonl = String::new();
     for &threads in &thread_counts {
         let wl = MtWorkload {
             threads,
@@ -329,9 +353,28 @@ fn main() {
             mode,
             seed: 42,
         };
-        let (run, obs) = measure_run(device_kind, cfg.capacity, 0, BARRIER_COST, &ld_cfg, &wl);
+        let (run, obs, jsonl) =
+            measure_run(device_kind, cfg.capacity, 0, BARRIER_COST, &ld_cfg, &wl);
         runs.push(run);
         last_obs = Some(obs);
+        last_jsonl = jsonl;
+    }
+
+    // Sidecar exports of the last (highest thread count) run.
+    if let (Some(path), Some(obs)) = (&trace_out, &last_obs) {
+        std::fs::write(path, obs.to_chrome_trace()).expect("write --trace-out");
+        eprintln!(
+            "wrote {} trace events ({} dropped) to {path}",
+            obs.events.len(),
+            obs.dropped_events
+        );
+    }
+    if let Some(path) = &sampler_out {
+        std::fs::write(path, &last_jsonl).expect("write --sampler-out");
+        eprintln!(
+            "wrote {} sampler rows to {path}",
+            last_jsonl.lines().count()
+        );
     }
 
     if json {
@@ -453,8 +496,8 @@ fn run_pipeline_compare(
             pipeline: true,
             ..base_cfg.clone()
         };
-        let (sync_run, _) = measure_run(kind, capacity, bw, barrier, &sync_cfg, &wl);
-        let (pipe_run, _) = measure_run(kind, capacity, bw, barrier, &pipe_cfg, &wl);
+        let (sync_run, _, _) = measure_run(kind, capacity, bw, barrier, &sync_cfg, &wl);
+        let (pipe_run, _, _) = measure_run(kind, capacity, bw, barrier, &pipe_cfg, &wl);
         rows.push((sync_run, pipe_run));
     }
 

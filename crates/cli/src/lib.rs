@@ -8,7 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ld_core::{ConcurrencyMode, Ctx, ListId, Lld, LldConfig, Position};
+use ld_core::obs::json;
+use ld_core::{ConcurrencyMode, Ctx, ListId, Lld, LldConfig, ObsConfig, ObsSnapshot, Position};
 use ld_disk::{DiskModel, FileDisk, LatencyDisk, MemDisk, SimDisk};
 use ld_minixfs::{FsConfig, MinixFs};
 use std::fmt::Write as _;
@@ -26,6 +27,8 @@ pub enum CtlError {
     Fs(ld_minixfs::FsError),
     /// Local file I/O.
     Io(std::io::Error),
+    /// Malformed snapshot / trace / sampler data handed to a command.
+    Parse(String),
 }
 
 impl std::fmt::Display for CtlError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for CtlError {
             CtlError::Ld(e) => write!(f, "{e}"),
             CtlError::Fs(e) => write!(f, "{e}"),
             CtlError::Io(e) => write!(f, "{e}"),
+            CtlError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }
@@ -81,6 +85,7 @@ ldctl — Logical Disk image tool
   ldctl put <image> <path> <local-file>   copy a local file in
   ldctl verify <image>            run the file-system consistency check
   ldctl stats [<image>] [--json] [--threads N] [--pipeline]
+              [--snapshot-file <path>]
                                   observability snapshot: counters, latency
                                   histograms, ARU spans, trace events; with
                                   no image, runs a scripted in-memory
@@ -89,7 +94,26 @@ ldctl — Logical Disk image tool
                                   disk (group-commit batching under load);
                                   --pipeline routes writes through the
                                   pipelined device layer (adds the queue
-                                  depth / submission latency histograms)
+                                  depth / submission latency histograms);
+                                  --snapshot-file renders a snapshot saved
+                                  earlier with `stats --json` instead of
+                                  running anything
+  ldctl trace [--chrome] [--threads N] [--pipeline] [--out FILE]
+              [--snapshot-file <path>]
+                                  run the multi-threaded workload (default
+                                  8 threads) with a large trace ring and
+                                  export the commit trace; --chrome emits
+                                  Chrome Trace Event Format for
+                                  chrome://tracing / Perfetto, otherwise a
+                                  human-readable event table
+  ldctl top [--threads N] [--pipeline] [--hz N] [--jsonl FILE]
+                                  run the workload with the background
+                                  metrics sampler on (default 200 Hz) and
+                                  print per-interval commit / flush / block
+                                  rates; --jsonl also writes the raw
+                                  samples as JSON Lines
+  ldctl flight <dump-file>        pretty-print a crash flight-recorder
+                                  dump (see LD_ARU_FLIGHT_DIR)
   ldctl help                      this text
 ";
 
@@ -104,6 +128,29 @@ fn parse_u64(args: &[String], flag: &str) -> Result<Option<u64>> {
             .map_err(|_| CtlError::Usage(format!("{flag}: not a number: {v}")));
     }
     Ok(None)
+}
+
+fn parse_str<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        return args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| CtlError::Usage(format!("{flag} needs a value")));
+    }
+    Ok(None)
+}
+
+/// Flags whose next argument is a value, not an operand — used when
+/// scanning for a bare operand such as the image path.
+const VALUE_FLAGS: &[&str] = &["--threads", "--snapshot-file", "--out", "--jsonl", "--hz"];
+
+fn bare_operand(args: &[String]) -> Option<&String> {
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
+        })
+        .map(|(_, a)| a)
 }
 
 /// `ldctl format`.
@@ -327,21 +374,22 @@ pub fn cmd_stats(args: &[String]) -> Result<String> {
     let json = args.iter().any(|a| a == "--json");
     let threads = parse_u64(args, "--threads")?.unwrap_or(1) as usize;
     let pipeline = args.iter().any(|a| a == "--pipeline");
+    let snapshot_file = parse_str(args, "--snapshot-file")?;
     // Skip flags and their values when looking for the image operand.
-    let image = args
-        .iter()
-        .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
-        .map(|(_, a)| a);
+    let image = bare_operand(args);
 
-    let snap = match image {
-        Some(image) => {
+    let snap = match (snapshot_file, image) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)?;
+            ObsSnapshot::from_json(&text).map_err(CtlError::Parse)?
+        }
+        (None, Some(image)) => {
             let device = FileDisk::open(image)?;
             let (ld, _) = Lld::recover(device)?;
             ld.obs_snapshot()
         }
-        None if threads > 1 => threaded_snapshot(threads, pipeline)?,
-        None => scripted_snapshot()?,
+        (None, None) if threads > 1 => threaded_snapshot(threads, pipeline)?,
+        (None, None) => scripted_snapshot()?,
     };
     if json {
         Ok(format!("{}\n", snap.to_json()))
@@ -431,6 +479,249 @@ fn threaded_snapshot(threads: usize, pipeline: bool) -> Result<ld_core::ObsSnaps
     Ok(ld.obs_snapshot())
 }
 
+/// The `trace` workload: the multi-threaded disjoint-ARU workload of
+/// [`cmd_stats`]`--threads`, but with a trace ring large enough to hold
+/// every stage event of the run, so the exported trace is complete
+/// rather than a tail.
+fn traced_snapshot(threads: usize, pipeline: bool) -> Result<ObsSnapshot> {
+    let sim = SimDisk::new(MemDisk::new(16 << 20), DiskModel::hp_c3010());
+    let ld = Lld::format(
+        LatencyDisk::new(sim, std::time::Duration::from_micros(500)),
+        &LldConfig {
+            block_size: 512,
+            segment_bytes: 16 * 512,
+            pipeline,
+            obs: ObsConfig {
+                ring_capacity: 1 << 15,
+                ..ObsConfig::default()
+            },
+            ..LldConfig::default()
+        },
+    )?;
+    let wl = ld_workload::MtWorkload {
+        threads,
+        arus_per_thread: 50,
+        blocks_per_aru: 2,
+        sync_every: 1,
+        mode: ld_workload::MtMode::Disjoint,
+        seed: 1,
+    };
+    wl.run(&ld)?;
+    Ok(ld.obs_snapshot())
+}
+
+/// `ldctl trace`: run the multi-threaded workload and export its
+/// commit trace.
+///
+/// With `--chrome`, emits Chrome Trace Event Format (load the file at
+/// `chrome://tracing` or <https://ui.perfetto.dev>): one row per OS
+/// thread, one nested span stack per traced commit, instant markers
+/// for group commits and faults. Without it, prints a human-readable
+/// event table. `--snapshot-file <path>` converts a previously saved
+/// `stats --json` snapshot instead of running a workload; `--out FILE`
+/// writes the export to a file instead of stdout.
+pub fn cmd_trace(args: &[String]) -> Result<String> {
+    let chrome = args.iter().any(|a| a == "--chrome");
+    let threads = parse_u64(args, "--threads")?.unwrap_or(8) as usize;
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    let out_file = parse_str(args, "--out")?;
+    let snap = match parse_str(args, "--snapshot-file")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            ObsSnapshot::from_json(&text).map_err(CtlError::Parse)?
+        }
+        None => traced_snapshot(threads, pipeline)?,
+    };
+    let rendered = if chrome {
+        snap.to_chrome_trace()
+    } else {
+        render_trace_table(&snap)
+    };
+    match out_file {
+        Some(path) => {
+            std::fs::write(path, &rendered)?;
+            Ok(format!(
+                "wrote {} bytes ({} events, {} dropped) to {path}\n",
+                rendered.len(),
+                snap.events.len(),
+                snap.dropped_events
+            ))
+        }
+        None => Ok(rendered),
+    }
+}
+
+/// The human-readable rendering of a trace (see [`cmd_trace`]).
+fn render_trace_table(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} trace events ({} dropped by ring wraparound)",
+        snap.events.len(),
+        snap.dropped_events
+    );
+    let _ = writeln!(out, "{:>6} {:>10}  {:<6} event", "seq", "wall", "thread");
+    for e in &snap.events {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8}us  tid{:<3} {:?}",
+            e.seq, e.wall_us, e.tid, e.event
+        );
+    }
+    out
+}
+
+/// `ldctl top`: run the multi-threaded workload with the metrics
+/// sampler enabled and render the sampled time series as per-interval
+/// rates, `top`-style.
+///
+/// `--hz N` sets the sampling frequency (default 200), `--jsonl FILE`
+/// additionally writes the raw samples as JSON Lines (one
+/// `{"t_ms":…,"snapshot":{…}}` object per line) for offline analysis.
+pub fn cmd_top(args: &[String]) -> Result<String> {
+    let threads = parse_u64(args, "--threads")?.unwrap_or(4) as usize;
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    let hz = parse_u64(args, "--hz")?.unwrap_or(200) as f64;
+    if !(hz > 0.0 && hz <= 1000.0) {
+        return Err(CtlError::Usage("--hz must be in (0, 1000]".into()));
+    }
+    let jsonl_file = parse_str(args, "--jsonl")?;
+    let jsonl = sampled_jsonl(threads, pipeline, hz)?;
+    if let Some(path) = jsonl_file {
+        std::fs::write(path, &jsonl)?;
+    }
+    render_top(&jsonl)
+}
+
+/// Runs the multi-threaded workload with the background metrics
+/// sampler on, returning the captured time series as JSON Lines.
+fn sampled_jsonl(threads: usize, pipeline: bool, hz: f64) -> Result<String> {
+    let sim = SimDisk::new(MemDisk::new(16 << 20), DiskModel::hp_c3010());
+    let ld = Lld::format(
+        LatencyDisk::new(sim, std::time::Duration::from_micros(500)),
+        &LldConfig {
+            block_size: 512,
+            segment_bytes: 16 * 512,
+            pipeline,
+            metrics_hz: Some(hz),
+            ..LldConfig::default()
+        },
+    )?;
+    // Bracket the run with explicit samples so the series always has a
+    // zero baseline and a final data point, even when the workload
+    // finishes inside one sampling period.
+    ld.sample_now();
+    let wl = ld_workload::MtWorkload {
+        threads,
+        arus_per_thread: 100,
+        blocks_per_aru: 2,
+        sync_every: 1,
+        mode: ld_workload::MtMode::Disjoint,
+        seed: 1,
+    };
+    wl.run(&ld)?;
+    ld.sample_now();
+    Ok(ld.sampler_jsonl())
+}
+
+/// Parses sampler JSON Lines back into `(t_ms, snapshot)` pairs.
+fn parse_jsonl(jsonl: &str) -> Result<Vec<(u64, ObsSnapshot)>> {
+    let mut samples = Vec::new();
+    for (n, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| CtlError::Parse(format!("line {}: {e}", n + 1)))?;
+        let t_ms = v
+            .get("t_ms")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| CtlError::Parse(format!("line {}: missing t_ms", n + 1)))?;
+        let snap = v
+            .get("snapshot")
+            .ok_or_else(|| CtlError::Parse(format!("line {}: missing snapshot", n + 1)))
+            .and_then(|s| {
+                ObsSnapshot::from_value(s)
+                    .map_err(|e| CtlError::Parse(format!("line {}: {e}", n + 1)))
+            })?;
+        samples.push((t_ms, snap));
+    }
+    Ok(samples)
+}
+
+/// The `top` table: per-interval deltas of the headline counters (see
+/// [`cmd_top`]).
+fn render_top(jsonl: &str) -> Result<String> {
+    let samples = parse_jsonl(jsonl)?;
+    if samples.len() < 2 {
+        return Err(CtlError::Parse(format!(
+            "need at least 2 samples to form an interval, got {}",
+            samples.len()
+        )));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} samples over {} ms",
+        samples.len(),
+        samples.last().map(|(t, _)| *t).unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "t_ms", "commits", "batches", "blocks", "seals", "stalls", "inflight"
+    );
+    let d = |a: u64, b: u64| b.saturating_sub(a);
+    for pair in samples.windows(2) {
+        let (_, prev) = &pair[0];
+        let (t, cur) = &pair[1];
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            t,
+            d(prev.lld.arus_committed, cur.lld.arus_committed),
+            d(prev.lld.flush_batches, cur.lld.flush_batches),
+            d(prev.lld.data_blocks_written, cur.lld.data_blocks_written),
+            d(prev.lld.segments_sealed, cur.lld.segments_sealed),
+            d(prev.lld.backpressure_stalls, cur.lld.backpressure_stalls),
+            cur.lld.inflight_barriers,
+        );
+    }
+    let (_, last) = samples.last().expect("len checked above");
+    let _ = writeln!(
+        out,
+        "totals: {} commits, {} flush batches, {} blocks, {} seals, {} stalls, {} trace events dropped",
+        last.lld.arus_committed,
+        last.lld.flush_batches,
+        last.lld.data_blocks_written,
+        last.lld.segments_sealed,
+        last.lld.backpressure_stalls,
+        last.lld.trace_events_dropped,
+    );
+    Ok(out)
+}
+
+/// `ldctl flight`: pretty-print a crash flight-recorder dump written
+/// by the disk on a pipeline fault or a cleaner-thread panic.
+pub fn cmd_flight(file: &str) -> Result<String> {
+    let text = std::fs::read_to_string(file)?;
+    let v = json::parse(&text).map_err(CtlError::Parse)?;
+    let field = |key: &str| v.get(key).and_then(json::Value::as_str).unwrap_or("?");
+    let num = |key: &str| v.get(key).and_then(json::Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "flight dump:  {file}");
+    let _ = writeln!(out, "reason:       {}", field("reason"));
+    let _ = writeln!(out, "detail:       {}", field("detail"));
+    let _ = writeln!(out, "pid:          {}", num("pid"));
+    let _ = writeln!(out, "dump seq:     {}", num("dump_seq"));
+    let snap = v
+        .get("snapshot")
+        .ok_or_else(|| CtlError::Parse("missing snapshot".into()))
+        .and_then(|s| ObsSnapshot::from_value(s).map_err(CtlError::Parse))?;
+    let _ = writeln!(out);
+    let _ = write!(out, "{snap}");
+    Ok(out)
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -457,6 +748,14 @@ pub fn run(args: &[String]) -> Result<String> {
         "cat" => cmd_cat(need_image()?, arg2("path")?),
         "verify" => cmd_verify(need_image()?),
         "stats" => cmd_stats(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "flight" => {
+            let file = args
+                .get(1)
+                .ok_or_else(|| CtlError::Usage("flight requires <dump-file>".into()))?;
+            cmd_flight(file)
+        }
         "put" => {
             let local = args
                 .get(3)

@@ -217,3 +217,147 @@ fn format_requires_size() {
     ));
     cleanup(&image);
 }
+
+#[test]
+fn stats_snapshot_file_round_trip() {
+    let json = run(&args(&["stats", "--json", "--threads", "2"])).unwrap();
+    let path = temp_image("snap.json");
+    std::fs::write(&path, &json).unwrap();
+    // Rendering a saved snapshot must match rendering it live: same
+    // counters, no workload run.
+    let out = run(&args(&["stats", "--snapshot-file", &path])).unwrap();
+    assert!(out.contains("LLD counters"), "{out}");
+    assert!(out.contains("arus_committed               100"), "{out}");
+    // Garbage input is a parse error, not a panic.
+    std::fs::write(&path, "{not json").unwrap();
+    assert!(matches!(
+        run(&args(&["stats", "--snapshot-file", &path])),
+        Err(CtlError::Parse(_))
+    ));
+    cleanup(&path);
+}
+
+#[test]
+fn trace_human_table_lists_stage_events() {
+    let out = run(&args(&["trace", "--threads", "2"])).unwrap();
+    assert!(out.contains("trace events"), "{out}");
+    assert!(out.contains("QueueWait"), "{out}");
+    assert!(out.contains("Seal"), "{out}");
+    assert!(out.contains("BarrierWait"), "{out}");
+    assert!(out.contains("GroupCommit"), "{out}");
+}
+
+#[test]
+fn trace_chrome_export_is_valid_and_cross_thread() {
+    let path = temp_image("trace.json");
+    let report = run(&args(&[
+        "trace",
+        "--chrome",
+        "--threads",
+        "4",
+        "--pipeline",
+        "--out",
+        &path,
+    ]))
+    .unwrap();
+    assert!(report.contains("wrote"), "{report}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = ld_core::obs::json::parse(&text).unwrap();
+    let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    assert!(!events.is_empty());
+    // Complete ("X") span events must appear on more than one thread:
+    // callers run commit/queue_wait, the pipeline I/O thread runs
+    // media_write/barrier_ack.
+    let mut span_tids = std::collections::BTreeSet::new();
+    let mut names = std::collections::BTreeSet::new();
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("X") {
+            span_tids.insert(e.get("tid").and_then(|t| t.as_u64()).unwrap());
+            names.insert(e.get("name").and_then(|n| n.as_str()).unwrap().to_string());
+        }
+    }
+    assert!(
+        span_tids.len() > 1,
+        "spans on one thread only: {span_tids:?}"
+    );
+    for required in [
+        "commit",
+        "queue_wait",
+        "seal",
+        "barrier_wait",
+        "media_write",
+    ] {
+        assert!(names.contains(required), "missing {required} in {names:?}");
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn top_renders_interval_deltas_and_writes_jsonl() {
+    let path = temp_image("samples.jsonl");
+    let out = run(&args(&[
+        "top",
+        "--threads",
+        "2",
+        "--hz",
+        "500",
+        "--jsonl",
+        &path,
+    ]))
+    .unwrap();
+    assert!(out.contains("samples over"), "{out}");
+    assert!(out.contains("commits"), "{out}");
+    assert!(out.contains("totals:"), "{out}");
+    // The JSONL sidecar parses line by line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().count() >= 2, "{text}");
+    for line in text.lines() {
+        let v = ld_core::obs::json::parse(line).unwrap();
+        assert!(v.get("t_ms").is_some());
+        assert!(v.get("snapshot").is_some());
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn top_rejects_bad_hz() {
+    assert!(matches!(
+        run(&args(&["top", "--hz", "0"])),
+        Err(CtlError::Usage(_))
+    ));
+}
+
+#[test]
+fn flight_renders_a_real_dump() {
+    // Produce a genuine flight dump by configuring a flight dir and
+    // asking the disk for a manual dump.
+    let dir = temp_image("flightdir");
+    let _ = std::fs::remove_file(&dir);
+    let ld = ld_core::Lld::format(
+        ld_disk::MemDisk::new(4 << 20),
+        &ld_core::LldConfig {
+            flight_dir: Some(std::path::PathBuf::from(&dir)),
+            ..ld_core::LldConfig::default()
+        },
+    )
+    .unwrap();
+    ld.flush().unwrap();
+    let dump = ld.flight_dump("test_reason", "test detail").unwrap();
+    let out = run(&args(&["flight", dump.to_str().unwrap()])).unwrap();
+    assert!(out.contains("test_reason"), "{out}");
+    assert!(out.contains("test detail"), "{out}");
+    assert!(out.contains("LLD counters"), "{out}");
+    drop(ld);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_on_garbage_is_a_parse_error() {
+    let path = temp_image("badflight.json");
+    std::fs::write(&path, "][").unwrap();
+    assert!(matches!(
+        run(&args(&["flight", &path])),
+        Err(CtlError::Parse(_))
+    ));
+    cleanup(&path);
+}

@@ -43,6 +43,7 @@
 
 use crate::error::Result;
 use crate::lld::{Lld, LldInner};
+use crate::obs::{cleaner_trace, Obs, Stage};
 use crate::types::{BlockId, PhysAddr, SegmentId};
 use ld_disk::{BlockDevice, Condvar, Mutex};
 use std::sync::atomic::Ordering;
@@ -169,7 +170,28 @@ struct PassOutcome {
     stale: u64,
 }
 
+/// Unwind guard for the cleaner thread: a panic anywhere in a pass
+/// leaves poisoned locks behind that take the next foreground session
+/// down with no record of what the cleaner was doing — so dump a
+/// flight file on the way out. The dump itself runs under
+/// `catch_unwind` (it may hit the very locks the panic poisoned) so a
+/// failed dump can never escalate an unwinding thread into an abort.
+struct PanicFlight<'a, D: BlockDevice>(&'a LldInner<D>);
+
+impl<D: BlockDevice> Drop for PanicFlight<'_, D> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let ld = self.0;
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ld.flight_dump("cleaner_panic", "panic on the cleaner thread");
+            }));
+        }
+    }
+}
+
 fn cleanerd_main<D: BlockDevice>(ld: &LldInner<D>) {
+    ld_disk::register_thread_name("ld-cleanerd");
+    let _panic_guard = PanicFlight(ld);
     let low_watermark = u64::from(ld.cleaner_cfg.target_free_segments);
     let mut st = ld.cleanerd.state.lock();
     loop {
@@ -204,8 +226,15 @@ fn cleanerd_main<D: BlockDevice>(ld: &LldInner<D>) {
             ld.cleanerd.eased.notify_all();
             match outcome {
                 Ok(o) if o.freed > 0 => freed_any = true,
-                // No progress (nothing to reclaim, or a device error):
-                // stop this round and let the periodic poll retry.
+                // A failed pass is invisible to every foreground
+                // caller — record what the system looked like when it
+                // happened.
+                Err(e) => {
+                    let _ = ld.flight_dump("cleaner_pass_error", &e.to_string());
+                    break;
+                }
+                // No progress (nothing to reclaim): stop this round and
+                // let the periodic poll retry.
                 _ => break,
             }
         }
@@ -230,6 +259,11 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     let timer = ld.obs.timer();
     ld.stats.cleaner_runs.inc();
     ld.stats.cleaner_passes.inc();
+    // One trace per pass (the pass ordinal), stamped into the
+    // thread-local context so the relocation writes the pass issues are
+    // attributed to it by the pipelined device.
+    let trace = cleaner_trace(ld.stats.cleaner_passes.get());
+    let _trace_ctx = ld_disk::trace_scope(trace);
     let mut out = PassOutcome::default();
 
     // Phase 1: victim snapshot under the log mutex alone. Victims are
@@ -237,6 +271,8 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     // so that several mostly-empty segments compact into (at most) one
     // output segment's worth of relocated blocks.
     let slots_cap = ld.layout.slots_per_segment();
+    let phase_timer = ld.obs.timer();
+    ld.obs.stage_begin(ld.now(), trace, Stage::CleanerSnapshot);
     let mut victims: Vec<Victim> = {
         let log = ld.log.lock();
         let builder_slot = log.builder.as_ref().map(|b| b.slot().get());
@@ -281,6 +317,12 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
         }
         out
     };
+    ld.obs.stage_end(
+        ld.now(),
+        trace,
+        Stage::CleanerSnapshot,
+        Obs::elapsed(phase_timer),
+    );
     if victims.is_empty() {
         return Ok(out);
     }
@@ -290,6 +332,8 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     // into the victim, drop the rest. Foreground writers stay
     // unblocked; anything that moves after this is caught by the
     // re-validation inside the write windows.
+    let phase_timer = ld.obs.timer();
+    ld.obs.stage_begin(ld.now(), trace, Stage::CleanerPrefilter);
     for v in &mut victims {
         if v.blocks.is_empty() {
             continue;
@@ -317,6 +361,12 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
         });
         v.blocks.sort_unstable_by_key(|(id, _, _)| id.get());
     }
+    ld.obs.stage_end(
+        ld.now(),
+        trace,
+        Stage::CleanerPrefilter,
+        Obs::elapsed(phase_timer),
+    );
 
     // Phase 3: prefetch every victim block's data with *no* lock held.
     // Safe because a sealed slot's bytes never change while the slot is
@@ -327,6 +377,8 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     // read is discarded, never relocated. Keeping media reads — the
     // slow half of relocation on a real device — outside the windows is
     // what makes them short.
+    let phase_timer = ld.obs.timer();
+    ld.obs.stage_begin(ld.now(), trace, Stage::CleanerPrefetch);
     for v in &mut victims {
         for (_, addr, data) in &mut v.blocks {
             data.resize(ld.layout.block_size, 0);
@@ -340,6 +392,12 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
             }
         }
     }
+    ld.obs.stage_end(
+        ld.now(),
+        trace,
+        Stage::CleanerPrefetch,
+        Obs::elapsed(phase_timer),
+    );
 
     // Phase 4: relocate in short scoped write windows. Each window
     // first re-verifies (under the log mutex, which then stays held for
@@ -352,6 +410,8 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     // — that slot stays available for deletions and the inline
     // fallback.
     let mut aborted = false;
+    let phase_timer = ld.obs.timer();
+    ld.obs.stage_begin(ld.now(), trace, Stage::CleanerRelocate);
     for v in &mut victims {
         if aborted || v.lost {
             // An earlier window failed (device error or out of room),
@@ -412,6 +472,12 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
         }
         v.lost = lost;
     }
+    ld.obs.stage_end(
+        ld.now(),
+        trace,
+        Stage::CleanerRelocate,
+        Obs::elapsed(phase_timer),
+    );
 
     // Final phases under one full session: the covering checkpoint
     // (which seals the segment holding the relocation records, so they
@@ -432,7 +498,9 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
         );
         return Ok(out);
     }
-    out.freed = ld.with_mutation(|m| -> Result<u32> {
+    let phase_timer = ld.obs.timer();
+    ld.obs.stage_begin(ld.now(), trace, Stage::CleanerRelease);
+    let freed = ld.with_mutation(|m| -> Result<u32> {
         m.checkpoint_inner()?;
         let mut freed = 0u32;
         let log = m.log();
@@ -455,7 +523,14 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
         }
         m.sync_free_hint();
         Ok(freed)
-    })?;
+    });
+    ld.obs.stage_end(
+        ld.now(),
+        trace,
+        Stage::CleanerRelease,
+        Obs::elapsed(phase_timer),
+    );
+    out.freed = freed?;
 
     ld.stats.cleaner_stale_skips.add(out.stale);
     ld.obs.cleaner_pass_done(
@@ -492,6 +567,12 @@ impl<D: BlockDevice> LldInner<D> {
         st.kicks += 1;
         self.cleanerd.wake.notify_one();
         self.stats.backpressure_stalls.inc();
+        // The stall is charged to whatever trace the caller is inside
+        // (usually none — the gate runs before any commit machinery);
+        // its duration feeds the `backpressure_stall_ns` histogram.
+        let trace = ld_disk::current_trace();
+        let stall_timer = self.obs.timer();
+        self.obs.stage_begin(self.now(), trace, Stage::CleanerGate);
         while self.free_slots_hint.load(Ordering::Relaxed) <= stall_at
             && st.running
             && !st.stop
@@ -504,5 +585,12 @@ impl<D: BlockDevice> LldInner<D> {
             let (g, _) = self.cleanerd.eased.wait_timeout(st, deadline - now);
             st = g;
         }
+        drop(st);
+        self.obs.stage_end(
+            self.now(),
+            trace,
+            Stage::CleanerGate,
+            Obs::elapsed(stall_timer),
+        );
     }
 }

@@ -161,6 +161,26 @@ pub struct LldConfig {
     /// Observability: event tracing, latency histograms, and ARU spans
     /// (default on; see [`ObsConfig::disabled`]).
     pub obs: ObsConfig,
+    /// Background metrics sampler frequency in Hz. `Some(hz)` spawns a
+    /// thread ("ld-sampler") that captures an
+    /// [`ObsSnapshot`](crate::ObsSnapshot) roughly `hz` times per second
+    /// into a bounded in-memory ring, exportable as JSONL
+    /// (`Lld::sampler_jsonl`). Must be finite and positive (at most
+    /// 1000) when set. A runtime knob, not persisted on disk.
+    ///
+    /// The default honours the `LD_ARU_METRICS_HZ` environment variable
+    /// when it parses as such a number.
+    pub metrics_hz: Option<f64>,
+    /// Directory the crash flight recorder dumps into. When set, a
+    /// device error latched on a background thread (the pipeline I/O
+    /// thread), a failed background cleaner pass, or a panic on the
+    /// cleaner thread writes a JSON sidecar file
+    /// (`ld-flight-<pid>-<n>.json`) with the last trace events and a
+    /// final stats snapshot. Best-effort: dump I/O errors are ignored.
+    ///
+    /// The default honours the `LD_ARU_FLIGHT_DIR` environment variable
+    /// (non-empty value = the directory path).
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for LldConfig {
@@ -178,6 +198,8 @@ impl Default for LldConfig {
             map_shards: default_map_shards(),
             pipeline: default_pipeline(),
             obs: ObsConfig::default(),
+            metrics_hz: default_metrics_hz(),
+            flight_dir: default_flight_dir(),
         }
     }
 }
@@ -199,6 +221,19 @@ fn default_cleaner_background() -> bool {
 
 fn default_pipeline() -> bool {
     env_flag("LD_ARU_PIPELINE")
+}
+
+fn default_metrics_hz() -> Option<f64> {
+    std::env::var("LD_ARU_METRICS_HZ")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|hz| hz.is_finite() && *hz > 0.0 && *hz <= 1000.0)
+}
+
+fn default_flight_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("LD_ARU_FLIGHT_DIR")
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
 }
 
 fn env_flag(name: &str) -> bool {
@@ -260,6 +295,13 @@ impl LldConfig {
                 "map_shards {} must be a power of two in 1..={MAX_MAP_SHARDS}",
                 self.map_shards
             )));
+        }
+        if let Some(hz) = self.metrics_hz {
+            if !hz.is_finite() || hz <= 0.0 || hz > 1000.0 {
+                return Err(LldError::Config(format!(
+                    "metrics_hz {hz} must be finite, positive, and at most 1000"
+                )));
+            }
         }
         Ok(())
     }
@@ -343,6 +385,22 @@ mod tests {
         // Irrelevant when the cleaner is disabled.
         c.cleaner.enabled = false;
         c.cleaner.min_free_segments = 2;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_metrics_hz() {
+        for bad in [0.0, -4.0, f64::NAN, f64::INFINITY, 1001.0] {
+            let c = LldConfig {
+                metrics_hz: Some(bad),
+                ..LldConfig::default()
+            };
+            assert!(c.validate().is_err(), "metrics_hz {bad} should be rejected");
+        }
+        let c = LldConfig {
+            metrics_hz: Some(25.0),
+            ..LldConfig::default()
+        };
         assert!(c.validate().is_ok());
     }
 

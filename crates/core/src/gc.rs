@@ -10,9 +10,11 @@
 
 use crate::error::{LldError, Result};
 use crate::lld::LldInner;
+use crate::obs::{flush_trace, Obs, Stage};
 use crate::types::AruId;
 use ld_disk::BlockDevice;
 use ld_disk::{Condvar, Mutex};
+use std::time::Instant;
 
 #[derive(Debug, Default)]
 struct GcState {
@@ -38,6 +40,11 @@ struct GcState {
     /// since a device that fails a barrier keeps failing (and a later
     /// successful barrier also covers earlier writes).
     last_error: Option<LldError>,
+    /// When the previous leader released leadership (handed off on the
+    /// pipelined path, or completed its batch) — the next claim turns
+    /// the gap into the `gc_leader_handoff_ns` histogram. `None` while
+    /// a leader is active or when instrumentation is off.
+    handoff_at: Option<Instant>,
 }
 
 /// The shared queue state of the group-commit stage. Near the bottom of
@@ -75,6 +82,14 @@ impl<D: BlockDevice> LldInner<D> {
         let mut st = self.gc.state.lock();
         let ticket = st.started;
         st.started += 1;
+        // Every durability caller is one trace: a `commit` span
+        // wrapping its queue wait and (for the leader) the seal and
+        // barrier stages. The ring's mutex is a leaf, so emitting under
+        // the gc state lock is safe.
+        let trace = flush_trace(ticket);
+        self.obs.stage_begin(self.now(), trace, Stage::Commit);
+        let q_timer = self.obs.timer();
+        self.obs.stage_begin(self.now(), trace, Stage::QueueWait);
         loop {
             if st.done > ticket {
                 // A batch sealed after our ticket was taken: our work is
@@ -84,10 +99,14 @@ impl<D: BlockDevice> LldInner<D> {
                     None => Ok(()),
                 };
                 drop(st);
+                self.obs
+                    .stage_end(self.now(), trace, Stage::QueueWait, Obs::elapsed(q_timer));
                 if res.is_ok() {
                     self.obs
                         .flush_done(self.now(), self.stats.segments_sealed.get(), timer);
                 }
+                self.obs
+                    .stage_end(self.now(), trace, Stage::Commit, Obs::elapsed(timer));
                 return res;
             }
             // Claim leadership only when the device can absorb another
@@ -112,14 +131,26 @@ impl<D: BlockDevice> LldInner<D> {
         // and the seal took a ticket above `covering`, so it is part of
         // the next batch and cannot make this one undercount.
         st.leader_active = true;
+        if let Some(h) = st.handoff_at.take() {
+            self.obs.leader_handoff(Obs::elapsed(Some(h)));
+        }
         let covering = st.started;
         let batch = covering - st.claimed;
+        let first_trace = flush_trace(st.claimed);
         st.claimed = covering;
         self.stats.flush_batches.inc();
         self.stats.flush_batch_callers.add(batch);
         self.stats.flush_batch_max.record_max(batch);
         drop(st);
-        self.obs.group_commit(self.now(), batch);
+        self.obs
+            .stage_end(self.now(), trace, Stage::QueueWait, Obs::elapsed(q_timer));
+        self.obs.group_commit(self.now(), batch, trace, first_trace);
+
+        // Stamp the leader's flush trace into the thread-local context
+        // for the rest of the batch: the pipelined device reads it at
+        // `write_at` (attributing the seal's media writes, which land on
+        // the I/O thread, back to this batch) and at the barrier ack.
+        let _trace_ctx = ld_disk::trace_scope(trace);
 
         // Seal under the log lock alone (a log-only scoped session: the
         // seal touches no mapping shard, so readers and shard-scoped
@@ -141,22 +172,50 @@ impl<D: BlockDevice> LldInner<D> {
             // the I/O thread streams the next batch's seal writes to
             // the device — the write/barrier overlap the pipeline
             // exists for.
+            let seal_timer = self.obs.timer();
+            self.obs.stage_begin(self.now(), trace, Stage::Seal);
             let seal = self.with_mutation_at(0, 0, |m| m.roll_segment(0));
             self.after_scoped();
+            self.obs
+                .stage_end(self.now(), trace, Stage::Seal, Obs::elapsed(seal_timer));
             match seal.and_then(|()| pipe.submit_barrier().map_err(LldError::from)) {
                 Err(e) => Err(e),
-                Ok(ticket) => {
-                    self.gc.state.lock().leader_active = false;
+                Ok(barrier) => {
+                    {
+                        let mut st = self.gc.state.lock();
+                        st.leader_active = false;
+                        st.handoff_at = self.obs.timer();
+                    }
                     handed_off = true;
                     self.gc.cv.notify_all();
-                    pipe.wait_barrier(ticket).map_err(LldError::from)
+                    let wait_timer = self.obs.timer();
+                    self.obs.stage_begin(self.now(), trace, Stage::BarrierWait);
+                    let res = pipe.wait_barrier(barrier).map_err(LldError::from);
+                    self.obs.stage_end(
+                        self.now(),
+                        trace,
+                        Stage::BarrierWait,
+                        Obs::elapsed(wait_timer),
+                    );
+                    res
                 }
             }
         } else {
-            let res = self
-                .with_mutation_at(0, 0, |m| m.roll_segment(0))
-                .and_then(|()| self.device.flush().map_err(LldError::from));
+            let seal_timer = self.obs.timer();
+            self.obs.stage_begin(self.now(), trace, Stage::Seal);
+            let seal = self.with_mutation_at(0, 0, |m| m.roll_segment(0));
             self.after_scoped();
+            self.obs
+                .stage_end(self.now(), trace, Stage::Seal, Obs::elapsed(seal_timer));
+            let wait_timer = self.obs.timer();
+            self.obs.stage_begin(self.now(), trace, Stage::BarrierWait);
+            let res = seal.and_then(|()| self.device.flush().map_err(LldError::from));
+            self.obs.stage_end(
+                self.now(),
+                trace,
+                Stage::BarrierWait,
+                Obs::elapsed(wait_timer),
+            );
             res
         };
 
@@ -169,6 +228,7 @@ impl<D: BlockDevice> LldInner<D> {
         if !handed_off {
             // After a handoff the flag belongs to the next leader.
             st.leader_active = false;
+            st.handoff_at = self.obs.timer();
         }
         st.last_error = res.as_ref().err().cloned();
         drop(st);
@@ -178,6 +238,8 @@ impl<D: BlockDevice> LldInner<D> {
             self.obs
                 .flush_done(self.now(), self.stats.segments_sealed.get(), timer);
         }
+        self.obs
+            .stage_end(self.now(), trace, Stage::Commit, Obs::elapsed(timer));
         res
     }
 

@@ -69,6 +69,7 @@ mod cleanerd;
 mod commit;
 mod config;
 mod error;
+mod flight;
 mod gc;
 mod interface;
 mod layout;
@@ -76,6 +77,7 @@ mod lld;
 pub mod obs;
 mod ops;
 mod recovery;
+mod sampler;
 mod segment;
 mod shard;
 mod state;
@@ -86,11 +88,13 @@ mod types;
 pub use check::CheckReport;
 pub use config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 pub use error::{LldError, Result};
+pub use flight::FlightRecorder;
 pub use interface::LogicalDisk;
 pub use layout::Layout;
 pub use lld::{Lld, LldInner};
 pub use obs::{
-    AruSpan, Obs, ObsConfig, ObsSnapshot, SpanOutcome, TraceEntry, TraceEvent, TraceRing,
+    aru_trace, cleaner_trace, flush_trace, AruSpan, Obs, ObsConfig, ObsSnapshot, SpanOutcome,
+    Stage, TraceEntry, TraceEvent, TraceRing,
 };
 pub use recovery::RecoveryReport;
 pub use shard::ShardLockStats;

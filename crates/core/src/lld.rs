@@ -17,9 +17,11 @@ use crate::cache::BlockCache;
 use crate::cleanerd::Cleanerd;
 use crate::config::{CleanerConfig, ConcurrencyMode, LldConfig, ReadVisibility};
 use crate::error::{LldError, Result};
+use crate::flight::FlightRecorder;
 use crate::gc::GroupCommit;
 use crate::layout::{Layout, SUPERBLOCK_LEN};
-use crate::obs::{Obs, ObsSnapshot, TraceEvent};
+use crate::obs::{Obs, ObsSnapshot, Stage, TraceEvent};
+use crate::sampler::Sampler;
 use crate::segment::{SegmentBuilder, HEADER_LEN};
 use crate::shard::{MapView, Maps, WalkOutcome, SCRATCH_ARU_RAW};
 use crate::state::{BlockRecord, ListRecord};
@@ -267,10 +269,12 @@ impl<D> std::ops::Deref for Lld<D> {
 }
 
 impl<D> Drop for Lld<D> {
-    /// Stops and joins the background cleaner thread, if one is running.
+    /// Stops and joins the background cleaner and sampler threads, if
+    /// running.
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             inner.cleanerd.shutdown_and_join();
+            inner.sampler.shutdown_and_join();
         }
     }
 }
@@ -299,8 +303,10 @@ impl<D> Lld<D> {
     pub fn into_device(mut self) -> D {
         let inner = self.inner.take().expect("logical disk already consumed");
         inner.cleanerd.shutdown_and_join();
-        // After the join the cleaner's handle clone is gone, so this
-        // session holds the only reference.
+        inner.sampler.shutdown_and_join();
+        // After the joins the background threads' handle clones are
+        // gone, so this session holds the only strong reference (the
+        // pipe observer holds only a `Weak`).
         match Arc::try_unwrap(inner) {
             Ok(inner) => inner.device.unwrap(),
             Err(_) => unreachable!("outstanding references to the logical disk"),
@@ -349,6 +355,12 @@ pub struct LldInner<D> {
     /// Coordination state of the background cleaner thread (a leaf
     /// lock: never held while acquiring any mapping-layer or log lock).
     pub(crate) cleanerd: Cleanerd,
+    /// Coordination state of the metrics sampler thread (a leaf lock;
+    /// present even when no thread runs, so `sample_now` always works).
+    pub(crate) sampler: Sampler,
+    /// The crash flight recorder, when a dump directory is configured
+    /// ([`LldConfig::flight_dir`] / `LD_ARU_FLIGHT_DIR`).
+    pub(crate) flight: Option<FlightRecorder>,
 }
 
 /// An exclusive mutation session: a set of ARU slots and map shards
@@ -415,10 +427,63 @@ impl<D: BlockDevice + 'static> Lld<D> {
             stats: StatsCell::default(),
             obs: Obs::new(config.obs),
             cleanerd: Cleanerd::new(),
+            sampler: Sampler::new(),
+            flight: config.flight_dir.clone().map(FlightRecorder::new),
         });
+        ld.install_pipe_observer();
         ld.with_mutation(|m| m.open_segment(0))?;
         crate::cleanerd::spawn_if_configured(&ld);
+        crate::sampler::spawn_if_configured(&ld, config.metrics_hz);
         Ok(ld)
+    }
+
+    /// Hooks the pipelined device (when active) into the observability
+    /// layer: its media-write and barrier-ack stages flow into the
+    /// trace ring, and an error latched on its I/O thread triggers a
+    /// flight dump. A no-op on the synchronous path.
+    pub(crate) fn install_pipe_observer(&self) {
+        let inner = self.arc_inner();
+        if let Some(p) = inner.device.as_pipelined() {
+            p.set_observer(Arc::new(PipeObsAdapter {
+                inner: Arc::downgrade(&inner),
+            }));
+        }
+    }
+}
+
+/// Translates the pipelined device's [`ld_disk::PipeObserver`]
+/// callbacks into the core observability layer. Holds a `Weak`: the
+/// disk owns the device which owns this observer, so a strong
+/// reference would be a cycle — and during teardown (`into_device`)
+/// the upgrade simply fails and the callbacks become no-ops.
+struct PipeObsAdapter<D> {
+    inner: std::sync::Weak<LldInner<D>>,
+}
+
+fn pipe_stage(stage: ld_disk::PipeStage) -> Stage {
+    match stage {
+        ld_disk::PipeStage::MediaWrite => Stage::MediaWrite,
+        ld_disk::PipeStage::BarrierAck => Stage::BarrierAck,
+    }
+}
+
+impl<D: BlockDevice> ld_disk::PipeObserver for PipeObsAdapter<D> {
+    fn stage_begin(&self, trace: u64, stage: ld_disk::PipeStage) {
+        if let Some(ld) = self.inner.upgrade() {
+            ld.obs.stage_begin(ld.now(), trace, pipe_stage(stage));
+        }
+    }
+
+    fn stage_end(&self, trace: u64, stage: ld_disk::PipeStage, nanos: u64) {
+        if let Some(ld) = self.inner.upgrade() {
+            ld.obs.stage_end(ld.now(), trace, pipe_stage(stage), nanos);
+        }
+    }
+
+    fn fault(&self, error: &ld_disk::DiskError) {
+        if let Some(ld) = self.inner.upgrade() {
+            let _ = ld.flight_dump("pipeline_fault", &error.to_string());
+        }
     }
 }
 
@@ -543,6 +608,7 @@ impl<D: BlockDevice> LldInner<D> {
             s.pipeline_stalls = p.stalls;
             s.inflight_barriers = p.inflight_barriers_max;
         }
+        s.trace_events_dropped = self.obs.ring().dropped();
         s
     }
 
@@ -582,6 +648,8 @@ impl<D: BlockDevice> LldInner<D> {
             if let Some(p) = self.device.pipeline_stats() {
                 histograms.push(("pipeline_queue_depth".to_string(), p.queue_depth));
                 histograms.push(("pipeline_submit_ns".to_string(), p.submit_ns));
+                histograms.push(("pipeline_media_write_ns".to_string(), p.media_write_ns));
+                histograms.push(("pipeline_barrier_ack_ns".to_string(), p.barrier_ack_ns));
             }
         }
         ObsSnapshot {
@@ -602,6 +670,39 @@ impl<D: BlockDevice> LldInner<D> {
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.device.reset_pipeline_stats();
+    }
+
+    /// Captures one metrics sample into the sampler ring right now, on
+    /// the calling thread — works with or without a sampler thread
+    /// running, so tests get deterministic time series.
+    pub fn sample_now(&self) {
+        crate::sampler::take_sample(self);
+    }
+
+    /// Serializes the sampler ring as JSONL: one
+    /// `{"t_ms": …, "snapshot": {…}}` object per line, oldest first.
+    /// Empty when nothing has been sampled.
+    pub fn sampler_jsonl(&self) -> String {
+        self.sampler.to_jsonl()
+    }
+
+    /// Number of metrics samples currently retained, and the number
+    /// evicted from the bounded ring.
+    pub fn sampler_counts(&self) -> (usize, u64) {
+        (self.sampler.len(), self.sampler.dropped())
+    }
+
+    /// Writes a flight dump (reason + detail + a full
+    /// [`ObsSnapshot`]) into the configured flight directory, returning
+    /// the file path. `None` when no directory is configured
+    /// ([`LldConfig::flight_dir`]) or the write fails; never errors.
+    /// Called automatically on background-thread failures (pipeline
+    /// fault, cleaner pass error, cleaner panic); public so embedders
+    /// can dump on their own triggers too.
+    pub fn flight_dump(&self, reason: &str, detail: &str) -> Option<std::path::PathBuf> {
+        self.flight
+            .as_ref()?
+            .dump(reason, detail, &self.obs_snapshot())
     }
 
     /// Identifiers of the currently active ARUs.

@@ -29,11 +29,43 @@
 use crate::recovery::RecoveryReport;
 use crate::shard::ShardLockStats;
 use crate::stats::LldStats;
-use ld_disk::{DiskStatsSnapshot, HistogramSnapshot, LatencyHistogram, Mutex};
+use ld_disk::{thread_tag, DiskStatsSnapshot, HistogramSnapshot, LatencyHistogram, Mutex};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Trace ids
+// ----------------------------------------------------------------------
+
+/// Namespace bit for group-commit flush traces (the low bits hold the
+/// gc ticket number). Keeps flush traces from colliding with ARU
+/// commit traces, which use the raw ARU id directly.
+pub const TRACE_FLUSH_BASE: u64 = 1 << 32;
+
+/// Namespace bit for cleaner-pass traces (the low bits hold the pass
+/// ordinal).
+pub const TRACE_CLEANER_BASE: u64 = 2 << 32;
+
+/// The trace id of an ARU commit: the raw ARU id itself.
+#[inline]
+pub fn aru_trace(aru: u64) -> u64 {
+    aru
+}
+
+/// The trace id of one group-commit flush batch, from its gc ticket.
+#[inline]
+pub fn flush_trace(ticket: u64) -> u64 {
+    TRACE_FLUSH_BASE | ticket
+}
+
+/// The trace id of one background cleaner pass, from its ordinal.
+#[inline]
+pub fn cleaner_trace(pass: u64) -> u64 {
+    TRACE_CLEANER_BASE | pass
+}
 
 // ----------------------------------------------------------------------
 // Configuration
@@ -75,6 +107,84 @@ impl ObsConfig {
 // ----------------------------------------------------------------------
 // Trace events
 // ----------------------------------------------------------------------
+
+/// One stage of a traced operation's cross-thread timeline. Stage
+/// begin/end events carry the operation's trace id, so a commit's full
+/// path — caller queue wait, leader seal, barrier wait on the leader's
+/// thread, media writes on the pipeline I/O thread — reassembles from
+/// the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The whole durability call (`flush`/`end_aru_sync`'s flush) on
+    /// the caller's thread; every other gc stage nests inside it.
+    Commit,
+    /// From taking a gc ticket to being covered by a batch (follower)
+    /// or claiming leadership (leader).
+    QueueWait,
+    /// The leader sealing the open segment (summary + header writes).
+    Seal,
+    /// The leader waiting for its batch's barrier: `wait_barrier` on
+    /// the pipelined path, `device.flush()` on the sync path.
+    BarrierWait,
+    /// A foreground writer stalled in the cleaner's backpressure gate.
+    CleanerGate,
+    /// The pipeline I/O thread applying one (possibly coalesced) write
+    /// to the inner device.
+    MediaWrite,
+    /// The inner device flush issued for a barrier, on the waiting
+    /// thread.
+    BarrierAck,
+    /// Cleaner pass phase 1: victim snapshot under the log lock.
+    CleanerSnapshot,
+    /// Cleaner pass phase 2: liveness prefilter under shard read locks.
+    CleanerPrefilter,
+    /// Cleaner pass phase 3: block prefetch with no locks held.
+    CleanerPrefetch,
+    /// Cleaner pass phase 4: relocation in short scoped-write windows.
+    CleanerRelocate,
+    /// Cleaner pass final phase: checkpoint and segment release.
+    CleanerRelease,
+}
+
+impl Stage {
+    /// Stable snake_case name (used by JSON output and exporters).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::Commit => "commit",
+            Stage::QueueWait => "queue_wait",
+            Stage::Seal => "seal",
+            Stage::BarrierWait => "barrier_wait",
+            Stage::CleanerGate => "cleaner_gate",
+            Stage::MediaWrite => "media_write",
+            Stage::BarrierAck => "barrier_ack",
+            Stage::CleanerSnapshot => "cleaner_snapshot",
+            Stage::CleanerPrefilter => "cleaner_prefilter",
+            Stage::CleanerPrefetch => "cleaner_prefetch",
+            Stage::CleanerRelocate => "cleaner_relocate",
+            Stage::CleanerRelease => "cleaner_release",
+        }
+    }
+
+    /// Parses the name produced by [`Stage::as_str`].
+    #[allow(clippy::should_implement_trait)] // fallible, Option-returning
+    pub fn from_str(s: &str) -> Option<Stage> {
+        Some(match s {
+            "commit" => Stage::Commit,
+            "queue_wait" => Stage::QueueWait,
+            "seal" => Stage::Seal,
+            "barrier_wait" => Stage::BarrierWait,
+            "cleaner_gate" => Stage::CleanerGate,
+            "media_write" => Stage::MediaWrite,
+            "barrier_ack" => Stage::BarrierAck,
+            "cleaner_snapshot" => Stage::CleanerSnapshot,
+            "cleaner_prefilter" => Stage::CleanerPrefilter,
+            "cleaner_prefetch" => Stage::CleanerPrefetch,
+            "cleaner_relocate" => Stage::CleanerRelocate,
+            "cleaner_release" => Stage::CleanerRelease,
+            _ => return None,
+        })
+    }
+}
 
 /// One structured trace event. Identifiers are raw (`u64`/`u32`) so the
 /// payload stays `Copy` and serialization stays trivial.
@@ -127,6 +237,27 @@ pub enum TraceEvent {
         /// Number of `flush`/`end_aru_sync` callers served by the one
         /// seal + barrier.
         batch: u64,
+        /// Trace id of the leader's own flush.
+        trace: u64,
+        /// Trace id of the first flush covered by this batch; the batch
+        /// covers traces `first_trace .. first_trace + batch`.
+        first_trace: u64,
+    },
+    /// A traced operation entered a stage (on the recording thread).
+    StageBegin {
+        /// Trace id of the operation (0 = untraced).
+        trace: u64,
+        /// The stage being entered.
+        stage: Stage,
+    },
+    /// A traced operation left a stage (on the recording thread).
+    StageEnd {
+        /// Trace id of the operation (0 = untraced).
+        trace: u64,
+        /// The stage being left.
+        stage: Stage,
+        /// Wall-clock nanoseconds spent in the stage.
+        nanos: u64,
     },
     /// The background cleaner thread woke with cleaning work (free
     /// segments below the low watermark).
@@ -170,6 +301,8 @@ impl TraceEvent {
             TraceEvent::SegmentSeal { .. } => "segment_seal",
             TraceEvent::Flush { .. } => "flush",
             TraceEvent::GroupCommit { .. } => "group_commit",
+            TraceEvent::StageBegin { .. } => "stage_begin",
+            TraceEvent::StageEnd { .. } => "stage_end",
             TraceEvent::CleanerWake { .. } => "cleaner_wake",
             TraceEvent::CleanerPass { .. } => "cleaner_pass",
             TraceEvent::Checkpoint { .. } => "checkpoint",
@@ -185,6 +318,12 @@ pub struct TraceEntry {
     pub seq: u64,
     /// Logical timestamp (the LLD operation clock) when recorded.
     pub ts: u64,
+    /// Tag of the recording thread (see [`ld_disk::thread_tag`]); 0
+    /// only in entries deserialized from external data.
+    pub tid: u64,
+    /// Microseconds since the ring was created (one wall clock shared
+    /// by every recording thread, so cross-thread timelines line up).
+    pub wall_us: u64,
     /// The event itself.
     pub event: TraceEvent,
 }
@@ -219,6 +358,8 @@ struct RingInner {
 #[derive(Debug)]
 pub struct TraceRing {
     capacity: usize,
+    /// Wall-clock origin for every entry's `wall_us` stamp.
+    epoch: Instant,
     inner: Mutex<RingInner>,
 }
 
@@ -227,12 +368,17 @@ impl TraceRing {
     pub fn new(capacity: usize) -> Self {
         TraceRing {
             capacity: capacity.max(1),
+            epoch: Instant::now(),
             inner: Mutex::new(RingInner::default()),
         }
     }
 
-    /// Appends an event, evicting the oldest entry when full.
+    /// Appends an event, evicting the oldest entry when full. The entry
+    /// is stamped with the recording thread's tag and the shared wall
+    /// clock.
     pub fn record(&self, ts: u64, event: TraceEvent) {
+        let tid = thread_tag();
+        let wall_us = self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
@@ -240,7 +386,13 @@ impl TraceRing {
             inner.entries.pop_front();
             inner.dropped += 1;
         }
-        inner.entries.push_back(TraceEntry { seq, ts, event });
+        inner.entries.push_back(TraceEntry {
+            seq,
+            ts,
+            tid,
+            wall_us,
+            event,
+        });
     }
 
     /// The retained entries, oldest first (ascending `seq`).
@@ -296,6 +448,18 @@ impl SpanOutcome {
             SpanOutcome::Conflicted => "conflicted",
         }
     }
+
+    /// Parses the name produced by [`SpanOutcome::as_str`].
+    #[allow(clippy::should_implement_trait)] // fallible, Option-returning
+    pub fn from_str(s: &str) -> Option<SpanOutcome> {
+        Some(match s {
+            "active" => SpanOutcome::Active,
+            "committed" => SpanOutcome::Committed,
+            "aborted" => SpanOutcome::Aborted,
+            "conflicted" => SpanOutcome::Conflicted,
+            _ => return None,
+        })
+    }
 }
 
 /// The lifecycle record of one ARU.
@@ -345,7 +509,7 @@ struct SpanTable {
 #[derive(Debug)]
 pub struct Obs {
     cfg: ObsConfig,
-    ring: TraceRing,
+    ring: Arc<TraceRing>,
     lld_read: LatencyHistogram,
     lld_write: LatencyHistogram,
     end_aru: LatencyHistogram,
@@ -353,6 +517,11 @@ pub struct Obs {
     group_commit_batch: LatencyHistogram,
     aru_shard_spread: LatencyHistogram,
     cleaner_pass: LatencyHistogram,
+    gc_queue_wait: LatencyHistogram,
+    gc_seal: LatencyHistogram,
+    gc_barrier_wait: LatencyHistogram,
+    gc_leader_handoff: LatencyHistogram,
+    backpressure_stall: LatencyHistogram,
     spans: Mutex<SpanTable>,
     recovery: Mutex<Option<RecoveryReport>>,
 }
@@ -361,7 +530,7 @@ impl Obs {
     /// Builds the instrumentation bundle for one logical disk.
     pub fn new(cfg: ObsConfig) -> Self {
         Obs {
-            ring: TraceRing::new(cfg.ring_capacity),
+            ring: Arc::new(TraceRing::new(cfg.ring_capacity)),
             cfg,
             lld_read: LatencyHistogram::new(),
             lld_write: LatencyHistogram::new(),
@@ -370,6 +539,11 @@ impl Obs {
             group_commit_batch: LatencyHistogram::new(),
             aru_shard_spread: LatencyHistogram::new(),
             cleaner_pass: LatencyHistogram::new(),
+            gc_queue_wait: LatencyHistogram::new(),
+            gc_seal: LatencyHistogram::new(),
+            gc_barrier_wait: LatencyHistogram::new(),
+            gc_leader_handoff: LatencyHistogram::new(),
+            backpressure_stall: LatencyHistogram::new(),
             spans: Mutex::new(SpanTable::default()),
             recovery: Mutex::new(None),
         }
@@ -442,12 +616,73 @@ impl Obs {
     /// A group-commit leader finished a batch of `batch` durability
     /// callers: records the batch size (into the `group_commit_batch`
     /// histogram — size distribution, not latency) and the event.
-    pub(crate) fn group_commit(&self, ts: u64, batch: u64) {
+    /// `trace` is the leader's own flush trace id and `first_trace` the
+    /// lowest flush trace covered, so the batch event ties the covered
+    /// commit spans (`first_trace .. first_trace + batch`) together.
+    pub(crate) fn group_commit(&self, ts: u64, batch: u64, trace: u64, first_trace: u64) {
         if !self.cfg.enabled {
             return;
         }
         self.group_commit_batch.record(batch);
-        self.ring.record(ts, TraceEvent::GroupCommit { batch });
+        self.ring.record(
+            ts,
+            TraceEvent::GroupCommit {
+                batch,
+                trace,
+                first_trace,
+            },
+        );
+    }
+
+    /// Wall-clock nanoseconds since `timer` (0 when instrumentation was
+    /// off and the timer is `None`).
+    #[inline]
+    pub(crate) fn elapsed(timer: Option<Instant>) -> u64 {
+        Self::elapsed_nanos(timer).unwrap_or(0)
+    }
+
+    /// A traced operation entered `stage` on the calling thread.
+    #[inline]
+    pub(crate) fn stage_begin(&self, ts: u64, trace: u64, stage: Stage) {
+        if self.cfg.enabled {
+            self.ring
+                .record(ts, TraceEvent::StageBegin { trace, stage });
+        }
+    }
+
+    /// A traced operation left `stage` after `nanos` wall-clock
+    /// nanoseconds: records the end event and feeds the stage's
+    /// latency histogram, when it has one.
+    pub(crate) fn stage_end(&self, ts: u64, trace: u64, stage: Stage, nanos: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        match stage {
+            Stage::QueueWait => self.gc_queue_wait.record(nanos),
+            Stage::Seal => self.gc_seal.record(nanos),
+            Stage::BarrierWait => self.gc_barrier_wait.record(nanos),
+            Stage::CleanerGate => self.backpressure_stall.record(nanos),
+            _ => {}
+        }
+        self.ring.record(
+            ts,
+            TraceEvent::StageEnd {
+                trace,
+                stage,
+                nanos,
+            },
+        );
+    }
+
+    /// Records the gap between a pipelined leader releasing leadership
+    /// and the next leader claiming it (histogram only: the two sides
+    /// run on different threads, so a begin/end pair would break
+    /// per-thread span nesting).
+    #[inline]
+    pub(crate) fn leader_handoff(&self, nanos: u64) {
+        if self.cfg.enabled {
+            self.gc_leader_handoff.record(nanos);
+        }
     }
 
     /// A concurrent-ARU commit touched `n` map shards: records the
@@ -633,8 +868,11 @@ impl Obs {
     /// Snapshot of the LLD-layer histograms as `(name, snapshot)`
     /// pairs: `lld_read`, `lld_write`, `end_aru`, `flush`,
     /// `cleaner_pass_ns` (latencies in nanoseconds),
-    /// `group_commit_batch` (batch sizes, not times), and
-    /// `aru_shard_spread` (map shards touched per concurrent commit).
+    /// `group_commit_batch` (batch sizes, not times),
+    /// `aru_shard_spread` (map shards touched per concurrent commit),
+    /// and the per-stage commit decomposition: `gc_queue_wait_ns`,
+    /// `gc_seal_ns`, `gc_barrier_wait_ns`, `gc_leader_handoff_ns`,
+    /// `backpressure_stall_ns`.
     pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
         vec![
             ("lld_read", self.lld_read.snapshot()),
@@ -644,6 +882,11 @@ impl Obs {
             ("group_commit_batch", self.group_commit_batch.snapshot()),
             ("aru_shard_spread", self.aru_shard_spread.snapshot()),
             ("cleaner_pass_ns", self.cleaner_pass.snapshot()),
+            ("gc_queue_wait_ns", self.gc_queue_wait.snapshot()),
+            ("gc_seal_ns", self.gc_seal.snapshot()),
+            ("gc_barrier_wait_ns", self.gc_barrier_wait.snapshot()),
+            ("gc_leader_handoff_ns", self.gc_leader_handoff.snapshot()),
+            ("backpressure_stall_ns", self.backpressure_stall.snapshot()),
         ]
     }
 }
@@ -738,6 +981,363 @@ impl ObsSnapshot {
         o.raw("fs_ops", &fs.finish());
         o.finish()
     }
+
+    /// Parses a snapshot previously serialized by
+    /// [`ObsSnapshot::to_json`]. Unknown fields and event types are
+    /// skipped, so newer writers stay readable.
+    pub fn from_json(s: &str) -> Result<ObsSnapshot, String> {
+        Self::from_value(&json::parse(s)?)
+    }
+
+    /// Rebuilds a snapshot from an already-parsed JSON value (the
+    /// object [`ObsSnapshot::to_json`] emits).
+    pub fn from_value(v: &json::Value) -> Result<ObsSnapshot, String> {
+        v.as_obj().ok_or("snapshot is not a JSON object")?;
+        let mut snap = ObsSnapshot {
+            lld: v.get("lld").map(lld_stats_from).unwrap_or_default(),
+            dropped_events: get_u64(v, "dropped_events"),
+            ..ObsSnapshot::default()
+        };
+        if let Some(d) = v.get("disk") {
+            if d.as_obj().is_some() {
+                snap.disk = Some(disk_stats_from(d));
+            }
+        }
+        if let Some(pairs) = v.get("histograms").and_then(json::Value::as_obj) {
+            for (name, h) in pairs {
+                snap.histograms.push((name.clone(), histogram_from(h)));
+            }
+        }
+        if let Some(items) = v.get("events").and_then(json::Value::as_arr) {
+            snap.events = items.iter().filter_map(trace_entry_from).collect();
+        }
+        if let Some(items) = v.get("spans").and_then(json::Value::as_arr) {
+            snap.spans = items.iter().map(span_from).collect();
+        }
+        if let Some(items) = v.get("shards").and_then(json::Value::as_arr) {
+            snap.shards = items
+                .iter()
+                .map(|s| ShardLockStats {
+                    shard: get_u64(s, "shard") as u32,
+                    read_locks: get_u64(s, "read_locks"),
+                    write_locks: get_u64(s, "write_locks"),
+                })
+                .collect();
+        }
+        if let Some(r) = v.get("recovery") {
+            if r.as_obj().is_some() {
+                snap.recovery = Some(recovery_from(r));
+            }
+        }
+        if let Some(pairs) = v.get("fs_ops").and_then(json::Value::as_obj) {
+            for (name, n) in pairs {
+                snap.fs_ops.push((name.clone(), n.as_u64().unwrap_or(0)));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the trace ring as a Chrome Trace Event Format document
+    /// (loadable in `chrome://tracing` / Perfetto): one row per thread,
+    /// stage begin/end pairs matched into complete (`"X"`) duration
+    /// events nested per commit, every other event as an instant.
+    ///
+    /// Thread rows are labeled from
+    /// [`ld_disk::thread_names`] when the snapshot was taken in this
+    /// process; otherwise they fall back to `thread-<tid>`.
+    pub fn to_chrome_trace(&self) -> String {
+        use std::collections::HashMap;
+        let names = ld_disk::thread_names();
+        let mut events = json::Arr::new();
+        let mut tids: Vec<u64> = Vec::new();
+        let mut open: HashMap<(u64, u64, Stage), Vec<u64>> = HashMap::new();
+        let mut unmatched_ends = 0u64;
+        for e in &self.events {
+            if !tids.contains(&e.tid) {
+                tids.push(e.tid);
+            }
+            match e.event {
+                TraceEvent::StageBegin { trace, stage } => {
+                    open.entry((e.tid, trace, stage))
+                        .or_default()
+                        .push(e.wall_us);
+                }
+                TraceEvent::StageEnd {
+                    trace,
+                    stage,
+                    nanos,
+                } => {
+                    let begin = open.get_mut(&(e.tid, trace, stage)).and_then(Vec::pop);
+                    let Some(begin_us) = begin else {
+                        // The begin was evicted from the ring; the span
+                        // cannot be placed, so it is dropped (counted in
+                        // otherData).
+                        unmatched_ends += 1;
+                        continue;
+                    };
+                    let mut o = json::Obj::new();
+                    o.str("name", stage.as_str());
+                    o.str("cat", "lld");
+                    o.str("ph", "X");
+                    o.u64("pid", 1);
+                    o.u64("tid", e.tid);
+                    o.u64("ts", begin_us);
+                    o.f64("dur", nanos as f64 / 1000.0);
+                    let mut args = json::Obj::new();
+                    args.u64("trace", trace);
+                    args.u64("seq", e.seq);
+                    o.raw("args", &args.finish());
+                    events.push_raw(&o.finish());
+                }
+                other => {
+                    let mut o = json::Obj::new();
+                    o.str("name", other.kind());
+                    o.str("cat", "lld");
+                    o.str("ph", "i");
+                    o.str("s", "t");
+                    o.u64("pid", 1);
+                    o.u64("tid", e.tid);
+                    o.u64("ts", e.wall_us);
+                    let mut args = json::Obj::new();
+                    args.u64("seq", e.seq);
+                    match other {
+                        TraceEvent::GroupCommit {
+                            batch,
+                            trace,
+                            first_trace,
+                        } => {
+                            args.u64("batch", batch);
+                            args.u64("trace", trace);
+                            args.u64("first_trace", first_trace);
+                        }
+                        TraceEvent::AruBegin { aru }
+                        | TraceEvent::AruAbort { aru }
+                        | TraceEvent::AruConflict { aru }
+                        | TraceEvent::AruCommit { aru, .. } => {
+                            args.u64("trace", aru_trace(aru));
+                        }
+                        _ => {}
+                    }
+                    o.raw("args", &args.finish());
+                    events.push_raw(&o.finish());
+                }
+            }
+        }
+        for tid in tids {
+            let fallback = format!("thread-{tid}");
+            let label = names.get(&tid).map(String::as_str).unwrap_or(&fallback);
+            let mut o = json::Obj::new();
+            o.str("name", "thread_name");
+            o.str("ph", "M");
+            o.u64("pid", 1);
+            o.u64("tid", tid);
+            let mut args = json::Obj::new();
+            args.str("name", label);
+            o.raw("args", &args.finish());
+            events.push_raw(&o.finish());
+        }
+        let mut top = json::Obj::new();
+        top.raw("traceEvents", &events.finish());
+        top.str("displayTimeUnit", "ms");
+        let mut other = json::Obj::new();
+        other.u64("dropped_events", self.dropped_events);
+        other.u64("unmatched_stage_ends", unmatched_ends);
+        top.raw("otherData", &other.finish());
+        top.finish()
+    }
+}
+
+fn get_u64(v: &json::Value, key: &str) -> u64 {
+    v.get(key).and_then(json::Value::as_u64).unwrap_or(0)
+}
+
+fn lld_stats_from(v: &json::Value) -> LldStats {
+    let mut s = LldStats::default();
+    let Some(pairs) = v.as_obj() else {
+        return s;
+    };
+    for (k, val) in pairs {
+        let n = val.as_u64().unwrap_or(0);
+        match k.as_str() {
+            "reads" => s.reads = n,
+            "writes" => s.writes = n,
+            "new_blocks" => s.new_blocks = n,
+            "delete_blocks" => s.delete_blocks = n,
+            "new_lists" => s.new_lists = n,
+            "delete_lists" => s.delete_lists = n,
+            "arus_begun" => s.arus_begun = n,
+            "arus_committed" => s.arus_committed = n,
+            "arus_aborted" => s.arus_aborted = n,
+            "commit_conflicts" => s.commit_conflicts = n,
+            "segments_sealed" => s.segments_sealed = n,
+            "records_emitted" => s.records_emitted = n,
+            "summary_bytes" => s.summary_bytes = n,
+            "data_blocks_written" => s.data_blocks_written = n,
+            "blocks_relocated" => s.blocks_relocated = n,
+            "cleaner_runs" => s.cleaner_runs = n,
+            "cleaner_passes" => s.cleaner_passes = n,
+            "cleaner_blocks_relocated" => s.cleaner_blocks_relocated = n,
+            "cleaner_stale_skips" => s.cleaner_stale_skips = n,
+            "backpressure_stalls" => s.backpressure_stalls = n,
+            "checkpoints" => s.checkpoints = n,
+            "list_walk_steps" => s.list_walk_steps = n,
+            "shadow_cow_records" => s.shadow_cow_records = n,
+            "shadow_records_merged" => s.shadow_records_merged = n,
+            "committed_records_drained" => s.committed_records_drained = n,
+            "cache_hits" => s.cache_hits = n,
+            "cache_misses" => s.cache_misses = n,
+            "flush_batches" => s.flush_batches = n,
+            "flush_batch_callers" => s.flush_batch_callers = n,
+            "flush_batch_max" => s.flush_batch_max = n,
+            "full_mutations" => s.full_mutations = n,
+            "scoped_mutations" => s.scoped_mutations = n,
+            "single_shard_commits" => s.single_shard_commits = n,
+            "cross_shard_commits" => s.cross_shard_commits = n,
+            "commit_full_fallbacks" => s.commit_full_fallbacks = n,
+            "walk_escalations" => s.walk_escalations = n,
+            "pipeline_stalls" => s.pipeline_stalls = n,
+            "inflight_barriers" => s.inflight_barriers = n,
+            "trace_events_dropped" => s.trace_events_dropped = n,
+            _ => {}
+        }
+    }
+    s
+}
+
+fn disk_stats_from(v: &json::Value) -> DiskStatsSnapshot {
+    DiskStatsSnapshot {
+        reads: get_u64(v, "reads"),
+        writes: get_u64(v, "writes"),
+        bytes_read: get_u64(v, "bytes_read"),
+        bytes_written: get_u64(v, "bytes_written"),
+        flushes: get_u64(v, "flushes"),
+        sequential_writes: get_u64(v, "sequential_writes"),
+        sequential_reads: get_u64(v, "sequential_reads"),
+        busy: std::time::Duration::from_nanos(get_u64(v, "busy_nanos")),
+        ..DiskStatsSnapshot::default()
+    }
+}
+
+fn histogram_from(v: &json::Value) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot {
+        count: get_u64(v, "count"),
+        sum: get_u64(v, "sum"),
+        max: get_u64(v, "max"),
+        ..HistogramSnapshot::default()
+    };
+    if let Some(pairs) = v.get("buckets").and_then(json::Value::as_arr) {
+        for pair in pairs {
+            if let Some(p) = pair.as_arr() {
+                if let (Some(i), Some(n)) = (
+                    p.first().and_then(json::Value::as_u64),
+                    p.get(1).and_then(json::Value::as_u64),
+                ) {
+                    if let Some(slot) = h.buckets.get_mut(i as usize) {
+                        *slot = n;
+                    }
+                }
+            }
+        }
+    }
+    h
+}
+
+fn trace_entry_from(v: &json::Value) -> Option<TraceEntry> {
+    let kind = v.get("type")?.as_str()?;
+    let event = match kind {
+        "aru_begin" => TraceEvent::AruBegin {
+            aru: get_u64(v, "aru"),
+        },
+        "aru_commit" => TraceEvent::AruCommit {
+            aru: get_u64(v, "aru"),
+            ops: get_u64(v, "ops"),
+            cow_records: get_u64(v, "cow_records"),
+        },
+        "aru_abort" => TraceEvent::AruAbort {
+            aru: get_u64(v, "aru"),
+        },
+        "aru_conflict" => TraceEvent::AruConflict {
+            aru: get_u64(v, "aru"),
+        },
+        "segment_seal" => TraceEvent::SegmentSeal {
+            segment: get_u64(v, "segment") as u32,
+            seq: get_u64(v, "segment_seq"),
+            blocks: get_u64(v, "blocks") as u32,
+            bytes: get_u64(v, "bytes"),
+        },
+        "flush" => TraceEvent::Flush {
+            segments_sealed: get_u64(v, "segments_sealed"),
+        },
+        "group_commit" => TraceEvent::GroupCommit {
+            batch: get_u64(v, "batch"),
+            trace: get_u64(v, "trace"),
+            first_trace: get_u64(v, "first_trace"),
+        },
+        "stage_begin" => TraceEvent::StageBegin {
+            trace: get_u64(v, "trace"),
+            stage: Stage::from_str(v.get("stage")?.as_str()?)?,
+        },
+        "stage_end" => TraceEvent::StageEnd {
+            trace: get_u64(v, "trace"),
+            stage: Stage::from_str(v.get("stage")?.as_str()?)?,
+            nanos: get_u64(v, "nanos"),
+        },
+        "cleaner_wake" => TraceEvent::CleanerWake {
+            free_segments: get_u64(v, "free_segments") as u32,
+        },
+        "cleaner_pass" => TraceEvent::CleanerPass {
+            free_segments: get_u64(v, "free_segments") as u32,
+            blocks_relocated: get_u64(v, "blocks_relocated"),
+        },
+        "checkpoint" => TraceEvent::Checkpoint {
+            covered_seq: get_u64(v, "covered_seq"),
+            bytes: get_u64(v, "bytes"),
+        },
+        "recovery_scan" => TraceEvent::RecoveryScan {
+            segments_scanned: get_u64(v, "segments_scanned") as u32,
+            segments_replayed: get_u64(v, "segments_replayed") as u32,
+            records_applied: get_u64(v, "records_applied"),
+        },
+        _ => return None,
+    };
+    Some(TraceEntry {
+        seq: get_u64(v, "seq"),
+        ts: get_u64(v, "ts"),
+        tid: get_u64(v, "tid"),
+        wall_us: get_u64(v, "wall_us"),
+        event,
+    })
+}
+
+fn span_from(v: &json::Value) -> AruSpan {
+    AruSpan {
+        aru: get_u64(v, "aru"),
+        begin_ts: get_u64(v, "begin_ts"),
+        end_ts: v.get("end_ts").and_then(json::Value::as_u64),
+        wall_nanos: v.get("wall_nanos").and_then(json::Value::as_u64),
+        ops: get_u64(v, "ops"),
+        cow_records: get_u64(v, "cow_records"),
+        outcome: v
+            .get("outcome")
+            .and_then(json::Value::as_str)
+            .and_then(SpanOutcome::from_str)
+            .unwrap_or(SpanOutcome::Active),
+    }
+}
+
+fn recovery_from(v: &json::Value) -> RecoveryReport {
+    RecoveryReport {
+        checkpoint_seq: get_u64(v, "checkpoint_seq"),
+        segments_scanned: get_u64(v, "segments_scanned") as u32,
+        segments_replayed: get_u64(v, "segments_replayed") as u32,
+        torn_tails_detected: get_u64(v, "torn_tails_detected") as u32,
+        records_applied: get_u64(v, "records_applied"),
+        committed_arus: get_u64(v, "committed_arus"),
+        discarded_arus: get_u64(v, "discarded_arus"),
+        discarded_records: get_u64(v, "discarded_records"),
+        ignored_after_gap: get_u64(v, "ignored_after_gap") as u32,
+        orphan_blocks_freed: get_u64(v, "orphan_blocks_freed") as usize,
+    }
 }
 
 fn lld_stats_json(s: &LldStats) -> String {
@@ -780,6 +1380,7 @@ fn lld_stats_json(s: &LldStats) -> String {
     o.u64("walk_escalations", s.walk_escalations);
     o.u64("pipeline_stalls", s.pipeline_stalls);
     o.u64("inflight_barriers", s.inflight_barriers);
+    o.u64("trace_events_dropped", s.trace_events_dropped);
     o.finish()
 }
 
@@ -827,6 +1428,8 @@ fn trace_entry_json(e: &TraceEntry) -> String {
     let mut o = json::Obj::new();
     o.u64("seq", e.seq);
     o.u64("ts", e.ts);
+    o.u64("tid", e.tid);
+    o.u64("wall_us", e.wall_us);
     o.str("type", e.event.kind());
     match e.event {
         TraceEvent::AruBegin { aru }
@@ -857,8 +1460,27 @@ fn trace_entry_json(e: &TraceEntry) -> String {
         TraceEvent::Flush { segments_sealed } => {
             o.u64("segments_sealed", segments_sealed);
         }
-        TraceEvent::GroupCommit { batch } => {
+        TraceEvent::GroupCommit {
+            batch,
+            trace,
+            first_trace,
+        } => {
             o.u64("batch", batch);
+            o.u64("trace", trace);
+            o.u64("first_trace", first_trace);
+        }
+        TraceEvent::StageBegin { trace, stage } => {
+            o.u64("trace", trace);
+            o.str("stage", stage.as_str());
+        }
+        TraceEvent::StageEnd {
+            trace,
+            stage,
+            nanos,
+        } => {
+            o.u64("trace", trace);
+            o.str("stage", stage.as_str());
+            o.u64("nanos", nanos);
         }
         TraceEvent::CleanerWake { free_segments } => {
             o.u64("free_segments", free_segments as u64);
@@ -963,6 +1585,7 @@ impl fmt::Display for ObsSnapshot {
             ("walk_escalations", s.walk_escalations),
             ("pipeline_stalls", s.pipeline_stalls),
             ("inflight_barriers", s.inflight_barriers),
+            ("trace_events_dropped", s.trace_events_dropped),
         ] {
             writeln!(f, "  {name:<28} {v}")?;
         }
@@ -1214,6 +1837,298 @@ pub mod json {
         /// Closes the array and returns the JSON text.
         pub fn finish(&self) -> String {
             format!("[{}]", self.buf)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reader (counterpart of the writers above)
+    // ------------------------------------------------------------------
+
+    /// A parsed JSON value. Numbers keep their source text so integer
+    /// values beyond `f64`'s exact range survive a round trip.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, as its literal text.
+        Num(String),
+        /// A string (unescaped).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up `key` in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer, when it is one.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse::<u64>()
+                    .ok()
+                    .or_else(|| raw.parse::<f64>().ok().map(|f| f as u64)),
+                _ => None,
+            }
+        }
+
+        /// The value as a float, when it is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, when it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool, when it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value's elements, when it is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The value's key/value pairs, when it is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (RFC 8259 subset: no depth limit games,
+    /// numbers kept as text). Trailing whitespace is allowed; trailing
+    /// garbage is an error.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected byte at {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "non-utf8 number".to_string())?;
+            raw.parse::<f64>()
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            Ok(Value::Num(raw.to_string()))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                self.pos += 1;
+                                let cp = self.hex4()?;
+                                // Combine surrogate pairs when present.
+                                let c = if (0xd800..0xdc00).contains(&cp) {
+                                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                                        self.pos += 2;
+                                        let lo = self.hex4()?;
+                                        let combined = 0x10000
+                                            + ((cp - 0xd800) << 10)
+                                            + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    char::from_u32(cp)
+                                };
+                                out.push(c.unwrap_or('\u{fffd}'));
+                                continue;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar value.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "non-utf8 string".to_string())?;
+                        let c = rest.chars().next().expect("peeked non-empty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err("truncated \\u escape".into());
+            }
+            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| "non-utf8 escape".to_string())?;
+            let cp =
+                u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u at {}", self.pos))?;
+            self.pos += 4;
+            Ok(cp)
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
         }
     }
 }

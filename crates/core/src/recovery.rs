@@ -157,7 +157,13 @@ impl<D: BlockDevice + 'static> Lld<D> {
             stats: Default::default(),
             obs: Obs::new(config.obs),
             cleanerd: Cleanerd::new(),
+            sampler: crate::sampler::Sampler::new(),
+            flight: config
+                .flight_dir
+                .clone()
+                .map(crate::flight::FlightRecorder::new),
         });
+        ld.install_pipe_observer();
 
         ld.with_mutation(|m| -> Result<()> {
             // Initialise live-block accounting from the checkpoint tables.
@@ -284,6 +290,7 @@ impl<D: BlockDevice + 'static> Lld<D> {
         }
         ld.obs.recovery_done(ld.now(), &report);
         crate::cleanerd::spawn_if_configured(&ld);
+        crate::sampler::spawn_if_configured(&ld, config.metrics_hz);
         Ok((ld, report))
     }
 }

@@ -110,6 +110,10 @@ pub struct LldStats {
     /// retired) device barriers observed on the pipelined path (0 in
     /// synchronous mode).
     pub inflight_barriers: u64,
+    /// Trace events evicted from the bounded [`TraceRing`]
+    /// (crate::obs::TraceRing) by wraparound — non-zero means the trace
+    /// in `ObsSnapshot::events` is truncated at the front.
+    pub trace_events_dropped: u64,
 }
 
 impl LldStats {
@@ -233,10 +237,11 @@ impl StatsCell {
             cross_shard_commits: self.cross_shard_commits.get(),
             commit_full_fallbacks: self.commit_full_fallbacks.get(),
             walk_escalations: self.walk_escalations.get(),
-            // Filled from the pipelined device path (when active) by
-            // `Lld::stats`; the cell itself never counts these.
+            // Filled from the pipelined device path / the trace ring
+            // by `Lld::stats`; the cell itself never counts these.
             pipeline_stalls: 0,
             inflight_barriers: 0,
+            trace_events_dropped: 0,
         }
     }
 

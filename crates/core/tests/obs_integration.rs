@@ -274,7 +274,7 @@ fn mt_group_commit_stress_has_well_formed_aru_lifecycles() {
     let batches: Vec<u64> = events
         .iter()
         .filter_map(|e| match e.event {
-            TraceEvent::GroupCommit { batch } => Some(batch),
+            TraceEvent::GroupCommit { batch, .. } => Some(batch),
             _ => None,
         })
         .collect();

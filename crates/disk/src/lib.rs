@@ -56,6 +56,7 @@ mod rng;
 mod sim;
 mod stats;
 mod sync;
+mod trace;
 
 pub use block_device::BlockDevice;
 pub use clock::VirtualClock;
@@ -74,6 +75,10 @@ pub use rng::SmallRng;
 pub use sim::SimDisk;
 pub use stats::{DiskStats, DiskStatsSnapshot};
 pub use sync::{Condvar, Mutex, RwLock};
+pub use trace::{
+    current_trace, register_thread_name, thread_names, thread_tag, trace_scope, PipeObserver,
+    PipeStage, TraceScope,
+};
 
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, DiskError>;

@@ -83,6 +83,7 @@
 //! proof and the lock-hierarchy position of the queue mutex.
 
 use crate::sync::{Condvar, Mutex};
+use crate::trace::{current_trace, register_thread_name, PipeObserver, PipeStage};
 use crate::{BlockDevice, DiskError, HistogramSnapshot, LatencyHistogram, Result};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,13 +119,34 @@ const MAX_MERGED_BYTES: usize = 1 << 20;
 const MAX_INFLIGHT_BARRIERS: u64 = 2;
 
 /// A positioned write on the submission queue, tagged with its sequence
-/// number and enqueue time (for the submission-latency histogram).
+/// number, enqueue time (for the submission-latency histogram), and the
+/// submitting thread's trace id (so the I/O thread can attribute the
+/// media write back to the commit that produced it).
 #[derive(Debug)]
 struct QueuedWrite {
     offset: u64,
     data: Vec<u8>,
     seq: u64,
     enqueued: Instant,
+    trace: u64,
+}
+
+/// Holder for the optional [`PipeObserver`]; a newtype so [`Shared`]
+/// can keep deriving `Debug` around the non-`Debug` trait object.
+struct ObserverSlot(Mutex<Option<Arc<dyn PipeObserver>>>);
+
+impl ObserverSlot {
+    fn get(&self) -> Option<Arc<dyn PipeObserver>> {
+        self.0.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSlot")
+            .field("installed", &self.0.lock().is_some())
+            .finish()
+    }
 }
 
 /// Mutable queue state, guarded by [`Shared::state`].
@@ -189,6 +211,11 @@ struct Shared<D> {
     counters: PipeCounters,
     queue_depth: LatencyHistogram,
     submit_ns: LatencyHistogram,
+    /// Inner `write_at` duration per (possibly coalesced) applied write.
+    media_write_ns: LatencyHistogram,
+    /// Inner `flush` duration per barrier ack issued to the device.
+    barrier_ack_ns: LatencyHistogram,
+    observer: ObserverSlot,
 }
 
 /// A [`BlockDevice`] wrapper that pipelines writes through a dedicated
@@ -245,6 +272,12 @@ pub struct PipelineStatsSnapshot {
     pub queue_depth: HistogramSnapshot,
     /// Nanoseconds from enqueue to applied-on-inner-device, per write.
     pub submit_ns: HistogramSnapshot,
+    /// Nanoseconds the inner `write_at` took, per (possibly coalesced)
+    /// applied write — the media-write stage of the commit pipeline.
+    pub media_write_ns: HistogramSnapshot,
+    /// Nanoseconds the inner `flush` took, per barrier ack actually
+    /// issued to the device (coalesced barriers record nothing).
+    pub barrier_ack_ns: HistogramSnapshot,
 }
 
 impl<D: BlockDevice + 'static> PipelinedDisk<D> {
@@ -280,6 +313,9 @@ impl<D: BlockDevice + 'static> PipelinedDisk<D> {
             counters: PipeCounters::default(),
             queue_depth: LatencyHistogram::new(),
             submit_ns: LatencyHistogram::new(),
+            media_write_ns: LatencyHistogram::new(),
+            barrier_ack_ns: LatencyHistogram::new(),
+            observer: ObserverSlot(Mutex::new(None)),
         });
         let io = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -339,6 +375,8 @@ impl<D> PipelinedDisk<D> {
             inflight_barriers_max: c.inflight_barriers_max.load(Ordering::Relaxed),
             queue_depth: self.shared.queue_depth.snapshot(),
             submit_ns: self.shared.submit_ns.snapshot(),
+            media_write_ns: self.shared.media_write_ns.snapshot(),
+            barrier_ack_ns: self.shared.barrier_ack_ns.snapshot(),
         }
     }
 
@@ -355,6 +393,19 @@ impl<D> PipelinedDisk<D> {
         c.inflight_barriers_max.store(0, Ordering::Relaxed);
         self.shared.queue_depth.reset();
         self.shared.submit_ns.reset();
+        self.shared.media_write_ns.reset();
+        self.shared.barrier_ack_ns.reset();
+    }
+
+    /// Installs (or replaces) the [`PipeObserver`] that receives
+    /// media-write and barrier-ack stage callbacks and the sticky-error
+    /// fault hook. The fault hook completes before the sticky error is
+    /// latched, so no caller observes the error ahead of the hook (a
+    /// flight-recorder dump exists by the time an `Err` surfaces).
+    /// Pass-through cost when none is installed is one mutex probe per
+    /// applied write.
+    pub fn set_observer(&self, observer: Arc<dyn PipeObserver>) {
+        *self.shared.observer.0.lock() = Some(observer);
     }
 
     /// Whether the layer above may start another barrier-producing
@@ -455,7 +506,24 @@ impl<D: BlockDevice> PipelinedDisk<D> {
                 };
                 st.flushes_inflight += 1;
                 drop(st);
+                let trace = current_trace();
+                let obs = self.shared.observer.get();
+                if let Some(o) = &obs {
+                    o.stage_begin(trace, PipeStage::BarrierAck);
+                }
+                let ack_start = Instant::now();
                 let r = self.shared.inner.flush();
+                let ack_ns = ack_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.shared.barrier_ack_ns.record(ack_ns);
+                if let Some(o) = &obs {
+                    o.stage_end(trace, PipeStage::BarrierAck, ack_ns);
+                }
+                if let (Err(e), Some(o)) = (&r, &obs) {
+                    // As in `apply_write`: the fault hook completes
+                    // before the sticky error is latched, so no caller
+                    // observes the error ahead of the hook.
+                    o.fault(e);
+                }
                 st = self.shared.state.lock();
                 st.flushes_inflight -= 1;
                 match r {
@@ -497,6 +565,7 @@ impl<D: BlockDevice> Shared<D> {
     /// threads, which is what lets this thread keep applying the next
     /// batch's writes during a barrier.
     fn io_loop(&self) {
+        register_thread_name("ld-pipeline");
         let mut st = self.state.lock();
         loop {
             if st.error.is_some() && !st.queue.is_empty() {
@@ -528,6 +597,9 @@ impl<D: BlockDevice> Shared<D> {
                 let next = st.queue.pop_front().expect("front checked");
                 w.data.extend_from_slice(&next.data);
                 w.seq = next.seq;
+                if w.trace == 0 {
+                    w.trace = next.trace;
+                }
                 merged += 1;
             }
             if merged > 0 {
@@ -549,7 +621,25 @@ impl<D: BlockDevice> Shared<D> {
         st.queued_bytes -= w.data.len();
         drop(st);
         self.done.notify_all(); // queue space freed
+        let obs = self.observer.get();
+        if let Some(o) = &obs {
+            o.stage_begin(w.trace, PipeStage::MediaWrite);
+        }
+        let write_start = Instant::now();
         let res = self.inner.write_at(w.offset, &w.data);
+        let write_ns = write_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.media_write_ns.record(write_ns);
+        if let Some(o) = &obs {
+            o.stage_end(w.trace, PipeStage::MediaWrite, write_ns);
+        }
+        if let (Err(e), Some(o)) = (&res, &obs) {
+            // Fire the fault hook *before* latching the error: once a
+            // caller can observe the sticky error, the hook (e.g. a
+            // flight-recorder dump) has already completed. No lock is
+            // held here — a flight recorder snapshots pipeline stats,
+            // which takes the queue lock.
+            o.fault(e);
+        }
         let mut st = self.state.lock();
         match res {
             Ok(()) => {
@@ -621,6 +711,7 @@ impl<D: BlockDevice> BlockDevice for PipelinedDisk<D> {
             data: buf.to_vec(),
             seq,
             enqueued: Instant::now(),
+            trace: current_trace(),
         });
         self.shared.queue_depth.record(st.queue.len() as u64);
         self.shared
@@ -898,6 +989,59 @@ mod tests {
         // contract is that shutdown is terminal. Drop must still not
         // hang.
         drop(d);
+    }
+
+    #[test]
+    fn observer_sees_stages_and_faults() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Default)]
+        struct Rec {
+            begins: Mutex<Vec<(u64, PipeStage)>>,
+            ends: Mutex<Vec<(u64, PipeStage)>>,
+            faults: AtomicU64,
+        }
+        impl PipeObserver for Rec {
+            fn stage_begin(&self, trace: u64, stage: PipeStage) {
+                self.begins.lock().push((trace, stage));
+            }
+            fn stage_end(&self, trace: u64, stage: PipeStage, _nanos: u64) {
+                self.ends.lock().push((trace, stage));
+            }
+            fn fault(&self, _error: &DiskError) {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let d = PipelinedDisk::new(MemDisk::new(4096));
+        let rec = Arc::new(Rec::default());
+        d.set_observer(rec.clone());
+        {
+            let _scope = crate::trace_scope(42);
+            d.write_at(0, b"traced").unwrap();
+            d.flush().unwrap();
+        }
+        let begins = rec.begins.lock().clone();
+        let ends = rec.ends.lock().clone();
+        assert!(begins.contains(&(42, PipeStage::MediaWrite)));
+        assert!(begins.contains(&(42, PipeStage::BarrierAck)));
+        assert_eq!(begins, ends, "every begin pairs with an end");
+        assert_eq!(rec.faults.load(Ordering::Relaxed), 0);
+        let s = d.pipeline_stats();
+        assert_eq!(s.media_write_ns.count, 1);
+        assert_eq!(s.barrier_ack_ns.count, 1);
+
+        // A device error latched on the I/O thread fires the fault hook.
+        let sim = SimDisk::new(MemDisk::new(1 << 20), DiskModel::default());
+        sim.set_faults(FaultPlan::new().crash_after_bytes(256));
+        let d = PipelinedDisk::new(sim);
+        let rec = Arc::new(Rec::default());
+        d.set_observer(rec.clone());
+        for i in 0..4u64 {
+            let _ = d.write_at(i * 512, &[7u8; 512]);
+        }
+        let _ = d.flush();
+        assert!(rec.faults.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate the observability exports produced by the trace and sampler
+paths — used by the CI obs-smoke job and runnable locally:
+
+    cargo run --release -q -p ld-bench --bin mt_throughput -- \
+        --quick --threads 8 --trace-out trace.json --sampler-out samples.jsonl
+    python3 scripts/check_obs.py trace.json samples.jsonl
+
+Checks, stdlib only:
+
+* the Chrome trace is valid JSON in Trace Event Format: a traceEvents
+  array of "X" (complete), "i" (instant), and "M" (metadata) events;
+* every "X" span has name/ts/dur/pid/tid, and spans nest properly per
+  thread (no span half-overlaps another on the same tid);
+* the per-stage span names the commit path must emit are all present
+  (queue_wait, seal, barrier_wait under a commit span);
+* at least one traced commit is cross-thread: spans sharing one trace
+  id (args.trace) appear on more than one tid;
+* the sampler JSONL parses line by line, t_ms never moves backwards,
+  and the cumulative counters are monotonic.
+
+Exit status 0 on success; prints the first failure and exits 1.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    spans_by_tid = defaultdict(list)
+    names = set()
+    tids_by_trace = defaultdict(set)
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{path}: unexpected event phase {ph!r}: {e}")
+        if ph != "X":
+            continue
+        for key in ("name", "ts", "pid", "tid", "dur"):
+            if key not in e:
+                fail(f"{path}: X event missing {key!r}: {e}")
+        names.add(e["name"])
+        spans_by_tid[e["tid"]].append((e["ts"], e["ts"] + e["dur"], e["name"]))
+        trace = e.get("args", {}).get("trace")
+        if trace:
+            tids_by_trace[trace].add(e["tid"])
+
+    for required in ("commit", "queue_wait", "seal", "barrier_wait"):
+        if required not in names:
+            fail(f"{path}: no {required!r} span in trace (got {sorted(names)})")
+
+    # Spans on one thread must nest: sorted by (start, -end), each span
+    # either contains the next or ends before it starts. Span begin
+    # timestamps come from the trace ring's clock while durations come
+    # from per-stage timers, so allow a few microseconds of rounding
+    # slack before calling a half-overlap.
+    eps = 4.0
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start + eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                fail(
+                    f"{path}: tid {tid}: span {name} [{start},{end}) "
+                    f"half-overlaps {stack[-1][2]} [{stack[-1][0]},{stack[-1][1]})"
+                )
+            stack.append((start, end, name))
+
+    cross = [t for t, tids in tids_by_trace.items() if len(tids) > 1]
+    if not cross:
+        fail(f"{path}: no commit trace id spans more than one thread")
+
+    n_spans = sum(len(s) for s in spans_by_tid.values())
+    print(
+        f"check_obs: {path}: {len(events)} events, {n_spans} spans on "
+        f"{len(spans_by_tid)} threads, {len(cross)} cross-thread commits"
+    )
+
+
+def check_sampler_jsonl(path):
+    prev_t = -1
+    prev_commits = -1
+    rows = 0
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{n}: not JSON: {e}")
+            if "t_ms" not in row or "snapshot" not in row:
+                fail(f"{path}:{n}: missing t_ms or snapshot")
+            t = row["t_ms"]
+            if t < prev_t:
+                fail(f"{path}:{n}: t_ms went backwards ({prev_t} -> {t})")
+            prev_t = t
+            lld = row["snapshot"].get("lld")
+            if not isinstance(lld, dict):
+                fail(f"{path}:{n}: snapshot.lld missing")
+            commits = lld.get("arus_committed", 0)
+            if commits < prev_commits:
+                fail(
+                    f"{path}:{n}: arus_committed went backwards "
+                    f"({prev_commits} -> {commits})"
+                )
+            prev_commits = commits
+            rows += 1
+    if rows < 2:
+        fail(f"{path}: need at least 2 samples, got {rows}")
+    print(f"check_obs: {path}: {rows} samples over {prev_t} ms, "
+          f"{prev_commits} commits")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <chrome-trace.json> <samples.jsonl>",
+              file=sys.stderr)
+        return 2
+    check_chrome_trace(argv[1])
+    check_sampler_jsonl(argv[2])
+    print("check_obs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
