@@ -235,6 +235,19 @@ pub fn cmd_info(image: &str) -> Result<String> {
         report.committed_arus,
         report.discarded_arus
     );
+    let _ = writeln!(
+        out,
+        "restart:          {} snapshot slabs, {} threads",
+        report.snap_shards, report.threads_used
+    );
+    let _ = writeln!(
+        out,
+        "restart phases:   load {}us, scan {}us, replay {}us, finalize {}us",
+        report.snapshot_load_ns / 1_000,
+        report.scan_ns / 1_000,
+        report.replay_ns / 1_000,
+        report.finalize_ns / 1_000
+    );
     Ok(out)
 }
 

@@ -16,14 +16,19 @@
 //! 3. **relocates** the prefetched blocks in short *scoped* write-lock
 //!    windows, re-validating each block's mapping at relocation time
 //!    and skipping blocks mutated since the snapshot,
-//! 4. writes the **covering checkpoint** itself, and only then
-//! 5. **releases** victim slots (after re-validating, under the same
-//!    full session as the checkpoint, that each slot is sealed,
-//!    covered, and empty of live blocks).
+//! 4. writes the **covering checkpoint** itself — *incrementally*
+//!    (`checkpoint_incremental`): the covered point is pinned in one
+//!    short full session, then each shard's snapshot slab is encoded
+//!    under only that shard's write lock and written with no
+//!    mapping-layer locks held — and only then
+//! 5. **releases** victim slots (after re-validating, under a full
+//!    session, that each slot is sealed, covered, and empty of live
+//!    blocks).
 //!
 //! Foreground operations in disjoint shards keep committing while
-//! phases 1–3 run; only the checkpoint in phase 4 takes a full session,
-//! exactly as a foreground checkpoint would.
+//! phases 1–4 run; no phase of a background pass dumps the whole map
+//! under a stop-the-world session anymore (the release sweep's full
+//! session only walks per-slot counters).
 //!
 //! Lifecycle is watermark-driven: segment rolls kick the thread when
 //! free segments drop below the *low watermark*
@@ -189,7 +194,7 @@ impl<D: BlockDevice> Drop for PanicFlight<'_, D> {
     }
 }
 
-fn cleanerd_main<D: BlockDevice>(ld: &LldInner<D>) {
+fn cleanerd_main<D: BlockDevice + 'static>(ld: &LldInner<D>) {
     ld_disk::register_thread_name("ld-cleanerd");
     let _panic_guard = PanicFlight(ld);
     let low_watermark = u64::from(ld.cleaner_cfg.target_free_segments);
@@ -255,7 +260,7 @@ fn cleanerd_main<D: BlockDevice>(ld: &LldInner<D>) {
 
 /// One background cleaning pass: snapshot → relocate → checkpoint →
 /// release.
-fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
+fn run_pass<D: BlockDevice + 'static>(ld: &LldInner<D>) -> Result<PassOutcome> {
     let timer = ld.obs.timer();
     ld.stats.cleaner_runs.inc();
     ld.stats.cleaner_passes.inc();
@@ -500,8 +505,13 @@ fn run_pass<D: BlockDevice>(ld: &LldInner<D>) -> Result<PassOutcome> {
     }
     let phase_timer = ld.obs.timer();
     ld.obs.stage_begin(ld.now(), trace, Stage::CleanerRelease);
+    // The covering checkpoint is written incrementally — per-shard
+    // snapshot slabs under only each shard's write lock — instead of a
+    // stop-the-world table dump. An abort (another checkpoint completed
+    // mid-flight) is fine: `checkpoint_seq` is then at least as fresh,
+    // and the sweep below keys off it, not off who wrote it.
+    ld.checkpoint_incremental()?;
     let freed = ld.with_mutation(|m| -> Result<u32> {
-        m.checkpoint_inner()?;
         let mut freed = 0u32;
         let log = m.log();
         let builder_slot = log.builder.as_ref().map(|b| b.slot().get());

@@ -158,6 +158,16 @@ pub struct LldConfig {
     /// (`1`/`true`/`on`/`yes`, case-insensitive; CI uses it to run the
     /// whole suite in pipelined mode).
     pub pipeline: bool,
+    /// Worker threads recovery uses to load checkpoint snapshot slabs,
+    /// scan the log suffix, and replay routed records (1..=64; default
+    /// 1 = fully serial). Purely a restart-time knob: it changes how
+    /// fast `recover` runs, never what state it reconstructs, and is
+    /// not persisted on disk. See docs/RECOVERY.md.
+    ///
+    /// The default honours the `LD_ARU_RECOVERY_THREADS` environment
+    /// variable when it holds a valid count (CI uses it to run the
+    /// whole suite with parallel recovery).
+    pub recovery_threads: usize,
     /// Observability: event tracing, latency histograms, and ARU spans
     /// (default on; see [`ObsConfig::disabled`]).
     pub obs: ObsConfig,
@@ -197,6 +207,7 @@ impl Default for LldConfig {
             read_cache_blocks: 1024,
             map_shards: default_map_shards(),
             pipeline: default_pipeline(),
+            recovery_threads: default_recovery_threads(),
             obs: ObsConfig::default(),
             metrics_hz: default_metrics_hz(),
             flight_dir: default_flight_dir(),
@@ -207,12 +218,24 @@ impl Default for LldConfig {
 /// Maximum supported shard count (shard sets are u64 bitmasks).
 pub(crate) const MAX_MAP_SHARDS: usize = 64;
 
+/// Maximum recovery worker-pool size (matches the replay partition
+/// count ceiling in `recovery.rs`).
+pub(crate) const MAX_RECOVERY_THREADS: usize = 64;
+
 fn default_map_shards() -> usize {
     std::env::var("LD_ARU_MAP_SHARDS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n.is_power_of_two() && n <= MAX_MAP_SHARDS)
         .unwrap_or(8)
+}
+
+fn default_recovery_threads() -> usize {
+    std::env::var("LD_ARU_RECOVERY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| (1..=MAX_RECOVERY_THREADS).contains(&n))
+        .unwrap_or(1)
 }
 
 fn default_cleaner_background() -> bool {
@@ -294,6 +317,12 @@ impl LldConfig {
             return Err(LldError::Config(format!(
                 "map_shards {} must be a power of two in 1..={MAX_MAP_SHARDS}",
                 self.map_shards
+            )));
+        }
+        if !(1..=MAX_RECOVERY_THREADS).contains(&self.recovery_threads) {
+            return Err(LldError::Config(format!(
+                "recovery_threads {} must be in 1..={MAX_RECOVERY_THREADS}",
+                self.recovery_threads
             )));
         }
         if let Some(hz) = self.metrics_hz {
@@ -402,6 +431,27 @@ mod tests {
             ..LldConfig::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_recovery_threads() {
+        for bad in [0usize, 65, 1000] {
+            let c = LldConfig {
+                recovery_threads: bad,
+                ..LldConfig::default()
+            };
+            assert!(
+                c.validate().is_err(),
+                "recovery_threads {bad} should be rejected"
+            );
+        }
+        for good in [1usize, 3, 4, 64] {
+            let c = LldConfig {
+                recovery_threads: good,
+                ..LldConfig::default()
+            };
+            assert!(c.validate().is_ok());
+        }
     }
 
     #[test]

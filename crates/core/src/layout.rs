@@ -20,12 +20,23 @@ use ld_disk::crc32;
 /// Size of the fixed-length superblock encoding.
 pub(crate) const SUPERBLOCK_LEN: usize = 64;
 const SUPERBLOCK_MAGIC: u64 = 0x4C44_4152_5539_3936; // "LDARU996"
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 
 /// Per-entry sizes in a checkpoint area (see `checkpoint.rs`).
 pub(crate) const CKPT_BLOCK_ENTRY: u64 = 40;
 pub(crate) const CKPT_LIST_ENTRY: u64 = 32;
 pub(crate) const CKPT_HEADER: u64 = 64;
+
+/// Per-slab directory entry: `n_blocks` u64, `n_lists` u64, slab crc32,
+/// padding u32.
+pub(crate) const CKPT_DIR_ENTRY: u64 = 24;
+/// Slab-count ceiling a checkpoint area can describe (one slab per map
+/// shard; shard counts are capped at `MAX_MAP_SHARDS = 64`). The
+/// directory space is reserved for the ceiling so the area size does
+/// not depend on the runtime shard knob.
+pub(crate) const MAX_SNAP_SHARDS: u64 = 64;
+/// Bytes reserved for the slab directory in every checkpoint area.
+pub(crate) const CKPT_DIR_RESERVE: u64 = MAX_SNAP_SHARDS * CKPT_DIR_ENTRY;
 
 /// The physical layout of a formatted device, derived from its capacity
 /// and the [`LldConfig`] at format time and persisted in the superblock.
@@ -79,7 +90,10 @@ impl Layout {
         let max_lists = config.max_lists.unwrap_or(max_blocks).max(16);
 
         let ckpt_area_size = round_up(
-            CKPT_HEADER + max_blocks * CKPT_BLOCK_ENTRY + max_lists * CKPT_LIST_ENTRY,
+            CKPT_HEADER
+                + CKPT_DIR_RESERVE
+                + max_blocks * CKPT_BLOCK_ENTRY
+                + max_lists * CKPT_LIST_ENTRY,
             bs,
         );
         let data_start = bs + 2 * ckpt_area_size;
@@ -273,7 +287,8 @@ mod tests {
         // Checkpoint area holds header + entries, block-rounded.
         assert_eq!(layout.ckpt_area_size % 512, 0);
         assert!(
-            layout.ckpt_area_size >= CKPT_HEADER + 100 * CKPT_BLOCK_ENTRY + 50 * CKPT_LIST_ENTRY
+            layout.ckpt_area_size
+                >= CKPT_HEADER + CKPT_DIR_RESERVE + 100 * CKPT_BLOCK_ENTRY + 50 * CKPT_LIST_ENTRY
         );
     }
 

@@ -63,7 +63,6 @@ pub(crate) struct LogState {
     pub(crate) next_seq: u64,
     /// Highest segment sequence number covered by an on-disk checkpoint.
     pub(crate) checkpoint_seq: u64,
-    pub(crate) ckpt_use_b: bool,
     pub(crate) cleaning: bool,
 }
 
@@ -77,7 +76,6 @@ impl LogState {
             residents: vec![HashSet::new(); n_segments],
             next_seq: 1,
             checkpoint_seq: 0,
-            ckpt_use_b: false,
             cleaning: false,
         }
     }
@@ -338,6 +336,13 @@ pub struct LldInner<D> {
     pub(crate) cache: Mutex<BlockCache>,
     /// The group-commit stage batching concurrent flushes.
     pub(crate) gc: GroupCommit,
+    /// Checkpoint-area I/O state: which A/B area the next checkpoint
+    /// writes, and a generation counter serializing the incremental
+    /// (cleanerd) and full (foreground) checkpoint writers. A leaf lock
+    /// *after* the log mutex: a writer needing both takes `log` first
+    /// and never acquires any mapping-layer or log lock while holding
+    /// this one.
+    pub(crate) ckpt_io: Mutex<crate::checkpoint::CkptSlots>,
 
     /// The logical operation clock.
     pub(crate) ts_counter: AtomicU64,
@@ -421,6 +426,7 @@ impl<D: BlockDevice + 'static> Lld<D> {
             log: Mutex::new(LogState::fresh(n)),
             cache: Mutex::new(BlockCache::new(config.read_cache_blocks)),
             gc: GroupCommit::new(),
+            ckpt_io: Mutex::new(crate::checkpoint::CkptSlots::default()),
             ts_counter: AtomicU64::new(0),
             free_slots_hint: AtomicU64::new(n as u64),
             needs_clean: AtomicBool::new(false),
@@ -776,11 +782,6 @@ impl<D: BlockDevice> LldInner<D> {
     /// The current logical time (for event records).
     pub(crate) fn now(&self) -> u64 {
         self.ts_counter.load(Ordering::Relaxed)
-    }
-
-    /// Raises the logical clock to at least `floor` (recovery replay).
-    pub(crate) fn raise_clock(&self, floor: u64) {
-        self.ts_counter.fetch_max(floor, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------

@@ -49,6 +49,11 @@ pub const TRACE_FLUSH_BASE: u64 = 1 << 32;
 /// ordinal).
 pub const TRACE_CLEANER_BASE: u64 = 2 << 32;
 
+/// Namespace bit for restart-recovery traces (the low bits hold the
+/// recovery attempt ordinal — in practice always 1, since a process
+/// recovers once).
+pub const TRACE_RECOVERY_BASE: u64 = 3 << 32;
+
 /// The trace id of an ARU commit: the raw ARU id itself.
 #[inline]
 pub fn aru_trace(aru: u64) -> u64 {
@@ -65,6 +70,12 @@ pub fn flush_trace(ticket: u64) -> u64 {
 #[inline]
 pub fn cleaner_trace(pass: u64) -> u64 {
     TRACE_CLEANER_BASE | pass
+}
+
+/// The trace id of one restart recovery, from its attempt ordinal.
+#[inline]
+pub fn recovery_trace(attempt: u64) -> u64 {
+    TRACE_RECOVERY_BASE | attempt
 }
 
 // ----------------------------------------------------------------------
@@ -144,6 +155,16 @@ pub enum Stage {
     CleanerRelocate,
     /// Cleaner pass final phase: checkpoint and segment release.
     CleanerRelease,
+    /// Recovery phase 1: locating and decoding per-shard checkpoint
+    /// snapshot slabs.
+    RecoverySnapshotLoad,
+    /// Recovery phase 2: scanning segment summaries for the suffix.
+    RecoveryScan,
+    /// Recovery phase 3: replaying suffix records into the map.
+    RecoveryReplay,
+    /// Recovery phase 4: merging shards, rebuilding allocator and log
+    /// state, and running the post-recovery check.
+    RecoveryFinalize,
 }
 
 impl Stage {
@@ -162,6 +183,10 @@ impl Stage {
             Stage::CleanerPrefetch => "cleaner_prefetch",
             Stage::CleanerRelocate => "cleaner_relocate",
             Stage::CleanerRelease => "cleaner_release",
+            Stage::RecoverySnapshotLoad => "recovery_snapshot_load",
+            Stage::RecoveryScan => "recovery_scan",
+            Stage::RecoveryReplay => "recovery_replay",
+            Stage::RecoveryFinalize => "recovery_finalize",
         }
     }
 
@@ -181,6 +206,10 @@ impl Stage {
             "cleaner_prefetch" => Stage::CleanerPrefetch,
             "cleaner_relocate" => Stage::CleanerRelocate,
             "cleaner_release" => Stage::CleanerRelease,
+            "recovery_snapshot_load" => Stage::RecoverySnapshotLoad,
+            "recovery_scan" => Stage::RecoveryScan,
+            "recovery_replay" => Stage::RecoveryReplay,
+            "recovery_finalize" => Stage::RecoveryFinalize,
             _ => return None,
         })
     }
@@ -522,6 +551,8 @@ pub struct Obs {
     gc_barrier_wait: LatencyHistogram,
     gc_leader_handoff: LatencyHistogram,
     backpressure_stall: LatencyHistogram,
+    recovery_snapshot_load: LatencyHistogram,
+    recovery_replay: LatencyHistogram,
     spans: Mutex<SpanTable>,
     recovery: Mutex<Option<RecoveryReport>>,
 }
@@ -544,6 +575,8 @@ impl Obs {
             gc_barrier_wait: LatencyHistogram::new(),
             gc_leader_handoff: LatencyHistogram::new(),
             backpressure_stall: LatencyHistogram::new(),
+            recovery_snapshot_load: LatencyHistogram::new(),
+            recovery_replay: LatencyHistogram::new(),
             spans: Mutex::new(SpanTable::default()),
             recovery: Mutex::new(None),
         }
@@ -822,6 +855,27 @@ impl Obs {
         self.ring.record(ts, TraceEvent::AruConflict { aru });
     }
 
+    /// Completes one timed checkpoint-slab decode during recovery
+    /// (histogram only: slab loads run fanned out across the worker
+    /// pool, so phase spans are recorded separately by the
+    /// coordinator).
+    #[inline]
+    pub(crate) fn recovery_slab_load(&self, timer: Option<Instant>) {
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.recovery_snapshot_load.record(n);
+        }
+    }
+
+    /// Completes one timed replay batch during recovery (a routed
+    /// per-partition batch on a worker, or a serialized barrier record
+    /// on the coordinator).
+    #[inline]
+    pub(crate) fn recovery_replay_batch(&self, timer: Option<Instant>) {
+        if let Some(n) = Self::elapsed_nanos(timer) {
+            self.recovery_replay.record(n);
+        }
+    }
+
     // ---- recovery report ---------------------------------------------
 
     /// Stores the report of the recovery that produced this disk and
@@ -887,6 +941,11 @@ impl Obs {
             ("gc_barrier_wait_ns", self.gc_barrier_wait.snapshot()),
             ("gc_leader_handoff_ns", self.gc_leader_handoff.snapshot()),
             ("backpressure_stall_ns", self.backpressure_stall.snapshot()),
+            (
+                "recovery_snapshot_load_ns",
+                self.recovery_snapshot_load.snapshot(),
+            ),
+            ("recovery_replay_ns", self.recovery_replay.snapshot()),
         ]
     }
 }
@@ -1337,6 +1396,12 @@ fn recovery_from(v: &json::Value) -> RecoveryReport {
         discarded_records: get_u64(v, "discarded_records"),
         ignored_after_gap: get_u64(v, "ignored_after_gap") as u32,
         orphan_blocks_freed: get_u64(v, "orphan_blocks_freed") as usize,
+        snap_shards: get_u64(v, "snap_shards") as u32,
+        threads_used: get_u64(v, "threads_used") as u32,
+        snapshot_load_ns: get_u64(v, "snapshot_load_ns"),
+        scan_ns: get_u64(v, "scan_ns"),
+        replay_ns: get_u64(v, "replay_ns"),
+        finalize_ns: get_u64(v, "finalize_ns"),
     }
 }
 
@@ -1539,6 +1604,12 @@ fn recovery_json(r: &RecoveryReport) -> String {
     o.u64("discarded_records", r.discarded_records);
     o.u64("ignored_after_gap", r.ignored_after_gap as u64);
     o.u64("orphan_blocks_freed", r.orphan_blocks_freed as u64);
+    o.u64("snap_shards", r.snap_shards as u64);
+    o.u64("threads_used", r.threads_used as u64);
+    o.u64("snapshot_load_ns", r.snapshot_load_ns);
+    o.u64("scan_ns", r.scan_ns);
+    o.u64("replay_ns", r.replay_ns);
+    o.u64("finalize_ns", r.finalize_ns);
     o.finish()
 }
 
@@ -1654,6 +1725,12 @@ impl fmt::Display for ObsSnapshot {
                 "  {:<28} {}",
                 "orphan_blocks_freed", r.orphan_blocks_freed
             )?;
+            writeln!(f, "  {:<28} {}", "snap_shards", r.snap_shards)?;
+            writeln!(f, "  {:<28} {}", "threads_used", r.threads_used)?;
+            writeln!(f, "  {:<28} {}", "snapshot_load_ns", r.snapshot_load_ns)?;
+            writeln!(f, "  {:<28} {}", "scan_ns", r.scan_ns)?;
+            writeln!(f, "  {:<28} {}", "replay_ns", r.replay_ns)?;
+            writeln!(f, "  {:<28} {}", "finalize_ns", r.finalize_ns)?;
         }
         if !self.fs_ops.is_empty() {
             writeln!(f, "File system")?;

@@ -13,25 +13,100 @@
 //! [`Maps::from_tables`] redistributes the recovered records and
 //! re-stripes the allocators for whatever shard count this process
 //! runs with.
+//!
+//! # Parallel restart
+//!
+//! Recovery runs in four phases, each a traced stage
+//! (`recovery_snapshot_load` / `recovery_scan` / `recovery_replay` /
+//! `recovery_finalize`) with its wall time in the [`RecoveryReport`]:
+//!
+//! 1. **Snapshot load** — the newest valid checkpoint's per-shard
+//!    slabs are CRC-checked and decoded fanned out across the worker
+//!    pool, then distributed into [`REPLAY_PARTS`] fixed partitions
+//!    striped by identifier.
+//! 2. **Scan** — segment summaries are probed across the pool, then a
+//!    serial pass orders the suffix chain.
+//! 3. **Replay** — the coordinator walks the chain in log order and
+//!    routes records to workers; each worker owns a disjoint set of
+//!    partitions and applies its records with no cross-thread locking
+//!    (channel order preserves per-partition FIFO).
+//!
+//!    Identifier striping alone would make almost every `Link` record
+//!    span partitions (a list and the blocks on it have unrelated
+//!    identifiers), so routing is by *connectivity*: the coordinator
+//!    assigns every identifier a **home** partition, union-finds each
+//!    ARU batch so a list and the blocks linked to it share one home,
+//!    and ships each connected component to its home's worker. Records
+//!    whose touch set cannot be known from the record alone —
+//!    deletions, which walk lists — and component merges that must
+//!    move already-placed state between partitions are applied by the
+//!    coordinator at a **fence**: every worker acknowledges its queue
+//!    is drained, the coordinator applies (or migrates) against all
+//!    partitions, and routing resumes. Two routed records can depend
+//!    on each other only through a shared identifier, which gives them
+//!    one home, so per-home FIFO plus total fence order reproduces the
+//!    serial replay exactly.
+//! 4. **Finalize** — partitions are drained and merged (ids live in
+//!    exactly one partition by the home invariant), live-segment
+//!    accounting is computed from the final block addresses, and the
+//!    maps are re-sharded for this process's shard count.
+//!
+//! The worker count comes from [`LldConfig::recovery_threads`]
+//! (`LD_ARU_RECOVERY_THREADS`); at 1, replay applies records inline
+//! against all partitions in one pass — the reference semantics the
+//! parallel path is tested against.
 
-use crate::aru::ListOp;
-use crate::checkpoint;
+use crate::checkpoint::{self, CkptHeaderInfo, CkptSlots};
 use crate::cleanerd::Cleanerd;
-use crate::config::{LldConfig, MAX_MAP_SHARDS};
+use crate::config::{LldConfig, MAX_MAP_SHARDS, MAX_RECOVERY_THREADS};
 use crate::error::{LldError, Result};
 use crate::gc::GroupCommit;
 use crate::layout::Layout;
-use crate::lld::{Lld, LldInner, LogState, Mutation, StateRef};
-use crate::obs::Obs;
-use crate::segment::{scan_segment, SegmentInfo, SegmentScan};
+use crate::lld::{Lld, LldInner, LogState};
+use crate::obs::{recovery_trace, Obs, Stage};
+use crate::segment::{scan_segment_above, SegmentInfo, SegmentScan};
 use crate::shard::Maps;
-use crate::state::{BlockRecord, ListRecord, Tables};
+use crate::state::{BlockRecord, ListRecord, StateOverlay, Tables};
 use crate::summary::Record;
-use crate::types::{BlockId, PhysAddr, Position, SegmentId, Timestamp};
-use ld_disk::BlockDevice;
-use ld_disk::Mutex;
-use std::collections::{BTreeMap, HashSet};
+use crate::types::{BlockId, ListId, PhysAddr, Position, SegmentId, Timestamp};
+use ld_disk::{BlockDevice, Mutex};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Number of fixed replay partitions. An identifier's *stripe* is
+/// `raw & (REPLAY_PARTS - 1)`: where checkpoint snapshot entries are
+/// placed, and the default home for identifiers the connectivity
+/// router has not (re)assigned.
+const REPLAY_PARTS: usize = 64;
+const REPLAY_PART_MASK: u64 = REPLAY_PARTS as u64 - 1;
+
+/// Routed records buffered per partition before being shipped to the
+/// owning worker.
+const REPLAY_BATCH: usize = 64;
+
+/// Home-map sentinel for an identifier whose lone allocation record is
+/// parked in limbo: the identifier exists in the log but its entries
+/// are nowhere yet, so it can still adopt any home. Folding this into
+/// the home map keeps routing at one probe per identifier.
+const PARKED: usize = usize::MAX;
+
+/// Namespace-tagged identifier keys for the home map: block and list
+/// identifier spaces overlap, so home entries are keyed by
+/// `raw << 1 | is_list`.
+#[inline]
+fn btag(raw: u64) -> u64 {
+    raw << 1
+}
+#[inline]
+fn ltag(raw: u64) -> u64 {
+    (raw << 1) | 1
+}
+#[inline]
+fn stripe_of(tag: u64) -> usize {
+    ((tag >> 1) & REPLAY_PART_MASK) as usize
+}
 
 /// What recovery found and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -61,7 +136,1249 @@ pub struct RecoveryReport {
     pub ignored_after_gap: u32,
     /// Orphaned blocks freed by the post-recovery consistency check.
     pub orphan_blocks_freed: usize,
+    /// Snapshot slabs loaded from the chosen checkpoint (0 = no
+    /// checkpoint; the shard count the image was checkpointed at).
+    pub snap_shards: u32,
+    /// Worker threads used for slab decode, segment scan, and replay.
+    pub threads_used: u32,
+    /// Wall time of the snapshot-load phase.
+    pub snapshot_load_ns: u64,
+    /// Wall time of the segment-scan phase.
+    pub scan_ns: u64,
+    /// Wall time of the suffix-replay phase.
+    pub replay_ns: u64,
+    /// Wall time of the finalize phase (merge, re-shard, consistency
+    /// check).
+    pub finalize_ns: u64,
 }
+
+// ----------------------------------------------------------------------
+// Replay partitions
+// ----------------------------------------------------------------------
+
+/// One replay partition: the slice of the recovered state owned by the
+/// identifiers homed to it. Mirrors one map shard's persistent +
+/// committed levels.
+#[derive(Debug, Default)]
+struct ReplayPart {
+    persistent: Tables,
+    committed: StateOverlay,
+    /// List-walk steps taken replaying into this partition (charged to
+    /// `list_walk_steps` at finalize).
+    walk_steps: u64,
+}
+
+/// Identifiers finally freed by replay (deletions not later
+/// re-allocated); the allocator free sets are rebuilt from these at
+/// finalize. Maintained by the replay *coordinator* only — deletions
+/// always apply at a fence, and allocations are visible to the
+/// coordinator at routing time — so no cross-thread state is needed.
+#[derive(Debug, Default)]
+struct FreedSets {
+    blocks: BTreeSet<u64>,
+    lists: BTreeSet<u64>,
+}
+
+impl FreedSets {
+    /// Folds one emitted record (and, for `DeleteList`, the member
+    /// blocks its application freed) into the freed sets, in emit
+    /// order — which is serial replay order.
+    fn note(&mut self, rec: &Record, freed_members: Vec<u64>) {
+        match *rec {
+            Record::NewBlock { block, .. } => {
+                self.blocks.remove(&block.get());
+            }
+            Record::NewList { list, .. } => {
+                self.lists.remove(&list.get());
+            }
+            Record::DeleteBlock { block, .. } => {
+                self.blocks.insert(block.get());
+            }
+            Record::DeleteList { list, .. } => {
+                self.blocks.extend(freed_members);
+                self.lists.insert(list.get());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// How a [`PartsView`] maps an identifier to a partition index.
+enum Locator<'h> {
+    /// A worker's view of its single partition: every identifier the
+    /// record touches is homed here by construction.
+    Single,
+    /// The single-threaded path: pure identifier striping, no homes.
+    Striped,
+    /// The coordinator's all-partitions view: the connectivity router's
+    /// home map, falling back to the stripe for untouched identifiers.
+    Homed(&'h HashMap<u64, usize>),
+}
+
+/// A mutable view over replay partitions that applies records with the
+/// exact semantics of the mutation-session helpers (`block_mut` COW,
+/// `insert_into_list`, `unlink_block`, `dealloc_*`) — minus the
+/// live-segment and allocator bookkeeping, which finalize reconstructs
+/// from the final state in one pass.
+struct PartsView<'a, 'h> {
+    parts: Vec<&'a mut ReplayPart>,
+    locator: Locator<'h>,
+    max_blocks: u64,
+}
+
+impl PartsView<'_, '_> {
+    #[inline]
+    fn bidx(&self, raw: u64) -> usize {
+        match self.locator {
+            Locator::Single => 0,
+            Locator::Striped => (raw & REPLAY_PART_MASK) as usize,
+            Locator::Homed(h) => h
+                .get(&btag(raw))
+                .copied()
+                .unwrap_or((raw & REPLAY_PART_MASK) as usize),
+        }
+    }
+
+    #[inline]
+    fn lidx(&self, raw: u64) -> usize {
+        match self.locator {
+            Locator::Single => 0,
+            Locator::Striped => (raw & REPLAY_PART_MASK) as usize,
+            Locator::Homed(h) => h
+                .get(&ltag(raw))
+                .copied()
+                .unwrap_or((raw & REPLAY_PART_MASK) as usize),
+        }
+    }
+
+    fn view_block(&self, id: BlockId) -> Option<&BlockRecord> {
+        let p = &self.parts[self.bidx(id.get())];
+        p.committed
+            .blocks
+            .get(&id)
+            .or_else(|| p.persistent.blocks.get(&id))
+    }
+
+    fn view_list(&self, id: ListId) -> Option<&ListRecord> {
+        let p = &self.parts[self.lidx(id.get())];
+        p.committed
+            .lists
+            .get(&id)
+            .or_else(|| p.persistent.lists.get(&id))
+    }
+
+    /// Copy-on-write access to a block record in the committed state
+    /// (see `Mutation::block_mut`).
+    fn block_mut(&mut self, id: BlockId) -> Result<&mut BlockRecord> {
+        let i = self.bidx(id.get());
+        let p = &mut *self.parts[i];
+        if !p.committed.blocks.contains_key(&id) {
+            let base = p
+                .persistent
+                .blocks
+                .get(&id)
+                .cloned()
+                .ok_or(LldError::BlockNotAllocated(id))?;
+            p.committed.blocks.insert(id, base);
+        }
+        Ok(p.committed.blocks.get_mut(&id).expect("just inserted"))
+    }
+
+    fn list_mut(&mut self, id: ListId) -> Result<&mut ListRecord> {
+        let i = self.lidx(id.get());
+        let p = &mut *self.parts[i];
+        if !p.committed.lists.contains_key(&id) {
+            let base = p
+                .persistent
+                .lists
+                .get(&id)
+                .cloned()
+                .ok_or(LldError::ListNotAllocated(id))?;
+            p.committed.lists.insert(id, base);
+        }
+        Ok(p.committed.lists.get_mut(&id).expect("just inserted"))
+    }
+
+    fn validate_insert(&self, list: ListId, pos: Position) -> Result<()> {
+        self.view_list(list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        if let Position::After(pred) = pos {
+            let p = self
+                .view_block(pred)
+                .filter(|r| r.allocated)
+                .ok_or(LldError::BlockNotAllocated(pred))?;
+            if p.list != Some(list) {
+                return Err(LldError::PredecessorNotOnList { list, pred });
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_into_list(
+        &mut self,
+        list: ListId,
+        block: BlockId,
+        pos: Position,
+        ts: Timestamp,
+    ) -> Result<()> {
+        self.validate_insert(list, pos)?;
+        match pos {
+            Position::First => {
+                let old_first = {
+                    let lr = self.list_mut(list)?;
+                    let old = lr.first;
+                    lr.first = Some(block);
+                    if lr.last.is_none() {
+                        lr.last = Some(block);
+                    }
+                    lr.ts = ts;
+                    old
+                };
+                let br = self.block_mut(block)?;
+                br.successor = old_first;
+                br.list = Some(list);
+                br.ts = ts;
+            }
+            Position::After(pred) => {
+                let pred_succ = {
+                    let pm = self.block_mut(pred)?;
+                    let old = pm.successor;
+                    pm.successor = Some(block);
+                    pm.ts = ts;
+                    old
+                };
+                {
+                    let bm = self.block_mut(block)?;
+                    bm.successor = pred_succ;
+                    bm.list = Some(list);
+                    bm.ts = ts;
+                }
+                let lr = self.list_mut(list)?;
+                if lr.last == Some(pred) {
+                    lr.last = Some(block);
+                }
+                lr.ts = ts;
+            }
+        }
+        Ok(())
+    }
+
+    fn walk_list(&mut self, list: ListId) -> Result<Vec<BlockId>> {
+        let rec = self
+            .view_list(list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        let mut out = Vec::new();
+        let mut cur = rec.first;
+        let bound = self.max_blocks + 1;
+        let mut steps = 0u64;
+        while let Some(b) = cur {
+            steps += 1;
+            if steps > bound {
+                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
+            }
+            let brec = self.view_block(b).filter(|r| r.allocated).ok_or_else(|| {
+                LldError::Corrupt(format!("list {list} references missing block {b}"))
+            })?;
+            out.push(b);
+            cur = brec.successor;
+        }
+        let li = self.lidx(list.get());
+        self.parts[li].walk_steps += steps;
+        Ok(out)
+    }
+
+    fn unlink_block(&mut self, block: BlockId, ts: Timestamp) -> Result<()> {
+        let rec = self
+            .view_block(block)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::BlockNotAllocated(block))?;
+        let Some(list) = rec.list else {
+            return Ok(());
+        };
+        let successor = rec.successor;
+
+        // Predecessor search: walk from the head of the list.
+        let lrec = self
+            .view_list(list)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::ListNotAllocated(list))?;
+        let mut pred: Option<BlockId> = None;
+        let mut cur = lrec.first;
+        let bound = self.max_blocks + 1;
+        let mut steps = 0u64;
+        while let Some(b) = cur {
+            if b == block {
+                break;
+            }
+            steps += 1;
+            if steps > bound {
+                return Err(LldError::Corrupt(format!("cycle while walking {list}")));
+            }
+            pred = Some(b);
+            cur = self.view_block(b).and_then(|r| r.successor);
+            if cur.is_none() {
+                return Err(LldError::Corrupt(format!(
+                    "{block} claims membership of {list} but is not on it"
+                )));
+            }
+        }
+        let li = self.lidx(list.get());
+        self.parts[li].walk_steps += steps;
+
+        match pred {
+            None => {
+                let lr = self.list_mut(list)?;
+                lr.first = successor;
+                if lr.last == Some(block) {
+                    lr.last = None;
+                }
+                lr.ts = ts;
+            }
+            Some(p) => {
+                {
+                    let pm = self.block_mut(p)?;
+                    pm.successor = successor;
+                    pm.ts = ts;
+                }
+                let lr = self.list_mut(list)?;
+                if lr.last == Some(block) {
+                    lr.last = Some(p);
+                }
+                lr.ts = ts;
+            }
+        }
+        let bm = self.block_mut(block)?;
+        bm.list = None;
+        bm.successor = None;
+        bm.ts = ts;
+        Ok(())
+    }
+
+    fn dealloc_block(&mut self, block: BlockId, ts: Timestamp) -> Result<()> {
+        let bm = self.block_mut(block)?;
+        bm.allocated = false;
+        bm.addr = None;
+        bm.list = None;
+        bm.successor = None;
+        bm.ts = ts;
+        Ok(())
+    }
+
+    fn dealloc_list(&mut self, list: ListId, ts: Timestamp) -> Result<()> {
+        let lm = self.list_mut(list)?;
+        lm.allocated = false;
+        lm.first = None;
+        lm.last = None;
+        lm.ts = ts;
+        Ok(())
+    }
+
+    fn delete_block(&mut self, block: BlockId, ts: Timestamp) -> Result<()> {
+        self.view_block(block)
+            .filter(|r| r.allocated)
+            .ok_or(LldError::BlockNotAllocated(block))?;
+        self.unlink_block(block, ts)?;
+        self.dealloc_block(block, ts)
+    }
+
+    /// Deletes a list and every block on it; returns the freed member
+    /// identifiers (the caller folds them into [`FreedSets`]).
+    fn delete_list(&mut self, list: ListId, ts: Timestamp) -> Result<Vec<u64>> {
+        let members = self.walk_list(list)?;
+        for &b in &members {
+            self.dealloc_block(b, ts)?;
+        }
+        self.dealloc_list(list, ts)?;
+        Ok(members.into_iter().map(|b| b.get()).collect())
+    }
+
+    /// Applies one summary record to the committed state during
+    /// recovery. `commit_ts` overrides the record timestamp for records
+    /// applied at their ARU's commit point (EndARU serialization).
+    /// Returns the member blocks freed by a `DeleteList` (empty for
+    /// every other record).
+    fn apply(
+        &mut self,
+        seg: SegmentId,
+        rec: &Record,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<Vec<u64>> {
+        let corrupt = |msg: String| LldError::Corrupt(format!("replaying {seg}: {msg}"));
+        match *rec {
+            Record::NewBlock { block, ts } => {
+                let i = self.bidx(block.get());
+                let p = &mut *self.parts[i];
+                p.committed.blocks.insert(block, BlockRecord::fresh(ts));
+                Ok(Vec::new())
+            }
+            Record::NewList { list, ts } => {
+                let i = self.lidx(list.get());
+                let p = &mut *self.parts[i];
+                p.committed.lists.insert(list, ListRecord::fresh(ts));
+                Ok(Vec::new())
+            }
+            Record::Write {
+                block, slot, ts, ..
+            } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let addr = PhysAddr { segment: seg, slot };
+                if self.view_block(block).is_none_or(|r| !r.allocated) {
+                    return Err(corrupt(format!("write to unallocated {block}")));
+                }
+                let r = self.block_mut(block)?;
+                r.addr = Some(addr);
+                r.ts = ts;
+                Ok(Vec::new())
+            }
+            Record::Link {
+                list,
+                block,
+                pred,
+                ts,
+                ..
+            } => {
+                let ts = commit_ts.unwrap_or(ts);
+                let pos = match pred {
+                    None => Position::First,
+                    Some(p) => Position::After(p),
+                };
+                self.insert_into_list(list, block, pos, ts)
+                    .map_err(|e| corrupt(e.to_string()))?;
+                Ok(Vec::new())
+            }
+            Record::DeleteBlock { block, ts, .. } => {
+                let ts = commit_ts.unwrap_or(ts);
+                self.delete_block(block, ts)
+                    .map_err(|e| corrupt(e.to_string()))?;
+                Ok(Vec::new())
+            }
+            Record::DeleteList { list, ts, .. } => {
+                let ts = commit_ts.unwrap_or(ts);
+                self.delete_list(list, ts)
+                    .map_err(|e| corrupt(e.to_string()))
+            }
+            Record::Commit { .. } => Err(corrupt("nested commit record".into())),
+        }
+    }
+}
+
+/// The namespace-tagged identifiers a routable record touches (empty
+/// for records that must fence: deletions walk lists, so their touch
+/// set cannot be known from the record alone).
+fn rec_tags(rec: &Record, out: &mut Vec<u64>) {
+    out.clear();
+    match *rec {
+        Record::NewBlock { block, .. } => out.push(btag(block.get())),
+        Record::NewList { list, .. } => out.push(ltag(list.get())),
+        Record::Write { block, .. } => out.push(btag(block.get())),
+        Record::Link {
+            list, block, pred, ..
+        } => {
+            out.push(ltag(list.get()));
+            out.push(btag(block.get()));
+            if let Some(p) = pred {
+                out.push(btag(p.get()));
+            }
+        }
+        Record::DeleteBlock { .. } | Record::DeleteList { .. } | Record::Commit { .. } => {}
+    }
+}
+
+/// Whether a record must be applied at a fence by the coordinator.
+fn is_fence_record(rec: &Record) -> bool {
+    matches!(
+        rec,
+        Record::DeleteBlock { .. } | Record::DeleteList { .. } | Record::Commit { .. }
+    )
+}
+
+// ----------------------------------------------------------------------
+// Replay driver
+// ----------------------------------------------------------------------
+
+/// Walks the suffix chain in log order, resolving ARU commit points and
+/// gap/duplicate semantics, and hands each effective batch to `emit`:
+/// a committed ARU's records with its commit timestamp, or a single
+/// directly-applied record with `None`. This is the *only* ordering
+/// authority: executors (inline or worker pool) preserve emit order
+/// wherever records can interact.
+fn drive_chain(
+    chain: &[SegmentInfo],
+    ckpt_seq: u64,
+    report: &mut RecoveryReport,
+    slot_used: &mut [bool],
+    ts_max: &mut u64,
+    mut emit: impl FnMut(&[(SegmentId, Record)], Option<Timestamp>) -> Result<()>,
+) -> Result<()> {
+    let mut expected = ckpt_seq + 1;
+    let mut pending: BTreeMap<u64, Vec<(SegmentId, Record)>> = BTreeMap::new();
+    let mut single: Vec<(SegmentId, Record)> = Vec::with_capacity(1);
+    for info in chain {
+        if info.seq != expected {
+            if info.seq < expected {
+                return Err(LldError::Corrupt(format!(
+                    "duplicate segment sequence number {}",
+                    info.seq
+                )));
+            }
+            report.ignored_after_gap += 1;
+            continue;
+        }
+        expected += 1;
+        report.segments_replayed += 1;
+        slot_used[info.slot.get() as usize] = true;
+        for rec in &info.records {
+            *ts_max = (*ts_max).max(rec.ts().get());
+            match rec.aru_tag() {
+                Some(aru) => {
+                    pending
+                        .entry(aru.get())
+                        .or_default()
+                        .push((info.slot, rec.clone()));
+                }
+                None => {
+                    if let Record::Commit { aru, ts } = rec {
+                        let actions = pending.remove(&aru.get()).unwrap_or_default();
+                        report.committed_arus += 1;
+                        report.records_applied += actions.len() as u64;
+                        emit(&actions, Some(*ts))?;
+                    } else {
+                        single.clear();
+                        single.push((info.slot, rec.clone()));
+                        emit(&single, None)?;
+                        report.records_applied += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Whatever is still pending belongs to ARUs that never committed:
+    // discard (§3.3 — "the disk system undoes their operations").
+    report.discarded_arus = pending.len() as u64;
+    report.discarded_records = pending.values().map(|v| v.len() as u64).sum();
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+enum WorkItem {
+    /// A batch of routed records for one partition, in emit order.
+    Apply {
+        part: usize,
+        recs: Vec<(SegmentId, Record, Option<Timestamp>)>,
+    },
+    /// Queue-drain fence: acknowledge once everything before it is
+    /// applied.
+    Fence(mpsc::Sender<()>),
+}
+
+/// State shared between the replay coordinator and its workers.
+struct ReplayShared {
+    parts: Vec<Mutex<ReplayPart>>,
+    error: Mutex<Option<LldError>>,
+    failed: AtomicBool,
+}
+
+impl ReplayShared {
+    fn new() -> Self {
+        ReplayShared {
+            parts: (0..REPLAY_PARTS)
+                .map(|_| Mutex::new(ReplayPart::default()))
+                .collect(),
+            error: Mutex::new(None),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// First error wins; later work is skipped (the whole recovery
+    /// fails, so partial application does not matter).
+    fn fail(&self, e: LldError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn take_error(&self) -> LldError {
+        self.error
+            .lock()
+            .take()
+            .unwrap_or_else(|| LldError::Corrupt("recovery replay worker failed".into()))
+    }
+}
+
+fn worker_loop(shared: &ReplayShared, rx: &mpsc::Receiver<WorkItem>, max_blocks: u64, obs: &Obs) {
+    for item in rx.iter() {
+        match item {
+            WorkItem::Apply { part, recs } => {
+                if shared.failed.load(Ordering::Acquire) {
+                    continue; // drain without applying
+                }
+                let timer = obs.timer();
+                let mut guard = shared.parts[part].lock();
+                let mut view = PartsView {
+                    parts: vec![&mut guard],
+                    locator: Locator::Single,
+                    max_blocks,
+                };
+                for (seg, rec, cts) in &recs {
+                    if let Err(e) = view.apply(*seg, rec, *cts) {
+                        shared.fail(e);
+                        break;
+                    }
+                }
+                drop(guard);
+                obs.recovery_replay_batch(timer);
+            }
+            WorkItem::Fence(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+/// Tiny union-find over one emitted batch's identifier tags.
+struct BatchUf {
+    slot: HashMap<u64, usize>,
+    parent: Vec<usize>,
+}
+
+impl BatchUf {
+    fn new() -> Self {
+        BatchUf {
+            slot: HashMap::new(),
+            parent: Vec::new(),
+        }
+    }
+
+    fn index(&mut self, tag: u64) -> usize {
+        let next = self.parent.len();
+        match self.slot.entry(tag) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.parent.push(next);
+                next
+            }
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The coordinator side of the pool: the connectivity router (home
+/// assignment, component analysis, migrations), per-partition buffers
+/// feeding the worker owning each partition (`part % workers`), and
+/// the fence protocol for records that must apply serially.
+struct Dispatcher<'s> {
+    shared: &'s ReplayShared,
+    obs: &'s Obs,
+    senders: Vec<mpsc::Sender<WorkItem>>,
+    buffers: Vec<Vec<(SegmentId, Record, Option<Timestamp>)>>,
+    /// Identifier tag → home partition. Invariant: an identifier's
+    /// table entries live in its home partition (or its stripe, if it
+    /// has no home entry — then no replayed record has touched it).
+    homes: HashMap<u64, usize>,
+    /// Parked lone allocation records. Allocations commit outside their
+    /// ARU, so they are emitted as singletons *before* the batch that
+    /// uses them; applying one immediately would pin its identifier to
+    /// an arbitrary home and force a migration fence when the ARU batch
+    /// later unions it with its list. A fresh allocation has no
+    /// observable effect until the identifier is next referenced, so it
+    /// waits here and is released — in emit order with respect to its
+    /// own identifier — with the first record that touches it.
+    limbo: HashMap<u64, (SegmentId, Record, Option<Timestamp>)>,
+    freed: FreedSets,
+    /// Records pushed since the last fence; a fence with nothing
+    /// outstanding skips the worker round-trip.
+    unfenced: usize,
+    max_blocks: u64,
+    // Scratch reused across batches.
+    tags: Vec<u64>,
+}
+
+impl<'s> Dispatcher<'s> {
+    fn new(
+        shared: &'s ReplayShared,
+        obs: &'s Obs,
+        senders: Vec<mpsc::Sender<WorkItem>>,
+        max_blocks: u64,
+    ) -> Self {
+        Dispatcher {
+            shared,
+            obs,
+            senders,
+            buffers: (0..REPLAY_PARTS).map(|_| Vec::new()).collect(),
+            homes: HashMap::new(),
+            limbo: HashMap::new(),
+            freed: FreedSets::default(),
+            unfenced: 0,
+            max_blocks,
+            tags: Vec::new(),
+        }
+    }
+
+    fn check_failed(&self) -> Result<()> {
+        if self.shared.failed.load(Ordering::Acquire) {
+            return Err(self.shared.take_error());
+        }
+        Ok(())
+    }
+
+    fn flush_part(&mut self, part: usize) -> Result<()> {
+        if self.buffers[part].is_empty() {
+            return Ok(());
+        }
+        let recs = std::mem::take(&mut self.buffers[part]);
+        self.senders[part % self.senders.len()]
+            .send(WorkItem::Apply { part, recs })
+            .map_err(|_| self.shared.take_error())
+    }
+
+    /// Flushes every buffer and waits until every worker has drained
+    /// its queue. After a fence the workers hold no partition locks
+    /// (they block on their empty channels), so the coordinator may
+    /// lock any partitions it needs.
+    fn fence(&mut self) -> Result<()> {
+        if self.unfenced == 0 {
+            return self.check_failed();
+        }
+        for p in 0..self.buffers.len() {
+            self.flush_part(p)?;
+        }
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(WorkItem::Fence(ack_tx.clone()))
+                .map_err(|_| self.shared.take_error())?;
+        }
+        drop(ack_tx);
+        for _ in 0..self.senders.len() {
+            ack_rx.recv().map_err(|_| self.shared.take_error())?;
+        }
+        self.unfenced = 0;
+        self.check_failed()
+    }
+
+    /// Releases every parked allocation to its stripe (or prior home,
+    /// for a re-allocation of a freed identifier). Called before any
+    /// all-partitions apply and at end of replay; release order among
+    /// parked records is irrelevant (their identifiers are untouched
+    /// since parking, so the records commute with everything buffered).
+    fn drain_limbo(&mut self) -> Result<()> {
+        if self.limbo.is_empty() {
+            return Ok(());
+        }
+        let limbo = std::mem::take(&mut self.limbo);
+        for (tag, item) in limbo {
+            let home = match self.homes.get(&tag) {
+                Some(&h) if h != PARKED => h, // prior home of a re-allocated id
+                _ => stripe_of(tag),
+            };
+            self.homes.insert(tag, home);
+            self.buffers[home].push(item);
+            self.unfenced += 1;
+            if self.buffers[home].len() >= REPLAY_BATCH {
+                self.flush_part(home)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves an identifier's table entries to `to` and records the new
+    /// home. Caller must have fenced (all workers idle).
+    fn migrate(&mut self, tag: u64, to: usize) {
+        let from = match self.homes.get(&tag) {
+            // A parked identifier has no entries anywhere; the moves
+            // below find nothing, and only the home entry changes.
+            Some(&h) if h != PARKED => h,
+            _ => stripe_of(tag),
+        };
+        if from != to {
+            let (lo, hi) = (from.min(to), from.max(to));
+            let mut lo_g = self.shared.parts[lo].lock();
+            let mut hi_g = self.shared.parts[hi].lock();
+            let (src, dst) = if from == lo {
+                (&mut *lo_g, &mut *hi_g)
+            } else {
+                (&mut *hi_g, &mut *lo_g)
+            };
+            if tag & 1 == 1 {
+                let id = ListId::new(tag >> 1);
+                if let Some(r) = src.persistent.lists.remove(&id) {
+                    dst.persistent.lists.insert(id, r);
+                }
+                if let Some(r) = src.committed.lists.remove(&id) {
+                    dst.committed.lists.insert(id, r);
+                }
+            } else {
+                let id = BlockId::new(tag >> 1);
+                if let Some(r) = src.persistent.blocks.remove(&id) {
+                    dst.persistent.blocks.insert(id, r);
+                }
+                if let Some(r) = src.committed.blocks.remove(&id) {
+                    dst.committed.blocks.insert(id, r);
+                }
+            }
+        }
+        self.homes.insert(tag, to);
+    }
+
+    /// Applies one fence-class record serially against all partitions.
+    fn fence_apply(
+        &mut self,
+        seg: SegmentId,
+        rec: &Record,
+        cts: Option<Timestamp>,
+    ) -> Result<Vec<u64>> {
+        self.drain_limbo()?;
+        self.fence()?;
+        let timer = self.obs.timer();
+        let mut guards: Vec<_> = self.shared.parts.iter().map(|m| m.lock()).collect();
+        let mut view = PartsView {
+            parts: guards.iter_mut().map(|g| &mut **g).collect(),
+            locator: Locator::Homed(&self.homes),
+            max_blocks: self.max_blocks,
+        };
+        let res = view.apply(seg, rec, cts);
+        drop(guards);
+        self.obs.recovery_replay_batch(timer);
+        res
+    }
+
+    /// Routes one emitted batch (a committed ARU's records, or a single
+    /// direct record). Connected components of the batch share one home
+    /// so their records apply on one worker in order; components in
+    /// different homes are independent (disjoint identifiers) and apply
+    /// concurrently.
+    fn batch(&mut self, recs: &[(SegmentId, Record)], cts: Option<Timestamp>) -> Result<()> {
+        self.check_failed()?;
+
+        // Fast path: park a lone allocation (see `limbo`). The freed
+        // sets are updated now — that is this record's emit position.
+        if let [(seg, rec)] = recs {
+            let tag = match rec {
+                Record::NewBlock { block, .. } => Some(btag(block.get())),
+                Record::NewList { list, .. } => Some(ltag(list.get())),
+                _ => None,
+            };
+            if let Some(tag) = tag {
+                self.freed.note(rec, Vec::new());
+                // A re-allocation keeps its prior home entry (its
+                // deallocated residue still lives there); a first-time
+                // id is marked parked.
+                self.homes.entry(tag).or_insert(PARKED);
+                self.limbo.insert(tag, (*seg, rec.clone(), cts));
+                return Ok(());
+            }
+        }
+
+        // Fast path: most batches resolve to a single home with no
+        // migration — every touched identifier is fresh (created in
+        // the batch or parked) or already located in one place. One
+        // probe per identifier decides; any disagreement falls back to
+        // the full component analysis below.
+        let mut tags = std::mem::take(&mut self.tags);
+        let mut fast_home: Option<usize> = None;
+        let mut first_tag: Option<u64> = None;
+        let mut conflict = false;
+        let mut has_fence_rec = false;
+        let mut multi_tag = false;
+        // The scan must visit every record even after a conflict:
+        // `multi_tag` gates the second fast path below, and a stale
+        // value (conflict found before a later multi-tag record) would
+        // route a Link's records by one tag and lose the connection.
+        for (_, rec) in recs {
+            if is_fence_record(rec) {
+                has_fence_rec = true;
+                continue;
+            }
+            rec_tags(rec, &mut tags);
+            multi_tag |= tags.len() > 1;
+            for &t in &tags {
+                if first_tag.is_none() {
+                    first_tag = Some(t);
+                }
+                // In-batch creations read as absent here (their tag has
+                // no home entry yet), which is exactly right: fresh, no
+                // location.
+                let loc = match self.homes.get(&t) {
+                    Some(&h) if h != PARKED => Some(h),
+                    Some(_) => None,
+                    None => Some(stripe_of(t)),
+                };
+                if let Some(l) = loc {
+                    match fast_home {
+                        None => fast_home = Some(l),
+                        Some(h) if h != l => conflict = true,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        // Wrong on the fast path: an identifier with no home entry and
+        // no checkpoint state reads as "located at its stripe" even
+        // when it is created later in this same batch. That can only
+        // manufacture a *conflict* (forcing the slow path, which keeps
+        // a real `created` set), never a wrong single home: agreeing on
+        // the stripe is where a fresh component would be homed anyway.
+        if !conflict {
+            if let Some(ft) = first_tag {
+                let home = fast_home.unwrap_or(stripe_of(ft));
+                if has_fence_rec {
+                    // A fence drains limbo mid-batch; pre-assign every
+                    // tag's home so parked records drain to this home,
+                    // not their stripe.
+                    for (_, rec) in recs {
+                        rec_tags(rec, &mut tags);
+                        for &t in &tags {
+                            self.homes.insert(t, home);
+                        }
+                    }
+                }
+                for (seg, rec) in recs {
+                    if is_fence_record(rec) {
+                        let members = self.fence_apply(*seg, rec, cts)?;
+                        self.freed.note(rec, members);
+                        continue;
+                    }
+                    rec_tags(rec, &mut tags);
+                    for &t in &tags {
+                        if let Some(item) = self.limbo.remove(&t) {
+                            self.buffers[home].push(item);
+                            self.unfenced += 1;
+                        }
+                        self.homes.insert(t, home);
+                    }
+                    self.freed.note(rec, Vec::new());
+                    self.buffers[home].push((*seg, rec.clone(), cts));
+                    self.unfenced += 1;
+                    if self.buffers[home].len() >= REPLAY_BATCH {
+                        self.flush_part(home)?;
+                    }
+                }
+            } else {
+                // No routable records at all (e.g. an ARU of deletes).
+                for (seg, rec) in recs {
+                    if is_fence_record(rec) {
+                        let members = self.fence_apply(*seg, rec, cts)?;
+                        self.freed.note(rec, members);
+                    }
+                }
+            }
+            tags.clear();
+            self.tags = tags;
+            return Ok(());
+        }
+
+        // Second fast path: every record touches at most one
+        // identifier (write- or delete-heavy batches), so no record
+        // can connect two identifiers and there is nothing to union —
+        // each record routes independently to its identifier's
+        // location. Records sharing an identifier share a location,
+        // so per-buffer FIFO still reproduces emit order.
+        if !multi_tag {
+            for (seg, rec) in recs {
+                if is_fence_record(rec) {
+                    let members = self.fence_apply(*seg, rec, cts)?;
+                    self.freed.note(rec, members);
+                    continue;
+                }
+                rec_tags(rec, &mut tags);
+                let t = tags[0];
+                // Steady state (an already-homed identifier) is one
+                // probe and no writes to the home map.
+                let home = match self.homes.get(&t) {
+                    Some(&h) if h != PARKED => h,
+                    Some(_) | None => {
+                        let h = stripe_of(t);
+                        self.homes.insert(t, h);
+                        h
+                    }
+                };
+                // A parked allocation precedes this record in emit
+                // order — release it to the same buffer first. (Reaches
+                // the homed arm too: a re-allocated identifier keeps
+                // its prior home entry while parked.)
+                if let Some(item) = self.limbo.remove(&t) {
+                    self.buffers[home].push(item);
+                    self.unfenced += 1;
+                }
+                self.freed.note(rec, Vec::new());
+                self.buffers[home].push((*seg, rec.clone(), cts));
+                self.unfenced += 1;
+                if self.buffers[home].len() >= REPLAY_BATCH {
+                    self.flush_part(home)?;
+                }
+            }
+            tags.clear();
+            self.tags = tags;
+            return Ok(());
+        }
+        tags.clear();
+        self.tags = tags;
+
+        // Pass 1: union identifier tags per record; note in-batch
+        // creations (they exist nowhere yet and can adopt any home).
+        let mut uf = BatchUf::new();
+        let mut created: HashSet<u64> = HashSet::new();
+        let mut tags = std::mem::take(&mut self.tags);
+        for (_, rec) in recs {
+            match rec {
+                Record::NewBlock { block, .. } => {
+                    created.insert(btag(block.get()));
+                }
+                Record::NewList { list, .. } => {
+                    created.insert(ltag(list.get()));
+                }
+                _ => {}
+            }
+            rec_tags(rec, &mut tags);
+            let mut first = None;
+            for &t in &tags {
+                let i = uf.index(t);
+                match first {
+                    None => first = Some(i),
+                    Some(f) => uf.union(f, i),
+                }
+            }
+        }
+
+        // Pass 2: resolve each component to one home partition,
+        // migrating (under a fence) when a component spans locations.
+        let all_tags: Vec<u64> = uf.slot.keys().copied().collect();
+        let mut comp_tags: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &t in &all_tags {
+            let i = uf.slot[&t];
+            let root = uf.find(i);
+            comp_tags.entry(root).or_default().push(t);
+        }
+        let mut comp_home: HashMap<usize, usize> = HashMap::new();
+        for (&root, members) in &comp_tags {
+            // A location is where an identifier's entries already live:
+            // its home if assigned, else its stripe (where checkpoint
+            // entries sit — and where a record touching a nonexistent
+            // identifier routes to fail with the serial path's error).
+            // Fresh identifiers (created in this batch or parked in
+            // limbo) have no location and adopt the component's home.
+            let mut locs: Vec<usize> = Vec::new();
+            let mut anchor: Option<u64> = None;
+            for &t in members {
+                let loc = match self.homes.get(&t) {
+                    Some(&h) if h != PARKED => Some(h),
+                    // Parked (the sentinel) or fresh in this batch:
+                    // no entries anywhere, adopts the component home.
+                    Some(_) => None,
+                    None if created.contains(&t) => None,
+                    None => Some(stripe_of(t)),
+                };
+                if let Some(l) = loc {
+                    if !locs.contains(&l) {
+                        locs.push(l);
+                    }
+                    anchor.get_or_insert(t);
+                }
+            }
+            let home = match locs.len() {
+                0 => stripe_of(*members.iter().min().expect("nonempty component")),
+                1 => locs[0],
+                _ => {
+                    // Component merge across partitions: fence and pull
+                    // everything to the anchor's location.
+                    let target = self
+                        .homes
+                        .get(&anchor.expect("locs nonempty"))
+                        .copied()
+                        .unwrap_or(stripe_of(anchor.expect("locs nonempty")));
+                    self.fence()?;
+                    for &t in members {
+                        self.migrate(t, target);
+                    }
+                    target
+                }
+            };
+            for &t in members {
+                self.homes.insert(t, home);
+            }
+            comp_home.insert(root, home);
+        }
+
+        // Pass 3: emit in order — routable records to their component
+        // home's worker, fence-class records serially here.
+        for (seg, rec) in recs {
+            if is_fence_record(rec) {
+                let members = self.fence_apply(*seg, rec, cts)?;
+                self.freed.note(rec, members);
+                continue;
+            }
+            rec_tags(rec, &mut tags);
+            let root = uf.find(uf.slot[&tags[0]]);
+            let home = comp_home[&root];
+            // A parked allocation for any touched identifier is
+            // released first: it preceded this record in emit order and
+            // must apply before it, on the same worker.
+            for &t in &tags {
+                if let Some(item) = self.limbo.remove(&t) {
+                    self.buffers[home].push(item);
+                    self.unfenced += 1;
+                }
+            }
+            self.freed.note(rec, Vec::new());
+            self.buffers[home].push((*seg, rec.clone(), cts));
+            self.unfenced += 1;
+            if self.buffers[home].len() >= REPLAY_BATCH {
+                self.flush_part(home)?;
+            }
+        }
+        tags.clear();
+        self.tags = tags;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parallel helpers for the read-only phases
+// ----------------------------------------------------------------------
+
+/// Decodes every slab of `hdr`, fanned out over up to `threads`
+/// workers. `None` if any slab fails its CRC (the whole area is then
+/// invalid and the caller falls back to the other one).
+fn load_slabs<D: BlockDevice>(
+    device: &D,
+    hdr: &CkptHeaderInfo,
+    threads: usize,
+    obs: &Obs,
+) -> Result<Option<Vec<checkpoint::SlabData>>> {
+    let n = hdr.slabs.len();
+    let w = threads.min(n).max(1);
+    if w <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for s in &hdr.slabs {
+            let timer = obs.timer();
+            match checkpoint::decode_slab(device, s)? {
+                Some(sd) => {
+                    obs.recovery_slab_load(timer);
+                    out.push(sd);
+                }
+                None => return Ok(None),
+            }
+        }
+        return Ok(Some(out));
+    }
+    let chunk = n.div_ceil(w);
+    let results: Vec<Result<Option<Vec<checkpoint::SlabData>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..w)
+            .map(|k| {
+                let slabs = &hdr.slabs[k * chunk..((k + 1) * chunk).min(n)];
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(slabs.len());
+                    for s in slabs {
+                        let timer = obs.timer();
+                        match checkpoint::decode_slab(device, s)? {
+                            Some(sd) => {
+                                obs.recovery_slab_load(timer);
+                                out.push(sd);
+                            }
+                            None => return Ok(None),
+                        }
+                    }
+                    Ok(Some(out))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(LldError::Corrupt(
+                        "recovery snapshot worker panicked".into(),
+                    ))
+                })
+            })
+            .collect()
+    });
+    let mut all = Vec::with_capacity(n);
+    for r in results {
+        match r? {
+            Some(mut v) => all.append(&mut v),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(all))
+}
+
+/// Probes every segment slot, fanned out over up to `threads` workers;
+/// results come back in slot order. Summaries of segments at or below
+/// `ckpt_seq` are not read — the snapshot already covers them.
+fn scan_slots<D: BlockDevice>(
+    device: &D,
+    layout: &Layout,
+    threads: usize,
+    ckpt_seq: u64,
+) -> Result<Vec<SegmentScan>> {
+    let n = layout.n_segments as usize;
+    let w = threads.min(n).max(1);
+    if w <= 1 {
+        return (0..n)
+            .map(|slot| scan_segment_above(device, layout, SegmentId::new(slot as u32), ckpt_seq))
+            .collect();
+    }
+    let chunk = n.div_ceil(w);
+    let results: Vec<Result<Vec<SegmentScan>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..w)
+            .map(|k| {
+                let lo = k * chunk;
+                let hi = ((k + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    (lo..hi)
+                        .map(|slot| {
+                            scan_segment_above(
+                                device,
+                                layout,
+                                SegmentId::new(slot as u32),
+                                ckpt_seq,
+                            )
+                        })
+                        .collect::<Result<Vec<_>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(LldError::Corrupt("recovery scan worker panicked".into()))
+                })
+            })
+            .collect()
+    });
+    let mut all = Vec::with_capacity(n);
+    for r in results {
+        all.extend(r?);
+    }
+    Ok(all)
+}
+
+// ----------------------------------------------------------------------
+// Recovery proper
+// ----------------------------------------------------------------------
 
 impl<D: BlockDevice + 'static> Lld<D> {
     /// Recovers a logical disk from `device`, using the semantic modes
@@ -84,9 +1401,9 @@ impl<D: BlockDevice + 'static> Lld<D> {
     }
 
     /// Recovers with explicit runtime options (concurrency mode, read
-    /// visibility, cleaner tuning, shard count, `check_on_recovery`).
-    /// Structural parameters (block size, segment size, limits) always
-    /// come from the superblock.
+    /// visibility, cleaner tuning, shard count, recovery parallelism,
+    /// `check_on_recovery`). Structural parameters (block size, segment
+    /// size, limits) always come from the superblock.
     ///
     /// # Errors
     ///
@@ -107,39 +1424,216 @@ impl<D: BlockDevice + 'static> Lld<D> {
                 config.map_shards
             )));
         }
+        if !(1..=MAX_RECOVERY_THREADS).contains(&config.recovery_threads) {
+            return Err(LldError::Config(format!(
+                "recovery_threads {} must be in 1..={MAX_RECOVERY_THREADS}",
+                config.recovery_threads
+            )));
+        }
+        let w = config.recovery_threads;
         let n = layout.n_segments as usize;
-        let mut report = RecoveryReport::default();
-
-        // Load the newest checkpoint, if any.
-        let (ckpt, use_b_next) = checkpoint::load_latest(&device, &layout)?;
-        let (tables, mut ts_counter, next_block_raw, next_list_raw, ckpt_seq) = match ckpt {
-            Some(c) => (
-                c.tables,
-                c.ts_counter,
-                c.next_block_raw,
-                c.next_list_raw,
-                c.seq,
-            ),
-            None => (Tables::default(), 0, 1, 1, 0),
+        let obs = Obs::new(config.obs);
+        let trace = recovery_trace(1);
+        let mut report = RecoveryReport {
+            threads_used: w as u32,
+            ..RecoveryReport::default()
         };
+
+        // ---- Phase 1: load the newest valid checkpoint's slabs -------
+        let t_snap = Instant::now();
+        obs.stage_begin(0, trace, Stage::RecoverySnapshotLoad);
+        let mut cands: Vec<(CkptHeaderInfo, bool)> = Vec::new();
+        if let Some(h) = checkpoint::read_header_dir(&device, &layout, layout.ckpt_a)? {
+            cands.push((h, true));
+        }
+        if let Some(h) = checkpoint::read_header_dir(&device, &layout, layout.ckpt_b)? {
+            cands.push((h, false));
+        }
+        // Newest first; area A wins a sequence tie (stable sort).
+        cands.sort_by_key(|(h, _)| std::cmp::Reverse(h.seq));
+
+        let shared = ReplayShared::new();
+        let mut ckpt_seq = 0u64;
+        let mut ts_floor = 0u64;
+        let mut block_floor = 1u64;
+        let mut list_floor = 1u64;
+        let mut use_b_next = false;
+        for (hdr, is_a) in cands {
+            let Some(slabs) = load_slabs(&device, &hdr, w, &obs)? else {
+                continue; // torn slab: the whole area is invalid
+            };
+            ckpt_seq = hdr.seq;
+            ts_floor = hdr.ts_counter;
+            block_floor = hdr.block_floor;
+            list_floor = hdr.list_floor;
+            use_b_next = is_a;
+            report.snap_shards = hdr.slabs.len() as u32;
+            for sd in slabs {
+                for (id, rec) in sd.blocks {
+                    ts_floor = ts_floor.max(rec.ts.get());
+                    let part = (id.get() & REPLAY_PART_MASK) as usize;
+                    shared.parts[part].lock().persistent.blocks.insert(id, rec);
+                }
+                for (id, rec) in sd.lists {
+                    ts_floor = ts_floor.max(rec.ts.get());
+                    let part = (id.get() & REPLAY_PART_MASK) as usize;
+                    shared.parts[part].lock().persistent.lists.insert(id, rec);
+                }
+            }
+            break;
+        }
         report.checkpoint_seq = ckpt_seq;
+        report.snapshot_load_ns = t_snap.elapsed().as_nanos() as u64;
+        obs.stage_end(
+            0,
+            trace,
+            Stage::RecoverySnapshotLoad,
+            report.snapshot_load_ns,
+        );
 
-        for t in tables.blocks.values().map(|r| r.ts.get()) {
-            ts_counter = ts_counter.max(t);
+        // ---- Phase 2: scan every slot for valid sealed segments ------
+        let t_scan = Instant::now();
+        obs.stage_begin(0, trace, Stage::RecoveryScan);
+        report.segments_scanned = layout.n_segments;
+        let scans = scan_slots(&device, &layout, w, ckpt_seq)?;
+        let mut slot_seq = vec![0u64; n];
+        let mut chain: Vec<SegmentInfo> = Vec::new();
+        let mut max_seq_seen = ckpt_seq;
+        for (slot, scan) in scans.into_iter().enumerate() {
+            match scan {
+                SegmentScan::Valid(info) => {
+                    slot_seq[slot] = info.seq;
+                    max_seq_seen = max_seq_seen.max(info.seq);
+                    if info.seq > ckpt_seq {
+                        chain.push(info);
+                    }
+                }
+                SegmentScan::Torn => report.torn_tails_detected += 1,
+                SegmentScan::None => {}
+            }
         }
-        for t in tables.lists.values().map(|r| r.ts.get()) {
-            ts_counter = ts_counter.max(t);
+        chain.sort_by_key(|i| i.seq);
+        report.scan_ns = t_scan.elapsed().as_nanos() as u64;
+        obs.stage_end(0, trace, Stage::RecoveryScan, report.scan_ns);
+
+        // ---- Phase 3: replay the chain above the checkpoint ----------
+        let t_replay = Instant::now();
+        obs.stage_begin(0, trace, Stage::RecoveryReplay);
+        let mut slot_used = vec![false; n];
+        let mut ts_max = 0u64;
+        let freed = if w <= 1 {
+            // Inline reference path: every record applied in log order
+            // against all partitions at once.
+            let mut freed = FreedSets::default();
+            let mut guards: Vec<_> = shared.parts.iter().map(|m| m.lock()).collect();
+            let mut view = PartsView {
+                parts: guards.iter_mut().map(|g| &mut **g).collect(),
+                locator: Locator::Striped,
+                max_blocks: layout.max_blocks,
+            };
+            let timer = obs.timer();
+            drive_chain(
+                &chain,
+                ckpt_seq,
+                &mut report,
+                &mut slot_used,
+                &mut ts_max,
+                |recs, cts| {
+                    for (seg, rec) in recs {
+                        let members = view.apply(*seg, rec, cts)?;
+                        freed.note(rec, members);
+                    }
+                    Ok(())
+                },
+            )?;
+            drop(guards);
+            obs.recovery_replay_batch(timer);
+            freed
+        } else {
+            std::thread::scope(|scope| -> Result<FreedSets> {
+                let shared = &shared;
+                let obs = &obs;
+                let max_blocks = layout.max_blocks;
+                let mut senders = Vec::with_capacity(w);
+                for _ in 0..w {
+                    let (tx, rx) = mpsc::channel::<WorkItem>();
+                    scope.spawn(move || worker_loop(shared, &rx, max_blocks, obs));
+                    senders.push(tx);
+                }
+                let mut disp = Dispatcher::new(shared, obs, senders, max_blocks);
+                let res = drive_chain(
+                    &chain,
+                    ckpt_seq,
+                    &mut report,
+                    &mut slot_used,
+                    &mut ts_max,
+                    |recs, cts| disp.batch(recs, cts),
+                );
+                // Hanging up the senders (dropping `disp`) lets the
+                // workers exit whether or not the replay succeeded.
+                res.and_then(|()| disp.drain_limbo())
+                    .and_then(|()| disp.fence())?;
+                Ok(std::mem::take(&mut disp.freed))
+            })?
+        };
+        drop(chain);
+        report.replay_ns = t_replay.elapsed().as_nanos() as u64;
+        obs.stage_end(0, trace, Stage::RecoveryReplay, report.replay_ns);
+
+        // ---- Phase 4: merge, re-shard, and bring the disk up ---------
+        let t_fin = Instant::now();
+        obs.stage_begin(0, trace, Stage::RecoveryFinalize);
+
+        // Everything replayed is persistent; each identifier lives in
+        // exactly one partition (the home invariant), so the merge is a
+        // plain union.
+        let mut merged = Tables::default();
+        let mut walk_steps = 0u64;
+        for m in &shared.parts {
+            let mut p = std::mem::take(&mut *m.lock());
+            p.committed.drain_into(&mut p.persistent);
+            merged.blocks.extend(p.persistent.blocks);
+            merged.lists.extend(p.persistent.lists);
+            walk_steps += p.walk_steps;
+        }
+        drop(shared);
+
+        // Live-segment accounting is a pure function of the final
+        // block addresses — one pass, no per-record adjustments.
+        let mut live_count = vec![0u32; n];
+        let mut residents: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
+        for (&id, r) in &merged.blocks {
+            if let Some(a) = r.addr {
+                let s = a.segment.get() as usize;
+                live_count[s] += 1;
+                residents[s].insert(id);
+            }
         }
 
-        // Distribute the checkpoint tables to their owning shards; the
-        // stored floors are global and get re-striped per shard (then
-        // raised past every id actually present).
-        let maps = Maps::from_tables(config.map_shards, tables, next_block_raw, next_list_raw);
+        // Re-stripe for this process's shard count, then rebuild the
+        // free-identifier sets from what replay finally freed (a freed
+        // id re-allocated later was removed from the freed set by its
+        // NewBlock/NewList record).
+        let maps = Maps::from_tables(config.map_shards, merged, block_floor, list_floor);
+        maps.inject_freed(freed.blocks, freed.lists);
 
         let mut log = LogState::fresh(n);
         log.free_slots.clear();
         log.checkpoint_seq = ckpt_seq;
-        log.ckpt_use_b = use_b_next;
+        log.next_seq = max_seq_seen + 1;
+        log.slot_seq = slot_seq;
+        log.live_count = live_count;
+        log.residents = residents;
+        // Slot accounting, folded into the replay pass: a slot stays in
+        // use if it is part of the replayed chain (its records are
+        // needed until the next checkpoint) or still holds live blocks;
+        // everything else is free.
+        for (slot, &used) in slot_used.iter().enumerate().take(n) {
+            if !(used || log.live_count[slot] > 0) {
+                log.slot_seq[slot] = 0;
+                log.free_slots.insert(slot as u32);
+            }
+        }
 
         let ld = Lld::from_inner(LldInner {
             device: crate::lld::DevicePath::new(device, config.pipeline),
@@ -151,11 +1645,15 @@ impl<D: BlockDevice + 'static> Lld<D> {
             log: Mutex::new(log),
             cache: Mutex::new(crate::cache::BlockCache::new(config.read_cache_blocks)),
             gc: GroupCommit::new(),
-            ts_counter: AtomicU64::new(ts_counter),
+            ckpt_io: Mutex::new(CkptSlots {
+                use_b: use_b_next,
+                gen: 0,
+            }),
+            ts_counter: AtomicU64::new(ts_floor.max(ts_max)),
             free_slots_hint: AtomicU64::new(0),
             needs_clean: AtomicBool::new(false),
             stats: Default::default(),
-            obs: Obs::new(config.obs),
+            obs,
             cleanerd: Cleanerd::new(),
             sampler: crate::sampler::Sampler::new(),
             flight: config
@@ -164,121 +1662,8 @@ impl<D: BlockDevice + 'static> Lld<D> {
                 .map(crate::flight::FlightRecorder::new),
         });
         ld.install_pipe_observer();
-
+        ld.stats.list_walk_steps.add(walk_steps);
         ld.with_mutation(|m| -> Result<()> {
-            // Initialise live-block accounting from the checkpoint tables.
-            let addrs: Vec<(BlockId, PhysAddr)> = m
-                .map
-                .shards_held()
-                .flat_map(|s| {
-                    s.persistent
-                        .blocks
-                        .iter()
-                        .filter_map(|(&id, r)| r.addr.map(|a| (id, a)))
-                })
-                .collect();
-            for (id, a) in addrs {
-                m.adjust_addr(id, None, Some(a));
-            }
-
-            // Scan every slot for valid sealed segments.
-            let mut chain: Vec<SegmentInfo> = Vec::new();
-            let mut max_seq_seen = ckpt_seq;
-            let mut ts_max = 0u64;
-            for slot in 0..m.lld.layout.n_segments {
-                report.segments_scanned += 1;
-                match scan_segment(&m.lld.device, &m.lld.layout, SegmentId::new(slot))? {
-                    SegmentScan::Valid(info) => {
-                        m.log().slot_seq[slot as usize] = info.seq;
-                        max_seq_seen = max_seq_seen.max(info.seq);
-                        if info.seq > ckpt_seq {
-                            chain.push(info);
-                        }
-                    }
-                    SegmentScan::Torn => report.torn_tails_detected += 1,
-                    SegmentScan::None => {}
-                }
-            }
-            chain.sort_by_key(|i| i.seq);
-
-            // Replay the contiguous chain above the checkpoint.
-            let mut expected = ckpt_seq + 1;
-            let mut replayed_slots: HashSet<u32> = HashSet::new();
-            let mut pending: BTreeMap<u64, Vec<(SegmentId, Record)>> = BTreeMap::new();
-            for info in &chain {
-                if info.seq != expected {
-                    if info.seq < expected {
-                        return Err(LldError::Corrupt(format!(
-                            "duplicate segment sequence number {}",
-                            info.seq
-                        )));
-                    }
-                    report.ignored_after_gap += 1;
-                    continue;
-                }
-                expected += 1;
-                report.segments_replayed += 1;
-                replayed_slots.insert(info.slot.get());
-                for rec in &info.records {
-                    ts_max = ts_max.max(rec.ts().get());
-                    match rec.aru_tag() {
-                        Some(aru) => {
-                            pending
-                                .entry(aru.get())
-                                .or_default()
-                                .push((info.slot, rec.clone()));
-                        }
-                        None => {
-                            if let Record::Commit { aru, ts } = rec {
-                                let actions = pending.remove(&aru.get()).unwrap_or_default();
-                                report.committed_arus += 1;
-                                for (slot, action) in actions {
-                                    m.replay_record(slot, &action, Some(*ts))?;
-                                    report.records_applied += 1;
-                                }
-                            } else {
-                                m.replay_record(info.slot, rec, None)?;
-                                report.records_applied += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            // Whatever is still pending belongs to ARUs that never
-            // committed: discard (§3.3 — "the disk system undoes their
-            // operations").
-            report.discarded_arus = pending.len() as u64;
-            report.discarded_records = pending.values().map(|v| v.len() as u64).sum();
-            drop(pending);
-
-            // Everything replayed is persistent.
-            m.map.drain_committed();
-            let nb: u64 = m
-                .map
-                .shards_held()
-                .map(|s| s.persistent.blocks.len() as u64)
-                .sum();
-            let nl: u64 = m
-                .map
-                .shards_held()
-                .map(|s| s.persistent.lists.len() as u64)
-                .sum();
-            m.lld.maps.allocated_blocks.store(nb, Ordering::Relaxed);
-            m.lld.maps.allocated_lists.store(nl, Ordering::Relaxed);
-            m.lld.raise_clock(ts_max);
-            m.log().next_seq = max_seq_seen + 1;
-
-            // Slot accounting: a slot stays in use if it is part of the
-            // replayed chain (its records are needed until the next
-            // checkpoint) or still holds live blocks; everything else is
-            // free.
-            for slot in 0..m.lld.layout.n_segments {
-                let used = replayed_slots.contains(&slot) || m.log().live_count[slot as usize] > 0;
-                if !used {
-                    m.log().slot_seq[slot as usize] = 0;
-                    m.log().free_slots.insert(slot);
-                }
-            }
             m.sync_free_hint();
             m.open_segment(0)?;
             Ok(())
@@ -288,6 +1673,9 @@ impl<D: BlockDevice + 'static> Lld<D> {
             let check = ld.check()?;
             report.orphan_blocks_freed = check.orphan_blocks_freed.len();
         }
+        report.finalize_ns = t_fin.elapsed().as_nanos() as u64;
+        ld.obs
+            .stage_end(0, trace, Stage::RecoveryFinalize, report.finalize_ns);
         ld.obs.recovery_done(ld.now(), &report);
         crate::cleanerd::spawn_if_configured(&ld);
         crate::sampler::spawn_if_configured(&ld, config.metrics_hz);
@@ -295,96 +1683,153 @@ impl<D: BlockDevice + 'static> Lld<D> {
     }
 }
 
-impl<D: BlockDevice> Mutation<'_, D> {
-    /// Applies one summary record to the committed state during
-    /// recovery. `commit_ts` overrides the record timestamp for records
-    /// applied at their ARU's commit point (EndARU serialization).
-    fn replay_record(
-        &mut self,
-        seg: SegmentId,
-        rec: &Record,
-        commit_ts: Option<Timestamp>,
-    ) -> Result<()> {
-        let corrupt = |msg: String| LldError::Corrupt(format!("replaying {seg}: {msg}"));
-        let nshards = u64::from(self.lld.maps.nshards());
-        match *rec {
-            Record::NewBlock { block, ts } => {
-                let sh = self.map.block_shard_mut(block);
-                sh.committed.blocks.insert(block, BlockRecord::fresh(ts));
-                sh.note_block_id(block.get(), nshards);
-                Ok(())
-            }
-            Record::NewList { list, ts } => {
-                let sh = self.map.list_shard_mut(list);
-                sh.committed.lists.insert(list, ListRecord::fresh(ts));
-                sh.note_list_id(list.get(), nshards);
-                Ok(())
-            }
-            Record::Write {
-                block, slot, ts, ..
-            } => {
-                let ts = commit_ts.unwrap_or(ts);
-                let addr = PhysAddr { segment: seg, slot };
-                if self
-                    .map
-                    .committed_view_block(block)
-                    .is_none_or(|r| !r.allocated)
-                {
-                    return Err(corrupt(format!("write to unallocated {block}")));
-                }
-                let old = self.map.committed_view_block(block).and_then(|r| r.addr);
-                self.adjust_addr(block, old, Some(addr));
-                let r = self.block_mut(StateRef::Committed, block)?;
-                r.addr = Some(addr);
-                r.ts = ts;
-                Ok(())
-            }
-            Record::Link {
-                list,
-                block,
-                pred,
-                ts,
-                ..
-            } => {
-                let ts = commit_ts.unwrap_or(ts);
-                let pos = match pred {
-                    None => Position::First,
-                    Some(p) => Position::After(p),
-                };
-                self.insert_into_list(StateRef::Committed, list, block, pos, ts)
-                    .map_err(|e| corrupt(e.to_string()))
-            }
-            Record::DeleteBlock { block, ts, .. } => {
-                let ts = commit_ts.unwrap_or(ts);
-                let mut fb = Vec::new();
-                let mut fl = Vec::new();
-                self.apply_list_op(
-                    StateRef::Committed,
-                    &ListOp::DeleteBlock { block },
-                    ts,
-                    &mut fb,
-                    &mut fl,
-                )
-                .map_err(|e| corrupt(e.to_string()))?;
-                self.release_ids(fb, fl);
-                Ok(())
-            }
-            Record::DeleteList { list, ts, .. } => {
-                let ts = commit_ts.unwrap_or(ts);
-                let mut fb = Vec::new();
-                let mut fl = Vec::new();
-                self.apply_list_op(
-                    StateRef::Committed,
-                    &ListOp::DeleteList { list },
-                    ts,
-                    &mut fb,
-                    &mut fl,
-                )
-                .map_err(|e| corrupt(e.to_string()))?;
-                self.release_ids(fb, fl);
-                Ok(())
-            }
-            Record::Commit { .. } => Err(corrupt("nested commit record".into())),
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AruId;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn record_tags_name_every_touched_identifier() {
+        let mut tags = Vec::new();
+        rec_tags(
+            &Record::NewBlock {
+                block: BlockId::new(5),
+                ts: ts(1),
+            },
+            &mut tags,
+        );
+        assert_eq!(tags, vec![btag(5)]);
+        rec_tags(
+            &Record::NewList {
+                list: ListId::new(5),
+                ts: ts(1),
+            },
+            &mut tags,
+        );
+        assert_eq!(tags, vec![ltag(5)]); // distinct from block 5
+        rec_tags(
+            &Record::Link {
+                list: ListId::new(3),
+                block: BlockId::new(7),
+                pred: Some(BlockId::new(6)),
+                ts: ts(1),
+                aru: None,
+            },
+            &mut tags,
+        );
+        assert_eq!(tags, vec![ltag(3), btag(7), btag(6)]);
+        // Fence-class records publish no tags: their touch set (list
+        // members) cannot be known from the record alone.
+        rec_tags(
+            &Record::DeleteList {
+                list: ListId::new(3),
+                ts: ts(1),
+                aru: None,
+            },
+            &mut tags,
+        );
+        assert!(tags.is_empty());
+        assert!(is_fence_record(&Record::DeleteBlock {
+            block: BlockId::new(1),
+            ts: ts(1),
+            aru: None
+        }));
+        assert!(is_fence_record(&Record::Commit {
+            aru: AruId::new(1),
+            ts: ts(1)
+        }));
+    }
+
+    #[test]
+    fn parts_view_applies_with_mutation_semantics() {
+        let mut parts: Vec<ReplayPart> = (0..REPLAY_PARTS).map(|_| ReplayPart::default()).collect();
+        let mut freed = FreedSets::default();
+        let mut view = PartsView {
+            parts: parts.iter_mut().collect(),
+            locator: Locator::Striped,
+            max_blocks: 1024,
+        };
+        let seg = SegmentId::new(0);
+        let list = ListId::new(1);
+        let (b1, b2) = (BlockId::new(2), BlockId::new(3));
+        view.apply(seg, &Record::NewList { list, ts: ts(1) }, None)
+            .unwrap();
+        for b in [b1, b2] {
+            view.apply(
+                seg,
+                &Record::NewBlock {
+                    block: b,
+                    ts: ts(2),
+                },
+                None,
+            )
+            .unwrap();
         }
+        view.apply(
+            seg,
+            &Record::Link {
+                list,
+                block: b1,
+                pred: None,
+                ts: ts(3),
+                aru: None,
+            },
+            None,
+        )
+        .unwrap();
+        view.apply(
+            seg,
+            &Record::Link {
+                list,
+                block: b2,
+                pred: Some(b1),
+                ts: ts(4),
+                aru: None,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(view.walk_list(list).unwrap(), vec![b1, b2]);
+
+        // A write to an unallocated block is corruption, with the same
+        // message the serial replay produced.
+        let err = view
+            .apply(
+                seg,
+                &Record::Write {
+                    block: BlockId::new(99),
+                    slot: 0,
+                    ts: ts(5),
+                    aru: None,
+                },
+                None,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("write to unallocated"));
+
+        // Deleting the list reports its freed members; the freed sets
+        // track them until a re-allocation takes the id back out.
+        let del = Record::DeleteList {
+            list,
+            ts: ts(6),
+            aru: None,
+        };
+        let members = view.apply(seg, &del, None).unwrap();
+        assert_eq!(members, vec![2, 3]);
+        freed.note(&del, members);
+        assert!(freed.blocks.contains(&2) && freed.blocks.contains(&3));
+        assert!(freed.lists.contains(&1));
+        let renew = Record::NewBlock {
+            block: b1,
+            ts: ts(7),
+        };
+        view.apply(seg, &renew, None).unwrap();
+        freed.note(&renew, Vec::new());
+        assert!(!freed.blocks.contains(&2));
+        assert!(freed.blocks.contains(&3));
     }
 }

@@ -189,6 +189,27 @@ pub(crate) fn scan_segment<D: BlockDevice>(
     layout: &Layout,
     slot: SegmentId,
 ) -> Result<SegmentScan> {
+    scan_segment_above(device, layout, slot, 0)
+}
+
+/// Like [`scan_segment`], but skips reading and parsing the summary of
+/// a segment whose sequence number is at or below `summary_floor`,
+/// returning it with an empty record list.
+///
+/// Recovery passes the checkpoint sequence number here: a sealed
+/// segment the checkpoint covers was durable before the checkpoint
+/// committed (commit happens after every covered segment sealed), so
+/// it cannot be a torn tail of the crash, and its records are already
+/// reflected in the snapshot. Only its occupancy — slot and sequence
+/// number, both in the CRC-guarded header — matters for rebuilding the
+/// log state, which keeps restart's scan cost proportional to the
+/// suffix rather than the whole log.
+pub(crate) fn scan_segment_above<D: BlockDevice>(
+    device: &D,
+    layout: &Layout,
+    slot: SegmentId,
+    summary_floor: u64,
+) -> Result<SegmentScan> {
     let off = layout.segment_offset(slot.get());
     let mut header = [0u8; HEADER_LEN];
     device.read_at(off, &mut header)?;
@@ -204,6 +225,15 @@ pub(crate) fn scan_segment<D: BlockDevice>(
     let n_blocks = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
     let summary_len = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes")) as usize;
     let summary_crc = u32::from_le_bytes(header[24..28].try_into().expect("4 bytes"));
+
+    if seq <= summary_floor {
+        return Ok(SegmentScan::Valid(SegmentInfo {
+            slot,
+            seq,
+            n_blocks,
+            records: Vec::new(),
+        }));
+    }
 
     let data_bytes = (1 + n_blocks as usize) * layout.block_size;
     if data_bytes + summary_len > layout.segment_bytes {

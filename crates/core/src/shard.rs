@@ -59,6 +59,16 @@ pub(crate) struct MapShard {
     pub(crate) free_blocks: BTreeSet<u64>,
     pub(crate) next_list_raw: u64,
     pub(crate) free_lists: BTreeSet<u64>,
+    /// An incremental checkpoint has covered this shard's log prefix
+    /// but not yet written its snapshot slab: the next committed-state
+    /// drain must preserve the persistent tables as of the covered
+    /// point (see [`snap_copy`](Self::snap_copy)).
+    pub(crate) snap_pending: bool,
+    /// Copy-on-advance snapshot: the persistent tables as they stood
+    /// when the in-flight incremental checkpoint chose its covered
+    /// sequence number, cloned lazily by the first drain that would
+    /// advance a pending shard past that point.
+    pub(crate) snap_copy: Option<Tables>,
 }
 
 /// Smallest valid identifier owned by shard `idx` that is `>= floor`
@@ -78,6 +88,8 @@ impl MapShard {
             free_blocks: BTreeSet::new(),
             next_list_raw: striped_ceil(1, idx, n),
             free_lists: BTreeSet::new(),
+            snap_pending: false,
+            snap_copy: None,
         }
     }
 
@@ -315,6 +327,32 @@ impl Maps {
                 (i, ShardGuard::Write(slot.lock.write()))
             })
             .collect()
+    }
+
+    /// Records identifiers that replay allocated and then finally freed
+    /// (recovery): each raw id leaves with the allocator raised past it
+    /// *and* a free-set entry, exactly as a serial alloc/free pair would
+    /// have left its shard. Call order (note, then insert) matters:
+    /// `note_*_id` removes the id from the free set before re-adding.
+    pub(crate) fn inject_freed(
+        &self,
+        freed_blocks: impl IntoIterator<Item = u64>,
+        freed_lists: impl IntoIterator<Item = u64>,
+    ) {
+        let n = self.shards.len() as u64;
+        let mask = self.mask();
+        let mut guards: Vec<RwLockWriteGuard<'_, MapShard>> =
+            self.shards.iter().map(|s| s.lock.write()).collect();
+        for raw in freed_blocks {
+            let sh = &mut *guards[(raw & mask) as usize];
+            sh.note_block_id(raw, n);
+            sh.free_blocks.insert(raw);
+        }
+        for raw in freed_lists {
+            let sh = &mut *guards[(raw & mask) as usize];
+            sh.note_list_id(raw, n);
+            sh.free_lists.insert(raw);
+        }
     }
 
     /// Per-shard lock-acquisition counters.
@@ -664,6 +702,13 @@ impl<'a> MapView<'a> {
             if let ShardGuard::Write(sh) = g {
                 n += sh.committed.len() as u64;
                 let sh = &mut **sh;
+                // Copy-on-advance: an incremental checkpoint has chosen
+                // its covered point but not yet snapshotted this shard —
+                // preserve the persistent tables as of that point before
+                // draining newer committed records into them.
+                if sh.snap_pending && !sh.committed.is_empty() && sh.snap_copy.is_none() {
+                    sh.snap_copy = Some(sh.persistent.clone());
+                }
                 sh.committed.drain_into(&mut sh.persistent);
             }
         }

@@ -1,4 +1,4 @@
-use crate::sync::Mutex;
+use crate::sync::RwLock;
 use crate::{BlockDevice, Result};
 
 /// An in-memory block device.
@@ -24,9 +24,11 @@ use crate::{BlockDevice, Result};
 /// # Ok(())
 /// # }
 /// ```
+/// Readers share the device (`RwLock`): parallel recovery scans many
+/// segments concurrently, and a mutex here would serialize them.
 #[derive(Debug)]
 pub struct MemDisk {
-    data: Mutex<Vec<u8>>,
+    data: RwLock<Vec<u8>>,
 }
 
 impl MemDisk {
@@ -46,20 +48,20 @@ impl MemDisk {
             i += 4096;
         }
         MemDisk {
-            data: Mutex::new(data),
+            data: RwLock::new(data),
         }
     }
 
     /// Creates a device initialized from a raw image.
     pub fn from_image(image: Vec<u8>) -> Self {
         MemDisk {
-            data: Mutex::new(image),
+            data: RwLock::new(image),
         }
     }
 
     /// Returns a copy of the full device image.
     pub fn snapshot(&self) -> Vec<u8> {
-        self.data.lock().clone()
+        self.data.read().clone()
     }
 
     /// Consumes the device and returns its image without copying.
@@ -70,12 +72,12 @@ impl MemDisk {
 
 impl BlockDevice for MemDisk {
     fn capacity(&self) -> u64 {
-        self.data.lock().len() as u64
+        self.data.read().len() as u64
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.check_bounds(offset, buf.len())?;
-        let data = self.data.lock();
+        let data = self.data.read();
         let start = offset as usize;
         buf.copy_from_slice(&data[start..start + buf.len()]);
         Ok(())
@@ -83,7 +85,7 @@ impl BlockDevice for MemDisk {
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
         self.check_bounds(offset, buf.len())?;
-        let mut data = self.data.lock();
+        let mut data = self.data.write();
         let start = offset as usize;
         data[start..start + buf.len()].copy_from_slice(buf);
         Ok(())
